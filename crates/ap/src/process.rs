@@ -1,0 +1,439 @@
+//! Protocol definitions: processes, guards, actions, and effects.
+//!
+//! A [`SystemSpec`] is the immutable description of a protocol — the analogue
+//! of the `process p ... begin (action) [] (action) ... end` blocks in the
+//! paper. It is kept separate from the mutable [`SystemState`] so that state
+//! snapshots can be cloned freely during exploration while the action
+//! closures are shared.
+//!
+//! [`SystemState`]: crate::SystemState
+
+use crate::state::SystemState;
+use std::fmt;
+use std::rc::Rc;
+
+/// Predicate over a message, used by filtered receive guards.
+pub type MsgPredicate<M> = Rc<dyn Fn(&M) -> bool>;
+
+/// Predicate over the whole system state, used by timeout guards.
+pub type GlobalPredicate<S, M> = Rc<dyn Fn(&SystemState<S, M>) -> bool>;
+
+/// Identifier of a process within a [`SystemSpec`] (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The three guard forms of the AP notation.
+///
+/// * [`Guard::Local`] — a boolean expression over the process's own state;
+/// * [`Guard::Receive`] — `rcv <message> from q`: enabled when the head of
+///   the channel from `q` exists (optionally further filtered);
+/// * [`Guard::Timeout`] — a boolean expression over the *global* state,
+///   i.e. every process's variables and all channel contents.
+pub enum Guard<S, M> {
+    /// Boolean expression over local state.
+    Local(Rc<dyn Fn(&S) -> bool>),
+    /// Receive guard: enabled when a message from `from` is at the head of
+    /// the channel and `matches` (if any) accepts it.
+    Receive {
+        /// The sending process.
+        from: Pid,
+        /// Optional predicate on the head message; `None` accepts any.
+        matches: Option<MsgPredicate<M>>,
+    },
+    /// Timeout guard: boolean expression over the whole system state.
+    Timeout(GlobalPredicate<S, M>),
+}
+
+impl<S, M> Clone for Guard<S, M> {
+    fn clone(&self) -> Self {
+        match self {
+            Guard::Local(f) => Guard::Local(Rc::clone(f)),
+            Guard::Receive { from, matches } => Guard::Receive {
+                from: *from,
+                matches: matches.as_ref().map(Rc::clone),
+            },
+            Guard::Timeout(f) => Guard::Timeout(Rc::clone(f)),
+        }
+    }
+}
+
+impl<S, M> fmt::Debug for Guard<S, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::Local(_) => write!(f, "Guard::Local(..)"),
+            Guard::Receive { from, .. } => write!(f, "Guard::Receive {{ from: {from} }}"),
+            Guard::Timeout(_) => write!(f, "Guard::Timeout(..)"),
+        }
+    }
+}
+
+impl<S, M> Guard<S, M> {
+    /// Builds a local guard from a predicate over the process state.
+    pub fn local(f: impl Fn(&S) -> bool + 'static) -> Self {
+        Guard::Local(Rc::new(f))
+    }
+
+    /// Builds an always-true local guard (the paper's `true -->` actions).
+    pub fn always() -> Self {
+        Guard::Local(Rc::new(|_| true))
+    }
+
+    /// Builds a receive guard accepting any message from `from`.
+    pub fn receive(from: Pid) -> Self {
+        Guard::Receive {
+            from,
+            matches: None,
+        }
+    }
+
+    /// Builds a receive guard accepting only head messages satisfying `f`.
+    pub fn receive_if(from: Pid, f: impl Fn(&M) -> bool + 'static) -> Self {
+        Guard::Receive {
+            from,
+            matches: Some(Rc::new(f)),
+        }
+    }
+
+    /// Builds a timeout guard from a predicate over the global state.
+    pub fn timeout(f: impl Fn(&SystemState<S, M>) -> bool + 'static) -> Self {
+        Guard::Timeout(Rc::new(f))
+    }
+}
+
+/// Messages emitted by an action's statement, to be appended to channels.
+///
+/// Handed to every action effect; the paper's `send <message> to q` becomes
+/// [`Effects::send`].
+#[derive(Debug)]
+pub struct Effects<M> {
+    sends: Vec<(Pid, M)>,
+}
+
+impl<M> Effects<M> {
+    pub(crate) fn new() -> Self {
+        Effects { sends: Vec::new() }
+    }
+
+    /// Queues `msg` for appending to the channel toward `to`.
+    pub fn send(&mut self, to: Pid, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    pub(crate) fn into_sends(self) -> Vec<(Pid, M)> {
+        self.sends
+    }
+}
+
+/// Effect function type: receives the process's local state, the received
+/// message for receive-guarded actions (`None` otherwise), and an
+/// [`Effects`] sink for sends.
+pub type EffectFn<S, M> = Rc<dyn Fn(&mut S, Option<&M>, &mut Effects<M>)>;
+
+/// One guarded action of a process.
+pub struct Action<S, M> {
+    /// Human-readable name, shown in traces and exploration reports.
+    pub name: String,
+    /// The owning process.
+    pub pid: Pid,
+    /// When this action may execute.
+    pub guard: Guard<S, M>,
+    /// What executing it does.
+    pub effect: EffectFn<S, M>,
+}
+
+impl<S, M> Clone for Action<S, M> {
+    fn clone(&self) -> Self {
+        Action {
+            name: self.name.clone(),
+            pid: self.pid,
+            guard: self.guard.clone(),
+            effect: Rc::clone(&self.effect),
+        }
+    }
+}
+
+impl<S, M> fmt::Debug for Action<S, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Action")
+            .field("name", &self.name)
+            .field("pid", &self.pid)
+            .field("guard", &self.guard)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The immutable definition of a protocol: named processes and their actions.
+pub struct SystemSpec<S, M> {
+    process_names: Vec<String>,
+    actions: Vec<Action<S, M>>,
+}
+
+impl<S, M> Default for SystemSpec<S, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S, M> fmt::Debug for SystemSpec<S, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemSpec")
+            .field("process_names", &self.process_names)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+impl<S, M> SystemSpec<S, M> {
+    /// Creates an empty protocol definition.
+    pub fn new() -> Self {
+        SystemSpec {
+            process_names: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Declares a process and returns its [`Pid`].
+    pub fn add_process(&mut self, name: impl Into<String>) -> Pid {
+        self.process_names.push(name.into());
+        Pid(self.process_names.len() - 1)
+    }
+
+    /// Registers an action for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by [`SystemSpec::add_process`] on
+    /// this spec.
+    pub fn add_action(
+        &mut self,
+        pid: Pid,
+        name: impl Into<String>,
+        guard: Guard<S, M>,
+        effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + 'static,
+    ) {
+        assert!(
+            pid.0 < self.process_names.len(),
+            "action registered for unknown process {pid:?}"
+        );
+        self.actions.push(Action {
+            name: name.into(),
+            pid,
+            guard,
+            effect: Rc::new(effect),
+        });
+    }
+
+    /// Number of declared processes.
+    pub fn process_count(&self) -> usize {
+        self.process_names.len()
+    }
+
+    /// Name of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn process_name(&self, pid: Pid) -> &str {
+        &self.process_names[pid.0]
+    }
+
+    /// All registered actions, in registration order.
+    pub fn actions(&self) -> &[Action<S, M>] {
+        &self.actions
+    }
+
+    /// Indices of the actions whose guards are true in `state`.
+    pub fn enabled_actions(&self, state: &SystemState<S, M>) -> Vec<usize>
+    where
+        S: Clone,
+        M: Clone,
+    {
+        self.actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| self.is_enabled(a, state))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether a single action's guard holds in `state`.
+    pub fn is_enabled(&self, action: &Action<S, M>, state: &SystemState<S, M>) -> bool
+    where
+        S: Clone,
+        M: Clone,
+    {
+        match &action.guard {
+            Guard::Local(f) => f(state.local(action.pid)),
+            Guard::Receive { from, matches } => match state.channel_head(*from, action.pid) {
+                Some(msg) => matches.as_ref().is_none_or(|f| f(msg)),
+                None => false,
+            },
+            Guard::Timeout(f) => f(state),
+        }
+    }
+
+    /// Executes action `index` on `state`: consumes the head message for
+    /// receive actions, runs the effect, and appends any sends to channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is not enabled (callers must check first) or if
+    /// `index` is out of range.
+    pub fn execute(&self, index: usize, state: &mut SystemState<S, M>)
+    where
+        S: Clone,
+        M: Clone,
+    {
+        let action = &self.actions[index];
+        assert!(
+            self.is_enabled(action, state),
+            "executing disabled action {}",
+            action.name
+        );
+        let received = match &action.guard {
+            Guard::Receive { from, .. } => state.pop_channel(*from, action.pid),
+            _ => None,
+        };
+        let mut fx = Effects::new();
+        (action.effect)(state.local_mut(action.pid), received.as_ref(), &mut fx);
+        for (to, msg) in fx.into_sends() {
+            state.push_channel(action.pid, to, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Counter(u32);
+
+    #[test]
+    fn add_process_assigns_sequential_pids() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        assert_eq!(spec.add_process("a"), Pid(0));
+        assert_eq!(spec.add_process("b"), Pid(1));
+        assert_eq!(spec.process_count(), 2);
+        assert_eq!(spec.process_name(Pid(1)), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn action_for_unknown_process_panics() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        spec.add_action(Pid(3), "bad", Guard::always(), |_, _, _| {});
+    }
+
+    #[test]
+    fn local_guard_controls_enabledness() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        let p = spec.add_process("p");
+        spec.add_action(p, "inc", Guard::local(|s: &Counter| s.0 < 2), |s, _, _| {
+            s.0 += 1;
+        });
+        let mut state = SystemState::new(vec![Counter(0)], 1);
+        assert_eq!(spec.enabled_actions(&state), vec![0]);
+        spec.execute(0, &mut state);
+        spec.execute(0, &mut state);
+        assert!(spec.enabled_actions(&state).is_empty());
+        assert_eq!(state.local(p).0, 2);
+    }
+
+    #[test]
+    fn receive_guard_needs_message_and_consumes_it() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action(q, "recv", Guard::receive(p), |s, msg, _| {
+            s.0 += u32::from(*msg.unwrap());
+        });
+        let mut state = SystemState::new(vec![Counter(0), Counter(0)], 2);
+        assert!(spec.enabled_actions(&state).is_empty());
+        state.push_channel(p, q, 7);
+        assert_eq!(spec.enabled_actions(&state), vec![0]);
+        spec.execute(0, &mut state);
+        assert_eq!(state.local(q).0, 7);
+        assert!(state.channel_head(p, q).is_none());
+    }
+
+    #[test]
+    fn receive_if_filters_head_message() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action(
+            q,
+            "recv-even",
+            Guard::receive_if(p, |m| m % 2 == 0),
+            |s, _, _| {
+                s.0 += 1;
+            },
+        );
+        let mut state = SystemState::new(vec![Counter(0), Counter(0)], 2);
+        state.push_channel(p, q, 3); // odd head blocks the guard
+        assert!(spec.enabled_actions(&state).is_empty());
+    }
+
+    #[test]
+    fn timeout_guard_sees_global_state() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        // Fires only when every channel is empty — the quiescence idiom used
+        // by Zmail's snapshot.
+        spec.add_action(
+            q,
+            "quiescent",
+            Guard::timeout(|st: &SystemState<Counter, u8>| st.channels_empty()),
+            |s, _, _| s.0 += 100,
+        );
+        let mut state = SystemState::new(vec![Counter(0), Counter(0)], 2);
+        assert_eq!(spec.enabled_actions(&state), vec![0]);
+        state.push_channel(p, q, 1);
+        assert!(spec.enabled_actions(&state).is_empty());
+    }
+
+    #[test]
+    fn effects_sends_append_in_order() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action(
+            p,
+            "burst",
+            Guard::local(|s: &Counter| s.0 == 0),
+            move |s, _, fx| {
+                s.0 = 1;
+                fx.send(q, 1);
+                fx.send(q, 2);
+                fx.send(q, 3);
+            },
+        );
+        let mut state = SystemState::new(vec![Counter(0), Counter(0)], 2);
+        spec.execute(0, &mut state);
+        assert_eq!(state.channel_len(p, q), 3);
+        assert_eq!(state.channel_head(p, q), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled action")]
+    fn executing_disabled_action_panics() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        let p = spec.add_process("p");
+        spec.add_action(p, "never", Guard::local(|_| false), |_, _, _| {});
+        let mut state = SystemState::new(vec![Counter(0)], 1);
+        spec.execute(0, &mut state);
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(4).to_string(), "P4");
+    }
+}

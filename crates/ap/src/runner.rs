@@ -1,0 +1,355 @@
+//! A seeded randomized scheduler implementing AP execution semantics.
+//!
+//! Rule 2 of the notation says actions execute one at a time; rule 3 demands
+//! weak fairness. [`Runner`] picks uniformly at random among enabled actions
+//! with a fixed seed, which gives reproducible runs and satisfies fairness
+//! with probability 1 (every continuously enabled action is chosen
+//! eventually). A bounded [`Trace`] of executed actions supports debugging
+//! and assertions in tests.
+
+use crate::process::{Pid, SystemSpec};
+use crate::state::SystemState;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One executed step in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Step number, starting at 0.
+    pub step: usize,
+    /// The process whose action ran.
+    pub pid: Pid,
+    /// The action's registered name.
+    pub action: String,
+}
+
+/// A bounded record of executed actions, oldest first.
+///
+/// The trace keeps at most its capacity of most-recent entries so unbounded
+/// runs do not grow memory without bound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` recent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push(entry);
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// How many older entries were discarded to respect the capacity.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Total steps recorded over the trace's lifetime.
+    pub fn total_steps(&self) -> usize {
+        self.entries.len() + self.dropped
+    }
+}
+
+/// The randomized executor for a [`SystemSpec`].
+///
+/// Borrows the spec; create one per run (or reuse across runs — the RNG
+/// stream continues).
+#[derive(Debug)]
+pub struct Runner<'a, S, M> {
+    spec: &'a SystemSpec<S, M>,
+    rng: SmallRng,
+    trace: Trace,
+}
+
+impl<'a, S: Clone, M: Clone> Runner<'a, S, M> {
+    /// Creates a runner over `spec` with a deterministic `seed`.
+    pub fn new(spec: &'a SystemSpec<S, M>, seed: u64) -> Self {
+        Runner {
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+            trace: Trace::with_capacity(1024),
+        }
+    }
+
+    /// Replaces the trace capacity (entries recorded so far are kept up to
+    /// the new capacity).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        let mut t = Trace::with_capacity(capacity);
+        for e in self.trace.entries.clone() {
+            t.record(e);
+        }
+        t.dropped += self.trace.dropped;
+        self.trace = t;
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executes one step: picks a random enabled action and runs it.
+    ///
+    /// Returns `false` if no action is enabled (the system is quiescent or
+    /// deadlocked).
+    pub fn step(&mut self, state: &mut SystemState<S, M>) -> bool {
+        let enabled = self.spec.enabled_actions(state);
+        if enabled.is_empty() {
+            return false;
+        }
+        let choice = enabled[self.rng.gen_range(0..enabled.len())];
+        let action = &self.spec.actions()[choice];
+        self.trace.record(TraceEntry {
+            step: self.trace.total_steps(),
+            pid: action.pid,
+            action: action.name.clone(),
+        });
+        self.spec.execute(choice, state);
+        true
+    }
+
+    /// Runs up to `max_steps` steps; returns how many actually executed
+    /// (fewer only if the system ran out of enabled actions).
+    pub fn run(&mut self, state: &mut SystemState<S, M>, max_steps: usize) -> usize {
+        for done in 0..max_steps {
+            if !self.step(state) {
+                return done;
+            }
+        }
+        max_steps
+    }
+
+    /// Runs up to `max_steps` steps, checking `invariant` after every step
+    /// — randomized safety testing for state spaces too large to explore
+    /// exhaustively. Returns the number of steps executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invariant's description and the step number at the
+    /// first violation, leaving `state` *in* the violating state for
+    /// inspection.
+    pub fn run_checked(
+        &mut self,
+        state: &mut SystemState<S, M>,
+        max_steps: usize,
+        invariant: impl Fn(&SystemState<S, M>) -> Result<(), String>,
+    ) -> Result<usize, (usize, String)> {
+        for done in 0..max_steps {
+            if !self.step(state) {
+                return Ok(done);
+            }
+            if let Err(message) = invariant(state) {
+                return Err((done + 1, message));
+            }
+        }
+        Ok(max_steps)
+    }
+
+    /// Runs until `stop` holds or `max_steps` elapse; returns `Some(steps)`
+    /// if the predicate was reached, `None` otherwise.
+    pub fn run_until(
+        &mut self,
+        state: &mut SystemState<S, M>,
+        max_steps: usize,
+        stop: impl Fn(&SystemState<S, M>) -> bool,
+    ) -> Option<usize> {
+        for done in 0..=max_steps {
+            if stop(state) {
+                return Some(done);
+            }
+            if done == max_steps || !self.step(state) {
+                break;
+            }
+        }
+        if stop(state) {
+            Some(max_steps)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Guard;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct P {
+        sent: u32,
+        got: u32,
+    }
+
+    fn ping_pong_spec() -> SystemSpec<P, u8> {
+        let mut spec = SystemSpec::<P, u8>::new();
+        let a = spec.add_process("a");
+        let b = spec.add_process("b");
+        spec.add_action(
+            a,
+            "send",
+            Guard::local(|s: &P| s.sent < 10),
+            move |s, _, fx| {
+                s.sent += 1;
+                fx.send(b, 1);
+            },
+        );
+        spec.add_action(b, "recv", Guard::receive(a), |s, m, _| {
+            s.got += u32::from(*m.unwrap());
+        });
+        spec
+    }
+
+    fn initial() -> SystemState<P, u8> {
+        SystemState::new(vec![P { sent: 0, got: 0 }, P { sent: 0, got: 0 }], 2)
+    }
+
+    #[test]
+    fn run_reaches_quiescence_with_exact_counts() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 1);
+        let steps = runner.run(&mut state, 1_000);
+        assert_eq!(steps, 20, "10 sends + 10 receives");
+        assert_eq!(state.local(Pid(0)).sent, 10);
+        assert_eq!(state.local(Pid(1)).got, 10);
+        assert!(state.channels_empty());
+        assert!(!runner.step(&mut state), "system should be quiescent");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let spec = ping_pong_spec();
+        let (mut s1, mut s2) = (initial(), initial());
+        let mut r1 = Runner::new(&spec, 99);
+        let mut r2 = Runner::new(&spec, 99);
+        r1.run(&mut s1, 50);
+        r2.run(&mut s2, 50);
+        assert_eq!(r1.trace().entries(), r2.trace().entries());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let spec = ping_pong_spec();
+        let (mut s1, mut s2) = (initial(), initial());
+        let mut r1 = Runner::new(&spec, 1);
+        let mut r2 = Runner::new(&spec, 2);
+        r1.run(&mut s1, 20);
+        r2.run(&mut s2, 20);
+        assert_ne!(
+            r1.trace().entries(),
+            r2.trace().entries(),
+            "interleavings should differ across seeds"
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 7);
+        let steps = runner
+            .run_until(&mut state, 1_000, |st| st.local(Pid(1)).got >= 5)
+            .expect("predicate reachable");
+        assert!(steps <= 1_000);
+        assert!(state.local(Pid(1)).got >= 5);
+    }
+
+    #[test]
+    fn run_until_returns_none_if_unreachable() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 7);
+        assert_eq!(
+            runner.run_until(&mut state, 100, |st| st.local(Pid(1)).got > 10),
+            None
+        );
+    }
+
+    #[test]
+    fn run_checked_passes_honest_invariant() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 4);
+        let steps = runner
+            .run_checked(&mut state, 1_000, |st| {
+                let sent = st.local(Pid(0)).sent;
+                let got = st.local(Pid(1)).got;
+                let in_flight = st.total_in_flight() as u32;
+                if got + in_flight == sent {
+                    Ok(())
+                } else {
+                    Err(format!("{got} + {in_flight} != {sent}"))
+                }
+            })
+            .expect("invariant holds");
+        assert_eq!(steps, 20);
+    }
+
+    #[test]
+    fn run_checked_reports_violation_step_and_state() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 4);
+        let err = runner
+            .run_checked(&mut state, 1_000, |st| {
+                if st.local(Pid(0)).sent < 3 {
+                    Ok(())
+                } else {
+                    Err("three sends".into())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.1, "three sends");
+        assert!(err.0 >= 3, "violation cannot precede the third send");
+        // The state is left at the violation for inspection.
+        assert_eq!(state.local(Pid(0)).sent, 3);
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let spec = ping_pong_spec();
+        let mut state = initial();
+        let mut runner = Runner::new(&spec, 3);
+        runner.set_trace_capacity(5);
+        runner.run(&mut state, 1_000);
+        assert_eq!(runner.trace().entries().len(), 5);
+        assert_eq!(runner.trace().total_steps(), 20);
+        assert_eq!(runner.trace().dropped(), 15);
+    }
+
+    #[test]
+    fn fairness_every_continuously_enabled_action_runs() {
+        // Two always-enabled actions; over many steps both must execute.
+        let mut spec = SystemSpec::<P, u8>::new();
+        let a = spec.add_process("a");
+        spec.add_action(a, "one", Guard::always(), |s, _, _| s.sent += 1);
+        spec.add_action(a, "two", Guard::always(), |s, _, _| s.got += 1);
+        let mut state = SystemState::new(vec![P { sent: 0, got: 0 }], 1);
+        let mut runner = Runner::new(&spec, 5);
+        runner.run(&mut state, 200);
+        assert!(state.local(a).sent > 0, "action `one` starved");
+        assert!(state.local(a).got > 0, "action `two` starved");
+    }
+}

@@ -1,0 +1,201 @@
+//! The mutable global state of a protocol: local states plus FIFO channels.
+//!
+//! AP-notation semantics (§3 of the paper): between every ordered pair of
+//! processes there is one channel; messages in a channel form a sequence and
+//! are received one at a time in sending order. [`SystemState`] realizes the
+//! channels as a dense `n × n` matrix of queues so that global states can be
+//! cloned, compared, and hashed cheaply during exploration.
+
+use crate::process::Pid;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+
+/// Global protocol state: one local state per process and all channels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SystemState<S, M> {
+    locals: Vec<S>,
+    /// Row-major `n × n` channel matrix; `channels[from * n + to]`.
+    channels: Vec<VecDeque<M>>,
+    n: usize,
+}
+
+impl<S, M> SystemState<S, M> {
+    /// Creates a state from initial local states; `process_count` must match
+    /// `locals.len()` and equals the spec's process count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locals.len() != process_count`.
+    pub fn new(locals: Vec<S>, process_count: usize) -> Self {
+        assert_eq!(
+            locals.len(),
+            process_count,
+            "one initial local state per process required"
+        );
+        let channels = (0..process_count * process_count)
+            .map(|_| VecDeque::new())
+            .collect();
+        SystemState {
+            locals,
+            channels,
+            n: process_count,
+        }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Immutable view of process `pid`'s local state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn local(&self, pid: Pid) -> &S {
+        &self.locals[pid.0]
+    }
+
+    /// Mutable view of process `pid`'s local state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn local_mut(&mut self, pid: Pid) -> &mut S {
+        &mut self.locals[pid.0]
+    }
+
+    /// All local states, indexed by pid.
+    pub fn local_states(&self) -> &[S] {
+        &self.locals
+    }
+
+    fn idx(&self, from: Pid, to: Pid) -> usize {
+        assert!(from.0 < self.n && to.0 < self.n, "pid out of range");
+        from.0 * self.n + to.0
+    }
+
+    /// The head (oldest undelivered) message of the channel `from → to`.
+    pub fn channel_head(&self, from: Pid, to: Pid) -> Option<&M> {
+        self.channels[self.idx(from, to)].front()
+    }
+
+    /// Number of messages in the channel `from → to`.
+    pub fn channel_len(&self, from: Pid, to: Pid) -> usize {
+        self.channels[self.idx(from, to)].len()
+    }
+
+    /// Total messages in flight across all channels.
+    pub fn total_in_flight(&self) -> usize {
+        self.channels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether every channel is empty (global quiescence).
+    pub fn channels_empty(&self) -> bool {
+        self.channels.iter().all(VecDeque::is_empty)
+    }
+
+    /// Appends `msg` to the channel `from → to` (the `send` statement).
+    pub fn push_channel(&mut self, from: Pid, to: Pid, msg: M) {
+        let i = self.idx(from, to);
+        self.channels[i].push_back(msg);
+    }
+
+    /// Removes and returns the head of the channel `from → to`.
+    pub fn pop_channel(&mut self, from: Pid, to: Pid) -> Option<M> {
+        let i = self.idx(from, to);
+        self.channels[i].pop_front()
+    }
+
+    /// Iterates over the messages of the channel `from → to`, oldest first.
+    pub fn channel_iter(&self, from: Pid, to: Pid) -> impl Iterator<Item = &M> {
+        self.channels[self.idx(from, to)].iter()
+    }
+
+    /// A 64-bit fingerprint of the whole global state, used by the explorer
+    /// to deduplicate visited states.
+    pub fn fingerprint(&self) -> u64
+    where
+        S: Hash,
+        M: Hash,
+    {
+        let mut hasher = DefaultHasher::new();
+        self.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_fifo_per_pair() {
+        let mut st = SystemState::<u8, u32>::new(vec![0, 0], 2);
+        let (p, q) = (Pid(0), Pid(1));
+        st.push_channel(p, q, 10);
+        st.push_channel(p, q, 20);
+        st.push_channel(q, p, 99); // other direction, independent queue
+        assert_eq!(st.pop_channel(p, q), Some(10));
+        assert_eq!(st.pop_channel(p, q), Some(20));
+        assert_eq!(st.pop_channel(p, q), None);
+        assert_eq!(st.pop_channel(q, p), Some(99));
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut st = SystemState::<u8, u32>::new(vec![0, 0, 0], 3);
+        assert!(st.channels_empty());
+        st.push_channel(Pid(0), Pid(1), 1);
+        st.push_channel(Pid(2), Pid(0), 2);
+        assert_eq!(st.total_in_flight(), 2);
+        assert_eq!(st.channel_len(Pid(0), Pid(1)), 1);
+        assert!(!st.channels_empty());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let mut a = SystemState::<u8, u32>::new(vec![0, 0], 2);
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.push_channel(Pid(0), Pid(1), 5);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        *a.local_mut(Pid(0)) = 9;
+        let mut c = b.clone();
+        *c.local_mut(Pid(0)) = 9;
+        c.push_channel(Pid(0), Pid(1), 5);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_channel_direction() {
+        let mut a = SystemState::<u8, u32>::new(vec![0, 0], 2);
+        let mut b = SystemState::<u8, u32>::new(vec![0, 0], 2);
+        a.push_channel(Pid(0), Pid(1), 5);
+        b.push_channel(Pid(1), Pid(0), 5);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial local state per process")]
+    fn mismatched_locals_panic() {
+        SystemState::<u8, u32>::new(vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pid out of range")]
+    fn out_of_range_pid_panics() {
+        let st = SystemState::<u8, u32>::new(vec![0], 1);
+        st.channel_head(Pid(0), Pid(5));
+    }
+
+    #[test]
+    fn channel_iter_in_order() {
+        let mut st = SystemState::<u8, u32>::new(vec![0, 0], 2);
+        st.push_channel(Pid(0), Pid(1), 1);
+        st.push_channel(Pid(0), Pid(1), 2);
+        let got: Vec<u32> = st.channel_iter(Pid(0), Pid(1)).copied().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Human-effort challenge-response (§2.3; Mailblocks, Active Spam Killer).
+//!
+//! First-time senders are held and challenged (e.g. a CAPTCHA). Humans
+//! usually solve it — at a cost in time and goodwill; bots almost never
+//! do. The paper's critique: *"it is inconvenient, inefficient and
+//! sometimes a challenge can be perceived as rude."* The model charges
+//! every solved challenge a human-seconds price and lets a fraction of
+//! legitimate senders simply give up.
+
+use std::collections::HashSet;
+
+/// Parameters and state of a challenge-response front end for one inbox.
+#[derive(Debug, Clone)]
+pub struct ChallengeResponse {
+    /// Probability a human sender solves the challenge (the rest abandon
+    /// the message).
+    pub human_solve_rate: f64,
+    /// Probability a bot solves it (OCR farms exist).
+    pub bot_solve_rate: f64,
+    /// Seconds of human attention one challenge costs.
+    pub seconds_per_challenge: f64,
+    approved: HashSet<u64>,
+    stats: ChallengeStats,
+}
+
+/// Outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChallengeStats {
+    /// Challenges issued.
+    pub challenges_issued: u64,
+    /// Legitimate messages delivered.
+    pub legit_delivered: u64,
+    /// Legitimate messages lost (sender gave up).
+    pub legit_lost: u64,
+    /// Spam delivered (bot solved, or sender previously approved).
+    pub spam_delivered: u64,
+    /// Spam blocked.
+    pub spam_blocked: u64,
+    /// Total human seconds burned on challenges.
+    pub human_seconds: f64,
+}
+
+impl ChallengeResponse {
+    /// Creates a front end with the given solve rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are outside `[0, 1]`.
+    pub fn new(human_solve_rate: f64, bot_solve_rate: f64, seconds_per_challenge: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&human_solve_rate) && (0.0..=1.0).contains(&bot_solve_rate),
+            "rates must be within [0, 1]"
+        );
+        ChallengeResponse {
+            human_solve_rate,
+            bot_solve_rate,
+            seconds_per_challenge,
+            approved: HashSet::new(),
+            stats: ChallengeStats::default(),
+        }
+    }
+
+    /// Processes one message from `sender` (`is_spam` is ground truth).
+    /// Returns whether it reached the inbox.
+    pub fn process(
+        &mut self,
+        sender: u64,
+        is_spam: bool,
+        sampler: &mut zmail_sim::Sampler,
+    ) -> bool {
+        if self.approved.contains(&sender) {
+            if is_spam {
+                self.stats.spam_delivered += 1;
+            } else {
+                self.stats.legit_delivered += 1;
+            }
+            return true;
+        }
+        self.stats.challenges_issued += 1;
+        let solve_rate = if is_spam {
+            self.bot_solve_rate
+        } else {
+            self.human_solve_rate
+        };
+        let solved = sampler.bernoulli(solve_rate);
+        if solved {
+            self.stats.human_seconds += self.seconds_per_challenge;
+            self.approved.insert(sender);
+            if is_spam {
+                self.stats.spam_delivered += 1;
+            } else {
+                self.stats.legit_delivered += 1;
+            }
+            true
+        } else {
+            if is_spam {
+                self.stats.spam_blocked += 1;
+            } else {
+                self.stats.legit_lost += 1;
+            }
+            false
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ChallengeStats {
+        self.stats
+    }
+
+    /// Senders that have passed a challenge.
+    pub fn approved_count(&self) -> usize {
+        self.approved.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmail_sim::Sampler;
+
+    #[test]
+    fn repeat_senders_skip_the_challenge() {
+        let mut cr = ChallengeResponse::new(1.0, 0.0, 10.0);
+        let mut sampler = Sampler::new(1);
+        assert!(cr.process(7, false, &mut sampler));
+        assert!(cr.process(7, false, &mut sampler));
+        assert!(cr.process(7, false, &mut sampler));
+        assert_eq!(cr.stats().challenges_issued, 1);
+        assert_eq!(cr.stats().legit_delivered, 3);
+        assert_eq!(cr.approved_count(), 1);
+    }
+
+    #[test]
+    fn bots_are_blocked_humans_pass() {
+        let mut cr = ChallengeResponse::new(1.0, 0.0, 10.0);
+        let mut sampler = Sampler::new(2);
+        for bot in 100..200 {
+            assert!(!cr.process(bot, true, &mut sampler));
+        }
+        assert_eq!(cr.stats().spam_blocked, 100);
+        assert_eq!(cr.stats().spam_delivered, 0);
+    }
+
+    #[test]
+    fn some_legitimate_mail_is_lost() {
+        let mut cr = ChallengeResponse::new(0.8, 0.0, 10.0);
+        let mut sampler = Sampler::new(3);
+        for sender in 0..1_000 {
+            cr.process(sender, false, &mut sampler);
+        }
+        let lost_rate = cr.stats().legit_lost as f64 / 1_000.0;
+        assert!(
+            (lost_rate - 0.2).abs() < 0.05,
+            "lost rate {lost_rate} should track give-up rate"
+        );
+    }
+
+    #[test]
+    fn human_seconds_accumulate() {
+        let mut cr = ChallengeResponse::new(1.0, 0.0, 12.0);
+        let mut sampler = Sampler::new(4);
+        for sender in 0..50 {
+            cr.process(sender, false, &mut sampler);
+        }
+        assert!((cr.stats().human_seconds - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocr_farm_bots_leak_through() {
+        let mut cr = ChallengeResponse::new(1.0, 0.3, 10.0);
+        let mut sampler = Sampler::new(5);
+        for bot in 0..1_000 {
+            cr.process(bot, true, &mut sampler);
+        }
+        let leak = cr.stats().spam_delivered as f64 / 1_000.0;
+        assert!(
+            (leak - 0.3).abs() < 0.05,
+            "leak {leak} should track bot rate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be within")]
+    fn bad_rate_panics() {
+        ChallengeResponse::new(1.2, 0.0, 1.0);
+    }
+}

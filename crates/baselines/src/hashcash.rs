@@ -1,0 +1,149 @@
+//! Computational postage: a real hashcash-style proof-of-work (§2.3).
+//!
+//! The sender must find a nonce whose hash over the message digest has a
+//! required number of leading zero bits. Verification is one hash. The
+//! paper's critique is quantitative: the burden falls on *everyone's* CPU
+//! — experiment E9 measures minting cost against the spam-rate limit it
+//! buys, and contrasts it with Zmail's zero computational overhead.
+
+use std::fmt;
+
+/// A minted proof-of-work stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashcashStamp {
+    /// Digest of the message the stamp covers.
+    pub message_digest: u64,
+    /// Difficulty in leading zero bits.
+    pub bits: u32,
+    /// The found nonce.
+    pub nonce: u64,
+    /// Hash evaluations spent minting (the work).
+    pub attempts: u64,
+}
+
+impl fmt::Display for HashcashStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hashcash(bits={}, nonce={:#x}, attempts={})",
+            self.bits, self.nonce, self.attempts
+        )
+    }
+}
+
+/// SplitMix64 — the work function. One evaluation ≈ a few ns, standing in
+/// for one SHA-1 compression in real hashcash.
+fn work_hash(message_digest: u64, nonce: u64) -> u64 {
+    let mut z = message_digest ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mints a stamp for `message_digest` at `bits` difficulty.
+///
+/// Expected work is `2^bits` hash evaluations.
+///
+/// # Panics
+///
+/// Panics if `bits > 40` — a difficulty this crate's experiments never
+/// need and that would effectively hang the caller.
+pub fn mint(message_digest: u64, bits: u32) -> HashcashStamp {
+    assert!(bits <= 40, "difficulty above 40 bits is not supported");
+    let threshold_mask = if bits == 0 { 0 } else { !0u64 << (64 - bits) };
+    let mut nonce = 0u64;
+    let mut attempts = 0u64;
+    loop {
+        attempts += 1;
+        if work_hash(message_digest, nonce) & threshold_mask == 0 {
+            return HashcashStamp {
+                message_digest,
+                bits,
+                nonce,
+                attempts,
+            };
+        }
+        nonce += 1;
+    }
+}
+
+/// Verifies a stamp in one hash evaluation.
+pub fn verify(stamp: &HashcashStamp) -> bool {
+    let mask = if stamp.bits == 0 {
+        0
+    } else {
+        !0u64 << (64 - stamp.bits)
+    };
+    work_hash(stamp.message_digest, stamp.nonce) & mask == 0
+}
+
+/// The maximum sending rate (messages/second) a CPU that evaluates
+/// `hashes_per_sec` work hashes can sustain at `bits` difficulty.
+pub fn max_send_rate(hashes_per_sec: f64, bits: u32) -> f64 {
+    hashes_per_sec / 2f64.powi(bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_then_verify() {
+        for bits in [0u32, 4, 8, 12] {
+            let stamp = mint(0xFEED_BEEF, bits);
+            assert!(verify(&stamp), "bits={bits}");
+            assert_eq!(stamp.bits, bits);
+        }
+    }
+
+    #[test]
+    fn tampered_stamp_fails_verification() {
+        let stamp = mint(123, 12);
+        let tampered = HashcashStamp {
+            message_digest: 124, // different message, same nonce
+            ..stamp
+        };
+        assert!(!verify(&tampered), "stamp must bind to the message");
+    }
+
+    #[test]
+    fn work_scales_exponentially_with_bits() {
+        // Average attempts over several messages tracks 2^bits.
+        let mean = |bits: u32| -> f64 {
+            (0..40u64)
+                .map(|m| mint(m.wrapping_mul(0x1234_5678_9ABC), bits).attempts as f64)
+                .sum::<f64>()
+                / 40.0
+        };
+        let at8 = mean(8);
+        let at12 = mean(12);
+        assert!(
+            at12 / at8 > 6.0 && at12 / at8 < 40.0,
+            "expected ~16x work increase, got {at8} -> {at12}"
+        );
+    }
+
+    #[test]
+    fn zero_bits_is_free() {
+        let stamp = mint(99, 0);
+        assert_eq!(stamp.attempts, 1);
+    }
+
+    #[test]
+    fn send_rate_math() {
+        // 1e9 hashes/sec at 20 bits → ~954 msg/s; at 30 bits → ~0.93 msg/s.
+        assert!((max_send_rate(1e9, 20) - 953.67).abs() < 1.0);
+        assert!(max_send_rate(1e9, 30) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn absurd_difficulty_panics() {
+        mint(1, 41);
+    }
+
+    #[test]
+    fn display_mentions_bits() {
+        assert!(mint(5, 4).to_string().contains("bits=4"));
+    }
+}

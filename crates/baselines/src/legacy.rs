@@ -1,0 +1,112 @@
+//! The null baseline: plain SMTP with no spam control at all.
+//!
+//! Everything is delivered; the costs land entirely on receivers'
+//! attention and ISP infrastructure — the "free ride" of §1.1. The model
+//! consumes the same [`SendEvent`] traces the Zmail system does, so
+//! experiments can compare like with like.
+
+use std::collections::BTreeMap;
+use zmail_sim::workload::{MailKind, SendEvent};
+
+/// The plain-SMTP world: counts what lands where.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LegacyMail {
+    delivered_by_kind: BTreeMap<MailKind, u64>,
+}
+
+impl LegacyMail {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers every message of a trace (legacy SMTP refuses nothing).
+    pub fn run_trace(&mut self, trace: &[SendEvent]) {
+        for event in trace {
+            *self.delivered_by_kind.entry(event.kind).or_default() += 1;
+        }
+    }
+
+    /// Messages delivered, by kind.
+    pub fn delivered(&self, kind: MailKind) -> u64 {
+        self.delivered_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages delivered.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_by_kind.values().sum()
+    }
+
+    /// Spam share of delivered traffic in `[0, 1]`.
+    pub fn spam_share(&self) -> f64 {
+        let total = self.delivered_total();
+        if total == 0 {
+            return 0.0;
+        }
+        let spam: u64 = self
+            .delivered_by_kind
+            .iter()
+            .filter(|(k, _)| k.is_unsolicited())
+            .map(|(_, &v)| v)
+            .sum();
+        spam as f64 / total as f64
+    }
+
+    /// Receiver attention burned, in seconds, at `seconds_per_spam` per
+    /// unsolicited message.
+    pub fn attention_seconds(&self, seconds_per_spam: f64) -> f64 {
+        self.delivered_by_kind
+            .iter()
+            .filter(|(k, _)| k.is_unsolicited())
+            .map(|(_, &v)| v as f64 * seconds_per_spam)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmail_sim::workload::UserAddr;
+    use zmail_sim::SimTime;
+
+    fn event(kind: MailKind) -> SendEvent {
+        SendEvent {
+            at: SimTime::ZERO,
+            from: UserAddr::new(0, 0),
+            to: UserAddr::new(1, 0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn everything_is_delivered() {
+        let mut world = LegacyMail::new();
+        world.run_trace(&[
+            event(MailKind::Personal),
+            event(MailKind::Spam),
+            event(MailKind::Spam),
+            event(MailKind::Newsletter),
+        ]);
+        assert_eq!(world.delivered_total(), 4);
+        assert_eq!(world.delivered(MailKind::Spam), 2);
+        assert!((world.spam_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attention_cost_counts_only_spam() {
+        let mut world = LegacyMail::new();
+        world.run_trace(&[
+            event(MailKind::Personal),
+            event(MailKind::Spam),
+            event(MailKind::VirusSpam),
+        ]);
+        assert!((world.attention_seconds(6.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_world() {
+        let world = LegacyMail::new();
+        assert_eq!(world.delivered_total(), 0);
+        assert_eq!(world.spam_share(), 0.0);
+    }
+}

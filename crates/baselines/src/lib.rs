@@ -1,0 +1,132 @@
+//! The anti-spam approaches Zmail is compared against (§2 of the paper).
+//!
+//! The paper's related-work section argues Zmail dominates each existing
+//! approach on a specific axis. Those comparators are closed-source or
+//! defunct, so this crate reimplements each one faithfully to its
+//! published description, at the level of detail the experiments need:
+//!
+//! * [`bayes`] — a content-based naive Bayes filter over a synthetic
+//!   corpus, including the deliberate-misspelling evasion the paper cites
+//!   (`"se><"`) — experiment E8;
+//! * [`lists`] — header-based blacklists (IP reputation with churn) and
+//!   whitelists (forgeable sender addresses) — experiment E8;
+//! * [`challenge`] — human-effort challenge-response (Mailblocks-style) —
+//!   experiment E8/E9 context;
+//! * [`hashcash`] — computational postage with a real proof-of-work
+//!   (mint/verify) — experiment E9;
+//! * [`shred`] — the SHRED receiver-triggered sender-ISP payment scheme,
+//!   with the four weaknesses the paper lists (extra human action, no
+//!   receiver reward, ISP collusion, per-payment processing cost) —
+//!   experiment E7;
+//! * [`vanquish`] — the Vanquish bond scheme, same family as SHRED —
+//!   experiment E7;
+//! * [`legacy`] — plain SMTP with no control at all, the null baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod challenge;
+pub mod hashcash;
+pub mod legacy;
+pub mod lists;
+pub mod shred;
+pub mod vanquish;
+
+pub use bayes::{NaiveBayes, SyntheticCorpus};
+pub use challenge::{ChallengeResponse, ChallengeStats};
+pub use hashcash::{mint, verify, HashcashStamp};
+pub use legacy::LegacyMail;
+pub use lists::{Blacklist, Whitelist};
+pub use shred::{Shred, ShredOutcome};
+pub use vanquish::{Vanquish, VanquishOutcome};
+
+/// A classification decision shared by the filtering baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Deliver to the inbox.
+    Deliver,
+    /// Treat as spam (drop or quarantine).
+    Reject,
+}
+
+/// Confusion-matrix counters for a filtering baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterScore {
+    /// Spam correctly rejected.
+    pub true_positives: u64,
+    /// Legitimate mail wrongly rejected (the costly error).
+    pub false_positives: u64,
+    /// Spam wrongly delivered.
+    pub false_negatives: u64,
+    /// Legitimate mail correctly delivered.
+    pub true_negatives: u64,
+}
+
+impl FilterScore {
+    /// Records one classification against ground truth.
+    pub fn record(&mut self, is_spam: bool, verdict: Verdict) {
+        match (is_spam, verdict) {
+            (true, Verdict::Reject) => self.true_positives += 1,
+            (false, Verdict::Reject) => self.false_positives += 1,
+            (true, Verdict::Deliver) => self.false_negatives += 1,
+            (false, Verdict::Deliver) => self.true_negatives += 1,
+        }
+    }
+
+    /// Fraction of legitimate mail lost.
+    pub fn false_positive_rate(&self) -> f64 {
+        let legit = self.false_positives + self.true_negatives;
+        if legit == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / legit as f64
+        }
+    }
+
+    /// Fraction of spam delivered.
+    pub fn false_negative_rate(&self) -> f64 {
+        let spam = self.true_positives + self.false_negatives;
+        if spam == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / spam as f64
+        }
+    }
+
+    /// Total messages scored.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_score_rates() {
+        let mut score = FilterScore::default();
+        // 8 spam: 6 caught, 2 missed. 12 ham: 11 delivered, 1 lost.
+        for _ in 0..6 {
+            score.record(true, Verdict::Reject);
+        }
+        for _ in 0..2 {
+            score.record(true, Verdict::Deliver);
+        }
+        for _ in 0..11 {
+            score.record(false, Verdict::Deliver);
+        }
+        score.record(false, Verdict::Reject);
+        assert_eq!(score.total(), 20);
+        assert!((score.false_negative_rate() - 0.25).abs() < 1e-12);
+        assert!((score.false_positive_rate() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_score_rates_are_zero() {
+        let score = FilterScore::default();
+        assert_eq!(score.false_positive_rate(), 0.0);
+        assert_eq!(score.false_negative_rate(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! SHRED: spam harassment reduction via economic disincentives (§2.3;
+//! Krishnamurthy & Blackmond 2004).
+//!
+//! In SHRED the *receiver* of an unwanted email triggers a payment from
+//! the sender — collected by the **sender's ISP**, not the receiver. The
+//! paper lists four weaknesses, and each is a measurable quantity of this
+//! model:
+//!
+//! 1. the receiver must take an extra action per spam (human seconds);
+//! 2. the receiver is not rewarded, so trigger rates are low;
+//! 3. a spammer can collude with its ISP and pay nothing;
+//! 4. each payment is processed individually, at a cost that can exceed
+//!    the payment itself.
+
+use zmail_sim::Sampler;
+
+/// Parameters of a SHRED deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shred {
+    /// Probability a receiver bothers to trigger the payment for one spam
+    /// (low: there is no reward for doing so).
+    pub trigger_rate: f64,
+    /// Whether the spammer's ISP colludes (waives the charges).
+    pub collusion: bool,
+    /// Cents charged to the sender per triggered message.
+    pub penalty_cents: f64,
+    /// Cents of ISP cost to process one individual payment.
+    pub processing_cost_cents: f64,
+    /// Seconds of receiver attention per trigger action.
+    pub seconds_per_trigger: f64,
+}
+
+impl Default for Shred {
+    fn default() -> Self {
+        Shred {
+            trigger_rate: 0.3,
+            collusion: false,
+            penalty_cents: 1.0,
+            processing_cost_cents: 2.0,
+            seconds_per_trigger: 3.0,
+        }
+    }
+}
+
+/// Measured outcome of a spam campaign under SHRED.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShredOutcome {
+    /// Spam messages that reached inboxes (SHRED never blocks delivery).
+    pub spam_received: u64,
+    /// Trigger actions receivers performed.
+    pub triggers: u64,
+    /// Cents the spammer actually paid.
+    pub spammer_cost_cents: f64,
+    /// Cents receivers were compensated — structurally zero in SHRED,
+    /// kept explicit because it is the axis Zmail wins on.
+    pub receiver_compensation_cents: f64,
+    /// Cents ISPs spent processing individual payments.
+    pub isp_processing_cost_cents: f64,
+    /// Seconds of human attention spent triggering.
+    pub human_seconds: f64,
+}
+
+impl Shred {
+    /// Runs a spam campaign of `volume` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trigger_rate` is outside `[0, 1]`.
+    pub fn run_campaign(&self, volume: u64, sampler: &mut Sampler) -> ShredOutcome {
+        assert!(
+            (0.0..=1.0).contains(&self.trigger_rate),
+            "trigger rate must be within [0, 1]"
+        );
+        let mut outcome = ShredOutcome {
+            spam_received: volume,
+            ..ShredOutcome::default()
+        };
+        for _ in 0..volume {
+            if sampler.bernoulli(self.trigger_rate) {
+                outcome.triggers += 1;
+                outcome.human_seconds += self.seconds_per_trigger;
+                outcome.isp_processing_cost_cents += self.processing_cost_cents;
+                if !self.collusion {
+                    outcome.spammer_cost_cents += self.penalty_cents;
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_spam_is_delivered_regardless() {
+        let outcome = Shred::default().run_campaign(1_000, &mut Sampler::new(1));
+        assert_eq!(outcome.spam_received, 1_000);
+    }
+
+    #[test]
+    fn receiver_is_never_compensated() {
+        let outcome = Shred {
+            trigger_rate: 1.0,
+            ..Shred::default()
+        }
+        .run_campaign(500, &mut Sampler::new(2));
+        assert_eq!(outcome.receiver_compensation_cents, 0.0);
+        assert!(outcome.spammer_cost_cents > 0.0);
+    }
+
+    #[test]
+    fn low_trigger_rate_limits_spammer_cost() {
+        let engaged = Shred {
+            trigger_rate: 1.0,
+            ..Shred::default()
+        }
+        .run_campaign(10_000, &mut Sampler::new(3));
+        let apathetic = Shred {
+            trigger_rate: 0.1,
+            ..Shred::default()
+        }
+        .run_campaign(10_000, &mut Sampler::new(3));
+        assert!(apathetic.spammer_cost_cents < engaged.spammer_cost_cents / 5.0);
+    }
+
+    #[test]
+    fn collusion_zeroes_the_spammer_cost() {
+        let outcome = Shred {
+            trigger_rate: 1.0,
+            collusion: true,
+            ..Shred::default()
+        }
+        .run_campaign(1_000, &mut Sampler::new(4));
+        assert_eq!(outcome.spammer_cost_cents, 0.0);
+        // But the ISP still burns processing cost and humans still click.
+        assert!(outcome.isp_processing_cost_cents > 0.0);
+        assert!(outcome.human_seconds > 0.0);
+    }
+
+    #[test]
+    fn processing_cost_can_exceed_collected_value() {
+        // The paper's fourth weakness, with its default numbers.
+        let outcome = Shred::default().run_campaign(10_000, &mut Sampler::new(5));
+        assert!(
+            outcome.isp_processing_cost_cents > outcome.spammer_cost_cents,
+            "processing {} should exceed collections {}",
+            outcome.isp_processing_cost_cents,
+            outcome.spammer_cost_cents
+        );
+    }
+
+    #[test]
+    fn human_effort_scales_with_spam() {
+        let small = Shred::default().run_campaign(100, &mut Sampler::new(6));
+        let large = Shred::default().run_campaign(10_000, &mut Sampler::new(6));
+        assert!(large.human_seconds > small.human_seconds * 50.0);
+    }
+}

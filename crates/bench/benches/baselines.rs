@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the baseline schemes: classification,
+//! proof-of-work, and per-payment processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zmail_baselines::hashcash::{mint, verify};
+use zmail_baselines::{Blacklist, Shred, SyntheticCorpus};
+use zmail_sim::Sampler;
+
+fn bench_bayes(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::default();
+    let mut sampler = Sampler::new(1);
+    let nb = corpus.train_classifier(300, &mut sampler);
+    let spam = corpus.sample(true, 0.3, &mut sampler);
+    let ham = corpus.sample(false, 0.0, &mut sampler);
+    c.bench_function("bayes_classify_spam", |b| {
+        b.iter(|| nb.classify(&spam, 0.0));
+    });
+    c.bench_function("bayes_classify_ham", |b| {
+        b.iter(|| nb.classify(&ham, 0.0));
+    });
+    c.bench_function("bayes_train_200_docs", |b| {
+        b.iter(|| corpus.train_classifier(100, &mut sampler));
+    });
+}
+
+fn bench_lists_and_pow(c: &mut Criterion) {
+    let mut blacklist = Blacklist::new();
+    for source in 0..10_000u64 {
+        blacklist.report(source * 7);
+    }
+    c.bench_function("blacklist_classify", |b| {
+        let mut source = 0u64;
+        b.iter(|| {
+            source = source.wrapping_add(13);
+            blacklist.classify(source)
+        });
+    });
+
+    c.bench_function("hashcash_mint_12bits", |b| {
+        let mut m = 0u64;
+        b.iter(|| {
+            m = m.wrapping_add(0x9E37_79B9);
+            mint(m, 12)
+        });
+    });
+    let stamp = mint(42, 16);
+    c.bench_function("hashcash_verify", |b| {
+        b.iter(|| verify(&stamp));
+    });
+
+    c.bench_function("shred_campaign_10k", |b| {
+        let mut sampler = Sampler::new(5);
+        b.iter(|| Shred::default().run_campaign(10_000, &mut sampler));
+    });
+}
+
+criterion_group!(benches, bench_bayes, bench_lists_and_pow);
+criterion_main!(benches);

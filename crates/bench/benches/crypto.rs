@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the crypto substrate: key generation,
+//! sealing/opening in both directions, and nonce generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zmail_crypto::{
+    open_with_private, open_with_public, seal_for_public, seal_with_private, KeyPair, Nnc,
+};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let keys = KeyPair::generate(&mut rng);
+
+    c.bench_function("keypair_generate", |b| {
+        b.iter(|| KeyPair::generate(&mut rng));
+    });
+
+    let mut group = c.benchmark_group("envelope");
+    for size in [16usize, 256, 4096] {
+        let payload = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal_for_public_{size}B"), |b| {
+            b.iter(|| seal_for_public(keys.public(), &payload, &mut rng));
+        });
+        let sealed = seal_for_public(keys.public(), &payload, &mut rng);
+        group.bench_function(format!("open_with_private_{size}B"), |b| {
+            b.iter(|| open_with_private(keys.private(), &sealed).unwrap());
+        });
+        let signed = seal_with_private(keys.private(), &payload, &mut rng);
+        group.bench_function(format!("open_with_public_{size}B"), |b| {
+            b.iter(|| open_with_public(keys.public(), &signed).unwrap());
+        });
+    }
+    group.finish();
+
+    c.bench_function("nnc_next_nonce", |b| {
+        let mut nnc = Nnc::new(7, 3);
+        b.iter(|| nnc.next_nonce());
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion scaling benchmarks: snapshot/verification cost in the number
+//! of ISPs, and trace throughput in population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zmail_core::{ZmailConfig, ZmailSystem};
+use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
+use zmail_sim::{Sampler, SimDuration};
+
+fn bench_snapshot_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_vs_isps");
+    group.sample_size(10);
+    for n in [2u32, 4, 8, 16] {
+        // Prepare a system with some traffic so credit arrays are nonzero.
+        let traffic = TrafficConfig {
+            isps: n,
+            users_per_isp: 10,
+            horizon: SimDuration::from_hours(6),
+            personal_per_user_day: 10.0,
+            same_isp_affinity: 0.1,
+            ..TrafficConfig::default()
+        };
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(u64::from(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut system = ZmailSystem::new(
+                ZmailConfig::builder(n, 10)
+                    .snapshot_timeout(SimDuration::from_millis(200))
+                    .build(),
+                u64::from(n),
+            );
+            system.run_trace(&trace);
+            b.iter(|| system.run_snapshot_round());
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_vs_population");
+    group.sample_size(10);
+    for users in [20u32, 80, 320] {
+        let traffic = TrafficConfig {
+            isps: 2,
+            users_per_isp: users,
+            horizon: SimDuration::from_hours(12),
+            personal_per_user_day: 8.0,
+            ..TrafficConfig::default()
+        };
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(u64::from(users)));
+        group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            b.iter(|| {
+                let mut system =
+                    ZmailSystem::new(ZmailConfig::builder(2, users).build(), u64::from(users));
+                system.run_trace(&trace)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_federation_scaling(c: &mut Criterion) {
+    // Federated billing round cost vs number of regional banks, at a
+    // fixed deployment size (12 ISPs).
+    let mut group = c.benchmark_group("billing_round_vs_banks");
+    group.sample_size(10);
+    for banks in [1u32, 2, 4, 6] {
+        let traffic = TrafficConfig {
+            isps: 12,
+            users_per_isp: 8,
+            horizon: SimDuration::from_hours(6),
+            personal_per_user_day: 10.0,
+            same_isp_affinity: 0.1,
+            ..TrafficConfig::default()
+        };
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(u64::from(banks)));
+        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            let mut system = ZmailSystem::new(
+                ZmailConfig::builder(12, 8)
+                    .banks(banks)
+                    .snapshot_timeout(SimDuration::from_millis(200))
+                    .build(),
+                u64::from(banks),
+            );
+            system.run_trace(&trace);
+            b.iter(|| system.run_snapshot_round());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_scaling,
+    bench_trace_scaling,
+    bench_federation_scaling
+);
+criterion_main!(benches);

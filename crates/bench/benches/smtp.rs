@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the SMTP substrate: parsing, framing,
+//! and a full loopback submission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zmail_smtp::{Client, CollectSink, Command, MailMessage, MemoryTransport, Reply, SmtpServer};
+
+fn bench_parsing(c: &mut Criterion) {
+    c.bench_function("command_parse_mail_from", |b| {
+        b.iter(|| Command::parse("MAIL FROM:<alice@example.org>").unwrap());
+    });
+    c.bench_function("reply_parse", |b| {
+        b.iter(|| Reply::parse("250 ok, message accepted for delivery").unwrap());
+    });
+
+    let msg = MailMessage::builder("a@x.example", "b@y.example")
+        .header("Subject", "benchmarking the data framing path")
+        .header("X-Zmail-Payment", "1")
+        .body("line one\r\n.line needing stuffing\r\nline three\r\n".repeat(20))
+        .build();
+    c.bench_function("message_to_data", |b| {
+        b.iter(|| msg.to_data());
+    });
+    let data = msg.to_data();
+    let payload = data.strip_suffix(".\r\n").unwrap();
+    c.bench_function("message_from_data", |b| {
+        b.iter(|| {
+            MailMessage::from_data("a@x.example", vec!["b@y.example".into()], payload).unwrap()
+        });
+    });
+}
+
+fn bench_loopback_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    group.bench_function("submit_100_messages_memory_transport", |b| {
+        b.iter(|| {
+            let sink = CollectSink::shared();
+            let (client_conn, server_conn) = MemoryTransport::pair();
+            let server = SmtpServer::new("mx.bench", sink);
+            let handle = std::thread::spawn(move || server.serve(server_conn).unwrap());
+            let mut client = Client::connect(client_conn, "bench").unwrap();
+            let msg = MailMessage::builder("a@x.example", "b@y.example")
+                .header("Subject", "bench")
+                .body("short body\r\n")
+                .build();
+            for _ in 0..100 {
+                client.send(&msg).unwrap();
+            }
+            client.quit().unwrap();
+            handle.join().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsing, bench_loopback_submission);
+criterion_main!(benches);

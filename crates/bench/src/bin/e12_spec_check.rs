@@ -1,0 +1,155 @@
+//! E12 — Machine-checking the formal specification (§3–4 + appendix).
+//!
+//! The paper gives the Zmail protocol in Abstract Protocol notation but
+//! verifies nothing mechanically. We encode the spec in the AP engine and
+//! exhaustively explore small configurations, checking conservation,
+//! balance non-negativity, send-limit safety, and detector soundness
+//! (no honest ISP flagged) in every reachable state.
+
+use std::time::Instant;
+use zmail_bench::{header, shape};
+use zmail_core::spec::{check, SpecParams, TimeoutMode};
+use zmail_sim::Table;
+
+fn main() {
+    header(
+        "E12: exhaustive state-space check of the AP-notation spec",
+        "the protocol's invariants hold in every reachable state under the intended (global-quiescence) timeout; the paper-literal local timeout admits detector false positives",
+    );
+
+    let cases: Vec<(&str, SpecParams)> = vec![
+        ("n=2 m=1 bal=1 r=1", SpecParams::default()),
+        (
+            "n=2 m=1 bal=2 r=1",
+            SpecParams {
+                initial_balance: 2,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "n=2 m=1 bal=2 r=2",
+            SpecParams {
+                initial_balance: 2,
+                max_rounds: 2,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "n=2 m=2 bal=1 r=1",
+            SpecParams {
+                users: 2,
+                limit: 1,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "n=3 m=1 bal=1 r=1",
+            SpecParams {
+                isps: 3,
+                limit: 1,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "n=2 m=1 bal=2 r=1 LOCAL-DRAIN",
+            SpecParams {
+                initial_balance: 2,
+                timeout_mode: TimeoutMode::LocalDrain,
+                ..SpecParams::default()
+            },
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "configuration",
+        "states",
+        "transitions",
+        "max depth",
+        "time",
+        "verdict",
+    ]);
+    let mut global_all_clean = true;
+    let mut local_drain_violates = false;
+    let mut counterexample: Option<Vec<String>> = None;
+    for (name, params) in cases {
+        let start = Instant::now();
+        let report = check(params, 5_000_000);
+        let elapsed = start.elapsed();
+        let clean = report.is_clean();
+        match params.timeout_mode {
+            TimeoutMode::GlobalQuiescence => global_all_clean &= clean,
+            TimeoutMode::LocalDrain => {
+                local_drain_violates |= !clean;
+                if counterexample.is_none() {
+                    counterexample = report.counterexample.clone();
+                }
+            }
+        }
+        let verdict = if clean {
+            "clean".to_string()
+        } else {
+            report.violations[0].to_string()
+        };
+        table.row_owned(vec![
+            name.to_string(),
+            report.states_visited.to_string(),
+            report.transitions.to_string(),
+            report.max_depth_reached.to_string(),
+            format!("{:.2}s", elapsed.as_secs_f64()),
+            verdict,
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "invariants checked in every state: e-penny conservation (balances +\n\
+         in-flight = constant), balance >= 0, sent <= limit, and no completed\n\
+         consistency round flagging honest ISPs."
+    );
+    if let Some(path) = &counterexample {
+        println!("\ncounterexample interleaving for the LOCAL-DRAIN false positive:");
+        for (step, action) in path.iter().enumerate() {
+            println!("  {:>2}. {action}", step + 1);
+        }
+    }
+
+    // Liveness: the spec not only avoids bad states — the protocol's
+    // milestones are provably reachable (shortest witnesses via BFS).
+    use zmail_ap::{find_reachable, ExploreConfig, Pid};
+    use zmail_core::spec::{build_spec, ProcState};
+    let params = SpecParams::default();
+    let mut liveness = Table::new(&["milestone", "shortest path (steps)"]);
+    let (spec, initial) = build_spec(params);
+    let transfer = find_reachable(&spec, initial.clone(), ExploreConfig::default(), |st| {
+        matches!(st.local(Pid(1)), ProcState::Isp(isp) if isp.balance[0] > params.initial_balance)
+    })
+    .expect("transfer reachable");
+    liveness.row_owned(vec![
+        "one e-penny transferred".into(),
+        transfer.depth.to_string(),
+    ]);
+    let n = params.isps;
+    let round = find_reachable(
+        &spec,
+        initial,
+        ExploreConfig::default(),
+        move |st| matches!(st.local(Pid(n)), ProcState::Bank(b) if b.rounds >= 1),
+    )
+    .expect("billing round reachable");
+    liveness.row_owned(vec![
+        "billing round completed".into(),
+        round.depth.to_string(),
+    ]);
+    println!("\nliveness witnesses:\n{liveness}");
+    println!(
+        "note: liveness checking caught a modeling bug safety checking\n\
+         missed (see core::spec docs, 'the resumption subtlety') — without\n\
+         the paper's implicit window synchronization, an early-resuming\n\
+         ISP's mail lands in a laggard's old ledger: another honest-pair\n\
+         false positive. The send guard carries that condition explicitly."
+    );
+
+    shape(
+        global_all_clean && local_drain_violates,
+        "all global-quiescence configurations verify exhaustively clean, and the exploration *finds* the concrete interleaving where the paper-literal timeout lets the bank flag two honest ISPs — the 10-minute window is load-bearing",
+    );
+}

@@ -1,0 +1,113 @@
+//! E1 — Spammer cost and break-even response rate (§1.2 claim 1).
+//!
+//! Paper: "The cost of sending spam will increase by at least two orders
+//! of magnitude … The response rate required to break even will increase
+//! similarly."
+
+use zmail_bench::{fmt, header, pct, shape};
+use zmail_econ::{CampaignEconomics, SendingRegime};
+use zmail_sim::Table;
+
+fn main() {
+    header(
+        "E1: spammer economics under the e-penny",
+        "cost/message and break-even response rate rise >= 100x at $0.01",
+    );
+
+    let econ = CampaignEconomics::default();
+    println!(
+        "campaign: {} messages, infra ${}/msg, profit ${}/response\n",
+        econ.volume, econ.infra_cost_per_msg, econ.profit_per_response
+    );
+
+    // Table 1: price sweep.
+    let mut table = Table::new(&[
+        "e-penny price",
+        "cost/msg",
+        "cost factor",
+        "break-even resp",
+        "profit @1e-5",
+        "profit @1e-3",
+    ]);
+    let legacy = econ.evaluate(SendingRegime::Legacy);
+    table.row_owned(vec![
+        "legacy (free)".into(),
+        format!("${}", fmt(legacy.cost_per_msg)),
+        "1x".into(),
+        pct(legacy.break_even_response_rate),
+        format!("${}", fmt(legacy.profit)),
+        format!(
+            "${}",
+            fmt(CampaignEconomics {
+                response_rate: 1e-3,
+                ..econ
+            }
+            .evaluate(SendingRegime::Legacy)
+            .profit)
+        ),
+    ]);
+    let mut factor_at_paper_price = 0.0;
+    for price in [0.001, 0.005, 0.01, 0.05, 0.10] {
+        let regime = SendingRegime::Zmail {
+            epenny_price: price,
+        };
+        let out = econ.evaluate(regime);
+        let factor = econ.cost_increase_factor(price);
+        if (price - 0.01).abs() < 1e-12 {
+            factor_at_paper_price = factor;
+        }
+        let targeted = CampaignEconomics {
+            response_rate: 1e-3,
+            ..econ
+        }
+        .evaluate(regime);
+        table.row_owned(vec![
+            format!("${price:.3}"),
+            format!("${}", fmt(out.cost_per_msg)),
+            format!("{factor:.0}x"),
+            pct(out.break_even_response_rate),
+            format!("${}", fmt(out.profit)),
+            format!("${}", fmt(targeted.profit)),
+        ]);
+    }
+    println!("{table}");
+
+    // Table 2: the response-rate frontier at the paper's price — who
+    // survives. "Bulk email advertising will continue to exist, but the
+    // incentives will favor more targeted advertising."
+    let mut frontier = Table::new(&[
+        "response rate",
+        "legacy profit",
+        "zmail profit",
+        "survives zmail",
+    ]);
+    for rate in [1e-6, 1e-5, 1e-4, 5.05e-4, 1e-3, 1e-2] {
+        let sweep = CampaignEconomics {
+            response_rate: rate,
+            ..econ
+        };
+        let legacy_profit = sweep.evaluate(SendingRegime::Legacy).profit;
+        let zmail_profit = sweep
+            .evaluate(SendingRegime::Zmail { epenny_price: 0.01 })
+            .profit;
+        frontier.row_owned(vec![
+            pct(rate),
+            format!("${}", fmt(legacy_profit)),
+            format!("${}", fmt(zmail_profit)),
+            if zmail_profit >= 0.0 { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{frontier}");
+
+    let breakeven_ratio = econ
+        .evaluate(SendingRegime::Zmail { epenny_price: 0.01 })
+        .break_even_response_rate
+        / legacy.break_even_response_rate;
+    println!(
+        "cost factor at $0.01: {factor_at_paper_price:.0}x; break-even ratio: {breakeven_ratio:.0}x"
+    );
+    shape(
+        factor_at_paper_price >= 100.0 && breakeven_ratio >= 100.0,
+        "both the per-message cost and the break-even response rate rise by >= two orders of magnitude at one cent per e-penny, and only targeted (>=0.05% response) campaigns survive",
+    );
+}

@@ -1,0 +1,126 @@
+//! E2 — The zero-sum property for normal users (§1.2 claim 2).
+//!
+//! Paper: "Users who receive as much email as they send, on average, will
+//! neither pay nor profit from email, once they have set up initial
+//! balances with their ISPs to buffer the fluctuations."
+
+use zmail_bench::{fmt, header, shape};
+use zmail_core::{IspId, UserAddr, ZmailConfig, ZmailSystem};
+use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
+use zmail_sim::{Sampler, SimDuration, Summary, Table};
+
+fn main() {
+    header(
+        "E2: zero-sum balances for balanced users",
+        "balanced users drift to neither profit nor loss; system-wide e-pennies are conserved exactly",
+    );
+
+    let isps = 3u32;
+    let users = 40u32;
+    let initial = 100i64;
+    let mut table = Table::new(&[
+        "days simulated",
+        "delivered",
+        "mean drift (e¢)",
+        "sd drift",
+        "max |drift|",
+        "sum drift",
+        "audit",
+    ]);
+
+    let mut final_sd = f64::MAX;
+    for days in [7u64, 30, 90] {
+        let traffic = TrafficConfig {
+            isps,
+            users_per_isp: users,
+            horizon: SimDuration::from_days(days),
+            personal_per_user_day: 10.0,
+            same_isp_affinity: 0.3,
+            popularity_exponent: 1.01, // near-uniform: balanced users
+            ..TrafficConfig::default()
+        };
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(days));
+        let config = ZmailConfig::builder(isps, users)
+            .initial_balance(zmail_econ::EPennies(initial * days as i64)) // buffer
+            .limit(10_000)
+            .no_auto_topup()
+            .build();
+        let mut system = ZmailSystem::new(config, days);
+        let report = system.run_trace(&trace);
+
+        let mut drift = Summary::new();
+        let mut sum = 0i64;
+        let mut max_abs = 0i64;
+        for isp in 0..isps {
+            for user in 0..users {
+                let d =
+                    system.user_balance(UserAddr::new(isp, user)).amount() - initial * days as i64;
+                drift.record(d as f64);
+                sum += d;
+                max_abs = max_abs.max(d.abs());
+            }
+        }
+        let audit = system.audit();
+        table.row_owned(vec![
+            days.to_string(),
+            report.delivered_total().to_string(),
+            fmt(drift.mean()),
+            fmt(drift.std_dev()),
+            max_abs.to_string(),
+            sum.to_string(),
+            if audit.is_ok() {
+                "OK".into()
+            } else {
+                format!("{audit:?}")
+            },
+        ]);
+        // Per-day normalized dispersion shrinks relative to volume.
+        final_sd = drift.std_dev() / (days as f64).sqrt();
+        assert_eq!(sum, 0, "drift must sum to zero without topups");
+        audit.expect("conservation");
+    }
+    println!("{table}");
+
+    // Fluctuation buffer: how much initial balance a balanced user needs.
+    let mut buffer = Table::new(&["percentile of |drift| after 30d", "e-pennies"]);
+    let traffic = TrafficConfig {
+        isps,
+        users_per_isp: users,
+        horizon: SimDuration::from_days(30),
+        personal_per_user_day: 10.0,
+        popularity_exponent: 1.01,
+        ..TrafficConfig::default()
+    };
+    let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(77));
+    let config = ZmailConfig::builder(isps, users)
+        .initial_balance(zmail_econ::EPennies(5_000))
+        .limit(10_000)
+        .no_auto_topup()
+        .build();
+    let mut system = ZmailSystem::new(config, 77);
+    system.run_trace(&trace);
+    let drifts: Vec<f64> = (0..isps)
+        .flat_map(|i| (0..users).map(move |u| (i, u)))
+        .map(|(i, u)| (system.user_balance(UserAddr::new(i, u)).amount() - 5_000).abs() as f64)
+        .collect();
+    let quantiles = zmail_sim::Quantiles::from_samples(drifts);
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("max", 1.0)] {
+        buffer.row_owned(vec![
+            label.to_string(),
+            format!("{:.0}", quantiles.quantile(q)),
+        ]);
+    }
+    println!("{buffer}");
+    println!("(an initial balance around the p99 figure buffers a month of fluctuation)");
+
+    let isp0 = system.isp(IspId(0)).stats().clone();
+    println!(
+        "isp[0] counters: {} paid sent, {} paid received, {} local",
+        isp0.sent_paid, isp0.received_paid, isp0.delivered_local
+    );
+
+    shape(
+        final_sd.is_finite(),
+        "per-user drift is centred on zero with bounded dispersion, the population sum is exactly zero, and the conservation audit passes at every horizon",
+    );
+}

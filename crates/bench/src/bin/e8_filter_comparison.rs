@@ -1,0 +1,144 @@
+//! E8 — Filtering approaches vs "no definition of spam required" (§2.2).
+//!
+//! Paper: filters suffer false positives ("could possibly be a disaster")
+//! and spammers evade them (misspellings, rotation, forgery); Zmail needs
+//! no spam definition at all, so evasion is irrelevant.
+
+use zmail_baselines::{Blacklist, ChallengeResponse, SyntheticCorpus, Whitelist};
+use zmail_bench::{header, pct, shape};
+use zmail_sim::{Sampler, Table};
+
+fn main() {
+    header(
+        "E8: filtering baselines vs Zmail",
+        "every filter trades false positives against evasion; Zmail delivers all legitimate mail and is indifferent to content tricks",
+    );
+
+    let mut sampler = Sampler::new(23);
+
+    // (a) Content filter under increasing evasion pressure.
+    let corpus = SyntheticCorpus::default();
+    let nb = corpus.train_classifier(500, &mut sampler);
+    let mut bayes = Table::new(&["filter", "evasion", "legit lost (FP)", "spam passed (FN)"]);
+    let mut clean_fn = 0.0;
+    let mut evaded_fn = 0.0;
+    let mut bayes_fp = 0.0;
+    for evasion in [0.0, 0.2, 0.5, 0.8] {
+        let score = corpus.evaluate(&nb, 1_000, evasion, 0.0, &mut sampler);
+        if evasion == 0.0 {
+            clean_fn = score.false_negative_rate();
+            bayes_fp = score.false_positive_rate();
+        }
+        if evasion == 0.8 {
+            evaded_fn = score.false_negative_rate();
+        }
+        bayes.row_owned(vec![
+            "naive Bayes".into(),
+            pct(evasion),
+            pct(score.false_positive_rate()),
+            pct(score.false_negative_rate()),
+        ]);
+    }
+    println!("{bayes}");
+
+    // (b) Blacklists vs source rotation; whitelists vs forgery.
+    let mut header_based = Table::new(&["defence", "countermeasure", "spam delivered"]);
+    let volume = 20_000u64;
+    let mut static_delivered = 0u64;
+    let mut rotating_delivered = 0u64;
+    for (label, rotation) in [
+        ("static source", u64::MAX),
+        ("rotate every 100", 100),
+        ("rotate every 10", 10),
+    ] {
+        let mut blacklist = Blacklist::new();
+        let (delivered, _) = blacklist.run_campaign(volume, rotation, 0.5, &mut sampler);
+        if rotation == u64::MAX {
+            static_delivered = delivered;
+        }
+        if rotation == 10 {
+            rotating_delivered = delivered;
+        }
+        header_based.row_owned(vec![
+            "blacklist".into(),
+            label.to_string(),
+            format!("{delivered} / {volume}"),
+        ]);
+    }
+    let mut whitelist = Whitelist::new();
+    for i in 0..50 {
+        whitelist.trust(format!("contact{i}@known.example"));
+    }
+    for (label, forge) in [("no forgery", 0.0), ("forge 50%", 0.5), ("forge 90%", 0.9)] {
+        let rate = whitelist.forgery_pass_rate(volume, forge, &mut sampler);
+        header_based.row_owned(vec![
+            "whitelist".into(),
+            label.to_string(),
+            format!("{} / {volume}", (rate * volume as f64) as u64),
+        ]);
+    }
+    println!("{header_based}");
+
+    // (c) Challenge-response: the human cost.
+    let mut cr = ChallengeResponse::new(0.85, 0.0, 15.0);
+    for sender in 0..2_000u64 {
+        cr.process(sender, false, &mut sampler);
+    }
+    for bot in 10_000..15_000u64 {
+        cr.process(bot, true, &mut sampler);
+    }
+    let cr_stats = cr.stats();
+    let mut challenge = Table::new(&["metric", "value"]);
+    challenge.row_owned(vec![
+        "legit lost (sender gave up)".into(),
+        format!(
+            "{} / 2000 ({})",
+            cr_stats.legit_lost,
+            pct(cr_stats.legit_lost as f64 / 2_000.0)
+        ),
+    ]);
+    challenge.row_owned(vec![
+        "spam blocked".into(),
+        format!("{} / 5000", cr_stats.spam_blocked),
+    ]);
+    challenge.row_owned(vec![
+        "human hours burned".into(),
+        format!("{:.1}", cr_stats.human_seconds / 3_600.0),
+    ]);
+    println!("{challenge}");
+
+    // (d) The Zmail row: no classifier exists to evade.
+    let mut zmail = Table::new(&[
+        "scheme",
+        "legit lost",
+        "needs spam definition",
+        "evasion-sensitive",
+    ]);
+    zmail.row_owned(vec![
+        "naive Bayes".into(),
+        pct(bayes_fp),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    zmail.row_owned(vec![
+        "blacklist".into(),
+        "0%".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    zmail.row_owned(vec![
+        "challenge-response".into(),
+        pct(cr_stats.legit_lost as f64 / 2_000.0),
+        "no".into(),
+        "partly".into(),
+    ]);
+    zmail.row_owned(vec!["zmail".into(), "0%".into(), "no".into(), "no".into()]);
+    println!("{zmail}");
+
+    shape(
+        evaded_fn > clean_fn + 0.10
+            && rotating_delivered > static_delivered * 10
+            && cr_stats.legit_lost > 0,
+        "every baseline either loses legitimate mail or collapses under its documented countermeasure (misspelling, rotation, forgery, give-ups); Zmail is structurally immune because it classifies nothing",
+    );
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the experiment binaries (`src/bin/e*.rs`) and the
+//! criterion micro-benchmarks (`benches/`).
+//!
+//! Every experiment binary prints:
+//!
+//! 1. a header naming the experiment and the paper claim it reproduces;
+//! 2. one or more [`zmail_sim::Table`]s with the measured rows;
+//! 3. a `shape:` line stating whether the qualitative claim held.
+//!
+//! `EXPERIMENTS.md` records one run of each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+/// Prints the closing shape verdict.
+pub fn shape(held: bool, description: &str) {
+    println!(
+        "\nshape: {} — {description}",
+        if held { "HOLDS" } else { "DOES NOT HOLD" }
+    );
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1_000_000.0 {
+        format!("{:.2e}", x)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.00123), "0.00123");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(12345.0), "12345");
+        assert_eq!(fmt(2.5e7), "2.50e7");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.125), "12.50%");
+    }
+}

@@ -1,0 +1,333 @@
+//! Zmail over unmodified SMTP: the deployment story of §1.3.
+//!
+//! [`ZmailGateway`] implements [`zmail_smtp::MailSink`], so a standard
+//! [`zmail_smtp::SmtpServer`] — over memory transport or real TCP — becomes
+//! a Zmail-compliant mail exchanger with **zero protocol changes**:
+//!
+//! * the sender address is parsed back to a Zmail user; the ISP's ledger
+//!   runs the §4.1 guards; a refused send surfaces as an ordinary `552`
+//!   bounce;
+//! * accepted mail is stamped with `X-Zmail-Payment: 1` and delivered to
+//!   the recipient's mailbox;
+//! * mail from addresses outside the deployment (a non-compliant world)
+//!   is delivered unpaid, subject to the configured policy.
+//!
+//! The gateway models a *compliant backbone*: it holds every compliant
+//! ISP's ledger behind one mutex, so a single SMTP endpoint can accept
+//! mail for all of them (the way a test deployment would start).
+
+use crate::config::{NonCompliantPolicy, ZmailConfig};
+use crate::ids::{mailbox, parse_mailbox, IspId};
+use crate::isp::{Isp, SendOutcome};
+use crate::msg::NetMsg;
+use std::sync::{Arc, Mutex};
+use zmail_crypto::KeyPair;
+use zmail_econ::EPennies;
+use zmail_sim::workload::{MailKind, UserAddr};
+use zmail_smtp::{MailMessage, MailSink, ZmailHeaders};
+
+/// Counters exposed by the gateway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Messages accepted and delivered with payment.
+    pub delivered_paid: u64,
+    /// Messages delivered without payment (foreign senders).
+    pub delivered_unpaid: u64,
+    /// Messages bounced by the ledger (`552`).
+    pub bounced: u64,
+    /// Foreign messages dropped by policy.
+    pub dropped: u64,
+}
+
+struct GatewayState {
+    config: ZmailConfig,
+    isps: Vec<Isp>,
+    mailboxes: Vec<Vec<MailMessage>>,
+    stats: GatewayStats,
+}
+
+impl GatewayState {
+    fn mailbox_index(&self, addr: UserAddr) -> usize {
+        addr.isp as usize * self.config.users_per_isp as usize + addr.user as usize
+    }
+}
+
+/// A Zmail-compliant SMTP mail sink (clone freely: clones share state).
+#[derive(Clone)]
+pub struct ZmailGateway {
+    inner: Arc<Mutex<GatewayState>>,
+}
+
+impl std::fmt::Debug for ZmailGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.lock().expect("gateway lock");
+        f.debug_struct("ZmailGateway")
+            .field("isps", &state.isps.len())
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+impl ZmailGateway {
+    /// Builds the gateway with fresh ledgers for every compliant ISP.
+    pub fn new(config: ZmailConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let isps: Vec<Isp> = (0..config.isps)
+            .map(|i| Isp::new(IspId(i), &config, *bank.public(), seed ^ u64::from(i)))
+            .collect();
+        let mailboxes = vec![Vec::new(); (config.isps * config.users_per_isp) as usize];
+        ZmailGateway {
+            inner: Arc::new(Mutex::new(GatewayState {
+                config,
+                isps,
+                mailboxes,
+                stats: GatewayStats::default(),
+            })),
+        }
+    }
+
+    /// Snapshot of a user's inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the lock is poisoned.
+    pub fn inbox(&self, addr: UserAddr) -> Vec<MailMessage> {
+        let state = self.inner.lock().expect("gateway lock");
+        state.mailboxes[state.mailbox_index(addr)].clone()
+    }
+
+    /// A user's current e-penny balance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the lock is poisoned.
+    pub fn balance(&self, addr: UserAddr) -> EPennies {
+        let state = self.inner.lock().expect("gateway lock");
+        state.isps[addr.isp as usize].user(addr.user).balance
+    }
+
+    /// Gateway counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn stats(&self) -> GatewayStats {
+        self.inner.lock().expect("gateway lock").stats
+    }
+
+    /// The canonical mailbox string for an address (convenience for
+    /// clients).
+    pub fn address(addr: UserAddr) -> String {
+        mailbox(addr)
+    }
+}
+
+use rand::SeedableRng;
+
+impl MailSink for ZmailGateway {
+    fn accept_recipient(&self, _from: &str, to: &str) -> bool {
+        let state = self.inner.lock().expect("gateway lock");
+        match parse_mailbox(to) {
+            Some(addr) => addr.isp < state.config.isps && addr.user < state.config.users_per_isp,
+            None => false, // we only host Zmail mailboxes
+        }
+    }
+
+    fn deliver(&self, message: MailMessage) -> Result<(), String> {
+        let mut state = self.inner.lock().expect("gateway lock");
+        let recipients: Vec<UserAddr> = message
+            .recipients()
+            .iter()
+            .filter_map(|r| parse_mailbox(r))
+            .collect();
+        if recipients.is_empty() {
+            return Err("no deliverable recipients".into());
+        }
+        match parse_mailbox(message.from()) {
+            Some(sender) if state.config.is_compliant(IspId(sender.isp)) => {
+                // Compliant sender: run the ledger per recipient.
+                for &to in &recipients {
+                    let outcome = state.isps[sender.isp as usize]
+                        .send_email(sender.user, to, MailKind::Personal)
+                        .map_err(|e| {
+                            state.stats.bounced += 1;
+                            e.to_string()
+                        })?;
+                    // The backbone delivers inter-ISP mail instantly.
+                    if let SendOutcome::Outbound {
+                        to: dest,
+                        msg: NetMsg::Email(email),
+                    } = outcome
+                    {
+                        state.isps[dest.index()].receive_email(IspId(sender.isp), &email);
+                    }
+                    let mut copy = message.clone();
+                    ZmailHeaders {
+                        payment: Some(1),
+                        is_ack: false,
+                        ack_to: None,
+                    }
+                    .stamp(&mut copy);
+                    let slot = state.mailbox_index(to);
+                    state.mailboxes[slot].push(copy);
+                    state.stats.delivered_paid += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                // Foreign or non-compliant sender: unpaid, policy applies.
+                let policy = state.config.non_compliant_policy;
+                match policy {
+                    NonCompliantPolicy::Discard => {
+                        state.stats.dropped += recipients.len() as u64;
+                        Err("mail from non-compliant senders is not accepted".into())
+                    }
+                    _ => {
+                        for &to in &recipients {
+                            let slot = state.mailbox_index(to);
+                            state.mailboxes[slot].push(message.clone());
+                            state.stats.delivered_unpaid += 1;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmail_smtp::{Client, CollectSink, MemoryTransport, SmtpServer};
+
+    fn gateway() -> ZmailGateway {
+        ZmailGateway::new(ZmailConfig::builder(2, 3).build(), 31)
+    }
+
+    fn submit(gateway: &ZmailGateway, from: &str, to: &str) -> Result<(), zmail_smtp::SmtpError> {
+        let (client_conn, server_conn) = MemoryTransport::pair();
+        let server = SmtpServer::new("zmail.example", gateway.clone());
+        let handle = std::thread::spawn(move || server.serve(server_conn));
+        let msg = MailMessage::builder(from, to)
+            .header("Subject", "over smtp")
+            .body("hello\r\n")
+            .build();
+        let mut client = Client::connect(client_conn, "client.example")?;
+        let result = client.send(&msg);
+        client.quit()?;
+        handle.join().expect("server thread").expect("session");
+        result
+    }
+
+    #[test]
+    fn paid_delivery_moves_an_epenny_over_smtp() {
+        let gw = gateway();
+        let alice = UserAddr::new(0, 0);
+        let bob = UserAddr::new(1, 1);
+        submit(
+            &gw,
+            &ZmailGateway::address(alice),
+            &ZmailGateway::address(bob),
+        )
+        .unwrap();
+        assert_eq!(gw.balance(alice), EPennies(99));
+        assert_eq!(gw.balance(bob), EPennies(101));
+        let inbox = gw.inbox(bob);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].header("X-Zmail-Payment"), Some("1"));
+        assert_eq!(gw.stats().delivered_paid, 1);
+    }
+
+    #[test]
+    fn broke_sender_gets_552_bounce() {
+        let gw = ZmailGateway::new(
+            ZmailConfig::builder(2, 2)
+                .initial_balance(EPennies::ZERO)
+                .build(),
+            32,
+        );
+        let err = submit(
+            &gw,
+            &ZmailGateway::address(UserAddr::new(0, 0)),
+            &ZmailGateway::address(UserAddr::new(1, 0)),
+        )
+        .unwrap_err();
+        let zmail_smtp::SmtpError::UnexpectedReply(reply) = err else {
+            panic!("expected a reply error");
+        };
+        assert_eq!(reply.code, zmail_smtp::ReplyCode::ExceededAllocation);
+        assert!(reply.text.contains("balance"));
+        assert_eq!(gw.stats().bounced, 1);
+    }
+
+    #[test]
+    fn foreign_sender_is_unpaid_but_delivered() {
+        let gw = gateway();
+        let bob = UserAddr::new(0, 1);
+        submit(&gw, "stranger@outside.org", &ZmailGateway::address(bob)).unwrap();
+        assert_eq!(
+            gw.balance(bob),
+            EPennies(100),
+            "no windfall without payment"
+        );
+        assert_eq!(gw.inbox(bob).len(), 1);
+        assert_eq!(gw.stats().delivered_unpaid, 1);
+    }
+
+    #[test]
+    fn discard_policy_rejects_foreign_mail() {
+        let gw = ZmailGateway::new(
+            ZmailConfig::builder(2, 2)
+                .non_compliant_policy(NonCompliantPolicy::Discard)
+                .build(),
+            33,
+        );
+        let err = submit(
+            &gw,
+            "stranger@outside.org",
+            &ZmailGateway::address(UserAddr::new(0, 0)),
+        );
+        assert!(err.is_err());
+        assert_eq!(gw.stats().dropped, 1);
+    }
+
+    #[test]
+    fn unknown_recipient_rejected_at_rcpt() {
+        let gw = gateway();
+        let err = submit(
+            &gw,
+            &ZmailGateway::address(UserAddr::new(0, 0)),
+            "u99@isp9.example",
+        );
+        assert!(err.is_err(), "out-of-range mailbox must be refused");
+    }
+
+    #[test]
+    fn works_behind_real_tcp() {
+        let gw = gateway();
+        let mut server = zmail_smtp::TcpMailServer::start("zmail.example", gw.clone()).unwrap();
+        let conn = zmail_smtp::TcpConnection::connect(server.addr()).unwrap();
+        let mut client = Client::connect(conn, "client.example").unwrap();
+        let msg = MailMessage::builder(
+            ZmailGateway::address(UserAddr::new(0, 0)),
+            ZmailGateway::address(UserAddr::new(1, 2)),
+        )
+        .body("over real sockets\r\n")
+        .build();
+        client.send(&msg).unwrap();
+        client.quit().unwrap();
+        server.stop();
+        assert_eq!(gw.balance(UserAddr::new(1, 2)), EPennies(101));
+    }
+
+    #[test]
+    fn collect_sink_still_usable_alongside() {
+        // Regression guard: the gateway must not be required — plain sinks
+        // keep working for non-Zmail tests.
+        let sink = CollectSink::shared();
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Protocol parameters and policies.
+
+use crate::ids::IspId;
+use zmail_econ::{EPennies, ExchangeRate, RealPennies};
+use zmail_sim::SimDuration;
+
+/// What a compliant ISP does with mail arriving from a non-compliant ISP.
+///
+/// §5 of the paper: *"a user in a compliant ISP may decide to segregate or
+/// discard email from non-compliant ISPs, or require any email from a
+/// non-compliant ISP to pass a spam filter."*
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NonCompliantPolicy {
+    /// Deliver unconditionally (the paper's default during early
+    /// deployment).
+    Deliver,
+    /// Discard unconditionally (late-deployment hard line).
+    Discard,
+    /// Pass through a spam filter with the given false-positive rate (a
+    /// legitimate message wrongly dropped) and false-negative rate (spam
+    /// wrongly delivered).
+    Filter {
+        /// Probability a legitimate message is dropped.
+        false_positive: f64,
+        /// Probability a spam message is delivered.
+        false_negative: f64,
+    },
+}
+
+/// How a misbehaving ISP cheats, for the §4.4 detection experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheatMode {
+    /// Follows the protocol.
+    Honest,
+    /// Skips incrementing `credit[j]` on a fraction of paid sends —
+    /// under-reporting what it owes the rest of the system.
+    UnderReportSends {
+        /// Fraction of sends left off the books, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Inflates `credit[j]` by one extra on a fraction of sends — claiming
+    /// transfers that never happened.
+    InflateSends {
+        /// Fraction of sends double-booked, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl CheatMode {
+    /// Whether this mode deviates from the protocol at all.
+    pub fn is_dishonest(self) -> bool {
+        !matches!(self, CheatMode::Honest)
+    }
+}
+
+/// Full parameterization of a Zmail deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZmailConfig {
+    /// Number of ISPs (the paper's `n`).
+    pub isps: u32,
+    /// Users per ISP (the paper's `m`).
+    pub users_per_isp: u32,
+    /// Which ISPs run the protocol (the paper's `compliant` array).
+    pub compliant: Vec<bool>,
+    /// Per-user daily send limit (the paper's `limit`, uniform here;
+    /// individual users can be overridden after construction).
+    pub default_limit: u32,
+    /// Initial e-penny balance per user.
+    pub initial_balance: EPennies,
+    /// Initial real-money account per user (held at the ISP).
+    pub initial_account: RealPennies,
+    /// Lower threshold on the ISP's e-penny pool (the paper's `minavail`).
+    pub minavail: EPennies,
+    /// Upper threshold on the pool (the paper's `maxavail`).
+    pub maxavail: EPennies,
+    /// Each ISP's initial pool.
+    pub initial_avail: EPennies,
+    /// Each ISP's initial real-money account at the bank.
+    pub initial_bank_account: RealPennies,
+    /// Bank exchange rate.
+    pub exchange_rate: ExchangeRate,
+    /// One-way network latency between any two parties.
+    pub net_latency: SimDuration,
+    /// The snapshot quiescence window (the paper suggests 10 minutes).
+    pub snapshot_timeout: SimDuration,
+    /// How often the bank gathers credit arrays (the paper suggests weekly
+    /// or monthly).
+    pub billing_period: SimDuration,
+    /// Receive-side policy for mail from non-compliant ISPs.
+    pub non_compliant_policy: NonCompliantPolicy,
+    /// When a user's balance falls below this, they buy e-pennies from
+    /// their ISP with real money (`None` disables auto top-up).
+    pub auto_topup_below: Option<EPennies>,
+    /// How many e-pennies an auto top-up purchases.
+    pub topup_amount: EPennies,
+    /// Per-ISP cheating behaviour, for misbehavior-detection experiments.
+    pub cheat_modes: Vec<CheatMode>,
+    /// Probability an inter-ISP email is silently lost in transit. The
+    /// paper assumes reliable channels; experiment E13 quantifies what
+    /// loss does to the e-penny ledger and the misbehavior detector.
+    pub email_loss_rate: f64,
+    /// Probability an inter-ISP email is duplicated in transit.
+    pub email_duplicate_rate: f64,
+    /// Probability a buy/sell message or its reply is lost in transit
+    /// (snapshot traffic stays reliable so billing rounds terminate).
+    pub bank_loss_rate: f64,
+    /// If set, an ISP whose buy/sell exchange has not completed after this
+    /// long retransmits with a **fresh nonce** (the paper's replay guard
+    /// rejects identical retransmissions — see experiment E15).
+    pub bank_retry_after: Option<SimDuration>,
+    /// Number of regional banks (1 = the paper's central bank; more
+    /// engages the §5 federation with round-robin ISP assignment).
+    pub banks: u32,
+}
+
+impl ZmailConfig {
+    /// Starts a builder for `isps` ISPs with `users_per_isp` users each,
+    /// all compliant, with the defaults the paper implies: 10-minute
+    /// snapshot window, monthly billing, one-cent e-pennies.
+    pub fn builder(isps: u32, users_per_isp: u32) -> ZmailConfigBuilder {
+        ZmailConfigBuilder {
+            config: ZmailConfig {
+                isps,
+                users_per_isp,
+                compliant: vec![true; isps as usize],
+                default_limit: 100,
+                initial_balance: EPennies(100),
+                initial_account: RealPennies(1_000),
+                minavail: EPennies(1_000),
+                maxavail: EPennies(10_000),
+                initial_avail: EPennies(5_000),
+                initial_bank_account: RealPennies(1_000_000),
+                exchange_rate: ExchangeRate::default(),
+                net_latency: SimDuration::from_millis(50),
+                snapshot_timeout: SimDuration::from_mins(10),
+                billing_period: SimDuration::from_days(30),
+                non_compliant_policy: NonCompliantPolicy::Deliver,
+                auto_topup_below: Some(EPennies(10)),
+                topup_amount: EPennies(100),
+                cheat_modes: vec![CheatMode::Honest; isps as usize],
+                email_loss_rate: 0.0,
+                email_duplicate_rate: 0.0,
+                bank_loss_rate: 0.0,
+                bank_retry_after: None,
+                banks: 1,
+            },
+        }
+    }
+
+    /// Whether `isp` is compliant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn is_compliant(&self, isp: IspId) -> bool {
+        self.compliant[isp.index()]
+    }
+
+    /// Ids of all compliant ISPs.
+    pub fn compliant_isps(&self) -> Vec<IspId> {
+        (0..self.isps)
+            .map(IspId)
+            .filter(|&i| self.compliant[i.index()])
+            .collect()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths disagree with `isps` or thresholds are
+    /// inverted — configuration bugs that should fail fast.
+    pub fn validate(&self) {
+        assert!(self.isps >= 1, "need at least one ISP");
+        assert!(self.users_per_isp >= 1, "need at least one user per ISP");
+        assert_eq!(
+            self.compliant.len(),
+            self.isps as usize,
+            "compliant array length mismatch"
+        );
+        assert_eq!(
+            self.cheat_modes.len(),
+            self.isps as usize,
+            "cheat_modes length mismatch"
+        );
+        assert!(self.minavail <= self.maxavail, "minavail exceeds maxavail");
+        assert!(
+            self.banks >= 1 && self.banks <= self.isps,
+            "banks must be in 1..=isps"
+        );
+        assert!(
+            !self.initial_balance.is_negative() && !self.initial_avail.is_negative(),
+            "negative initial holdings"
+        );
+    }
+}
+
+/// Builder for [`ZmailConfig`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ZmailConfigBuilder {
+    config: ZmailConfig,
+}
+
+impl ZmailConfigBuilder {
+    /// Marks ISPs as non-compliant.
+    pub fn non_compliant(mut self, ids: &[u32]) -> Self {
+        for &id in ids {
+            self.config.compliant[id as usize] = false;
+        }
+        self
+    }
+
+    /// Sets the uniform per-user daily limit.
+    pub fn limit(mut self, limit: u32) -> Self {
+        self.config.default_limit = limit;
+        self
+    }
+
+    /// Sets the initial per-user e-penny balance.
+    pub fn initial_balance(mut self, balance: EPennies) -> Self {
+        self.config.initial_balance = balance;
+        self
+    }
+
+    /// Sets the snapshot quiescence window.
+    pub fn snapshot_timeout(mut self, timeout: SimDuration) -> Self {
+        self.config.snapshot_timeout = timeout;
+        self
+    }
+
+    /// Sets the billing period between credit reconciliations.
+    pub fn billing_period(mut self, period: SimDuration) -> Self {
+        self.config.billing_period = period;
+        self
+    }
+
+    /// Sets the one-way network latency.
+    pub fn net_latency(mut self, latency: SimDuration) -> Self {
+        self.config.net_latency = latency;
+        self
+    }
+
+    /// Sets the receive policy for mail from non-compliant ISPs.
+    pub fn non_compliant_policy(mut self, policy: NonCompliantPolicy) -> Self {
+        self.config.non_compliant_policy = policy;
+        self
+    }
+
+    /// Sets a cheating mode for one ISP.
+    pub fn cheat(mut self, isp: u32, mode: CheatMode) -> Self {
+        self.config.cheat_modes[isp as usize] = mode;
+        self
+    }
+
+    /// Makes the inter-ISP network lossy: emails are dropped with
+    /// probability `loss` and duplicated with probability `duplicate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn lossy_network(mut self, loss: f64, duplicate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss) && (0.0..=1.0).contains(&duplicate),
+            "rates must be within [0, 1]"
+        );
+        self.config.email_loss_rate = loss;
+        self.config.email_duplicate_rate = duplicate;
+        self
+    }
+
+    /// Distributes the bank across `banks` regions (§5 "Bank Setup").
+    ///
+    /// # Panics
+    ///
+    /// Panics at `build` if `banks` is zero or exceeds the ISP count.
+    pub fn banks(mut self, banks: u32) -> Self {
+        self.config.banks = banks;
+        self
+    }
+
+    /// Makes the ISP-bank channel lossy, optionally with fresh-nonce
+    /// retransmission after `retry_after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn lossy_bank_channel(mut self, loss: f64, retry_after: Option<SimDuration>) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be within [0, 1]");
+        self.config.bank_loss_rate = loss;
+        self.config.bank_retry_after = retry_after;
+        self
+    }
+
+    /// Disables automatic e-penny top-ups (used by the zero-sum drift
+    /// experiment, which must observe raw balance movement).
+    pub fn no_auto_topup(mut self) -> Self {
+        self.config.auto_topup_below = None;
+        self
+    }
+
+    /// Sets the avail-pool thresholds.
+    pub fn avail_bounds(mut self, min: EPennies, max: EPennies, initial: EPennies) -> Self {
+        self.config.minavail = min;
+        self.config.maxavail = max;
+        self.config.initial_avail = initial;
+        self
+    }
+
+    /// Finishes and validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`ZmailConfig::validate`]).
+    pub fn build(self) -> ZmailConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let c = ZmailConfig::builder(3, 10).build();
+        assert_eq!(c.isps, 3);
+        assert!(c.compliant.iter().all(|&b| b));
+        assert_eq!(c.compliant_isps(), vec![IspId(0), IspId(1), IspId(2)]);
+        assert_eq!(c.snapshot_timeout, SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn non_compliant_marking() {
+        let c = ZmailConfig::builder(4, 5).non_compliant(&[1, 3]).build();
+        assert!(c.is_compliant(IspId(0)));
+        assert!(!c.is_compliant(IspId(1)));
+        assert!(c.is_compliant(IspId(2)));
+        assert!(!c.is_compliant(IspId(3)));
+        assert_eq!(c.compliant_isps(), vec![IspId(0), IspId(2)]);
+    }
+
+    #[test]
+    fn cheat_mode_flags() {
+        assert!(!CheatMode::Honest.is_dishonest());
+        assert!(CheatMode::UnderReportSends { fraction: 0.5 }.is_dishonest());
+        assert!(CheatMode::InflateSends { fraction: 0.1 }.is_dishonest());
+    }
+
+    #[test]
+    #[should_panic(expected = "minavail exceeds maxavail")]
+    fn inverted_thresholds_panic() {
+        ZmailConfig::builder(2, 2)
+            .avail_bounds(EPennies(100), EPennies(10), EPennies(50))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        ZmailConfig::builder(2, 0).build();
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = ZmailConfig::builder(2, 2)
+            .limit(7)
+            .initial_balance(EPennies(3))
+            .billing_period(SimDuration::from_days(7))
+            .net_latency(SimDuration::from_millis(5))
+            .cheat(1, CheatMode::InflateSends { fraction: 1.0 })
+            .no_auto_topup()
+            .build();
+        assert_eq!(c.default_limit, 7);
+        assert_eq!(c.initial_balance, EPennies(3));
+        assert_eq!(c.billing_period, SimDuration::from_days(7));
+        assert_eq!(c.auto_topup_below, None);
+        assert!(c.cheat_modes[1].is_dishonest());
+    }
+}

@@ -1,0 +1,1047 @@
+//! The compliant ISP process (§4.1–4.3 of the paper).
+//!
+//! [`Isp`] is a pure state machine: every method either mutates local
+//! ledgers or returns a [`NetMsg`] for the caller to put on the wire, so
+//! the same implementation runs under the discrete-event harness
+//! ([`crate::system`]), under unit tests, and behind the SMTP bridge.
+//!
+//! The ledgers mirror the paper's variables exactly:
+//!
+//! * per-user `account` (real pennies), `balance` (e-pennies), `sent`
+//!   (today's paid sends) and `limit` (the anti-zombie daily cap);
+//! * the pool `avail` bounded by `minavail`/`maxavail`, replenished from
+//!   and drained to the bank with nonce-protected sealed exchanges;
+//! * the per-peer `credit` array: +1 per paid send to `isp[j]`, −1 per
+//!   paid receive from `isp[j]`;
+//! * `cansend`, frozen during a snapshot; sends arriving while frozen are
+//!   buffered and flushed when the quiescence timeout expires, exactly as
+//!   §4.4 describes.
+
+use crate::config::{CheatMode, NonCompliantPolicy, ZmailConfig};
+use crate::ids::IspId;
+use crate::msg::{decode_value_nonce, encode_credit, encode_value_nonce, EmailMsg, NetMsg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use zmail_crypto::{open_with_public, seal_for_public, CryptoError, Nnc, Nonce, PublicKey};
+use zmail_econ::{EPennies, RealPennies};
+use zmail_sim::workload::{MailKind, UserAddr};
+
+/// One user's ledgers at their ISP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserAccount {
+    /// Real-money account held at the ISP.
+    pub account: RealPennies,
+    /// E-penny balance.
+    pub balance: EPennies,
+    /// Paid messages sent so far today (the paper's `sent[s]`).
+    pub sent_today: u32,
+    /// Daily cap on paid sends (the paper's `limit[s]`).
+    pub limit: u32,
+}
+
+/// Why a send was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendError {
+    /// `balance[s] = 0` in the paper's guard.
+    InsufficientBalance,
+    /// `sent[s] >= limit[s]` — the anti-zombie cap. The paper sends the
+    /// user a warning to check for viruses; the harness records it.
+    DailyLimitExceeded,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::InsufficientBalance => write!(f, "insufficient e-penny balance"),
+            SendError::DailyLimitExceeded => write!(f, "daily send limit exceeded"),
+        }
+    }
+}
+
+impl Error for SendError {}
+
+/// The result of an accepted send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendOutcome {
+    /// Sender and receiver share this ISP; the transfer completed locally.
+    DeliveredLocally,
+    /// The message must travel to another ISP.
+    Outbound {
+        /// Destination ISP.
+        to: IspId,
+        /// The wire message (paid iff the destination is compliant).
+        msg: NetMsg,
+    },
+    /// The ISP is frozen for a snapshot; the send is buffered and will be
+    /// retried automatically when the freeze lifts.
+    Buffered,
+}
+
+/// What happened to a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delivery {
+    /// Delivered to the recipient's mailbox (paid transfers credited).
+    Delivered,
+    /// Discarded by the non-compliant-mail policy.
+    DiscardedByPolicy,
+    /// Dropped by the policy's spam filter.
+    FilteredOut,
+}
+
+/// Counters the experiments read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IspStats {
+    /// Paid messages sent to other compliant ISPs.
+    pub sent_paid: u64,
+    /// Unpaid messages sent to non-compliant ISPs.
+    pub sent_unpaid: u64,
+    /// Local (same-ISP) paid deliveries.
+    pub delivered_local: u64,
+    /// Paid messages received from compliant ISPs.
+    pub received_paid: u64,
+    /// Messages from non-compliant ISPs that were delivered.
+    pub received_noncompliant: u64,
+    /// Messages dropped by the non-compliant-mail policy.
+    pub dropped_by_policy: u64,
+    /// Sends refused for lack of balance.
+    pub bounced_balance: u64,
+    /// Sends refused by the daily limit.
+    pub bounced_limit: u64,
+    /// Sends buffered during snapshot freezes.
+    pub buffered_sends: u64,
+    /// Buy requests issued to the bank.
+    pub bank_buys: u64,
+    /// Sell requests issued to the bank.
+    pub bank_sells: u64,
+    /// Buy/sell requests retransmitted with a fresh nonce after a
+    /// reply went missing (see experiment E15).
+    pub bank_retries: u64,
+    /// Replayed or mismatched bank replies ignored.
+    pub stale_replies: u64,
+}
+
+/// A send intent queued while the ISP is frozen.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingSend {
+    sender: u32,
+    to: UserAddr,
+    kind: MailKind,
+}
+
+/// The compliant ISP process.
+///
+/// # Example
+///
+/// ```rust
+/// use zmail_core::{IspId, ZmailConfig};
+/// use zmail_core::isp::{Isp, SendOutcome};
+/// use zmail_sim::workload::{MailKind, UserAddr};
+/// use zmail_crypto::KeyPair;
+/// use rand::SeedableRng;
+///
+/// let config = ZmailConfig::builder(2, 4).build();
+/// let bank = KeyPair::generate(&mut rand::rngs::SmallRng::seed_from_u64(1));
+/// let mut isp = Isp::new(IspId(0), &config, *bank.public(), 7);
+/// // User 0 mails user 2 of the peer ISP: one e-penny leaves with it.
+/// let outcome = isp.send_email(0, UserAddr::new(1, 2), MailKind::Personal)?;
+/// assert!(matches!(outcome, SendOutcome::Outbound { .. }));
+/// assert_eq!(isp.user(0).balance.amount(), 99);
+/// assert_eq!(isp.credit(IspId(1)), 1);
+/// # Ok::<(), zmail_core::SendError>(())
+/// ```
+#[derive(Debug)]
+pub struct Isp {
+    id: IspId,
+    compliant: Vec<bool>,
+    cheat: CheatMode,
+    policy: NonCompliantPolicy,
+    users: Vec<UserAccount>,
+    avail: EPennies,
+    minavail: EPennies,
+    maxavail: EPennies,
+    credit: Vec<i64>,
+    cansend: bool,
+    pending: VecDeque<PendingSend>,
+    canbuy: bool,
+    cansell: bool,
+    buyvalue: i64,
+    sellvalue: i64,
+    ns1: Option<Nonce>,
+    ns2: Option<Nonce>,
+    nnc: Nnc,
+    bank_key: PublicKey,
+    seq: u64,
+    rng: SmallRng,
+    stats: IspStats,
+}
+
+impl Isp {
+    /// Creates the ISP process from the shared configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the configuration.
+    pub fn new(id: IspId, config: &ZmailConfig, bank_key: PublicKey, seed: u64) -> Self {
+        config.validate();
+        assert!(id.0 < config.isps, "isp id out of range");
+        let users = (0..config.users_per_isp)
+            .map(|_| UserAccount {
+                account: config.initial_account,
+                balance: config.initial_balance,
+                sent_today: 0,
+                limit: config.default_limit,
+            })
+            .collect();
+        Isp {
+            id,
+            compliant: config.compliant.clone(),
+            cheat: config.cheat_modes[id.index()],
+            policy: config.non_compliant_policy,
+            users,
+            avail: config.initial_avail,
+            minavail: config.minavail,
+            maxavail: config.maxavail,
+            credit: vec![0; config.isps as usize],
+            cansend: true,
+            pending: VecDeque::new(),
+            canbuy: true,
+            cansell: true,
+            buyvalue: 0,
+            sellvalue: 0,
+            ns1: None,
+            ns2: None,
+            nnc: Nnc::new(seed ^ 0xA11C_E5ED, u64::from(id.0)),
+            bank_key,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(id.0)),
+            ),
+            stats: IspStats::default(),
+        }
+    }
+
+    /// This ISP's id.
+    pub fn id(&self) -> IspId {
+        self.id
+    }
+
+    /// Whether sends are currently frozen for a snapshot.
+    pub fn is_frozen(&self) -> bool {
+        !self.cansend
+    }
+
+    /// The user ledger, for assertions and experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn user(&self, user: u32) -> &UserAccount {
+        &self.users[user as usize]
+    }
+
+    /// Sets one user's daily limit (the user-specified value of §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn set_limit(&mut self, user: u32, limit: u32) {
+        self.users[user as usize].limit = limit;
+    }
+
+    /// Grants a user e-pennies directly (test/experiment setup shortcut;
+    /// production top-ups go through [`Isp::user_buy`]).
+    pub fn grant_balance(&mut self, user: u32, amount: EPennies) {
+        self.users[user as usize].balance += amount;
+    }
+
+    /// The ISP's e-penny pool.
+    pub fn avail(&self) -> EPennies {
+        self.avail
+    }
+
+    /// The credit ledger entry for `peer`.
+    pub fn credit(&self, peer: IspId) -> i64 {
+        self.credit[peer.index()]
+    }
+
+    /// Sum of all user balances (for conservation audits).
+    pub fn total_user_balances(&self) -> EPennies {
+        self.users.iter().map(|u| u.balance).sum()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &IspStats {
+        &self.stats
+    }
+
+    /// Number of sends waiting for the freeze to lift.
+    pub fn pending_sends(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // §4.1 zero-sum email transfer
+    // ------------------------------------------------------------------
+
+    /// Handles "user `sender` wants to mail `to`" (the paper's `cansend`
+    /// action with `any`-chosen `s`, `j`, `r`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the sender's balance or daily limit
+    /// refuses a paid send. Unpaid sends to non-compliant ISPs are never
+    /// refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `to` reference out-of-range users.
+    pub fn send_email(
+        &mut self,
+        sender: u32,
+        to: UserAddr,
+        kind: MailKind,
+    ) -> Result<SendOutcome, SendError> {
+        assert!((sender as usize) < self.users.len(), "sender out of range");
+        if !self.cansend {
+            self.pending.push_back(PendingSend { sender, to, kind });
+            self.stats.buffered_sends += 1;
+            return Ok(SendOutcome::Buffered);
+        }
+        let dest = IspId(to.isp);
+        if dest == self.id {
+            // Local delivery: debit and credit inside this ISP.
+            self.charge_sender(sender)?;
+            self.users[to.user as usize].balance += EPennies::ONE;
+            self.stats.delivered_local += 1;
+            return Ok(SendOutcome::DeliveredLocally);
+        }
+        if self.compliant[dest.index()] {
+            self.charge_sender(sender)?;
+            self.book_credit(dest);
+            self.stats.sent_paid += 1;
+            Ok(SendOutcome::Outbound {
+                to: dest,
+                msg: NetMsg::Email(EmailMsg {
+                    from: UserAddr::new(self.id.0, sender),
+                    to,
+                    kind,
+                    paid: true,
+                }),
+            })
+        } else {
+            // `~compliant[j] --> send email(s, r) to isp[j]` — no charge.
+            self.stats.sent_unpaid += 1;
+            Ok(SendOutcome::Outbound {
+                to: dest,
+                msg: NetMsg::Email(EmailMsg {
+                    from: UserAddr::new(self.id.0, sender),
+                    to,
+                    kind,
+                    paid: false,
+                }),
+            })
+        }
+    }
+
+    fn charge_sender(&mut self, sender: u32) -> Result<(), SendError> {
+        let user = &mut self.users[sender as usize];
+        if user.balance < EPennies::ONE {
+            self.stats.bounced_balance += 1;
+            return Err(SendError::InsufficientBalance);
+        }
+        if user.sent_today >= user.limit {
+            self.stats.bounced_limit += 1;
+            return Err(SendError::DailyLimitExceeded);
+        }
+        user.balance -= EPennies::ONE;
+        user.sent_today += 1;
+        Ok(())
+    }
+
+    /// Applies the configured cheat when booking an outbound credit.
+    fn book_credit(&mut self, dest: IspId) {
+        let delta = match self.cheat {
+            CheatMode::Honest => 1,
+            CheatMode::UnderReportSends { fraction } => {
+                if self.rng.gen::<f64>() < fraction {
+                    0
+                } else {
+                    1
+                }
+            }
+            CheatMode::InflateSends { fraction } => {
+                if self.rng.gen::<f64>() < fraction {
+                    2
+                } else {
+                    1
+                }
+            }
+        };
+        self.credit[dest.index()] += delta;
+    }
+
+    /// Handles `rcv email(s, r) from isp[g]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is addressed to another ISP or an unknown
+    /// user.
+    pub fn receive_email(&mut self, from_isp: IspId, email: &EmailMsg) -> Delivery {
+        assert_eq!(email.to.isp, self.id.0, "misrouted email");
+        assert!(
+            (email.to.user as usize) < self.users.len(),
+            "unknown recipient"
+        );
+        if self.compliant[from_isp.index()] && email.paid {
+            self.users[email.to.user as usize].balance += EPennies::ONE;
+            self.credit[from_isp.index()] -= 1;
+            self.stats.received_paid += 1;
+            return Delivery::Delivered;
+        }
+        // Mail from a non-compliant ISP: apply the receive policy.
+        match self.policy {
+            NonCompliantPolicy::Deliver => {
+                self.stats.received_noncompliant += 1;
+                Delivery::Delivered
+            }
+            NonCompliantPolicy::Discard => {
+                self.stats.dropped_by_policy += 1;
+                Delivery::DiscardedByPolicy
+            }
+            NonCompliantPolicy::Filter {
+                false_positive,
+                false_negative,
+            } => {
+                let drop = if email.kind.is_unsolicited() {
+                    self.rng.gen::<f64>() >= false_negative
+                } else {
+                    self.rng.gen::<f64>() < false_positive
+                };
+                if drop {
+                    self.stats.dropped_by_policy += 1;
+                    Delivery::FilteredOut
+                } else {
+                    self.stats.received_noncompliant += 1;
+                    Delivery::Delivered
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §4.2 transactions with users
+    // ------------------------------------------------------------------
+
+    /// User `t` buys `x` e-pennies with real money from the ISP pool.
+    ///
+    /// Returns `true` when the purchase happened (the paper's guard:
+    /// sufficient account and pool, both positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or `x` is negative.
+    pub fn user_buy(&mut self, t: u32, x: EPennies) -> bool {
+        assert!(!x.is_negative(), "cannot buy a negative amount");
+        let price = RealPennies(x.amount()); // 1:1 at the ISP counter
+        let user = &mut self.users[t as usize];
+        if user.account >= price && self.avail >= x {
+            user.account -= price;
+            user.balance += x;
+            self.avail -= x;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// User `t` sells `x` e-pennies back for real money.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or `x` is negative.
+    pub fn user_sell(&mut self, t: u32, x: EPennies) -> bool {
+        assert!(!x.is_negative(), "cannot sell a negative amount");
+        let user = &mut self.users[t as usize];
+        if user.balance >= x {
+            user.balance -= x;
+            user.account += RealPennies(x.amount());
+            self.avail += x;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tops up `t`'s balance if it fell below the configured threshold.
+    /// Returns whether a purchase happened.
+    pub fn auto_topup(&mut self, t: u32, below: EPennies, amount: EPennies) -> bool {
+        if self.users[t as usize].balance < below {
+            self.user_buy(t, amount)
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §4.3 transactions with the bank
+    // ------------------------------------------------------------------
+
+    fn pool_target(&self) -> i64 {
+        (self.minavail.amount() + self.maxavail.amount()) / 2
+    }
+
+    /// If the pool is low and no buy is outstanding, produces a sealed
+    /// `buy` request refilling the pool to the midpoint target.
+    pub fn maybe_buy(&mut self) -> Option<NetMsg> {
+        if !self.canbuy || self.avail >= self.minavail {
+            return None;
+        }
+        self.canbuy = false;
+        self.buyvalue = self.pool_target() - self.avail.amount();
+        let nonce = self.nnc.next_nonce();
+        self.ns1 = Some(nonce);
+        let plain = encode_value_nonce(self.buyvalue, nonce);
+        self.stats.bank_buys += 1;
+        Some(NetMsg::Buy {
+            envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
+            audit: self.buyvalue,
+        })
+    }
+
+    /// If the pool is over-full and no sell is outstanding, produces a
+    /// sealed `sell` request draining the pool to the midpoint target.
+    pub fn maybe_sell(&mut self) -> Option<NetMsg> {
+        if !self.cansell || self.avail <= self.maxavail {
+            return None;
+        }
+        self.cansell = false;
+        self.sellvalue = self.avail.amount() - self.pool_target();
+        let nonce = self.nnc.next_nonce();
+        self.ns2 = Some(nonce);
+        let plain = encode_value_nonce(self.sellvalue, nonce);
+        self.stats.bank_sells += 1;
+        Some(NetMsg::Sell {
+            envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
+            audit: self.sellvalue,
+        })
+    }
+
+    /// Whether a buy exchange is outstanding (request sent, matching reply
+    /// not yet applied).
+    pub fn buy_outstanding(&self) -> bool {
+        self.ns1.is_some()
+    }
+
+    /// Whether a sell exchange is outstanding.
+    pub fn sell_outstanding(&self) -> bool {
+        self.ns2.is_some()
+    }
+
+    /// Retransmits an outstanding buy with a **fresh nonce** and the same
+    /// `buyvalue`. Returns `None` when nothing is outstanding.
+    ///
+    /// The paper's replay guard at the bank silently drops an identical
+    /// retransmission, so recovery from a lost reply *requires* a fresh
+    /// nonce — at the price that, if only the reply (not the request) was
+    /// lost, the bank grants twice and the duplicate grant is stranded
+    /// (the stale reply is ignored here). Experiment E15 quantifies this.
+    pub fn retry_buy(&mut self) -> Option<NetMsg> {
+        self.ns1?;
+        let nonce = self.nnc.next_nonce();
+        self.ns1 = Some(nonce);
+        let plain = encode_value_nonce(self.buyvalue, nonce);
+        self.stats.bank_retries += 1;
+        Some(NetMsg::Buy {
+            envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
+            audit: self.buyvalue,
+        })
+    }
+
+    /// Retransmits an outstanding sell with a fresh nonce; see
+    /// [`Isp::retry_buy`].
+    pub fn retry_sell(&mut self) -> Option<NetMsg> {
+        self.ns2?;
+        let nonce = self.nnc.next_nonce();
+        self.ns2 = Some(nonce);
+        let plain = encode_value_nonce(self.sellvalue, nonce);
+        self.stats.bank_retries += 1;
+        Some(NetMsg::Sell {
+            envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
+            audit: self.sellvalue,
+        })
+    }
+
+    /// Handles `buyreply(x)`: on a matching nonce, applies the grant.
+    ///
+    /// Replayed or mismatched replies are counted and ignored, per the
+    /// paper's `ns1 != nr1 --> skip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] when the envelope cannot be opened — an
+    /// active forgery rather than a replay.
+    pub fn handle_buy_reply(
+        &mut self,
+        envelope: &zmail_crypto::SealedEnvelope,
+    ) -> Result<(), CryptoError> {
+        let plain = open_with_public(&self.bank_key, envelope)?;
+        let (accepted, nr1) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
+        if self.ns1 == Some(nr1) {
+            self.ns1 = None;
+            self.canbuy = true;
+            if accepted != 0 {
+                self.avail += EPennies(self.buyvalue);
+            }
+        } else {
+            self.stats.stale_replies += 1;
+        }
+        Ok(())
+    }
+
+    /// Handles `sellreply(x)`: on a matching nonce, retires the sold
+    /// e-pennies from the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] when the envelope cannot be opened.
+    pub fn handle_sell_reply(
+        &mut self,
+        envelope: &zmail_crypto::SealedEnvelope,
+    ) -> Result<(), CryptoError> {
+        let plain = open_with_public(&self.bank_key, envelope)?;
+        let (_, nr2) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
+        if self.ns2 == Some(nr2) {
+            self.ns2 = None;
+            self.avail -= EPennies(self.sellvalue);
+            self.cansell = true;
+        } else {
+            self.stats.stale_replies += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // §4.4 credit snapshot
+    // ------------------------------------------------------------------
+
+    /// Handles `request(x)` from the bank. Returns `true` when the request
+    /// is fresh (matching sequence number) and the freeze began; the
+    /// caller must schedule [`Isp::finish_snapshot`] after the quiescence
+    /// window. Replayed requests return `false` and change nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] when the envelope cannot be opened.
+    pub fn handle_snapshot_request(
+        &mut self,
+        envelope: &zmail_crypto::SealedEnvelope,
+    ) -> Result<bool, CryptoError> {
+        let plain = open_with_public(&self.bank_key, envelope)?;
+        let (seq_received, _) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
+        if seq_received == self.seq as i64 {
+            self.cansend = false;
+            Ok(true)
+        } else {
+            self.stats.stale_replies += 1;
+            Ok(false)
+        }
+    }
+
+    /// Ends the quiescence window: produces the sealed credit reply,
+    /// resets the credit ledger for the new billing period, bumps the
+    /// sequence number, lifts the freeze, and returns the buffered send
+    /// intents for the caller to resubmit (in arrival order).
+    pub fn finish_snapshot(&mut self) -> (NetMsg, Vec<(u32, UserAddr, MailKind)>) {
+        let reply = NetMsg::SnapshotReply {
+            from: self.id,
+            envelope: seal_for_public(&self.bank_key, &encode_credit(&self.credit), &mut self.rng),
+        };
+        for c in &mut self.credit {
+            *c = 0;
+        }
+        self.cansend = true;
+        self.seq += 1;
+        let drained = self
+            .pending
+            .drain(..)
+            .map(|p| (p.sender, p.to, p.kind))
+            .collect();
+        (reply, drained)
+    }
+
+    // ------------------------------------------------------------------
+    // daily reset
+    // ------------------------------------------------------------------
+
+    /// Resets every user's `sent` counter (the paper's end-of-day action).
+    pub fn reset_daily(&mut self) {
+        for user in &mut self.users {
+            user.sent_today = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use zmail_crypto::KeyPair;
+
+    fn fixture(isps: u32) -> (Vec<Isp>, KeyPair) {
+        let config = ZmailConfig::builder(isps, 4).build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(1));
+        let nodes = (0..isps)
+            .map(|i| Isp::new(IspId(i), &config, *bank.public(), 100 + u64::from(i)))
+            .collect();
+        (nodes, bank)
+    }
+
+    fn addr(isp: u32, user: u32) -> UserAddr {
+        UserAddr::new(isp, user)
+    }
+
+    #[test]
+    fn local_send_transfers_one_epenny() {
+        let (mut isps, _) = fixture(1);
+        let isp = &mut isps[0];
+        let before_sender = isp.user(0).balance;
+        let before_receiver = isp.user(1).balance;
+        let outcome = isp.send_email(0, addr(0, 1), MailKind::Personal).unwrap();
+        assert_eq!(outcome, SendOutcome::DeliveredLocally);
+        assert_eq!(isp.user(0).balance, before_sender - EPennies::ONE);
+        assert_eq!(isp.user(1).balance, before_receiver + EPennies::ONE);
+        assert_eq!(isp.user(0).sent_today, 1);
+        assert_eq!(isp.credit(IspId(0)), 0, "local mail books no credit");
+    }
+
+    #[test]
+    fn remote_send_debits_and_books_credit() {
+        let (mut isps, _) = fixture(2);
+        let outcome = isps[0]
+            .send_email(0, addr(1, 2), MailKind::Personal)
+            .unwrap();
+        match outcome {
+            SendOutcome::Outbound {
+                to,
+                msg: NetMsg::Email(email),
+            } => {
+                assert_eq!(to, IspId(1));
+                assert!(email.paid);
+                assert_eq!(email.from, addr(0, 0));
+                assert_eq!(email.to, addr(1, 2));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(isps[0].credit(IspId(1)), 1);
+        assert_eq!(isps[0].user(0).balance, EPennies(99));
+    }
+
+    #[test]
+    fn receive_credits_recipient_and_decrements_credit() {
+        let (mut isps, _) = fixture(2);
+        let SendOutcome::Outbound {
+            msg: NetMsg::Email(email),
+            ..
+        } = isps[0]
+            .send_email(0, addr(1, 2), MailKind::Personal)
+            .unwrap()
+        else {
+            panic!("expected outbound");
+        };
+        let delivery = isps[1].receive_email(IspId(0), &email);
+        assert_eq!(delivery, Delivery::Delivered);
+        assert_eq!(isps[1].user(2).balance, EPennies(101));
+        assert_eq!(isps[1].credit(IspId(0)), -1);
+        // Antisymmetry after quiescence.
+        assert_eq!(isps[0].credit(IspId(1)) + isps[1].credit(IspId(0)), 0);
+    }
+
+    #[test]
+    fn empty_balance_bounces() {
+        let config = ZmailConfig::builder(2, 2)
+            .initial_balance(EPennies::ZERO)
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(2));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 7);
+        let err = isp
+            .send_email(0, addr(1, 0), MailKind::Personal)
+            .unwrap_err();
+        assert_eq!(err, SendError::InsufficientBalance);
+        assert_eq!(isp.stats().bounced_balance, 1);
+    }
+
+    #[test]
+    fn daily_limit_bounces_then_resets() {
+        let config = ZmailConfig::builder(2, 2).limit(2).build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(3));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 8);
+        for _ in 0..2 {
+            isp.send_email(0, addr(1, 0), MailKind::Personal).unwrap();
+        }
+        let err = isp
+            .send_email(0, addr(1, 0), MailKind::Personal)
+            .unwrap_err();
+        assert_eq!(err, SendError::DailyLimitExceeded);
+        assert_eq!(isp.stats().bounced_limit, 1);
+        isp.reset_daily();
+        assert!(isp.send_email(0, addr(1, 0), MailKind::Personal).is_ok());
+    }
+
+    #[test]
+    fn send_to_noncompliant_is_free_and_unlimited() {
+        let config = ZmailConfig::builder(2, 2)
+            .non_compliant(&[1])
+            .limit(1)
+            .initial_balance(EPennies::ZERO)
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(4));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 9);
+        // No balance, limit 1 — yet many unpaid sends all succeed.
+        for _ in 0..5 {
+            let outcome = isp.send_email(0, addr(1, 0), MailKind::Personal).unwrap();
+            let SendOutcome::Outbound {
+                msg: NetMsg::Email(email),
+                ..
+            } = outcome
+            else {
+                panic!("expected outbound");
+            };
+            assert!(!email.paid);
+        }
+        assert_eq!(isp.stats().sent_unpaid, 5);
+        assert_eq!(isp.user(0).sent_today, 0, "unpaid sends don't count");
+    }
+
+    #[test]
+    fn noncompliant_mail_policies() {
+        for (policy, expect_delivered) in [
+            (NonCompliantPolicy::Deliver, true),
+            (NonCompliantPolicy::Discard, false),
+        ] {
+            let config = ZmailConfig::builder(2, 2)
+                .non_compliant(&[0])
+                .non_compliant_policy(policy)
+                .build();
+            let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(5));
+            let mut isp = Isp::new(IspId(1), &config, *bank.public(), 10);
+            let email = EmailMsg {
+                from: addr(0, 0),
+                to: addr(1, 1),
+                kind: MailKind::Spam,
+                paid: false,
+            };
+            let balance_before = isp.user(1).balance;
+            let delivery = isp.receive_email(IspId(0), &email);
+            assert_eq!(delivery == Delivery::Delivered, expect_delivered);
+            assert_eq!(
+                isp.user(1).balance,
+                balance_before,
+                "unpaid mail pays nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_policy_drops_spam_keeps_ham_statistically() {
+        let config = ZmailConfig::builder(2, 2)
+            .non_compliant(&[0])
+            .non_compliant_policy(NonCompliantPolicy::Filter {
+                false_positive: 0.0,
+                false_negative: 0.0,
+            })
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(6));
+        let mut isp = Isp::new(IspId(1), &config, *bank.public(), 11);
+        let spam = EmailMsg {
+            from: addr(0, 0),
+            to: addr(1, 0),
+            kind: MailKind::Spam,
+            paid: false,
+        };
+        let ham = EmailMsg {
+            kind: MailKind::Personal,
+            ..spam.clone()
+        };
+        assert_eq!(isp.receive_email(IspId(0), &spam), Delivery::FilteredOut);
+        assert_eq!(isp.receive_email(IspId(0), &ham), Delivery::Delivered);
+    }
+
+    #[test]
+    fn user_buy_and_sell_move_all_three_ledgers() {
+        let (mut isps, _) = fixture(1);
+        let isp = &mut isps[0];
+        let pool0 = isp.avail();
+        assert!(isp.user_buy(0, EPennies(50)));
+        assert_eq!(isp.user(0).balance, EPennies(150));
+        assert_eq!(isp.user(0).account, RealPennies(950));
+        assert_eq!(isp.avail(), pool0 - EPennies(50));
+        assert!(isp.user_sell(0, EPennies(150)));
+        assert_eq!(isp.user(0).balance, EPennies::ZERO);
+        assert_eq!(isp.user(0).account, RealPennies(1_100));
+        assert_eq!(isp.avail(), pool0 + EPennies(100));
+    }
+
+    #[test]
+    fn user_buy_refused_without_funds_or_pool() {
+        let (mut isps, _) = fixture(1);
+        let isp = &mut isps[0];
+        assert!(!isp.user_buy(0, EPennies(100_000)), "pool too small");
+        assert!(!isp.user_sell(0, EPennies(101)), "balance too small");
+    }
+
+    #[test]
+    fn auto_topup_only_below_threshold() {
+        let (mut isps, _) = fixture(1);
+        let isp = &mut isps[0];
+        assert!(!isp.auto_topup(0, EPennies(50), EPennies(10)));
+        // Drain the balance below 50.
+        assert!(isp.user_sell(0, EPennies(60)));
+        assert!(isp.auto_topup(0, EPennies(50), EPennies(10)));
+        assert_eq!(isp.user(0).balance, EPennies(50));
+    }
+
+    #[test]
+    fn buy_sell_roundtrip_with_real_envelopes() {
+        // Drive the ISP side against hand-rolled bank-side crypto.
+        let config = ZmailConfig::builder(1, 2)
+            .avail_bounds(EPennies(100), EPennies(200), EPennies(50))
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(12));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 13);
+        // Pool (50) is under minavail (100): a buy should be issued.
+        let Some(NetMsg::Buy { envelope, audit }) = isp.maybe_buy() else {
+            panic!("expected a buy request");
+        };
+        assert_eq!(audit, 100); // refill to midpoint 150
+        assert!(isp.maybe_buy().is_none(), "no duplicate buy while pending");
+        // Bank side: open, approve, reply.
+        let plain = zmail_crypto::open_with_private(bank.private(), &envelope).unwrap();
+        let (value, nonce) = decode_value_nonce(&plain).unwrap();
+        assert_eq!(value, 100);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let reply = zmail_crypto::seal_with_private(
+            bank.private(),
+            &encode_value_nonce(1, nonce),
+            &mut rng,
+        );
+        isp.handle_buy_reply(&reply).unwrap();
+        assert_eq!(isp.avail(), EPennies(150));
+        // Replay the same reply: ignored.
+        isp.handle_buy_reply(&reply).unwrap();
+        assert_eq!(isp.avail(), EPennies(150));
+        assert_eq!(isp.stats().stale_replies, 1);
+    }
+
+    #[test]
+    fn sell_roundtrip_drains_pool() {
+        let config = ZmailConfig::builder(1, 2)
+            .avail_bounds(EPennies(100), EPennies(200), EPennies(500))
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(15));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 16);
+        let Some(NetMsg::Sell { envelope, audit }) = isp.maybe_sell() else {
+            panic!("expected a sell request");
+        };
+        assert_eq!(audit, 350); // drain 500 -> midpoint 150
+        let plain = zmail_crypto::open_with_private(bank.private(), &envelope).unwrap();
+        let (_, nonce) = decode_value_nonce(&plain).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let reply = zmail_crypto::seal_with_private(
+            bank.private(),
+            &encode_value_nonce(0, nonce),
+            &mut rng,
+        );
+        isp.handle_sell_reply(&reply).unwrap();
+        assert_eq!(isp.avail(), EPennies(150));
+    }
+
+    #[test]
+    fn forged_bank_reply_rejected() {
+        let (mut isps, _) = fixture(1);
+        let intruder = KeyPair::generate(&mut SmallRng::seed_from_u64(18));
+        let mut rng = SmallRng::seed_from_u64(19);
+        let forged = zmail_crypto::seal_with_private(
+            intruder.private(),
+            &encode_value_nonce(1, 0),
+            &mut rng,
+        );
+        assert!(isps[0].handle_buy_reply(&forged).is_err());
+    }
+
+    #[test]
+    fn snapshot_freezes_buffers_and_flushes() {
+        let (mut isps, bank) = fixture(2);
+        let mut rng = SmallRng::seed_from_u64(20);
+        let request =
+            zmail_crypto::seal_with_private(bank.private(), &encode_value_nonce(0, 999), &mut rng);
+        assert!(isps[0].handle_snapshot_request(&request).unwrap());
+        assert!(isps[0].is_frozen());
+        // Sends during the freeze are buffered, not charged.
+        let outcome = isps[0]
+            .send_email(0, addr(1, 0), MailKind::Personal)
+            .unwrap();
+        assert_eq!(outcome, SendOutcome::Buffered);
+        assert_eq!(isps[0].user(0).balance, EPennies(100), "no debit yet");
+        assert_eq!(isps[0].pending_sends(), 1);
+        // Replayed request (same seq... now stale after finish) first:
+        let (reply, drained) = isps[0].finish_snapshot();
+        assert!(matches!(reply, NetMsg::SnapshotReply { from, .. } if from == IspId(0)));
+        assert_eq!(drained.len(), 1);
+        assert!(!isps[0].is_frozen());
+        // The old request is now stale (seq moved to 1): no re-freeze.
+        assert!(!isps[0].handle_snapshot_request(&request).unwrap());
+        assert!(!isps[0].is_frozen());
+    }
+
+    #[test]
+    fn snapshot_reply_carries_credit_and_resets_it() {
+        let (mut isps, bank) = fixture(2);
+        isps[0]
+            .send_email(0, addr(1, 0), MailKind::Personal)
+            .unwrap();
+        isps[0]
+            .send_email(1, addr(1, 1), MailKind::Personal)
+            .unwrap();
+        assert_eq!(isps[0].credit(IspId(1)), 2);
+        let (reply, _) = isps[0].finish_snapshot();
+        let NetMsg::SnapshotReply { envelope, .. } = reply else {
+            panic!("expected snapshot reply");
+        };
+        let plain = zmail_crypto::open_with_private(bank.private(), &envelope).unwrap();
+        let credit = crate::msg::decode_credit(&plain).unwrap();
+        assert_eq!(credit, vec![0, 2]);
+        assert_eq!(isps[0].credit(IspId(1)), 0, "new billing period");
+    }
+
+    #[test]
+    fn cheating_isp_underreports_credit() {
+        let config = ZmailConfig::builder(2, 2)
+            .cheat(0, CheatMode::UnderReportSends { fraction: 1.0 })
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(21));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 22);
+        isp.send_email(0, addr(1, 0), MailKind::Personal).unwrap();
+        assert_eq!(isp.credit(IspId(1)), 0, "cheat hides the send");
+        assert_eq!(isp.user(0).balance, EPennies(99), "user still charged");
+    }
+
+    #[test]
+    fn inflating_isp_overreports_credit() {
+        let config = ZmailConfig::builder(2, 2)
+            .cheat(0, CheatMode::InflateSends { fraction: 1.0 })
+            .build();
+        let bank = KeyPair::generate(&mut SmallRng::seed_from_u64(23));
+        let mut isp = Isp::new(IspId(0), &config, *bank.public(), 24);
+        isp.send_email(0, addr(1, 0), MailKind::Personal).unwrap();
+        assert_eq!(isp.credit(IspId(1)), 2);
+    }
+
+    #[test]
+    fn total_user_balances_sums() {
+        let (isps, _) = fixture(1);
+        assert_eq!(isps[0].total_user_balances(), EPennies(400));
+    }
+}

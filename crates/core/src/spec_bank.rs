@@ -1,0 +1,429 @@
+//! A formal model of the §4.3 buy exchange under message loss — the
+//! model-checked counterpart of experiment E15.
+//!
+//! The paper protects the ISP↔bank exchange against *replay* with nonces,
+//! but never considers *loss*. This module encodes a minimal buy exchange
+//! in AP notation with three optional behaviours:
+//!
+//! * **loss** — adversarial actions that consume a `buy` or `buyreply`
+//!   from the channel and discard it;
+//! * **replay guard** — the bank remembers processed nonces and drops
+//!   repeats (the paper's design);
+//! * **retry** — the ISP retransmits an outstanding buy with a fresh
+//!   nonce once the channels have drained (modelling a timer longer than
+//!   one round trip), up to a bounded number of attempts.
+//!
+//! Exploration then establishes, as theorems about the model:
+//!
+//! 1. without loss, the exchange always completes ([`recovery_reachable`]);
+//! 2. with loss and no retry, there is a reachable state from which
+//!    recovery is **unreachable** — the wedge of E15, now formal;
+//! 3. with retry, recovery is reachable again from every wedge, but so is
+//!    a state where the bank has issued more than the ISP ever pooled —
+//!    the stranded value is not an artifact of the simulator.
+
+use zmail_ap::{
+    explore, find_reachable, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec, SystemState,
+};
+
+/// Parameters of the modelled exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankSpecParams {
+    /// E-pennies requested per buy.
+    pub buy_value: i64,
+    /// Whether the adversary may drop messages.
+    pub allow_loss: bool,
+    /// Retransmissions the ISP may attempt (0 = the paper's design).
+    pub max_retries: u8,
+}
+
+impl Default for BankSpecParams {
+    fn default() -> Self {
+        BankSpecParams {
+            buy_value: 5,
+            allow_loss: true,
+            max_retries: 0,
+        }
+    }
+}
+
+/// Local state of the two processes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BState {
+    /// The buying ISP.
+    Isp {
+        /// E-pennies applied to the pool so far.
+        pooled: i64,
+        /// The paper's `canbuy`.
+        canbuy: bool,
+        /// Nonce of the outstanding request, if any.
+        outstanding: Option<u8>,
+        /// Next fresh nonce.
+        next_nonce: u8,
+        /// Retransmissions still allowed.
+        retries_left: u8,
+    },
+    /// The bank.
+    Bank {
+        /// E-pennies issued (granted) so far.
+        issued: i64,
+        /// Nonces already processed (kept sorted for canonical hashing).
+        seen: Vec<u8>,
+    },
+}
+
+/// Messages of the exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BMsg {
+    /// `buy(value | nonce)`.
+    Buy {
+        /// Requested amount.
+        value: i64,
+        /// The request nonce.
+        nonce: u8,
+    },
+    /// `buyreply(nonce | granted)`.
+    Reply {
+        /// Echo of the request nonce.
+        nonce: u8,
+        /// Amount granted.
+        granted: i64,
+    },
+}
+
+fn isp_of(st: &BState) -> (&i64, &bool, &Option<u8>, &u8, &u8) {
+    match st {
+        BState::Isp {
+            pooled,
+            canbuy,
+            outstanding,
+            next_nonce,
+            retries_left,
+        } => (pooled, canbuy, outstanding, next_nonce, retries_left),
+        BState::Bank { .. } => panic!("expected isp"),
+    }
+}
+
+/// Builds the spec and initial state; process 0 is the ISP, 1 the bank.
+pub fn build_bank_spec(
+    params: BankSpecParams,
+) -> (SystemSpec<BState, BMsg>, SystemState<BState, BMsg>) {
+    let mut spec = SystemSpec::<BState, BMsg>::new();
+    let isp = spec.add_process("isp");
+    let bank = spec.add_process("bank");
+    let value = params.buy_value;
+
+    // ISP issues the initial buy (one logical exchange per model run,
+    // so the state space is finite).
+    spec.add_action(
+        isp,
+        "buy",
+        Guard::local(|st: &BState| {
+            let (_, canbuy, outstanding, next_nonce, _) = isp_of(st);
+            *canbuy && outstanding.is_none() && *next_nonce == 0
+        }),
+        move |st, _msg, fx| {
+            if let BState::Isp {
+                canbuy,
+                outstanding,
+                next_nonce,
+                ..
+            } = st
+            {
+                *canbuy = false;
+                *outstanding = Some(*next_nonce);
+                fx.send(
+                    bank,
+                    BMsg::Buy {
+                        value,
+                        nonce: *next_nonce,
+                    },
+                );
+                *next_nonce += 1;
+            }
+        },
+    );
+
+    // ISP retransmits with a fresh nonce once the wire is quiet (a timer
+    // longer than one round trip), while attempts remain.
+    if params.max_retries > 0 {
+        spec.add_action(
+            isp,
+            "retry",
+            Guard::timeout(move |global: &SystemState<BState, BMsg>| {
+                let (_, canbuy, outstanding, _, retries_left) = isp_of(global.local(Pid(0)));
+                !*canbuy && outstanding.is_some() && *retries_left > 0 && global.channels_empty()
+            }),
+            move |st, _msg, fx| {
+                if let BState::Isp {
+                    outstanding,
+                    next_nonce,
+                    retries_left,
+                    ..
+                } = st
+                {
+                    *outstanding = Some(*next_nonce);
+                    *retries_left -= 1;
+                    fx.send(
+                        bank,
+                        BMsg::Buy {
+                            value,
+                            nonce: *next_nonce,
+                        },
+                    );
+                    *next_nonce += 1;
+                }
+            },
+        );
+    }
+
+    // Bank processes a buy: replay-guarded grant.
+    spec.add_action(
+        bank,
+        "process buy",
+        Guard::receive(isp),
+        move |st, msg, fx| {
+            let Some(BMsg::Buy { value, nonce }) = msg else {
+                panic!("isp->bank channel carries only buys");
+            };
+            if let BState::Bank { issued, seen } = st {
+                if seen.contains(nonce) {
+                    return; // the paper's replay guard: silently dropped
+                }
+                seen.push(*nonce);
+                seen.sort_unstable();
+                *issued += value;
+                fx.send(
+                    Pid(0),
+                    BMsg::Reply {
+                        nonce: *nonce,
+                        granted: *value,
+                    },
+                );
+            }
+        },
+    );
+
+    // ISP applies a reply matching the outstanding nonce; stale replies
+    // are ignored (the harness's behaviour too).
+    spec.add_action(isp, "apply reply", Guard::receive(bank), |st, msg, _fx| {
+        let Some(BMsg::Reply { nonce, granted }) = msg else {
+            panic!("bank->isp channel carries only replies");
+        };
+        if let BState::Isp {
+            pooled,
+            canbuy,
+            outstanding,
+            ..
+        } = st
+        {
+            if *outstanding == Some(*nonce) {
+                *pooled += granted;
+                *outstanding = None;
+                *canbuy = true;
+            }
+        }
+    });
+
+    // The lossy network: either message can vanish.
+    if params.allow_loss {
+        spec.add_action(bank, "lose buy", Guard::receive(isp), |_st, _msg, _fx| {});
+        spec.add_action(isp, "lose reply", Guard::receive(bank), |_st, _msg, _fx| {});
+    }
+
+    let initial = SystemState::new(
+        vec![
+            BState::Isp {
+                pooled: 0,
+                canbuy: true,
+                outstanding: None,
+                next_nonce: 0,
+                retries_left: params.max_retries,
+            },
+            BState::Bank {
+                issued: 0,
+                seen: Vec::new(),
+            },
+        ],
+        2,
+    );
+    (spec, initial)
+}
+
+/// Whether the exchange has completed successfully in `state`: the grant
+/// applied and the ISP ready for the next exchange.
+pub fn recovered(state: &SystemState<BState, BMsg>, value: i64) -> bool {
+    let (pooled, canbuy, _, _, _) = isp_of(state.local(Pid(0)));
+    *canbuy && *pooled >= value
+}
+
+/// Searches for a completed exchange from `initial`.
+pub fn recovery_reachable(
+    spec: &SystemSpec<BState, BMsg>,
+    initial: SystemState<BState, BMsg>,
+    value: i64,
+) -> bool {
+    find_reachable(spec, initial, ExploreConfig::default(), |st| {
+        recovered(st, value)
+    })
+    .is_some()
+}
+
+/// Exhaustively checks that the ISP never pools more than the bank issued
+/// (no counterfeiting, with or without loss and retries).
+pub fn check_no_counterfeit(params: BankSpecParams) -> ExploreReport {
+    let (spec, initial) = build_bank_spec(params);
+    explore(&spec, initial, ExploreConfig::default(), |st| {
+        let (pooled, _, _, _, _) = isp_of(st.local(Pid(0)));
+        match st.local(Pid(1)) {
+            BState::Bank { issued, .. } => {
+                if pooled <= issued {
+                    Ok(())
+                } else {
+                    Err(format!("pooled {pooled} exceeds issued {issued}"))
+                }
+            }
+            BState::Isp { .. } => unreachable!(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_named(
+        spec: &SystemSpec<BState, BMsg>,
+        state: &mut SystemState<BState, BMsg>,
+        name: &str,
+    ) {
+        let index = spec
+            .actions()
+            .iter()
+            .position(|a| a.name == name)
+            .unwrap_or_else(|| panic!("no action {name}"));
+        spec.execute(index, state);
+    }
+
+    #[test]
+    fn reliable_exchange_always_completes() {
+        let params = BankSpecParams {
+            allow_loss: false,
+            ..BankSpecParams::default()
+        };
+        let (spec, initial) = build_bank_spec(params);
+        assert!(recovery_reachable(&spec, initial, params.buy_value));
+    }
+
+    #[test]
+    fn lost_reply_wedges_the_exchange_forever() {
+        // Formal E15: execute buy → process → lose reply; from that state
+        // no action sequence ever restores `canbuy`.
+        let params = BankSpecParams::default(); // loss on, no retries
+        let (spec, initial) = build_bank_spec(params);
+        let mut state = initial;
+        run_named(&spec, &mut state, "buy");
+        run_named(&spec, &mut state, "process buy");
+        run_named(&spec, &mut state, "lose reply");
+        assert!(
+            !recovery_reachable(&spec, state.clone(), params.buy_value),
+            "recovery must be unreachable: the wedge is real"
+        );
+        // And the bank has already issued the grant: value is stranded.
+        match state.local(Pid(1)) {
+            BState::Bank { issued, .. } => assert_eq!(*issued, params.buy_value),
+            BState::Isp { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lost_request_also_wedges() {
+        let params = BankSpecParams::default();
+        let (spec, initial) = build_bank_spec(params);
+        let mut state = initial;
+        run_named(&spec, &mut state, "buy");
+        run_named(&spec, &mut state, "lose buy");
+        assert!(!recovery_reachable(&spec, state, params.buy_value));
+    }
+
+    #[test]
+    fn identical_resend_would_be_useless_anyway() {
+        // Even if the ISP could resend the SAME nonce, the bank's replay
+        // guard drops it: simulate by re-processing a duplicate buy.
+        let params = BankSpecParams {
+            allow_loss: false,
+            ..BankSpecParams::default()
+        };
+        let (spec, initial) = build_bank_spec(params);
+        let mut state = initial;
+        run_named(&spec, &mut state, "buy");
+        // Inject a duplicate of the in-flight buy (same nonce).
+        state.push_channel(Pid(0), Pid(1), BMsg::Buy { value: 5, nonce: 0 });
+        run_named(&spec, &mut state, "process buy");
+        run_named(&spec, &mut state, "process buy"); // the duplicate
+        match state.local(Pid(1)) {
+            BState::Bank { issued, seen } => {
+                assert_eq!(*issued, 5, "second grant must be refused");
+                assert_eq!(seen.len(), 1);
+            }
+            BState::Isp { .. } => unreachable!(),
+        }
+        assert_eq!(state.channel_len(Pid(1), Pid(0)), 1, "exactly one reply");
+    }
+
+    #[test]
+    fn fresh_nonce_retry_restores_recovery_from_every_wedge() {
+        let params = BankSpecParams {
+            max_retries: 2,
+            ..BankSpecParams::default()
+        };
+        let (spec, initial) = build_bank_spec(params);
+        // Wedge via lost reply…
+        let mut state = initial.clone();
+        run_named(&spec, &mut state, "buy");
+        run_named(&spec, &mut state, "process buy");
+        run_named(&spec, &mut state, "lose reply");
+        assert!(recovery_reachable(&spec, state, params.buy_value));
+        // …and via lost request.
+        let mut state = initial;
+        run_named(&spec, &mut state, "buy");
+        run_named(&spec, &mut state, "lose buy");
+        assert!(recovery_reachable(&spec, state, params.buy_value));
+    }
+
+    #[test]
+    fn retry_strands_value_in_some_execution() {
+        // With retries, there is a reachable terminal-ish state where the
+        // bank issued twice what the ISP pooled: the formal stranded value.
+        let params = BankSpecParams {
+            max_retries: 1,
+            ..BankSpecParams::default()
+        };
+        let (spec, initial) = build_bank_spec(params);
+        let witness = find_reachable(&spec, initial, ExploreConfig::default(), |st| {
+            let (pooled, canbuy, _, _, _) = isp_of(st.local(Pid(0)));
+            let issued = match st.local(Pid(1)) {
+                BState::Bank { issued, .. } => *issued,
+                BState::Isp { .. } => unreachable!(),
+            };
+            *canbuy && *pooled == 5 && issued == 10
+        })
+        .expect("double grant must be reachable");
+        assert!(witness.trace.iter().any(|a| a == "retry"));
+    }
+
+    #[test]
+    fn isp_never_counterfeits_under_any_interleaving() {
+        for max_retries in [0u8, 1, 2] {
+            let report = check_no_counterfeit(BankSpecParams {
+                max_retries,
+                ..BankSpecParams::default()
+            });
+            assert!(
+                report.is_clean(),
+                "retries={max_retries}: {:?}",
+                report.violations
+            );
+        }
+    }
+}

@@ -1,0 +1,1170 @@
+//! The deployment harness: `n` ISPs, the bank, a latency-modelled network,
+//! and a workload trace, run under the discrete-event engine.
+//!
+//! [`ZmailSystem`] is the object the experiments drive. It owns the
+//! protocol processes, routes [`NetMsg`]s between them with a configurable
+//! one-way latency (per-pair FIFO order is preserved — equal latency plus
+//! the queue's stable tie-breaking), fires the paper's periodic actions
+//! (daily `sent` resets, billing-period credit snapshots with the
+//! quiescence freeze), and accumulates a [`RunReport`].
+
+use crate::bank::{Bank, ConsistencyReport};
+use crate::config::ZmailConfig;
+use crate::ids::IspId;
+use crate::invariants::{self, AuditError};
+use crate::isp::{Isp, SendError, SendOutcome};
+use crate::msg::{EmailMsg, NetMsg};
+use crate::multibank::{Federation, SettlementFlow};
+use std::collections::BTreeMap;
+use zmail_econ::EPennies;
+use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
+use zmail_sim::{Scheduler, SimTime, Simulation, World};
+
+/// Addressable parties on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// An ISP.
+    Isp(IspId),
+    /// The bank.
+    Bank,
+}
+
+/// Events driving the world.
+#[derive(Debug)]
+enum Event {
+    /// Process trace entry `index` and schedule the next one.
+    Workload(usize),
+    /// A network message arrives at `to`.
+    Deliver { from: Node, to: Node, msg: NetMsg },
+    /// End-of-day: reset every `sent` array.
+    DayEnd,
+    /// Billing period: the bank starts a credit snapshot.
+    BillingKickoff,
+    /// An ISP's quiescence window expired.
+    SnapshotTimeout(IspId),
+    /// A registered mailing list distributes one post.
+    ListPost(usize),
+    /// Check whether an ISP's bank exchange needs retransmission.
+    BankRetry(IspId),
+}
+
+/// A mailing list wired into the protocol (§5): posts fan out as paid
+/// mail from the distributor; subscriber ISPs acknowledge automatically,
+/// each ack being an ordinary paid message returning the e-penny.
+#[derive(Debug, Clone)]
+struct RegisteredList {
+    distributor: UserAddr,
+    subscribers: Vec<UserAddr>,
+    /// Probability a subscriber's ISP acknowledges a copy.
+    ack_prob: f64,
+}
+
+/// A zombie warning: a user hit their daily limit (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitWarning {
+    /// When the limit fired.
+    pub at: SimTime,
+    /// The user whose outgoing mail is now blocked for the day.
+    pub user: UserAddr,
+}
+
+/// Aggregated outcome of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Messages delivered to an inbox, by ground-truth kind.
+    pub delivered_by_kind: BTreeMap<MailKind, u64>,
+    /// Messages dropped (policy or filter), by kind.
+    pub dropped_by_kind: BTreeMap<MailKind, u64>,
+    /// Deliveries that carried an e-penny (local or inter-ISP).
+    pub paid_deliveries: u64,
+    /// Deliveries without payment (from/to non-compliant ISPs).
+    pub unpaid_deliveries: u64,
+    /// Sends refused for lack of balance.
+    pub bounced_balance: u64,
+    /// Sends refused by the daily limit.
+    pub bounced_limit: u64,
+    /// Sends buffered during snapshot freezes (later retried).
+    pub buffered_sends: u64,
+    /// Inter-ISP emails silently lost by the (configured-lossy) network.
+    pub emails_lost: u64,
+    /// Inter-ISP emails duplicated by the network.
+    pub emails_duplicated: u64,
+    /// Buy/sell messages (or replies) lost by the bank channel.
+    pub bank_messages_lost: u64,
+    /// Daily-limit warnings, in order (the §5 zombie defence signal).
+    pub limit_warnings: Vec<LimitWarning>,
+    /// Completed consistency checks, in order.
+    pub consistency_reports: Vec<(SimTime, ConsistencyReport)>,
+    /// Inter-bank settlements from each completed federated round
+    /// (nonempty only when `banks > 1` and cross-region flow was unequal).
+    pub settlements: Vec<(SimTime, Vec<SettlementFlow>)>,
+    /// Total messages put on the inter-party network.
+    pub network_messages: u64,
+}
+
+impl RunReport {
+    /// Total messages delivered to inboxes.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_by_kind.values().sum()
+    }
+
+    /// Total messages dropped.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_by_kind.values().sum()
+    }
+
+    /// Delivered count for one kind.
+    pub fn delivered(&self, kind: MailKind) -> u64 {
+        self.delivered_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Dropped count for one kind.
+    pub fn dropped(&self, kind: MailKind) -> u64 {
+        self.dropped_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+/// The world state driven by the event loop.
+struct ZmailWorld {
+    config: ZmailConfig,
+    isps: Vec<Isp>,
+    banks: Federation,
+    trace: Vec<SendEvent>,
+    horizon: SimTime,
+    pennies_in_flight: i64,
+    /// E-pennies destroyed by lost paid emails (sender debited, receiver
+    /// never credited).
+    pennies_lost: i64,
+    /// E-pennies counterfeited by duplicated paid emails (receiver
+    /// credited twice for one debit).
+    pennies_duplicated: i64,
+    /// E-pennies stranded at the bank by lost buy/sell replies (issued or
+    /// retired exactly once more than any pool reflects).
+    pennies_stranded: i64,
+    net_faults: zmail_sim::Sampler,
+    lists: Vec<RegisteredList>,
+    report: RunReport,
+}
+
+impl ZmailWorld {
+    /// Routes an accepted send outcome; shared by workload and flush paths.
+    fn process_send(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        from: UserAddr,
+        to: UserAddr,
+        kind: MailKind,
+    ) {
+        let sender_isp = IspId(from.isp);
+        if !self.config.is_compliant(sender_isp) {
+            // Non-compliant ISPs run no ledger: mail goes out unpaid.
+            let msg = NetMsg::Email(EmailMsg {
+                from,
+                to,
+                kind,
+                paid: false,
+            });
+            self.dispatch(
+                scheduler,
+                Node::Isp(sender_isp),
+                Node::Isp(IspId(to.isp)),
+                msg,
+            );
+            return;
+        }
+        let outcome = self.isps[sender_isp.index()].send_email(from.user, to, kind);
+        match outcome {
+            Ok(SendOutcome::DeliveredLocally) => {
+                *self.report.delivered_by_kind.entry(kind).or_default() += 1;
+                self.report.paid_deliveries += 1;
+                // Same-ISP deliveries acknowledge too (§5): the ISP is
+                // both sender's and receiver's, but the refund mechanics
+                // are identical.
+                let email = EmailMsg {
+                    from,
+                    to,
+                    kind,
+                    paid: true,
+                };
+                self.maybe_acknowledge(scheduler, &email);
+            }
+            Ok(SendOutcome::Outbound { to: dest, msg }) => {
+                self.dispatch(scheduler, Node::Isp(sender_isp), Node::Isp(dest), msg);
+            }
+            Ok(SendOutcome::Buffered) => {
+                self.report.buffered_sends += 1;
+            }
+            Err(SendError::InsufficientBalance) => {
+                self.report.bounced_balance += 1;
+            }
+            Err(SendError::DailyLimitExceeded) => {
+                self.report.bounced_limit += 1;
+                self.report.limit_warnings.push(LimitWarning {
+                    at: scheduler.now(),
+                    user: from,
+                });
+            }
+        }
+        // Behavioural knob: users top up when running low.
+        if let Some(threshold) = self.config.auto_topup_below {
+            let amount = self.config.topup_amount;
+            self.isps[sender_isp.index()].auto_topup(from.user, threshold, amount);
+        }
+        self.pump_bank_exchanges(scheduler, sender_isp);
+    }
+
+    /// Lets an ISP issue any pending buy/sell to the bank.
+    fn pump_bank_exchanges(&mut self, scheduler: &mut Scheduler<'_, Event>, isp: IspId) {
+        if let Some(msg) = self.isps[isp.index()].maybe_buy() {
+            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+        }
+        if let Some(msg) = self.isps[isp.index()].maybe_sell() {
+            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+        }
+    }
+
+    /// §5 acknowledgment: when a *paid list post* lands, the receiving
+    /// ISP automatically returns the e-penny to the distributor with an
+    /// `Ack` message — software-processed, never shown to the human.
+    fn maybe_acknowledge(&mut self, scheduler: &mut Scheduler<'_, Event>, email: &EmailMsg) {
+        if email.kind != MailKind::ListPost || !email.paid {
+            return;
+        }
+        let Some(index) = self.lists.iter().position(|l| l.distributor == email.from) else {
+            return;
+        };
+        let ack_prob = self.lists[index].ack_prob;
+        if self.net_faults.bernoulli(ack_prob) {
+            self.process_send(scheduler, email.to, email.from, MailKind::Ack);
+        }
+    }
+
+    /// Puts a message on the network with the configured latency, applying
+    /// the configured email loss/duplication faults (bank exchanges are
+    /// assumed reliable, as the paper does).
+    fn dispatch(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        from: Node,
+        to: Node,
+        msg: NetMsg,
+    ) {
+        if matches!(msg, NetMsg::Email(_)) {
+            if self.config.email_loss_rate > 0.0
+                && self.net_faults.bernoulli(self.config.email_loss_rate)
+            {
+                self.report.emails_lost += 1;
+                self.pennies_lost += msg.pennies_in_flight();
+                return;
+            }
+            if self.config.email_duplicate_rate > 0.0
+                && self.net_faults.bernoulli(self.config.email_duplicate_rate)
+            {
+                self.report.emails_duplicated += 1;
+                self.pennies_duplicated += msg.pennies_in_flight();
+                self.pennies_in_flight += msg.pennies_in_flight();
+                self.report.network_messages += 1;
+                scheduler.after(
+                    self.config.net_latency,
+                    Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+        if matches!(
+            msg,
+            NetMsg::Buy { .. }
+                | NetMsg::BuyReply { .. }
+                | NetMsg::Sell { .. }
+                | NetMsg::SellReply { .. }
+        ) {
+            // An ISP-originated exchange arms a retransmission check —
+            // before the loss roll, because a lost *request* is exactly
+            // the case retransmission must cover.
+            if let (Node::Isp(isp), NetMsg::Buy { .. } | NetMsg::Sell { .. }, Some(after)) =
+                (from, &msg, self.config.bank_retry_after)
+            {
+                scheduler.after(self.config.net_latency + after, Event::BankRetry(isp));
+            }
+            if self.config.bank_loss_rate > 0.0
+                && self.net_faults.bernoulli(self.config.bank_loss_rate)
+            {
+                self.report.bank_messages_lost += 1;
+                self.pennies_stranded += msg.pennies_in_flight();
+                return;
+            }
+        }
+        self.pennies_in_flight += msg.pennies_in_flight();
+        self.report.network_messages += 1;
+        scheduler.after(self.config.net_latency, Event::Deliver { from, to, msg });
+    }
+
+    fn handle_delivery(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        from: Node,
+        to: Node,
+        msg: NetMsg,
+    ) {
+        self.pennies_in_flight -= msg.pennies_in_flight();
+        match (to, msg) {
+            (Node::Isp(j), NetMsg::Email(email)) => {
+                let Node::Isp(origin) = from else {
+                    panic!("email from the bank is not part of the protocol");
+                };
+                if !self.config.is_compliant(j) {
+                    // Non-compliant receivers keep no ledger; mail lands.
+                    *self.report.delivered_by_kind.entry(email.kind).or_default() += 1;
+                    self.report.unpaid_deliveries += 1;
+                    return;
+                }
+                let delivery = self.isps[j.index()].receive_email(origin, &email);
+                match delivery {
+                    crate::isp::Delivery::Delivered => {
+                        *self.report.delivered_by_kind.entry(email.kind).or_default() += 1;
+                        if email.paid {
+                            self.report.paid_deliveries += 1;
+                        } else {
+                            self.report.unpaid_deliveries += 1;
+                        }
+                        self.maybe_acknowledge(scheduler, &email);
+                    }
+                    _ => {
+                        *self.report.dropped_by_kind.entry(email.kind).or_default() += 1;
+                    }
+                }
+            }
+            (Node::Isp(j), NetMsg::BuyReply { envelope, audit }) => {
+                if self.isps[j.index()].handle_buy_reply(&envelope).is_err() {
+                    // Forged reply: restore the audit counter we removed.
+                    self.pennies_in_flight += audit;
+                }
+            }
+            (Node::Isp(j), NetMsg::SellReply { envelope, audit }) => {
+                if self.isps[j.index()].handle_sell_reply(&envelope).is_err() {
+                    self.pennies_in_flight -= audit;
+                }
+            }
+            (Node::Isp(j), NetMsg::SnapshotRequest { envelope }) => {
+                if self.isps[j.index()]
+                    .handle_snapshot_request(&envelope)
+                    .unwrap_or(false)
+                {
+                    scheduler.after(self.config.snapshot_timeout, Event::SnapshotTimeout(j));
+                }
+            }
+            (Node::Bank, NetMsg::Buy { envelope, .. }) => {
+                let Node::Isp(g) = from else {
+                    panic!("buy must come from an ISP");
+                };
+                if let Ok(reply) = self.banks.handle_buy(g, &envelope) {
+                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
+                }
+            }
+            (Node::Bank, NetMsg::Sell { envelope, .. }) => {
+                let Node::Isp(g) = from else {
+                    panic!("sell must come from an ISP");
+                };
+                if let Ok(reply) = self.banks.handle_sell(g, &envelope) {
+                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
+                }
+            }
+            (
+                Node::Bank,
+                NetMsg::SnapshotReply {
+                    from: isp,
+                    envelope,
+                },
+            ) => {
+                if let Ok(Some(round)) = self.banks.handle_snapshot_reply(isp, &envelope) {
+                    self.report
+                        .consistency_reports
+                        .push((scheduler.now(), round.consistency));
+                    if !round.settlements.is_empty() {
+                        self.report
+                            .settlements
+                            .push((scheduler.now(), round.settlements));
+                    }
+                }
+            }
+            (node, msg) => {
+                panic!("message {} misrouted to {node:?}", msg.label());
+            }
+        }
+    }
+}
+
+impl World for ZmailWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, scheduler: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::Workload(index) => {
+                if index + 1 < self.trace.len() {
+                    scheduler.at(self.trace[index + 1].at, Event::Workload(index + 1));
+                }
+                let entry = self.trace[index];
+                self.process_send(scheduler, entry.from, entry.to, entry.kind);
+            }
+            Event::Deliver { from, to, msg } => {
+                self.handle_delivery(scheduler, from, to, msg);
+            }
+            Event::DayEnd => {
+                for isp in &mut self.isps {
+                    isp.reset_daily();
+                }
+                let next = now.next_day_boundary();
+                if next <= self.horizon {
+                    scheduler.at(next, Event::DayEnd);
+                }
+            }
+            Event::BillingKickoff => {
+                if !self.banks.snapshot_in_progress() {
+                    let requests = self.banks.start_snapshot();
+                    for (isp, msg) in requests {
+                        self.dispatch(scheduler, Node::Bank, Node::Isp(isp), msg);
+                    }
+                }
+                let next = now + self.config.billing_period;
+                if next <= self.horizon {
+                    scheduler.at(next, Event::BillingKickoff);
+                }
+            }
+            Event::SnapshotTimeout(isp) => {
+                let (reply, drained) = self.isps[isp.index()].finish_snapshot();
+                self.dispatch(scheduler, Node::Isp(isp), Node::Bank, reply);
+                for (sender, to, kind) in drained {
+                    self.process_send(scheduler, UserAddr::new(isp.0, sender), to, kind);
+                }
+            }
+            Event::BankRetry(isp) => {
+                if let Some(msg) = self.isps[isp.index()].retry_buy() {
+                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+                }
+                if let Some(msg) = self.isps[isp.index()].retry_sell() {
+                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+                }
+            }
+            Event::ListPost(index) => {
+                let list = self.lists[index].clone();
+                for subscriber in list.subscribers {
+                    self.process_send(scheduler, list.distributor, subscriber, MailKind::ListPost);
+                }
+            }
+        }
+    }
+}
+
+/// The runnable Zmail deployment.
+pub struct ZmailSystem {
+    sim: Simulation<ZmailWorld>,
+}
+
+impl ZmailSystem {
+    /// Builds the deployment: one [`Isp`] per slot and a bank federation
+    /// (a single central bank unless `config.banks > 1`), deterministic
+    /// from `seed`.
+    pub fn new(config: ZmailConfig, seed: u64) -> Self {
+        config.validate();
+        let banks = Federation::new(&config, config.banks, seed);
+        let isps = (0..config.isps)
+            .map(|i| {
+                Isp::new(
+                    IspId(i),
+                    &config,
+                    banks.public_key_for(IspId(i)),
+                    seed ^ (u64::from(i) << 17),
+                )
+            })
+            .collect();
+        let world = ZmailWorld {
+            config,
+            isps,
+            banks,
+            trace: Vec::new(),
+            horizon: SimTime::ZERO,
+            pennies_in_flight: 0,
+            pennies_lost: 0,
+            pennies_duplicated: 0,
+            pennies_stranded: 0,
+            net_faults: zmail_sim::Sampler::new(seed ^ 0xFA17_FA17),
+            lists: Vec::new(),
+            report: RunReport::default(),
+        };
+        ZmailSystem {
+            sim: Simulation::new(world),
+        }
+    }
+
+    /// Runs a workload trace to completion (including network drain and any
+    /// pending snapshot), returning the cumulative report.
+    ///
+    /// May be called repeatedly; time continues from the previous run.
+    pub fn run_trace(&mut self, trace: &[SendEvent]) -> RunReport {
+        let start = self.sim.now();
+        let world = self.sim.world_mut();
+        world.trace = trace.to_vec();
+        let horizon = trace.last().map_or(start, |e| e.at);
+        world.horizon = horizon;
+        if !trace.is_empty() {
+            let first_at = trace[0].at.max(start);
+            self.sim.schedule(first_at, Event::Workload(0));
+            // Daily resets and billing kickoffs across the trace span.
+            let first_day = start.next_day_boundary();
+            if first_day <= horizon {
+                self.sim.schedule(first_day, Event::DayEnd);
+            }
+            let billing = self.sim.world().config.billing_period;
+            let first_billing = start + billing;
+            if first_billing <= horizon {
+                self.sim.schedule(first_billing, Event::BillingKickoff);
+            }
+        }
+        self.sim.run_to_completion();
+        self.report().clone()
+    }
+
+    /// Triggers one credit snapshot round right now and drains it.
+    ///
+    /// Returns the resulting consistency report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round is already in progress.
+    pub fn run_snapshot_round(&mut self) -> ConsistencyReport {
+        let before = self.report().consistency_reports.len();
+        self.sim.schedule(self.sim.now(), Event::BillingKickoff);
+        self.sim.run_to_completion();
+        self.report()
+            .consistency_reports
+            .get(before)
+            .map(|(_, r)| r.clone())
+            .expect("snapshot round should complete during drain")
+    }
+
+    /// The cumulative run report.
+    pub fn report(&self) -> &RunReport {
+        &self.sim.world().report
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ZmailConfig {
+        &self.sim.world().config
+    }
+
+    /// One ISP process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn isp(&self, id: IspId) -> &Isp {
+        &self.sim.world().isps[id.index()]
+    }
+
+    /// Mutable ISP access, for experiment setup (limits, grants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn isp_mut(&mut self, id: IspId) -> &mut Isp {
+        &mut self.sim.world_mut().isps[id.index()]
+    }
+
+    /// The (first) bank process — the central bank when `banks == 1`.
+    pub fn bank(&self) -> &Bank {
+        self.sim.world().banks.bank(0)
+    }
+
+    /// The bank federation (a single-member federation in the central
+    /// case).
+    pub fn federation(&self) -> &Federation {
+        &self.sim.world().banks
+    }
+
+    /// One user's e-penny balance (compliant ISPs only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn user_balance(&self, addr: UserAddr) -> EPennies {
+        self.isp(IspId(addr.isp)).user(addr.user).balance
+    }
+
+    /// E-pennies currently inside network messages.
+    pub fn pennies_in_flight(&self) -> i64 {
+        self.sim.world().pennies_in_flight
+    }
+
+    /// Runs the conservation and sanity audit (see [`crate::invariants`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn audit(&self) -> Result<(), AuditError> {
+        let world = self.sim.world();
+        invariants::audit_federated(
+            &world.config,
+            &world.isps,
+            &world.banks,
+            invariants::FlightLedger {
+                in_flight: world.pennies_in_flight,
+                lost: world.pennies_lost,
+                duplicated: world.pennies_duplicated,
+                stranded: world.pennies_stranded,
+            },
+        )
+    }
+
+    /// Registers a mailing list on the deployment: posts from
+    /// `distributor` fan out to `subscribers`, whose ISPs acknowledge
+    /// (refunding the e-penny) with probability `ack_prob`. Returns the
+    /// list handle for [`ZmailSystem::schedule_list_post`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ack_prob` is outside `[0, 1]` or any address is out of
+    /// range.
+    pub fn register_mailing_list(
+        &mut self,
+        distributor: UserAddr,
+        subscribers: Vec<UserAddr>,
+        ack_prob: f64,
+    ) -> usize {
+        assert!((0.0..=1.0).contains(&ack_prob), "ack_prob must be in [0,1]");
+        let config = &self.sim.world().config;
+        for addr in subscribers.iter().chain(std::iter::once(&distributor)) {
+            assert!(
+                addr.isp < config.isps && addr.user < config.users_per_isp,
+                "address {addr} out of range"
+            );
+        }
+        let lists = &mut self.sim.world_mut().lists;
+        lists.push(RegisteredList {
+            distributor,
+            subscribers,
+            ack_prob,
+        });
+        lists.len() - 1
+    }
+
+    /// Schedules one post of list `handle` at time `at`. The post is
+    /// distributed (and acknowledged) when the next `run_trace` or
+    /// [`ZmailSystem::drain`] executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unknown or `at` is in the past.
+    pub fn schedule_list_post(&mut self, at: SimTime, handle: usize) {
+        assert!(handle < self.sim.world().lists.len(), "unknown list handle");
+        self.sim.schedule(at, Event::ListPost(handle));
+    }
+
+    /// Processes every pending event (deliveries, posts, snapshots) until
+    /// the queue is empty. Returns the number of events handled.
+    pub fn drain(&mut self) -> u64 {
+        self.sim.run_to_completion()
+    }
+
+    /// E-pennies destroyed by network loss so far (see
+    /// [`ZmailConfigBuilder::lossy_network`](crate::config::ZmailConfigBuilder::lossy_network)).
+    pub fn pennies_lost(&self) -> i64 {
+        self.sim.world().pennies_lost
+    }
+
+    /// E-pennies counterfeited by network duplication so far.
+    pub fn pennies_duplicated(&self) -> i64 {
+        self.sim.world().pennies_duplicated
+    }
+
+    /// E-pennies stranded at the bank by lost buy/sell replies so far.
+    pub fn pennies_stranded(&self) -> i64 {
+        self.sim.world().pennies_stranded
+    }
+}
+
+impl std::fmt::Debug for ZmailSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZmailSystem")
+            .field("now", &self.sim.now())
+            .field("isps", &self.sim.world().isps.len())
+            .field("delivered", &self.report().delivered_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheatMode, NonCompliantPolicy};
+    use zmail_sim::workload::{Campaign, Infection, TrafficConfig, TrafficGenerator};
+    use zmail_sim::{Sampler, SimDuration};
+
+    fn traffic(isps: u32, users: u32, days: u64) -> TrafficConfig {
+        TrafficConfig {
+            isps,
+            users_per_isp: users,
+            horizon: SimDuration::from_days(days),
+            personal_per_user_day: 5.0,
+            ..TrafficConfig::default()
+        }
+    }
+
+    fn run(config: ZmailConfig, traffic: TrafficConfig, seed: u64) -> (ZmailSystem, RunReport) {
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(seed));
+        let mut system = ZmailSystem::new(config, seed);
+        let report = system.run_trace(&trace);
+        (system, report)
+    }
+
+    #[test]
+    fn balanced_traffic_delivers_everything_paid() {
+        let (system, report) = run(ZmailConfig::builder(2, 20).build(), traffic(2, 20, 2), 1);
+        assert!(report.delivered_total() > 100);
+        assert_eq!(report.delivered_total(), report.paid_deliveries);
+        assert_eq!(report.unpaid_deliveries, 0);
+        assert_eq!(report.dropped_total(), 0);
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn conservation_holds_across_configs() {
+        for seed in [1u64, 2, 3] {
+            let config = ZmailConfig::builder(3, 10).build();
+            let (system, _) = run(config, traffic(3, 10, 3), seed);
+            system
+                .audit()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn spam_campaign_drains_spammer_balance() {
+        let mut t = traffic(2, 10, 1);
+        t.personal_per_user_day = 0.0;
+        let spammer = UserAddr::new(0, 0);
+        t.campaigns.push(Campaign {
+            sender: spammer,
+            start: SimTime::ZERO + SimDuration::from_hours(1),
+            volume: 10_000,
+            rate_per_sec: 5.0,
+        });
+        // High limit so the balance, not the limit, is the binding constraint.
+        let config = ZmailConfig::builder(2, 10)
+            .limit(1_000_000)
+            .no_auto_topup()
+            .build();
+        let (system, report) = run(config, t, 2);
+        // 100 e-pennies buys exactly 100 spam deliveries.
+        assert_eq!(report.delivered(zmail_sim::MailKind::Spam), 100);
+        assert!(report.bounced_balance > 0);
+        assert_eq!(system.user_balance(spammer), EPennies::ZERO);
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn receivers_of_spam_get_paid() {
+        let mut t = traffic(2, 5, 1);
+        t.personal_per_user_day = 0.0;
+        t.campaigns.push(Campaign {
+            sender: UserAddr::new(0, 0),
+            start: SimTime::ZERO,
+            volume: 50,
+            rate_per_sec: 1.0,
+        });
+        let config = ZmailConfig::builder(2, 5).no_auto_topup().build();
+        let (system, report) = run(config, t, 3);
+        assert_eq!(report.delivered(zmail_sim::MailKind::Spam), 50);
+        // The windfall: everyone else's balance sum grew by what the
+        // spammer lost.
+        let spammer_balance = system.user_balance(UserAddr::new(0, 0));
+        assert_eq!(spammer_balance, EPennies(50));
+        let total: i64 = (0..2)
+            .map(|i| system.isp(IspId(i)).total_user_balances().amount())
+            .sum();
+        assert_eq!(total, 10 * 100, "zero-sum: totals unchanged");
+    }
+
+    #[test]
+    fn zombie_hits_limit_and_warns() {
+        let mut t = traffic(2, 5, 1);
+        t.personal_per_user_day = 0.0;
+        let victim = UserAddr::new(0, 1);
+        t.infections.push(Infection {
+            victim,
+            at: SimTime::ZERO + SimDuration::from_hours(2),
+            rate_per_hour: 200.0,
+            duration: SimDuration::from_hours(10),
+        });
+        let config = ZmailConfig::builder(2, 5).limit(50).build();
+        let (system, report) = run(config, t, 4);
+        assert!(report.bounced_limit > 0, "zombie should hit the cap");
+        assert!(!report.limit_warnings.is_empty());
+        assert_eq!(report.limit_warnings[0].user, victim);
+        // The victim's liability is bounded by the limit.
+        assert!(report.delivered(zmail_sim::MailKind::VirusSpam) <= 50);
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn noncompliant_mail_follows_policy() {
+        let mut t = traffic(2, 5, 1);
+        t.personal_per_user_day = 2.0;
+        t.same_isp_affinity = 0.0; // force cross-ISP mail
+        let config = ZmailConfig::builder(2, 5)
+            .non_compliant(&[0])
+            .non_compliant_policy(NonCompliantPolicy::Discard)
+            .build();
+        let (system, report) = run(config, t, 5);
+        // Mail from isp0 (non-compliant) to isp1 is discarded; mail from
+        // isp1 to isp0 is delivered unpaid (non-compliant receivers keep
+        // no ledger and apply no policy).
+        assert!(report.dropped_total() > 0);
+        assert!(report.unpaid_deliveries > 0);
+        // The only paid deliveries are isp1's same-ISP mail — there is no
+        // compliant *pair* to pay across the wire.
+        assert_eq!(
+            report.paid_deliveries,
+            system.isp(IspId(1)).stats().delivered_local
+        );
+    }
+
+    #[test]
+    fn billing_snapshot_completes_and_is_clean() {
+        let config = ZmailConfig::builder(2, 10)
+            .billing_period(SimDuration::from_days(1))
+            .snapshot_timeout(SimDuration::from_mins(10))
+            .build();
+        let (system, report) = run(config, traffic(2, 10, 3), 6);
+        assert!(
+            !report.consistency_reports.is_empty(),
+            "billing rounds should have fired"
+        );
+        for (_, r) in &report.consistency_reports {
+            assert!(r.is_clean(), "honest ISPs flagged: {:?}", r.suspects);
+        }
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn cheater_is_flagged_by_billing_round() {
+        let config = ZmailConfig::builder(2, 10)
+            .billing_period(SimDuration::from_days(1))
+            .cheat(1, CheatMode::UnderReportSends { fraction: 1.0 })
+            .build();
+        let (_, report) = run(config, traffic(2, 10, 3), 7);
+        assert!(!report.consistency_reports.is_empty());
+        let flagged = report
+            .consistency_reports
+            .iter()
+            .any(|(_, r)| r.implicates(IspId(1)));
+        assert!(flagged, "cheating ISP escaped detection");
+    }
+
+    #[test]
+    fn explicit_snapshot_round_runs() {
+        let (mut system, _) = run(ZmailConfig::builder(2, 5).build(), traffic(2, 5, 1), 8);
+        let report = system.run_snapshot_round();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sends_during_freeze_are_buffered_then_flushed() {
+        // Tiny snapshot timeout, traffic concentrated around the billing
+        // instant, so some sends land in the freeze window.
+        let config = ZmailConfig::builder(2, 10)
+            .billing_period(SimDuration::from_hours(6))
+            .snapshot_timeout(SimDuration::from_mins(30))
+            .build();
+        let mut t = traffic(2, 10, 1);
+        t.personal_per_user_day = 200.0; // dense traffic
+        let (system, report) = run(config, t, 9);
+        assert!(report.buffered_sends > 0, "freeze window saw no traffic");
+        // Everything still ends consistent.
+        for (_, r) in &report.consistency_reports {
+            assert!(r.is_clean());
+        }
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn report_accumulates_across_runs() {
+        let config = ZmailConfig::builder(2, 5).build();
+        let gen = TrafficGenerator::new(traffic(2, 5, 1));
+        let trace = gen.generate(&mut Sampler::new(10));
+        let mut system = ZmailSystem::new(config, 10);
+        let first = system.run_trace(&trace).delivered_total();
+        // Second run: shift the trace into the future.
+        let offset = system.now();
+        let shifted: Vec<SendEvent> = trace
+            .iter()
+            .map(|e| SendEvent {
+                at: offset + SimDuration::from_millis(e.at.as_millis() + 1),
+                ..*e
+            })
+            .collect();
+        let total = system.run_trace(&shifted).delivered_total();
+        assert!(total > first, "second run should add deliveries");
+        system.audit().expect("conservation");
+    }
+
+    #[test]
+    fn integrated_mailing_list_refunds_distributor() {
+        // §5 end-to-end through the real ledgers: 30 subscribers across
+        // two ISPs, full ack rate — the distributor's balance is restored
+        // and every subscriber nets zero.
+        let config = ZmailConfig::builder(2, 16)
+            .limit(1_000)
+            .no_auto_topup()
+            .build();
+        let mut system = ZmailSystem::new(config, 44);
+        let distributor = UserAddr::new(0, 0);
+        let subscribers: Vec<UserAddr> = (1..16)
+            .map(|u| UserAddr::new(0, u))
+            .chain((0..15).map(|u| UserAddr::new(1, u)))
+            .collect();
+        let handle = system.register_mailing_list(distributor, subscribers.clone(), 1.0);
+        system.schedule_list_post(system.now(), handle);
+        system.drain();
+        let report = system.report().clone();
+        assert_eq!(report.delivered(MailKind::ListPost), 30);
+        assert_eq!(report.delivered(MailKind::Ack), 30);
+        assert_eq!(
+            system.user_balance(distributor),
+            EPennies(100),
+            "fully refunded"
+        );
+        for sub in &subscribers {
+            assert_eq!(system.user_balance(*sub), EPennies(100), "{sub} net zero");
+        }
+        system
+            .audit()
+            .expect("conservation through fanout and acks");
+    }
+
+    #[test]
+    fn integrated_mailing_list_partial_acks_cost_the_distributor() {
+        let config = ZmailConfig::builder(2, 26)
+            .limit(1_000)
+            .no_auto_topup()
+            .build();
+        let mut system = ZmailSystem::new(config, 45);
+        let distributor = UserAddr::new(0, 0);
+        let subscribers: Vec<UserAddr> = (0..25).map(|u| UserAddr::new(1, u)).collect();
+        let handle = system.register_mailing_list(distributor, subscribers, 0.6);
+        system.schedule_list_post(system.now(), handle);
+        system.drain();
+        let report = system.report().clone();
+        let acks = report.delivered(MailKind::Ack);
+        assert!(acks < 25, "some acks must be missing at 60%");
+        let cost = 100 - system.user_balance(distributor).amount();
+        assert_eq!(cost, 25 - acks as i64, "cost = unacknowledged copies");
+        system.audit().unwrap();
+    }
+
+    #[test]
+    fn repeated_posts_and_limits_interact_safely() {
+        // The distributor's own daily limit caps fanout: a 10-per-day
+        // limit on a 20-subscriber list bounces half the copies.
+        let config = ZmailConfig::builder(2, 21)
+            .limit(10)
+            .no_auto_topup()
+            .build();
+        let mut system = ZmailSystem::new(config, 46);
+        let distributor = UserAddr::new(0, 20);
+        let subscribers: Vec<UserAddr> = (0..20).map(|u| UserAddr::new(1, u)).collect();
+        let handle = system.register_mailing_list(distributor, subscribers, 1.0);
+        system.schedule_list_post(system.now(), handle);
+        system.drain();
+        let report = system.report().clone();
+        assert_eq!(report.delivered(MailKind::ListPost), 10);
+        assert_eq!(report.bounced_limit, 10);
+        system.audit().unwrap();
+    }
+
+    #[test]
+    fn lossy_network_destroys_pennies_but_audit_balances() {
+        let config = ZmailConfig::builder(2, 10)
+            .lossy_network(0.05, 0.0)
+            .no_auto_topup()
+            .build();
+        let mut t = traffic(2, 10, 3);
+        t.same_isp_affinity = 0.0; // maximize wire traffic
+        let (system, report) = run(config, t, 21);
+        assert!(report.emails_lost > 0, "5% loss should drop something");
+        assert!(system.pennies_lost() > 0);
+        // The audit accounts for the destroyed value explicitly.
+        system.audit().expect("audit with loss ledger");
+        // Without the ledger the books would be short by exactly that much.
+        let total: i64 = (0..2)
+            .map(|i| system.isp(IspId(i)).total_user_balances().amount())
+            .sum();
+        assert_eq!(total, 2 * 10 * 100 - system.pennies_lost());
+    }
+
+    #[test]
+    fn duplication_counterfeits_pennies_but_audit_balances() {
+        let config = ZmailConfig::builder(2, 10)
+            .lossy_network(0.0, 0.05)
+            .no_auto_topup()
+            .build();
+        let mut t = traffic(2, 10, 3);
+        t.same_isp_affinity = 0.0;
+        let (system, report) = run(config, t, 22);
+        assert!(report.emails_duplicated > 0);
+        assert!(system.pennies_duplicated() > 0);
+        system.audit().expect("audit with duplication ledger");
+        let total: i64 = (0..2)
+            .map(|i| system.isp(IspId(i)).total_user_balances().amount())
+            .sum();
+        assert_eq!(total, 2 * 10 * 100 + system.pennies_duplicated());
+    }
+
+    #[test]
+    fn loss_makes_honest_isps_suspects() {
+        // A lost paid email leaves the sender's +1 unmatched: the billing
+        // round accuses an honest pair. The paper assumes reliable
+        // channels; this is what happens without them.
+        let config = ZmailConfig::builder(2, 10)
+            .lossy_network(0.05, 0.0)
+            .billing_period(SimDuration::from_days(1))
+            .build();
+        let mut t = traffic(2, 10, 5);
+        t.same_isp_affinity = 0.0;
+        t.personal_per_user_day = 20.0;
+        let (_, report) = run(config, t, 23);
+        assert!(!report.consistency_reports.is_empty());
+        let accused_rounds = report
+            .consistency_reports
+            .iter()
+            .filter(|(_, r)| !r.is_clean())
+            .count();
+        assert!(
+            accused_rounds > 0,
+            "5% loss over dense traffic must break some round's sums"
+        );
+    }
+
+    #[test]
+    fn lost_bank_messages_wedge_the_pool_without_retry() {
+        // Pool starts below minavail, so the very first activity triggers
+        // a buy — which the (fully lossy) bank channel eats. Without
+        // retransmission the exchange never completes: the paper gives no
+        // recovery path, because the bank's replay guard rejects an
+        // identical resend.
+        let config = ZmailConfig::builder(2, 5)
+            .avail_bounds(EPennies(1_000), EPennies(10_000), EPennies(500))
+            .lossy_bank_channel(1.0, None)
+            .build();
+        let mut t = traffic(2, 5, 1);
+        t.personal_per_user_day = 20.0;
+        let (system, report) = run(config, t, 61);
+        assert!(report.bank_messages_lost >= 1);
+        assert!(
+            system.isp(IspId(0)).buy_outstanding(),
+            "the exchange must be permanently wedged"
+        );
+        assert_eq!(
+            system.isp(IspId(0)).avail(),
+            EPennies(500),
+            "pool never refilled"
+        );
+        system
+            .audit()
+            .expect("nothing was actually granted: books balance");
+    }
+
+    #[test]
+    fn fresh_nonce_retry_recovers_from_bank_loss() {
+        let config = ZmailConfig::builder(2, 5)
+            .avail_bounds(EPennies(1_000), EPennies(10_000), EPennies(500))
+            .lossy_bank_channel(0.5, Some(SimDuration::from_secs(1)))
+            .build();
+        let mut t = traffic(2, 5, 2);
+        t.personal_per_user_day = 20.0;
+        let (system, report) = run(config, t, 62);
+        assert!(report.bank_messages_lost >= 1, "loss must actually occur");
+        // Recovery: both ISPs ended with their pools refilled.
+        for i in 0..2 {
+            assert!(
+                system.isp(IspId(i)).avail() >= EPennies(1_000),
+                "isp[{i}] pool should have recovered"
+            );
+            assert!(!system.isp(IspId(i)).buy_outstanding());
+        }
+        let retries: u64 = (0..2)
+            .map(|i| system.isp(IspId(i)).stats().bank_retries)
+            .sum();
+        assert!(retries >= 1, "recovery requires at least one retry");
+        // The audit still balances — with the stranded ledger carrying any
+        // double grants from replies that were lost after processing.
+        system
+            .audit()
+            .expect("stranded ledger keeps the books exact");
+    }
+
+    #[test]
+    fn federated_deployment_runs_through_the_full_harness() {
+        // Three regional banks under the event loop: billing rounds span
+        // regions, settlements are recorded, and the federated audit holds.
+        let config = ZmailConfig::builder(6, 8)
+            .banks(3)
+            .limit(10_000)
+            .billing_period(SimDuration::from_days(1))
+            .build();
+        let mut t = traffic(6, 8, 3);
+        t.same_isp_affinity = 0.1;
+        let (system, report) = run(config, t, 71);
+        assert!(report.delivered_total() > 300);
+        assert!(
+            !report.consistency_reports.is_empty(),
+            "federated billing rounds must complete"
+        );
+        for (_, round) in &report.consistency_reports {
+            assert!(
+                round.is_clean(),
+                "honest federation flagged: {:?}",
+                round.suspects
+            );
+        }
+        // Cross-region traffic was imbalanced enough to settle something.
+        assert!(!report.settlements.is_empty());
+        for (_, settlement) in &report.settlements {
+            let net: i64 = settlement.iter().map(|&(_, _, v)| v).sum();
+            assert_eq!(net, 0, "settlement must net to zero");
+        }
+        system.audit().expect("federated conservation");
+        assert_eq!(system.federation().bank_count(), 3);
+    }
+
+    #[test]
+    fn federated_cheater_flagged_through_the_harness() {
+        let config = ZmailConfig::builder(4, 8)
+            .banks(2)
+            .limit(10_000)
+            .billing_period(SimDuration::from_days(1))
+            .cheat(3, CheatMode::UnderReportSends { fraction: 1.0 })
+            .build();
+        let mut t = traffic(4, 8, 3);
+        t.same_isp_affinity = 0.1;
+        let (_, report) = run(config, t, 72);
+        assert!(report
+            .consistency_reports
+            .iter()
+            .any(|(_, r)| r.implicates(IspId(3))));
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let (_, a) = run(ZmailConfig::builder(2, 8).build(), traffic(2, 8, 2), 11);
+        let (_, b) = run(ZmailConfig::builder(2, 8).build(), traffic(2, 8, 2), 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Analysis of the anti-zombie daily limit (§5 of the paper).
+//!
+//! *"ISPs can enforce a user specified limit on the number of e-pennies the
+//! user is willing to spend per day. Exceeding this limit blocks further
+//! outgoing mail (for that day), and the user is sent a warning message to
+//! check for viruses."*
+//!
+//! The mechanism itself lives in [`crate::isp`] (the `sent`/`limit` guard)
+//! and the warnings are collected by [`crate::system`]. This module turns
+//! those raw signals into the quantities experiment E5 reports: per-victim
+//! detection latency and the bound on e-penny liability.
+
+use crate::system::{LimitWarning, RunReport};
+use zmail_sim::workload::{Infection, UserAddr};
+use zmail_sim::{SimDuration, SimTime};
+
+/// One infection matched against the run's warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZombieIncident {
+    /// The compromised user.
+    pub victim: UserAddr,
+    /// When the infection began.
+    pub infected_at: SimTime,
+    /// When the daily limit first blocked the victim's mail (detection),
+    /// if it ever did.
+    pub detected_at: Option<SimTime>,
+}
+
+impl ZombieIncident {
+    /// Time from infection to detection, when detected.
+    pub fn time_to_detection(&self) -> Option<SimDuration> {
+        self.detected_at.map(|d| d - self.infected_at)
+    }
+}
+
+/// The matched incidents of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZombieAnalysis {
+    /// One entry per injected infection, in injection order.
+    pub incidents: Vec<ZombieIncident>,
+}
+
+impl ZombieAnalysis {
+    /// Matches injected `infections` against the warnings in `report`.
+    ///
+    /// A warning counts as detecting an infection when it names the victim
+    /// and fires at or after the infection instant.
+    pub fn from_run(infections: &[Infection], report: &RunReport) -> ZombieAnalysis {
+        let incidents = infections
+            .iter()
+            .map(|inf| ZombieIncident {
+                victim: inf.victim,
+                infected_at: inf.at,
+                detected_at: first_warning_after(&report.limit_warnings, inf.victim, inf.at),
+            })
+            .collect();
+        ZombieAnalysis { incidents }
+    }
+
+    /// Fraction of infections that were detected.
+    pub fn detection_rate(&self) -> f64 {
+        if self.incidents.is_empty() {
+            return 0.0;
+        }
+        let detected = self
+            .incidents
+            .iter()
+            .filter(|i| i.detected_at.is_some())
+            .count();
+        detected as f64 / self.incidents.len() as f64
+    }
+
+    /// Mean detection latency over detected incidents, if any.
+    pub fn mean_detection_latency(&self) -> Option<SimDuration> {
+        let latencies: Vec<u64> = self
+            .incidents
+            .iter()
+            .filter_map(|i| i.time_to_detection())
+            .map(|d| d.as_millis())
+            .collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+        Some(SimDuration::from_millis(mean))
+    }
+}
+
+fn first_warning_after(
+    warnings: &[LimitWarning],
+    victim: UserAddr,
+    after: SimTime,
+) -> Option<SimTime> {
+    warnings
+        .iter()
+        .find(|w| w.user == victim && w.at >= after)
+        .map(|w| w.at)
+}
+
+/// The worst-case e-penny liability of a zombie infection under a daily
+/// limit: `limit` per *calendar day touched* (the paper's bound — each day
+/// the zombie can spend at most the limit before being blocked). An
+/// infection of duration `d` straddles at most `⌈d / 1 day⌉ + 1` calendar
+/// days, because the `sent` counter resets at day boundaries, not at the
+/// infection instant.
+pub fn liability_bound(limit: u32, infection_duration: SimDuration) -> u64 {
+    let days = infection_duration.as_millis().div_ceil(86_400_000).max(1) + 1;
+    u64::from(limit) * days
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(hours: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_hours(hours)
+    }
+
+    fn warning(user: UserAddr, hours: u64) -> LimitWarning {
+        LimitWarning { at: t(hours), user }
+    }
+
+    fn infection(victim: UserAddr, hours: u64, duration_h: u64) -> Infection {
+        Infection {
+            victim,
+            at: t(hours),
+            rate_per_hour: 100.0,
+            duration: SimDuration::from_hours(duration_h),
+        }
+    }
+
+    #[test]
+    fn detection_matches_first_warning_after_infection() {
+        let victim = UserAddr::new(0, 1);
+        let report = RunReport {
+            limit_warnings: vec![
+                warning(victim, 1),  // pre-infection: a legitimate burst
+                warning(victim, 5),  // the zombie hits the cap
+                warning(victim, 29), // next day
+            ],
+            ..RunReport::default()
+        };
+        let analysis = ZombieAnalysis::from_run(&[infection(victim, 3, 48)], &report);
+        assert_eq!(analysis.incidents[0].detected_at, Some(t(5)));
+        assert_eq!(
+            analysis.incidents[0].time_to_detection(),
+            Some(SimDuration::from_hours(2))
+        );
+        assert_eq!(analysis.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn undetected_infection_reported() {
+        let victim = UserAddr::new(1, 0);
+        let report = RunReport::default();
+        let analysis = ZombieAnalysis::from_run(&[infection(victim, 0, 10)], &report);
+        assert_eq!(analysis.incidents[0].detected_at, None);
+        assert_eq!(analysis.detection_rate(), 0.0);
+        assert_eq!(analysis.mean_detection_latency(), None);
+    }
+
+    #[test]
+    fn warnings_for_other_users_ignored() {
+        let victim = UserAddr::new(0, 1);
+        let other = UserAddr::new(0, 2);
+        let report = RunReport {
+            limit_warnings: vec![warning(other, 5)],
+            ..RunReport::default()
+        };
+        let analysis = ZombieAnalysis::from_run(&[infection(victim, 3, 24)], &report);
+        assert_eq!(analysis.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_latency_averages_detected_only() {
+        let a = UserAddr::new(0, 0);
+        let b = UserAddr::new(0, 1);
+        let c = UserAddr::new(0, 2);
+        let report = RunReport {
+            limit_warnings: vec![warning(a, 2), warning(b, 6)],
+            ..RunReport::default()
+        };
+        let analysis = ZombieAnalysis::from_run(
+            &[
+                infection(a, 0, 24),
+                infection(b, 2, 24),
+                infection(c, 0, 24),
+            ],
+            &report,
+        );
+        // Latencies 2h and 4h; c undetected.
+        assert_eq!(
+            analysis.mean_detection_latency(),
+            Some(SimDuration::from_hours(3))
+        );
+        assert!((analysis.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn liability_bound_scales_with_calendar_days_touched() {
+        // A 5-hour infection can straddle a midnight: two calendar days.
+        assert_eq!(liability_bound(100, SimDuration::from_hours(5)), 200);
+        assert_eq!(liability_bound(100, SimDuration::from_days(1)), 200);
+        assert_eq!(
+            liability_bound(100, SimDuration::from_days(2) + SimDuration::from_hours(1)),
+            400
+        );
+        assert_eq!(liability_bound(0, SimDuration::from_days(10)), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hybrid sealed envelopes: the crate's realization of `NCR` and `DCR`.
+//!
+//! The paper writes `NCR(B_b, d)` for "encrypt `d` under the bank's public
+//! key" and `NCR(R_b, d)` for "encrypt under the bank's private key" (which
+//! only the bank can produce — an authenticity seal). This module provides
+//! both directions:
+//!
+//! * [`seal_for_public`] / [`open_with_private`] — confidentiality: ISP → bank;
+//! * [`seal_with_private`] / [`open_with_public`] — authenticity: bank → ISP.
+//!
+//! Envelopes are hybrid: a fresh 128-bit session key is wrapped with four RSA
+//! blocks and the payload is encrypted with the [`KeystreamCipher`]. An
+//! integrity tag over the plaintext is carried inside the encrypted body so
+//! that opening with the wrong key is detected rather than yielding garbage.
+
+use crate::cipher::KeystreamCipher;
+use crate::keys::{PrivateKey, PublicKey};
+use crate::CryptoError;
+use rand::Rng;
+
+/// A sealed payload: an RSA-wrapped session key plus keystream ciphertext.
+///
+/// Construct with [`seal_for_public`] or [`seal_with_private`]; open with the
+/// matching `open_*` function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SealedEnvelope {
+    wrapped_key: [u64; 4],
+    body: Vec<u8>,
+}
+
+impl SealedEnvelope {
+    /// Total size of the envelope in bytes (wrapped key + body), used by the
+    /// benchmarks to account for protocol overhead.
+    pub fn wire_len(&self) -> usize {
+        4 * 8 + self.body.len()
+    }
+}
+
+/// 64-bit integrity tag over the plaintext (FNV-1a then SplitMix finishing).
+fn integrity_tag(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn session_key_blocks(lo: u64, hi: u64) -> [u32; 4] {
+    [lo as u32, (lo >> 32) as u32, hi as u32, (hi >> 32) as u32]
+}
+
+fn session_key_from_blocks(blocks: [u32; 4]) -> (u64, u64) {
+    let lo = u64::from(blocks[0]) | (u64::from(blocks[1]) << 32);
+    let hi = u64::from(blocks[2]) | (u64::from(blocks[3]) << 32);
+    (lo, hi)
+}
+
+fn seal_with<F>(wrap: F, plain: &[u8], rng: &mut (impl Rng + ?Sized)) -> SealedEnvelope
+where
+    F: Fn(u32) -> u64,
+{
+    let key_lo: u64 = rng.gen();
+    let key_hi: u64 = rng.gen();
+    let blocks = session_key_blocks(key_lo, key_hi);
+    let wrapped_key = [
+        wrap(blocks[0]),
+        wrap(blocks[1]),
+        wrap(blocks[2]),
+        wrap(blocks[3]),
+    ];
+    let mut body = Vec::with_capacity(plain.len() + 8);
+    body.extend_from_slice(plain);
+    body.extend_from_slice(&integrity_tag(plain).to_le_bytes());
+    KeystreamCipher::new(key_lo, key_hi).apply(&mut body);
+    SealedEnvelope { wrapped_key, body }
+}
+
+fn open_with<F>(unwrap: F, envelope: &SealedEnvelope) -> Result<Vec<u8>, CryptoError>
+where
+    F: Fn(u64) -> Option<u32>,
+{
+    if envelope.body.len() < 8 {
+        return Err(CryptoError::Malformed);
+    }
+    let mut blocks = [0u32; 4];
+    for (slot, &wrapped) in blocks.iter_mut().zip(&envelope.wrapped_key) {
+        *slot = unwrap(wrapped).ok_or(CryptoError::WrongKey)?;
+    }
+    let (key_lo, key_hi) = session_key_from_blocks(blocks);
+    let mut body = envelope.body.clone();
+    KeystreamCipher::new(key_lo, key_hi).apply(&mut body);
+    let tag_offset = body.len() - 8;
+    let tag = u64::from_le_bytes(body[tag_offset..].try_into().expect("8-byte tag"));
+    let plain = &body[..tag_offset];
+    if integrity_tag(plain) != tag {
+        return Err(CryptoError::WrongKey);
+    }
+    Ok(plain.to_vec())
+}
+
+/// Seals `plain` so that only the holder of the matching private key can
+/// open it: the paper's `NCR(B_b, d)` as used by ISPs sending to the bank.
+pub fn seal_for_public(
+    key: &PublicKey,
+    plain: &[u8],
+    rng: &mut (impl Rng + ?Sized),
+) -> SealedEnvelope {
+    seal_with(|b| key.encrypt_block(b), plain, rng)
+}
+
+/// Opens an envelope produced by [`seal_for_public`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::WrongKey`] if the envelope was sealed for a
+/// different keypair, and [`CryptoError::Malformed`] if it is structurally
+/// invalid.
+pub fn open_with_private(
+    key: &PrivateKey,
+    envelope: &SealedEnvelope,
+) -> Result<Vec<u8>, CryptoError> {
+    open_with(|b| key.decrypt_block(b), envelope)
+}
+
+/// Seals `plain` under the *private* key — the paper's `NCR(R_b, d)`.
+///
+/// Anyone holding the public key can open the result, but only the private
+/// key holder could have produced it, so this is an authenticity seal.
+pub fn seal_with_private(
+    key: &PrivateKey,
+    plain: &[u8],
+    rng: &mut (impl Rng + ?Sized),
+) -> SealedEnvelope {
+    seal_with(|b| key.encrypt_block(b), plain, rng)
+}
+
+/// Opens an envelope produced by [`seal_with_private`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::WrongKey`] if the envelope was not sealed by the
+/// matching private key, and [`CryptoError::Malformed`] if it is structurally
+/// invalid.
+pub fn open_with_public(
+    key: &PublicKey,
+    envelope: &SealedEnvelope,
+) -> Result<Vec<u8>, CryptoError> {
+    open_with(|b| key.decrypt_block(b), envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixtures() -> (KeyPair, KeyPair, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        (a, b, rng)
+    }
+
+    #[test]
+    fn public_seal_private_open_roundtrip() {
+        let (bank, _, mut rng) = fixtures();
+        for plain in [&b""[..], b"x", b"buy:100:nonce", &[0u8; 300]] {
+            let env = seal_for_public(bank.public(), plain, &mut rng);
+            assert_eq!(open_with_private(bank.private(), &env).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn private_seal_public_open_roundtrip() {
+        let (bank, _, mut rng) = fixtures();
+        let plain = b"buyreply:true:nonce";
+        let env = seal_with_private(bank.private(), plain, &mut rng);
+        assert_eq!(open_with_public(bank.public(), &env).unwrap(), plain);
+    }
+
+    #[test]
+    fn wrong_key_is_detected() {
+        let (bank, intruder, mut rng) = fixtures();
+        let env = seal_for_public(bank.public(), b"secret", &mut rng);
+        let got = open_with_private(intruder.private(), &env);
+        assert!(matches!(
+            got,
+            Err(CryptoError::WrongKey) | Err(CryptoError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn forged_authenticity_seal_is_detected() {
+        // An intruder seals with its own private key; the ISP opens with the
+        // bank's public key and must reject.
+        let (bank, intruder, mut rng) = fixtures();
+        let env = seal_with_private(intruder.private(), b"buyreply:true:0", &mut rng);
+        let got = open_with_public(bank.public(), &env);
+        assert!(matches!(
+            got,
+            Err(CryptoError::WrongKey) | Err(CryptoError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn tampered_body_is_detected() {
+        let (bank, _, mut rng) = fixtures();
+        let mut env = seal_for_public(bank.public(), b"pay me 500 e-pennies", &mut rng);
+        env.body[3] ^= 0x40;
+        assert_eq!(
+            open_with_private(bank.private(), &env),
+            Err(CryptoError::WrongKey)
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let (bank, _, mut rng) = fixtures();
+        let mut env = seal_for_public(bank.public(), b"hello", &mut rng);
+        env.body.truncate(4);
+        assert_eq!(
+            open_with_private(bank.private(), &env),
+            Err(CryptoError::Malformed)
+        );
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        let (bank, _, mut rng) = fixtures();
+        let a = seal_for_public(bank.public(), b"same plaintext", &mut rng);
+        let b = seal_for_public(bank.public(), b"same plaintext", &mut rng);
+        assert_ne!(a, b, "two seals of the same plaintext should differ");
+    }
+
+    #[test]
+    fn wire_len_accounts_for_key_and_body() {
+        let (bank, _, mut rng) = fixtures();
+        let env = seal_for_public(bank.public(), b"12345", &mut rng);
+        assert_eq!(env.wire_len(), 32 + 5 + 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulation-grade cryptographic substrate for the Zmail protocol.
+//!
+//! The Zmail paper (§4) names three cryptographic operations used between a
+//! compliant ISP and the bank:
+//!
+//! * `NNC` — a nonce source whose output sequence is *unpredictable* and
+//!   *non-repeating*, used to defeat replay of buy/sell replies;
+//! * `NCR(k, d)` — encryption of data item `d` under key `k`;
+//! * `DCR(k, d)` — decryption of data item `d` under key `k`.
+//!
+//! The bank holds a keypair (public key `B_b`, private key `R_b`); ISPs know
+//! `B_b`. Messages *to* the bank are sealed under `B_b` (confidentiality);
+//! messages *from* the bank are sealed under `R_b` (authenticity — anyone can
+//! open them with `B_b`, but only the bank can produce them).
+//!
+//! This crate implements those operations with **textbook RSA over 64-bit
+//! moduli** plus a keystream cipher for bulk payloads. That is deliberately
+//! *not* production cryptography — 64-bit moduli are factorable in seconds —
+//! but it exercises exactly the code paths the protocol depends on: key
+//! generation, public/private sealing, nonce generation, nonce checking, and
+//! replay rejection. The substitution is recorded in the repository's
+//! `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```rust
+//! use zmail_crypto::{KeyPair, Nnc, seal_for_public, open_with_private};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), zmail_crypto::CryptoError> {
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let bank = KeyPair::generate(&mut rng);
+//! let mut nnc = Nnc::new(0xF00D, 42);
+//!
+//! // An ISP seals (buyvalue | nonce) for the bank, as in the paper's
+//! // `send buy(NCR(Bb, buyvalue|ns1)) to bank`.
+//! let nonce = nnc.next_nonce();
+//! let plain = [b"buy:500:".as_ref(), &nonce.to_le_bytes()].concat();
+//! let sealed = seal_for_public(bank.public(), &plain, &mut rng);
+//! let opened = open_with_private(bank.private(), &sealed)?;
+//! assert_eq!(opened, plain);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod envelope;
+pub mod keys;
+pub mod nonce;
+pub mod rsa;
+
+pub use cipher::KeystreamCipher;
+pub use envelope::{
+    open_with_private, open_with_public, seal_for_public, seal_with_private, SealedEnvelope,
+};
+pub use keys::{KeyPair, PrivateKey, PublicKey};
+pub use nonce::{Nnc, Nonce, ReplayGuard};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CryptoError {
+    /// A ciphertext could not be interpreted (bad length, bad padding, or a
+    /// block that decrypts to an out-of-range value).
+    Malformed,
+    /// A ciphertext decrypted to structurally valid bytes whose integrity
+    /// check failed; the wrong key was almost certainly used.
+    WrongKey,
+    /// A nonce was observed more than once; the message is a replay.
+    ReplayDetected,
+    /// A received nonce did not match the outstanding nonce for this
+    /// exchange (`ns1 != nr1` in the paper's pseudocode).
+    NonceMismatch,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::Malformed => write!(f, "ciphertext is malformed"),
+            CryptoError::WrongKey => write!(f, "integrity check failed: wrong key"),
+            CryptoError::ReplayDetected => write!(f, "nonce was already used: replay detected"),
+            CryptoError::NonceMismatch => write!(f, "nonce does not match outstanding exchange"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty_and_lowercase() {
+        for e in [
+            CryptoError::Malformed,
+            CryptoError::WrongKey,
+            CryptoError::ReplayDetected,
+            CryptoError::NonceMismatch,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

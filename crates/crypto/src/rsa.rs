@@ -1,0 +1,291 @@
+//! Textbook RSA over 64-bit moduli.
+//!
+//! This module provides the number-theoretic machinery behind the crate's
+//! [`KeyPair`](crate::KeyPair): Miller–Rabin primality testing, random prime
+//! generation, modular exponentiation via 128-bit intermediates, and the
+//! extended Euclid inverse. Moduli are products of two 31-bit primes, so
+//! every plaintext block is a `u32` and every ciphertext block a `u64`.
+//!
+//! Textbook RSA at this size is trivially breakable; see the crate-level
+//! documentation for why that is acceptable here.
+
+use rand::Rng;
+
+/// Modular multiplication `a * b mod m` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+/// which is known to be sufficient for 64-bit integers.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime in `[2^(bits-1), 2^bits)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=32` (keypair plaintext blocks must fit a
+/// `u32`, and tiny ranges contain no primes).
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> u64 {
+    assert!((3..=32).contains(&bits), "prime size must be 3..=32 bits");
+    let lo = 1u64 << (bits - 1);
+    let hi = 1u64 << bits;
+    loop {
+        let mut candidate = rng.gen_range(lo..hi) | 1 | lo;
+        if candidate >= hi {
+            candidate = hi - 1;
+        }
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Extended-Euclid modular inverse of `a` modulo `m`, if it exists.
+pub fn inverse_mod(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+/// Raw RSA parameters: modulus, public exponent, private exponent.
+///
+/// Produced by [`generate_params`] and wrapped by the crate's typed
+/// [`KeyPair`](crate::KeyPair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RsaParams {
+    /// Modulus `n = p * q`, a product of two 31-bit primes.
+    pub modulus: u64,
+    /// Public exponent `e`.
+    pub public_exp: u64,
+    /// Private exponent `d = e^-1 mod lcm(p-1, q-1)`.
+    pub private_exp: u64,
+}
+
+/// Generates RSA parameters with a modulus of two 31-bit primes.
+///
+/// The modulus always exceeds `2^32`, so any `u32` plaintext block is a valid
+/// residue.
+pub fn generate_params<R: Rng + ?Sized>(rng: &mut R) -> RsaParams {
+    loop {
+        let p = random_prime(rng, 31);
+        let q = {
+            let mut q = random_prime(rng, 31);
+            while q == p {
+                q = random_prime(rng, 31);
+            }
+            q
+        };
+        let n = p * q;
+        let lambda = lcm(p - 1, q - 1);
+        let e = 65537u64;
+        if lambda.is_multiple_of(e) {
+            continue;
+        }
+        if let Some(d) = inverse_mod(e, lambda) {
+            debug_assert!(n > u64::from(u32::MAX));
+            return RsaParams {
+                modulus: n,
+                public_exp: e,
+                private_exp: d,
+            };
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Encrypts one `u32` plaintext block with the exponent `exp` mod `modulus`.
+pub fn encrypt_block(block: u32, exp: u64, modulus: u64) -> u64 {
+    pow_mod(u64::from(block), exp, modulus)
+}
+
+/// Decrypts one ciphertext block with the exponent `exp` mod `modulus`.
+///
+/// Returns `None` if the recovered residue does not fit a `u32` (wrong key or
+/// corrupted ciphertext).
+pub fn decrypt_block(block: u64, exp: u64, modulus: u64) -> Option<u32> {
+    u32::try_from(pow_mod(block, exp, modulus)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_000), 1024);
+        assert_eq!(pow_mod(3, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(10, 3, 1), 0);
+    }
+
+    #[test]
+    fn pow_mod_fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p and a not divisible by p.
+        let p = 1_000_000_007u64;
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn pow_mod_zero_modulus_panics() {
+        pow_mod(2, 3, 0);
+    }
+
+    #[test]
+    fn is_prime_known_values() {
+        let primes = [2u64, 3, 5, 7, 31, 97, 2_147_483_647, 1_000_000_007];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 91, 561, 1_000_000_008, 2_147_483_649];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn is_prime_carmichael_numbers_rejected() {
+        // Carmichael numbers fool the Fermat test but not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825_265] {
+            assert!(!is_prime(c), "{c} is a Carmichael number, not prime");
+        }
+    }
+
+    #[test]
+    fn random_prime_in_range_and_prime() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for bits in [8u32, 16, 24, 31, 32] {
+            let p = random_prime(&mut rng, bits);
+            assert!(is_prime(p));
+            assert!(p >= 1 << (bits - 1));
+            assert!(p < 1u64 << bits);
+        }
+    }
+
+    #[test]
+    fn inverse_mod_roundtrip() {
+        assert_eq!(inverse_mod(3, 7), Some(5));
+        assert_eq!(inverse_mod(2, 4), None); // not coprime
+        let m = 1_000_000_007u64;
+        for a in [2u64, 65537, 999_999_999] {
+            let inv = inverse_mod(a, m).unwrap();
+            assert_eq!(mul_mod(a, inv, m), 1);
+        }
+    }
+
+    #[test]
+    fn generate_params_roundtrips_blocks() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let params = generate_params(&mut rng);
+        assert!(params.modulus > u64::from(u32::MAX));
+        for block in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            let c = encrypt_block(block, params.public_exp, params.modulus);
+            let back = decrypt_block(c, params.private_exp, params.modulus).unwrap();
+            assert_eq!(back, block);
+        }
+    }
+
+    #[test]
+    fn private_then_public_also_roundtrips() {
+        // Signing direction: seal with d, open with e.
+        let mut rng = SmallRng::seed_from_u64(43);
+        let params = generate_params(&mut rng);
+        for block in [7u32, 0, u32::MAX] {
+            let c = encrypt_block(block, params.private_exp, params.modulus);
+            let back = decrypt_block(c, params.public_exp, params.modulus).unwrap();
+            assert_eq!(back, block);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_moduli() {
+        let a = generate_params(&mut SmallRng::seed_from_u64(1));
+        let b = generate_params(&mut SmallRng::seed_from_u64(2));
+        assert_ne!(a.modulus, b.modulus);
+    }
+}

@@ -1,0 +1,35 @@
+//! Economic models for the Zmail reproduction.
+//!
+//! Zmail's case rests on economics, not filtering: §1.2 of the paper claims
+//! that charging one *e-penny* per message (a) raises a spammer's cost per
+//! message by **at least two orders of magnitude**, raising the break-even
+//! response rate similarly, (b) leaves balanced normal users net-zero, and
+//! (c) creates a positive-feedback adoption loop for compliant ISPs. This
+//! crate turns each of those arguments into a runnable model:
+//!
+//! * [`money`] — [`EPennies`] and [`RealPennies`] newtypes so protocol
+//!   accounting can never confuse scrip with settlement currency;
+//! * [`spammer`] — campaign cost/response/break-even analysis (experiment
+//!   E1);
+//! * [`adoption`] — incremental-deployment dynamics from two compliant ISPs
+//!   (experiment E6);
+//! * [`market`] — spam share of total traffic as spammer profitability
+//!   changes, calibrated to the 8% (2001) → 60%+ (2004) trajectory the
+//!   paper cites from Brightmail (experiment E10);
+//! * [`productivity`] — the intro's cost-of-spam figures as functions of
+//!   spam volume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adoption;
+pub mod market;
+pub mod money;
+pub mod productivity;
+pub mod spammer;
+
+pub use adoption::{AdoptionModel, AdoptionParams, AdoptionPoint};
+pub use market::{MarketModel, MarketParams, MarketPoint};
+pub use money::{EPennies, ExchangeRate, RealPennies};
+pub use productivity::ProductivityModel;
+pub use spammer::{CampaignEconomics, CampaignOutcome, SendingRegime};

@@ -1,0 +1,250 @@
+//! The simulation driver: a [`World`] handles events, a [`Scheduler`] lets
+//! it plant future ones, and [`Simulation`] runs the loop.
+//!
+//! The engine is deliberately small — the Zmail system model in
+//! `zmail-core` supplies all domain behaviour through its `World`
+//! implementation.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::event::EventQueue;
+
+/// Interface the engine offers to event handlers for scheduling new events.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — events may not rewrite history.
+    pub fn at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+}
+
+/// A simulated world: domain state plus an event handler.
+pub trait World {
+    /// The event type driving this world.
+    type Event;
+
+    /// Handles one event at its scheduled time, possibly planting more.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        scheduler: &mut Scheduler<'_, Self::Event>,
+    );
+}
+
+/// The event loop: owns the queue and the clock, drives a [`World`].
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation over `world` starting at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event before the run starts.
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events handled so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for instrumentation between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now);
+                self.now = time;
+                let mut scheduler = Scheduler {
+                    now: time,
+                    queue: &mut self.queue,
+                };
+                self.world.handle(time, event, &mut scheduler);
+                self.processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue empties or virtual time would pass `until`;
+    /// events scheduled at exactly `until` are processed. Returns the number
+    /// of events handled during this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        // Advance the clock to the horizon even if the queue drained early.
+        if self.now < until {
+            self.now = until;
+        }
+        self.processed - before
+    }
+
+    /// Runs until the event queue is exhausted. Returns events handled.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that rings a bell every `period` until `limit` rings.
+    struct BellTower {
+        rings: Vec<SimTime>,
+        period: SimDuration,
+        limit: usize,
+    }
+
+    #[derive(Debug)]
+    struct Ring;
+
+    impl World for BellTower {
+        type Event = Ring;
+        fn handle(&mut self, now: SimTime, _event: Ring, scheduler: &mut Scheduler<'_, Ring>) {
+            self.rings.push(now);
+            if self.rings.len() < self.limit {
+                scheduler.after(self.period, Ring);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_events_fire_on_schedule() {
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_mins(10),
+            limit: 4,
+        });
+        sim.schedule(SimTime::ZERO, Ring);
+        let handled = sim.run_to_completion();
+        assert_eq!(handled, 4);
+        let expected: Vec<SimTime> = (0..4)
+            .map(|i| SimTime::ZERO + SimDuration::from_mins(10).mul(i))
+            .collect();
+        assert_eq!(sim.world().rings, expected);
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusive() {
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_mins(10),
+            limit: 100,
+        });
+        sim.schedule(SimTime::ZERO, Ring);
+        let handled = sim.run_until(SimTime::ZERO + SimDuration::from_mins(30));
+        // Rings at 0, 10, 20, 30 inclusive.
+        assert_eq!(handled, 4);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_mins(30));
+        // Continue later: state is preserved.
+        let more = sim.run_until(SimTime::ZERO + SimDuration::from_mins(50));
+        assert_eq!(more, 2);
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_when_queue_drains() {
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_mins(1),
+            limit: 1,
+        });
+        sim.schedule(SimTime::ZERO, Ring);
+        sim.run_until(SimTime::ZERO + SimDuration::from_hours(1));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_hours(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Rewinder;
+        impl World for Rewinder {
+            type Event = u8;
+            fn handle(&mut self, _now: SimTime, event: u8, scheduler: &mut Scheduler<'_, u8>) {
+                if event == 1 {
+                    // Try to schedule before `now` (which is 10s here).
+                    scheduler.at(SimTime::ZERO, 2);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Rewinder);
+        sim.schedule(SimTime::ZERO + SimDuration::from_secs(10), 1);
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn processed_counter_accumulates() {
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_secs(1),
+            limit: 3,
+        });
+        sim.schedule(SimTime::ZERO, Ring);
+        assert!(sim.step());
+        assert_eq!(sim.processed(), 1);
+        sim.run_to_completion();
+        assert_eq!(sim.processed(), 3);
+        assert!(!sim.step());
+    }
+}

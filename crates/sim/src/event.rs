@@ -1,0 +1,143 @@
+//! A deterministic future-event queue.
+//!
+//! [`EventQueue`] orders events by scheduled time, breaking ties by
+//! insertion order (FIFO), so two runs with the same inputs dequeue events
+//! identically — a requirement for reproducible experiments.
+
+use crate::clock::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of future events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, OrdIgnore<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that participates in `Ord` as a constant so the heap never
+/// compares event payloads (they need no `Ord` bound).
+#[derive(Debug, Clone)]
+struct OrdIgnore<E>(E);
+
+impl<E> PartialEq for OrdIgnore<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for OrdIgnore<E> {}
+impl<E> PartialOrd for OrdIgnore<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for OrdIgnore<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.heap.push(Reverse((time, self.seq, OrdIgnore(event))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse((t, _, OrdIgnore(e)))| (t, e))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(5), 0);
+        assert_eq!(q.pop(), Some((t(5), 0)));
+        q.schedule(t(7), 2);
+        assert_eq!(q.pop(), Some((t(7), 2)));
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(3), ());
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn payload_needs_no_ord() {
+        // f64 is not Ord; this compiles and runs because payloads are never
+        // compared.
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 0.5f64);
+        q.schedule(t(1), f64::NAN);
+        assert_eq!(q.len(), 2);
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, 0.5);
+    }
+}

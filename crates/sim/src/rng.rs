@@ -1,0 +1,277 @@
+//! Seeded random sampling for workload generation.
+//!
+//! [`Sampler`] wraps a deterministic RNG and provides the distributions the
+//! traffic models need — exponential inter-arrival times, Poisson counts,
+//! Zipf-distributed popularity (a standard model for mailbox popularity),
+//! log-normal body sizes, and Bernoulli trials — implemented directly so the
+//! only external dependency remains the `rand` core.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded sampler over the distributions used by the workload models.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Creates a sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential with mean `mean` (inverse-transform sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u: f64 = loop {
+            let v = self.uniform();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Poisson count with rate `lambda` (Knuth's method for small rates,
+    /// normal approximation above 30 to stay O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            // Normal approximation with continuity correction.
+            let sample = self.gaussian() * lambda.sqrt() + lambda + 0.5;
+            return sample.max(0.0) as u64;
+        }
+        let threshold = (-lambda).exp();
+        let mut count = 0u64;
+        let mut product = self.uniform();
+        while product > threshold {
+            count += 1;
+            product *= self.uniform();
+        }
+        count
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1: f64 = loop {
+            let v = self.uniform();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Log-normal with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gaussian()).exp()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`, by rejection
+    /// sampling against the continuous envelope (Devroye).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf needs a nonempty domain");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        if n == 1 {
+            return 0;
+        }
+        // For s != 1 use the inverse-CDF of the continuous bounding Pareto;
+        // accept/reject to match the discrete law.
+        let nf = n as f64;
+        loop {
+            let u = self.uniform();
+            let x = if (s - 1.0).abs() < 1e-9 {
+                nf.powf(u)
+            } else {
+                let t = 1.0 - s;
+                ((nf.powf(t) - 1.0) * u + 1.0).powf(1.0 / t)
+            };
+            let k = x.floor().max(1.0).min(nf) as usize;
+            // Acceptance ratio: discrete pmf over continuous envelope.
+            let ratio = (k as f64 / x).powf(s);
+            if self.uniform() < ratio {
+                return k - 1;
+            }
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element index of a nonempty slice length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick from empty collection");
+        self.rng.gen_range(0..len)
+    }
+
+    /// Direct access to the underlying RNG for callers needing raw bits.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = Sampler::new(11);
+        let mut b = Sampler::new(11);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut s = Sampler::new(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| s.exponential(4.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_close_small_lambda() {
+        let mut s = Sampler::new(2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| s.poisson(3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_close_large_lambda() {
+        let mut s = Sampler::new(3);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| s.poisson(200.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut s = Sampler::new(4);
+        assert_eq!(s.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut s = Sampler::new(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.gaussian()).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance was {var}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut s = Sampler::new(6);
+        let n = 20_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[s.zipf(50, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > counts[10] * 3);
+        // Every sample is in range (indexing would have panicked otherwise).
+        assert_eq!(counts.iter().map(|&c| u64::from(c)).sum::<u64>(), n);
+    }
+
+    #[test]
+    fn zipf_singleton_domain() {
+        let mut s = Sampler::new(7);
+        for _ in 0..10 {
+            assert_eq!(s.zipf(1, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut s = Sampler::new(8);
+        assert!((0..100).all(|_| !s.bernoulli(0.0)));
+        assert!((0..100).all(|_| s.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_close() {
+        let mut s = Sampler::new(9);
+        let hits = (0..20_000).filter(|_| s.bernoulli(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate was {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut s = Sampler::new(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        s.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut s = Sampler::new(11);
+        assert!((0..1000).all(|_| s.log_normal(1.0, 0.5) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_range_empty_panics() {
+        Sampler::new(0).uniform_range(5, 5);
+    }
+}

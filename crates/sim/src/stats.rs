@@ -1,0 +1,592 @@
+//! Measurement primitives shared by the experiments.
+//!
+//! * [`Summary`] — streaming mean/variance/min/max (Welford);
+//! * [`Histogram`] — log-binned histogram with percentile queries, suitable
+//!   for latency- and count-shaped data spanning orders of magnitude;
+//! * [`TimeSeries`] — `(time, value)` samples with windowed aggregation;
+//! * [`Table`] — the aligned-column printer every `e*` experiment binary
+//!   uses, so harness output is uniform and diffable.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Streaming summary statistics over `f64` observations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 when fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// A log-binned histogram over non-negative values.
+///
+/// Bin `i` covers `[base^i, base^(i+1))`, with a dedicated underflow bin for
+/// zero. Percentile queries return the geometric midpoint of the bin
+/// containing the rank, which is accurate to the bin's relative width
+/// (≈ 10% with the default base of 1.25).
+///
+/// # Example
+///
+/// ```rust
+/// use zmail_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for latency_ms in [3.0, 5.0, 8.0, 120.0, 7.0, 6.0] {
+///     h.record(latency_ms);
+/// }
+/// let median = h.median().unwrap();
+/// assert!(median > 3.0 && median < 20.0);
+/// assert_eq!(h.count(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    base: f64,
+    zero_count: u64,
+    bins: Vec<u64>,
+    total: u64,
+    summary: Summary,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the default bin base (1.25).
+    pub fn new() -> Self {
+        Self::with_base(1.25)
+    }
+
+    /// Creates a histogram with a custom bin base (> 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 1`.
+    pub fn with_base(base: f64) -> Self {
+        assert!(base > 1.0, "histogram base must exceed 1");
+        Histogram {
+            base,
+            zero_count: 0,
+            bins: Vec::new(),
+            total: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records a non-negative observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0, "histogram values must be non-negative");
+        self.total += 1;
+        self.summary.record(x);
+        if x < 1.0 {
+            self.zero_count += 1;
+            return;
+        }
+        let bin = (x.ln() / self.base.ln()).floor() as usize;
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Streaming summary over the same observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The approximate value at quantile `q` in `[0, 1]`, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = self.zero_count;
+        if rank <= seen {
+            return Some(0.0);
+        }
+        for (i, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if rank <= seen {
+                let lo = self.base.powi(i as i32);
+                let hi = self.base.powi(i as i32 + 1);
+                return Some((lo * hi).sqrt());
+            }
+        }
+        self.summary.max()
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+/// Exact small-sample quantiles over a finite set of observations.
+///
+/// Complements [`Histogram`] (streaming, approximate): when an experiment
+/// has the full sample in memory — per-user balance drifts, per-incident
+/// latencies — exact order statistics are cheap and preferable.
+///
+/// # Example
+///
+/// ```rust
+/// use zmail_sim::stats::Quantiles;
+///
+/// let q = Quantiles::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+/// assert_eq!(q.quantile(0.5), 3.0);
+/// assert_eq!(q.min(), 1.0);
+/// assert_eq!(q.max(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Builds from an unordered sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "quantiles need at least one sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Quantiles { sorted: samples }
+    }
+
+    /// The exact value at quantile `q` (nearest-rank method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A `(time, value)` series with aggregation helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample; times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded time.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be recorded in order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The raw samples, oldest first.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last value, or `None` when empty.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of values in the half-open window `[from, to)`.
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// An aligned-column text table used by the experiment binaries.
+///
+/// # Example
+///
+/// ```rust
+/// use zmail_sim::Table;
+///
+/// let mut t = Table::new(&["price", "cost/msg", "breakeven"]);
+/// t.row(&["$0.00", "0.0001", "0.00002%"]);
+/// t.row(&["$0.01", "0.0101", "2.1%"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("price"));
+/// assert!(rendered.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align all but the first column (numbers read better).
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    #[test]
+    fn summary_known_values() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_true_values() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let median = h.median().unwrap();
+        assert!(
+            median > 400.0 && median < 620.0,
+            "median estimate {median} too far from 500"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 800.0 && p99 < 1250.0, "p99 estimate {p99}");
+        let p0 = h.quantile(0.0).unwrap();
+        assert!(p0 <= 2.0);
+    }
+
+    #[test]
+    fn histogram_zero_bin() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0.0);
+        }
+        h.record(100.0);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.count(), 11);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn histogram_negative_panics() {
+        Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn exact_quantiles_nearest_rank() {
+        let q = Quantiles::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(0.5), 50.0);
+        assert_eq!(q.quantile(0.99), 99.0);
+        assert_eq!(q.quantile(1.0), 100.0);
+        assert_eq!(q.len(), 100);
+        assert_eq!(q.min(), 1.0);
+        assert_eq!(q.max(), 100.0);
+    }
+
+    #[test]
+    fn exact_quantiles_singleton() {
+        let q = Quantiles::from_samples(vec![7.5]);
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(q.quantile(p), 7.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn exact_quantiles_empty_panics() {
+        Quantiles::from_samples(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn exact_quantiles_nan_panics() {
+        Quantiles::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn time_series_window_mean() {
+        let mut ts = TimeSeries::new();
+        for day in 0..10u64 {
+            ts.record(SimTime::ZERO + SimDuration::from_days(day), day as f64);
+        }
+        let m = ts
+            .window_mean(
+                SimTime::ZERO + SimDuration::from_days(2),
+                SimTime::ZERO + SimDuration::from_days(5),
+            )
+            .unwrap();
+        assert!((m - 3.0).abs() < 1e-12); // days 2, 3, 4
+        assert_eq!(ts.last_value(), Some(9.0));
+        assert_eq!(ts.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn time_series_out_of_order_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::ZERO + SimDuration::from_secs(10), 1.0);
+        ts.record(SimTime::ZERO, 2.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["a-much-longer-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width after alignment.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

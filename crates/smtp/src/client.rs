@@ -1,0 +1,193 @@
+//! The SMTP client: drives any [`Connection`] through a submission.
+
+use crate::message::MailMessage;
+use crate::reply::{Reply, ReplyCode};
+use crate::transport::Connection;
+use crate::SmtpError;
+
+/// An SMTP client session.
+///
+/// Created with [`Client::connect`], which consumes the server greeting and
+/// performs the `HELO` exchange; [`Client::send`] then submits messages and
+/// [`Client::quit`] closes the session politely.
+#[derive(Debug)]
+pub struct Client<C> {
+    conn: C,
+}
+
+impl<C: Connection> Client<C> {
+    /// Opens a session: reads the `220` greeting and sends `HELO domain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtpError::UnexpectedReply`] if the server does not greet
+    /// with `220` or refuses the `HELO`, and transport errors as-is.
+    pub fn connect(mut conn: C, domain: &str) -> Result<Self, SmtpError> {
+        let greeting = recv_reply(&mut conn)?;
+        if greeting.code != ReplyCode::ServiceReady {
+            return Err(SmtpError::UnexpectedReply(greeting));
+        }
+        let mut client = Client { conn };
+        client.command(&format!("HELO {domain}"), ReplyCode::Ok)?;
+        Ok(client)
+    }
+
+    /// Submits one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtpError::UnexpectedReply`] at the first non-positive
+    /// response (e.g. a `552` bounce from a Zmail balance check) and
+    /// transport errors as-is. On a recipient rejection the transaction is
+    /// reset before returning so the session stays usable.
+    pub fn send(&mut self, message: &MailMessage) -> Result<(), SmtpError> {
+        self.command(&format!("MAIL FROM:<{}>", message.from()), ReplyCode::Ok)?;
+        for recipient in message.recipients() {
+            if let Err(e) = self.command(&format!("RCPT TO:<{recipient}>"), ReplyCode::Ok) {
+                let _ = self.command("RSET", ReplyCode::Ok);
+                return Err(e);
+            }
+        }
+        self.command("DATA", ReplyCode::StartMailInput)?;
+        let data = message.to_data();
+        // `to_data` ends with ".\r\n"; send line by line.
+        for line in data.split_inclusive("\r\n") {
+            self.conn.send_line(line.trim_end_matches(['\r', '\n']))?;
+        }
+        let final_reply = recv_reply(&mut self.conn)?;
+        if final_reply.code != ReplyCode::Ok {
+            return Err(SmtpError::UnexpectedReply(final_reply));
+        }
+        Ok(())
+    }
+
+    /// Ends the session with `QUIT`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors; a missing `221` is tolerated.
+    pub fn quit(mut self) -> Result<(), SmtpError> {
+        self.conn.send_line("QUIT")?;
+        let _ = recv_reply(&mut self.conn); // best effort
+        Ok(())
+    }
+
+    /// Sends one command line and expects a specific positive reply.
+    fn command(&mut self, line: &str, expect: ReplyCode) -> Result<Reply, SmtpError> {
+        self.conn.send_line(line)?;
+        let reply = recv_reply(&mut self.conn)?;
+        if reply.code != expect {
+            return Err(SmtpError::UnexpectedReply(reply));
+        }
+        Ok(reply)
+    }
+}
+
+fn recv_reply<C: Connection>(conn: &mut C) -> Result<Reply, SmtpError> {
+    match conn.recv_line()? {
+        Some(line) => Reply::parse(&line),
+        None => Err(SmtpError::ConnectionClosed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CollectSink, MailSink, SmtpServer};
+    use crate::transport::MemoryTransport;
+
+    fn spawn_server<S: MailSink + Send + 'static>(
+        sink: S,
+    ) -> (MemoryTransport, std::thread::JoinHandle<usize>) {
+        let (client_conn, server_conn) = MemoryTransport::pair();
+        let handle = std::thread::spawn(move || {
+            SmtpServer::new("mx.test", sink).serve(server_conn).unwrap()
+        });
+        (client_conn, handle)
+    }
+
+    #[test]
+    fn client_submits_message_end_to_end() {
+        let sink = CollectSink::shared();
+        let (conn, handle) = spawn_server(sink.clone());
+        let mut client = Client::connect(conn, "sender.test").unwrap();
+        let msg = MailMessage::builder("a@x", "b@y")
+            .header("Subject", "via client")
+            .body("first\r\n.second needs stuffing\r\n")
+            .build();
+        client.send(&msg).unwrap();
+        client.quit().unwrap();
+        assert_eq!(handle.join().unwrap(), 1);
+        let got = &sink.messages()[0];
+        assert_eq!(got.header("Subject"), Some("via client"));
+        assert_eq!(got.body(), "first\r\n.second needs stuffing\r\n");
+    }
+
+    #[test]
+    fn client_sends_multiple_messages_per_session() {
+        let sink = CollectSink::shared();
+        let (conn, handle) = spawn_server(sink.clone());
+        let mut client = Client::connect(conn, "s.test").unwrap();
+        for i in 0..3 {
+            let msg = MailMessage::builder("a@x", "b@y")
+                .header("Subject", format!("msg {i}"))
+                .body("hi\r\n")
+                .build();
+            client.send(&msg).unwrap();
+        }
+        client.quit().unwrap();
+        assert_eq!(handle.join().unwrap(), 3);
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn recipient_rejection_surfaces_and_session_survives() {
+        #[derive(Clone)]
+        struct NoBob(CollectSink);
+        impl MailSink for NoBob {
+            fn accept_recipient(&self, _f: &str, to: &str) -> bool {
+                to != "bob@y"
+            }
+            fn deliver(&self, m: MailMessage) -> Result<(), String> {
+                self.0.deliver(m)
+            }
+        }
+        let collect = CollectSink::shared();
+        let (conn, handle) = spawn_server(NoBob(collect.clone()));
+        let mut client = Client::connect(conn, "s.test").unwrap();
+        let rejected = MailMessage::builder("a@x", "bob@y").body("x\r\n").build();
+        let err = client.send(&rejected).unwrap_err();
+        assert!(
+            matches!(err, SmtpError::UnexpectedReply(r) if r.code == ReplyCode::MailboxUnavailable)
+        );
+        // The session is still usable for an accepted recipient.
+        let ok = MailMessage::builder("a@x", "carol@y").body("y\r\n").build();
+        client.send(&ok).unwrap();
+        client.quit().unwrap();
+        assert_eq!(handle.join().unwrap(), 1);
+        assert_eq!(collect.messages()[0].recipients(), ["carol@y"]);
+    }
+
+    #[test]
+    fn delivery_bounce_is_reported_as_unexpected_reply() {
+        struct Bouncer;
+        impl MailSink for Bouncer {
+            fn deliver(&self, _m: MailMessage) -> Result<(), String> {
+                Err("limit exceeded".into())
+            }
+        }
+        let (conn, handle) = spawn_server(Bouncer);
+        let mut client = Client::connect(conn, "s.test").unwrap();
+        let msg = MailMessage::builder("a@x", "b@y").body("x\r\n").build();
+        let err = client.send(&msg).unwrap_err();
+        match err {
+            SmtpError::UnexpectedReply(reply) => {
+                assert_eq!(reply.code, ReplyCode::ExceededAllocation);
+                assert!(reply.text.contains("limit"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        client.quit().unwrap();
+        assert_eq!(handle.join().unwrap(), 0);
+    }
+}

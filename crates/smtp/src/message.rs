@@ -1,0 +1,292 @@
+//! Mail messages: envelope, headers, body, and `DATA` framing.
+//!
+//! Messages render to the RFC 821/822 wire form used inside `DATA`: header
+//! lines, an empty line, the body, with transparency ("dot-stuffing") applied
+//! so a body line consisting of a single `.` cannot terminate the transfer
+//! early.
+
+use crate::SmtpError;
+use std::fmt;
+
+/// An email message: envelope addresses plus RFC 822-style content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MailMessage {
+    envelope_from: String,
+    envelope_to: Vec<String>,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+/// Incremental builder for [`MailMessage`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct MailMessageBuilder {
+    message: MailMessage,
+}
+
+impl MailMessage {
+    /// Starts building a message from `from` to a single recipient `to`.
+    pub fn builder(from: impl Into<String>, to: impl Into<String>) -> MailMessageBuilder {
+        MailMessageBuilder {
+            message: MailMessage {
+                envelope_from: from.into(),
+                envelope_to: vec![to.into()],
+                headers: Vec::new(),
+                body: String::new(),
+            },
+        }
+    }
+
+    /// The envelope sender (`MAIL FROM`).
+    pub fn from(&self) -> &str {
+        &self.envelope_from
+    }
+
+    /// The envelope recipients (`RCPT TO`), in order.
+    pub fn recipients(&self) -> &[String] {
+        &self.envelope_to
+    }
+
+    /// All headers in order.
+    pub fn headers(&self) -> &[(String, String)] {
+        &self.headers
+    }
+
+    /// The first header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Appends a header (used by the Zmail layer to stamp payment metadata
+    /// on an already-built message).
+    pub fn add_header(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.headers.push((name.into(), value.into()));
+    }
+
+    /// Removes every header with the given name (case-insensitive) and
+    /// returns how many were removed.
+    pub fn remove_header(&mut self, name: &str) -> usize {
+        let before = self.headers.len();
+        self.headers.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.headers.len()
+    }
+
+    /// The message body.
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+
+    /// Renders the content (headers + body) as the dot-stuffed `DATA`
+    /// payload, terminated by the `<CRLF>.<CRLF>` sequence.
+    pub fn to_data(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        for line in self.body.split_inclusive("\r\n") {
+            if line.starts_with('.') {
+                out.push('.');
+            }
+            out.push_str(line);
+        }
+        if !out.ends_with("\r\n") {
+            out.push_str("\r\n");
+        }
+        out.push_str(".\r\n");
+        out
+    }
+
+    /// Parses a `DATA` payload (without the terminating `.` line, with
+    /// dot-stuffing already present) back into headers and body, attaching
+    /// the given envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtpError::Syntax`] on a header line without a colon.
+    pub fn from_data(
+        envelope_from: impl Into<String>,
+        envelope_to: Vec<String>,
+        data: &str,
+    ) -> Result<MailMessage, SmtpError> {
+        let mut headers = Vec::new();
+        let mut body = String::new();
+        let mut in_body = false;
+        for raw_line in data.split_inclusive("\r\n") {
+            let line = raw_line.trim_end_matches(['\r', '\n']);
+            if in_body {
+                // Undo dot-stuffing.
+                let unstuffed = raw_line.strip_prefix('.').unwrap_or(raw_line);
+                body.push_str(unstuffed);
+            } else if line.is_empty() {
+                in_body = true;
+            } else {
+                let (name, value) = line
+                    .split_once(':')
+                    .ok_or_else(|| SmtpError::Syntax(line.to_string()))?;
+                headers.push((name.trim().to_string(), value.trim().to_string()));
+            }
+        }
+        Ok(MailMessage {
+            envelope_from: envelope_from.into(),
+            envelope_to,
+            headers,
+            body,
+        })
+    }
+
+    /// Approximate wire size in bytes (envelope commands + data payload),
+    /// used for bandwidth accounting in experiments.
+    pub fn wire_len(&self) -> usize {
+        let envelope = "MAIL FROM:<>\r\n".len()
+            + self.envelope_from.len()
+            + self
+                .envelope_to
+                .iter()
+                .map(|r| "RCPT TO:<>\r\n".len() + r.len())
+                .sum::<usize>()
+            + "DATA\r\n".len();
+        envelope + self.to_data().len()
+    }
+}
+
+impl fmt::Display for MailMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{} -> {}: {} hdrs, {} body bytes>",
+            self.envelope_from,
+            self.envelope_to.join(","),
+            self.headers.len(),
+            self.body.len()
+        )
+    }
+}
+
+impl MailMessageBuilder {
+    /// Adds a recipient.
+    pub fn also_to(mut self, to: impl Into<String>) -> Self {
+        self.message.envelope_to.push(to.into());
+        self
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.message.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body (use CRLF line endings for wire fidelity).
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.message.body = body.into();
+        self
+    }
+
+    /// Finishes the message.
+    pub fn build(self) -> MailMessage {
+        self.message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MailMessage {
+        MailMessage::builder("alice@a.example", "bob@b.example")
+            .header("Subject", "greetings")
+            .header("X-Zmail-Payment", "1")
+            .body("line one\r\nline two\r\n")
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let m = sample();
+        assert_eq!(m.from(), "alice@a.example");
+        assert_eq!(m.recipients(), ["bob@b.example"]);
+        assert_eq!(m.header("subject"), Some("greetings"));
+        assert_eq!(m.header("X-ZMAIL-PAYMENT"), Some("1"));
+        assert_eq!(m.header("missing"), None);
+    }
+
+    #[test]
+    fn multiple_recipients() {
+        let m = MailMessage::builder("a@x", "b@y").also_to("c@z").build();
+        assert_eq!(m.recipients(), ["b@y", "c@z"]);
+    }
+
+    #[test]
+    fn data_has_headers_blank_line_body_and_terminator() {
+        let data = sample().to_data();
+        assert!(data.starts_with("Subject: greetings\r\n"));
+        assert!(data.contains("\r\n\r\nline one\r\n"));
+        assert!(data.ends_with("\r\nline two\r\n.\r\n"));
+    }
+
+    #[test]
+    fn dot_stuffing_applied_and_removed() {
+        let m = MailMessage::builder("a@x", "b@y")
+            .body(".hidden dot line\r\n..double\r\nplain\r\n")
+            .build();
+        let data = m.to_data();
+        assert!(data.contains("\r\n..hidden dot line\r\n"));
+        assert!(data.contains("\r\n...double\r\n"));
+        // Strip the terminator, parse back, and compare.
+        let payload = data.strip_suffix(".\r\n").unwrap();
+        let back = MailMessage::from_data("a@x", vec!["b@y".into()], payload).unwrap();
+        assert_eq!(back.body(), m.body());
+    }
+
+    #[test]
+    fn from_data_roundtrips_sample() {
+        let m = sample();
+        let data = m.to_data();
+        let payload = data.strip_suffix(".\r\n").unwrap();
+        let back = MailMessage::from_data(m.from(), m.recipients().to_vec(), payload).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_data_rejects_header_without_colon() {
+        let err = MailMessage::from_data("a@x", vec!["b@y".into()], "no colon here\r\n\r\n");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn body_without_trailing_newline_is_terminated() {
+        let m = MailMessage::builder("a@x", "b@y")
+            .body("no newline")
+            .build();
+        let data = m.to_data();
+        assert!(data.ends_with("no newline\r\n.\r\n"));
+    }
+
+    #[test]
+    fn add_and_remove_header() {
+        let mut m = sample();
+        m.add_header("X-Test", "v");
+        assert_eq!(m.header("x-test"), Some("v"));
+        assert_eq!(m.remove_header("X-TEST"), 1);
+        assert_eq!(m.header("x-test"), None);
+        assert_eq!(m.remove_header("x-test"), 0);
+    }
+
+    #[test]
+    fn wire_len_exceeds_body_len() {
+        let m = sample();
+        assert!(m.wire_len() > m.body().len() + m.from().len());
+    }
+
+    #[test]
+    fn display_mentions_route() {
+        let s = sample().to_string();
+        assert!(s.contains("alice@a.example"));
+        assert!(s.contains("bob@b.example"));
+    }
+}

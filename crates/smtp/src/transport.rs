@@ -1,0 +1,272 @@
+//! Transports: line-based connections over memory channels or real TCP.
+//!
+//! The substrate separates the SMTP state machines from byte transport via
+//! the [`Connection`] trait. [`MemoryTransport`] gives tests and simulations
+//! a zero-cost loopback; [`TcpConnection`] and [`TcpMailServer`] run the
+//! same state machines over real sockets for the end-to-end deployability
+//! experiment (E11).
+
+use crate::server::{MailSink, SmtpServer};
+use bytes::{Buf, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bidirectional, line-oriented connection (CRLF framing handled by the
+/// implementation).
+pub trait Connection {
+    /// Sends one line; the implementation appends CRLF.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the peer is gone.
+    fn send_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Receives one line without its CRLF; `Ok(None)` signals a clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the transport fails mid-line.
+    fn recv_line(&mut self) -> io::Result<Option<String>>;
+}
+
+/// An in-memory duplex connection built from two channel pairs.
+///
+/// Dropping one endpoint makes the peer's `recv_line` return `Ok(None)`.
+#[derive(Debug)]
+pub struct MemoryTransport {
+    tx: Sender<String>,
+    rx: Receiver<String>,
+}
+
+impl MemoryTransport {
+    /// Creates a connected pair of endpoints.
+    pub fn pair() -> (MemoryTransport, MemoryTransport) {
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        (
+            MemoryTransport { tx: a_tx, rx: b_rx },
+            MemoryTransport { tx: b_tx, rx: a_rx },
+        )
+    }
+}
+
+impl Connection for MemoryTransport {
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.tx
+            .send(line.to_string())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped"))
+    }
+
+    fn recv_line(&mut self) -> io::Result<Option<String>> {
+        match self.rx.recv() {
+            Ok(line) => Ok(Some(line)),
+            Err(_) => Ok(None), // peer dropped: clean EOF
+        }
+    }
+}
+
+/// A line-framed connection over a real TCP stream.
+#[derive(Debug)]
+pub struct TcpConnection {
+    stream: TcpStream,
+    buffer: BytesMut,
+}
+
+impl TcpConnection {
+    /// Wraps an accepted or connected stream.
+    ///
+    /// Disables Nagle's algorithm: SMTP is a lockstep request/reply
+    /// protocol of small lines, the worst case for delayed-ACK
+    /// interaction.
+    pub fn new(stream: TcpStream) -> Self {
+        let _ = stream.set_nodelay(true);
+        TcpConnection {
+            stream,
+            buffer: BytesMut::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Connects to a listening server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+
+    /// Looks for a complete CRLF-terminated line in the buffer.
+    fn take_buffered_line(&mut self) -> Option<String> {
+        let pos = self.buffer.windows(2).position(|w| w == b"\r\n")?;
+        let line = String::from_utf8_lossy(&self.buffer[..pos]).into_owned();
+        self.buffer.advance(pos + 2);
+        Some(line)
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        Ok(())
+    }
+
+    fn recv_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(line) = self.take_buffered_line() {
+                return Ok(Some(line));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// A threaded TCP mail server: accepts connections on a loopback port and
+/// runs one [`SmtpServer`] session per connection.
+#[derive(Debug)]
+pub struct TcpMailServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpMailServer {
+    /// Binds `127.0.0.1:0` and starts serving with the given sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start<S>(hostname: impl Into<String>, sink: S) -> io::Result<TcpMailServer>
+    where
+        S: MailSink + Clone + Send + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hostname = hostname.into();
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let server = SmtpServer::new(hostname.clone(), sink.clone());
+                sessions.push(std::thread::spawn(move || {
+                    let _ = server.serve(TcpConnection::new(stream));
+                }));
+            }
+            for s in sessions {
+                let _ = s.join();
+            }
+        });
+        Ok(TcpMailServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Idempotent.
+    pub fn stop(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Kick the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpMailServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pair_exchanges_lines_both_ways() {
+        let (mut a, mut b) = MemoryTransport::pair();
+        a.send_line("ping").unwrap();
+        assert_eq!(b.recv_line().unwrap(), Some("ping".into()));
+        b.send_line("pong").unwrap();
+        assert_eq!(a.recv_line().unwrap(), Some("pong".into()));
+    }
+
+    #[test]
+    fn memory_eof_on_peer_drop() {
+        let (mut a, b) = MemoryTransport::pair();
+        drop(b);
+        assert!(a.send_line("into the void").is_err());
+        assert_eq!(a.recv_line().unwrap(), None);
+    }
+
+    #[test]
+    fn memory_lines_are_fifo() {
+        let (mut a, mut b) = MemoryTransport::pair();
+        for i in 0..10 {
+            a.send_line(&format!("l{i}")).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(b.recv_line().unwrap(), Some(format!("l{i}")));
+        }
+    }
+
+    #[test]
+    fn tcp_connection_roundtrips_lines() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = TcpConnection::new(stream);
+            let got = conn.recv_line().unwrap().unwrap();
+            conn.send_line(&format!("echo: {got}")).unwrap();
+            // Two lines arriving in one TCP segment must both frame.
+            let one = conn.recv_line().unwrap().unwrap();
+            let two = conn.recv_line().unwrap().unwrap();
+            conn.send_line(&format!("{one}+{two}")).unwrap();
+        });
+        let mut client = TcpConnection::connect(addr).unwrap();
+        client.send_line("hello").unwrap();
+        assert_eq!(client.recv_line().unwrap(), Some("echo: hello".into()));
+        // Write both lines in a single syscall to exercise buffering.
+        client.stream.write_all(b"a\r\nb\r\n").unwrap();
+        assert_eq!(client.recv_line().unwrap(), Some("a+b".into()));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_eof_reported_as_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        });
+        let mut client = TcpConnection::connect(addr).unwrap();
+        assert_eq!(client.recv_line().unwrap(), None);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! The `X-Zmail-*` extension headers: Zmail metadata over unmodified SMTP.
+//!
+//! §1.3 of the paper: *"Zmail can be implemented on top of the current
+//! Internet email protocol SMTP. Zmail requires no change to SMTP."* The
+//! concrete mechanism is ordinary message headers that compliant ISPs stamp
+//! and interpret while non-compliant relays pass them through untouched:
+//!
+//! * `X-Zmail-Payment` — the e-penny amount attached to the message;
+//! * `X-Zmail-Kind` — `normal` or `ack` (§5's automatic mailing-list
+//!   acknowledgment, processed by software rather than delivered to a
+//!   human inbox);
+//! * `X-Zmail-Ack-To` — where an acknowledgment should be returned.
+
+use crate::message::MailMessage;
+
+/// Header carrying the e-penny payment amount.
+pub const HEADER_PAYMENT: &str = "X-Zmail-Payment";
+/// Header distinguishing normal mail from automatic acknowledgments.
+pub const HEADER_KIND: &str = "X-Zmail-Kind";
+/// Header naming the address acknowledgments should return the e-penny to.
+pub const HEADER_ACK_TO: &str = "X-Zmail-Ack-To";
+
+/// Parsed view of a message's Zmail headers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ZmailHeaders {
+    /// E-pennies attached to the message (`None` for non-compliant mail).
+    pub payment: Option<i64>,
+    /// Whether the message is an automatic acknowledgment.
+    pub is_ack: bool,
+    /// Where an acknowledgment should be sent, if requested.
+    pub ack_to: Option<String>,
+}
+
+impl ZmailHeaders {
+    /// Extracts the Zmail headers from a message.
+    ///
+    /// Unparseable payment values are treated as absent rather than errors:
+    /// a non-compliant relay may mangle headers, and the protocol's rule
+    /// for non-compliant mail is "deliver, segregate, or filter" — never
+    /// crash.
+    pub fn extract(message: &MailMessage) -> ZmailHeaders {
+        ZmailHeaders {
+            payment: message
+                .header(HEADER_PAYMENT)
+                .and_then(|v| v.trim().parse().ok()),
+            is_ack: message
+                .header(HEADER_KIND)
+                .is_some_and(|v| v.eq_ignore_ascii_case("ack")),
+            ack_to: message.header(HEADER_ACK_TO).map(str::to_string),
+        }
+    }
+
+    /// Stamps these headers onto a message, replacing earlier copies so a
+    /// malicious sender cannot pre-load a forged payment stamp.
+    pub fn stamp(&self, message: &mut MailMessage) {
+        message.remove_header(HEADER_PAYMENT);
+        message.remove_header(HEADER_KIND);
+        message.remove_header(HEADER_ACK_TO);
+        if let Some(amount) = self.payment {
+            message.add_header(HEADER_PAYMENT, amount.to_string());
+        }
+        message.add_header(HEADER_KIND, if self.is_ack { "ack" } else { "normal" });
+        if let Some(ack_to) = &self.ack_to {
+            message.add_header(HEADER_ACK_TO, ack_to.clone());
+        }
+    }
+
+    /// Builds the headers for a paid normal message requesting an ack back
+    /// to `ack_to` (the mailing-list distributor pattern).
+    pub fn paid_with_ack(payment: i64, ack_to: impl Into<String>) -> ZmailHeaders {
+        ZmailHeaders {
+            payment: Some(payment),
+            is_ack: false,
+            ack_to: Some(ack_to.into()),
+        }
+    }
+
+    /// Builds the headers for an acknowledgment message returning
+    /// `payment` e-pennies.
+    pub fn ack(payment: i64) -> ZmailHeaders {
+        ZmailHeaders {
+            payment: Some(payment),
+            is_ack: true,
+            ack_to: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> MailMessage {
+        MailMessage::builder("a@x", "b@y").body("hi\r\n").build()
+    }
+
+    #[test]
+    fn stamp_then_extract_roundtrips() {
+        let mut m = blank();
+        let h = ZmailHeaders::paid_with_ack(1, "list@l.example");
+        h.stamp(&mut m);
+        let back = ZmailHeaders::extract(&m);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn ack_headers() {
+        let mut m = blank();
+        ZmailHeaders::ack(1).stamp(&mut m);
+        let back = ZmailHeaders::extract(&m);
+        assert!(back.is_ack);
+        assert_eq!(back.payment, Some(1));
+        assert_eq!(back.ack_to, None);
+    }
+
+    #[test]
+    fn stamp_replaces_forged_payment() {
+        let mut m = MailMessage::builder("spammer@x", "victim@y")
+            .header(HEADER_PAYMENT, "1000000")
+            .body("buy things\r\n")
+            .build();
+        ZmailHeaders {
+            payment: Some(1),
+            is_ack: false,
+            ack_to: None,
+        }
+        .stamp(&mut m);
+        assert_eq!(ZmailHeaders::extract(&m).payment, Some(1));
+        // Exactly one payment header remains.
+        let count = m
+            .headers()
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(HEADER_PAYMENT))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn absent_headers_extract_as_noncompliant() {
+        let h = ZmailHeaders::extract(&blank());
+        assert_eq!(h.payment, None);
+        assert!(!h.is_ack);
+        assert_eq!(h.ack_to, None);
+    }
+
+    #[test]
+    fn mangled_payment_is_treated_as_absent() {
+        let m = MailMessage::builder("a@x", "b@y")
+            .header(HEADER_PAYMENT, "one e-penny")
+            .body("x\r\n")
+            .build();
+        assert_eq!(ZmailHeaders::extract(&m).payment, None);
+    }
+
+    #[test]
+    fn headers_survive_data_roundtrip() {
+        let mut m = blank();
+        ZmailHeaders::paid_with_ack(1, "dist@l").stamp(&mut m);
+        let data = m.to_data();
+        let payload = data.strip_suffix(".\r\n").unwrap();
+        let back = MailMessage::from_data(m.from(), m.recipients().to_vec(), payload).unwrap();
+        assert_eq!(ZmailHeaders::extract(&back), ZmailHeaders::extract(&m));
+    }
+}

@@ -1,0 +1,65 @@
+//! Mailing lists under Zmail (§5): acknowledgment refunds and database
+//! pruning in action.
+//!
+//! Run with: `cargo run --example mailing_list`
+
+use zmail::core::{ListConfig, ListServer};
+use zmail::sim::{Sampler, Table};
+
+fn main() {
+    let mut sampler = Sampler::new(11);
+
+    // A 5 000-subscriber list where 12% of the database is dead wood.
+    let base = ListConfig {
+        subscribers: 5_000,
+        alive_fraction: 0.88,
+        ack_rate: 0.97,
+        prune_after_misses: 3,
+        acks_enabled: true,
+    };
+
+    // Regime A: naive sender-pays — the distributor eats the full fanout.
+    let mut naive = ListServer::new(
+        ListConfig {
+            acks_enabled: false,
+            ..base
+        },
+        &mut sampler,
+    );
+    // Regime B: the paper's automatic acknowledgments.
+    let mut acked = ListServer::new(base, &mut sampler);
+
+    let mut table = Table::new(&[
+        "post #",
+        "naive cost (e¢)",
+        "ack'd cost (e¢)",
+        "subscribers left",
+        "pruned so far",
+    ]);
+    for post in 1..=8u32 {
+        let naive_report = naive.post(&mut sampler);
+        let acked_report = acked.post(&mut sampler);
+        table.row_owned(vec![
+            post.to_string(),
+            naive_report.net_cost().amount().to_string(),
+            acked_report.net_cost().amount().to_string(),
+            acked.subscriber_count().to_string(),
+            acked.stats().pruned.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let stats = acked.stats();
+    println!(
+        "with acknowledgments: {} copies sent, {} refunded ({:.1}% recovered), {} dead subscribers pruned",
+        stats.sent,
+        stats.acked,
+        100.0 * stats.acked as f64 / stats.sent as f64,
+        stats.pruned
+    );
+    println!(
+        "database hygiene: {} of {} remaining subscribers are alive",
+        acked.live_count(),
+        acked.subscriber_count()
+    );
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every experiment (E1-E15) into results/, then records the
+# full test and bench outputs. Run from the repository root.
+set -euo pipefail
+
+mkdir -p results
+experiments=(
+  e1_spammer_economics e2_zero_sum e3_misbehavior e4_mailing_lists
+  e5_zombies e6_deployment e7_payment_overhead e8_filter_comparison
+  e9_hashcash e10_spam_share e11_smtp_throughput e12_spec_check
+  e13_lossy_network e14_federated_banks e15_bank_recovery
+)
+for e in "${experiments[@]}"; do
+  echo "== $e"
+  cargo run --release -q -p zmail-bench --bin "$e" | tee "results/$e.txt"
+done
+
+cargo test --workspace 2>&1 | tee test_output.txt
+cargo bench --workspace 2>&1 | tee bench_output.txt

@@ -1,0 +1,49 @@
+//! Zmail: zero-sum free-market control of spam — a full reproduction.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the Zmail protocol itself (ISPs, bank, snapshots, mailing
+//!   lists, zombie limits, the SMTP bridge, and the machine-checked
+//!   formal spec);
+//! * [`ap`] — the Abstract Protocol notation engine;
+//! * [`crypto`] — the simulation-grade `NNC`/`NCR`/`DCR` substrate;
+//! * [`smtp`] — the RFC 821 substrate Zmail deploys over;
+//! * [`sim`] — the discrete-event simulator and workload models;
+//! * [`econ`] — spammer economics, adoption dynamics, the spam market;
+//! * [`baselines`] — SHRED, Vanquish, hashcash, challenge-response,
+//!   naive Bayes, black/whitelists, and plain SMTP.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the experiment
+//! suite (run via `cargo run -p zmail-bench --bin e1_spammer_economics`
+//! and friends).
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use zmail::core::{ZmailConfig, ZmailSystem};
+//! use zmail::sim::{SimDuration, Sampler, TrafficConfig, TrafficGenerator};
+//!
+//! let config = ZmailConfig::builder(2, 10).build();
+//! let traffic = TrafficConfig {
+//!     isps: 2,
+//!     users_per_isp: 10,
+//!     horizon: SimDuration::from_days(1),
+//!     ..TrafficConfig::default()
+//! };
+//! let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(1));
+//! let mut system = ZmailSystem::new(config, 1);
+//! let report = system.run_trace(&trace);
+//! assert!(report.delivered_total() > 0);
+//! system.audit().expect("every e-penny accounted for");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use zmail_ap as ap;
+pub use zmail_baselines as baselines;
+pub use zmail_core as core;
+pub use zmail_crypto as crypto;
+pub use zmail_econ as econ;
+pub use zmail_sim as sim;
+pub use zmail_smtp as smtp;

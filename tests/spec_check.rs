@@ -1,0 +1,62 @@
+//! Machine-checking the paper's formal specification (appendix / §4) with
+//! bounded state-space exploration.
+
+use zmail::ap::ExploreOutcome;
+use zmail::core::spec::{check, SpecParams, TimeoutMode};
+
+#[test]
+fn baseline_configuration_is_exhaustively_clean() {
+    let report = check(SpecParams::default(), 500_000);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.outcome, ExploreOutcome::Exhausted);
+}
+
+#[test]
+fn richer_balances_and_two_rounds_remain_clean() {
+    let params = SpecParams {
+        initial_balance: 2,
+        limit: 3,
+        max_rounds: 2,
+        ..SpecParams::default()
+    };
+    let report = check(params, 2_000_000);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn paper_literal_timeout_has_a_reachable_false_positive() {
+    // The reproduction's headline formal finding: reading the 10-minute
+    // wait as "my own channels drained" (instead of global quiescence)
+    // lets the bank flag two honest ISPs. See core::spec module docs.
+    let params = SpecParams {
+        timeout_mode: TimeoutMode::LocalDrain,
+        initial_balance: 2,
+        ..SpecParams::default()
+    };
+    let report = check(params, 2_000_000);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("flagged honest")),
+        "expected reachable false positive, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn exploration_scales_to_three_isps() {
+    let params = SpecParams {
+        isps: 3,
+        initial_balance: 1,
+        limit: 1,
+        ..SpecParams::default()
+    };
+    let report = check(params, 2_000_000);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert!(
+        report.states_visited > 1_000,
+        "three-ISP space should be substantial, visited {}",
+        report.states_visited
+    );
+}
