@@ -11,12 +11,31 @@
 //! exact depth at which it occurs, and a clean report over tens of thousands
 //! of states is strong evidence for the invariants the paper asserts
 //! informally.
+//!
+//! # Parallel exploration
+//!
+//! With [`ExploreConfig::threads`] > 1 the walk runs level-synchronously:
+//! each BFS frontier is split into chunks fed to per-worker
+//! `crossbeam::deque` queues (idle workers steal from the others), workers
+//! evaluate invariants and expand successors against a fingerprint-sharded
+//! `seen` set, and a sequential *control pass* then replays the per-state
+//! bookkeeping in exact frontier order. Because BFS discovery order within
+//! a level is the lexicographic `(parent rank, action index)` order, sorting
+//! each level's newly discovered states by that key reconstructs the precise
+//! queue the sequential walk would have built — so the report (visited and
+//! transition counts, violation list, counterexample) is **identical for
+//! every thread count**, including `threads = 1`, which takes a dedicated
+//! sequential fast path. The first violation reported is therefore always
+//! the minimum-depth one, tie-broken by lexicographic action sequence.
 
 use crate::process::SystemSpec;
 use crate::state::SystemState;
 use crate::ApError;
-use std::collections::{HashSet, VecDeque};
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::sync::OnceLock;
 
 /// Limits and switches for [`explore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +54,11 @@ pub struct ExploreConfig {
     /// counterexample — the exact action sequence from the initial state.
     /// Costs one map entry per visited state.
     pub record_counterexample: bool,
+    /// Worker threads for the exploration: `1` (the default) explores
+    /// sequentially, `0` uses the machine's available parallelism, any
+    /// other value spawns that many workers. The report is identical for
+    /// every setting.
+    pub threads: usize,
 }
 
 impl Default for ExploreConfig {
@@ -45,6 +69,23 @@ impl Default for ExploreConfig {
             deadlock_is_error: false,
             stop_at_first_violation: true,
             record_counterexample: true,
+            threads: 1,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// This config with `threads` workers (see [`ExploreConfig::threads`]).
+    pub fn with_threads(self, threads: usize) -> Self {
+        ExploreConfig { threads, ..self }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -86,6 +127,17 @@ impl ExploreReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    fn new() -> Self {
+        ExploreReport {
+            states_visited: 0,
+            transitions: 0,
+            max_depth_reached: 0,
+            violations: Vec::new(),
+            outcome: ExploreOutcome::Exhausted,
+            counterexample: None,
+        }
+    }
 }
 
 /// Explores the state space of `spec` starting from `initial`, checking
@@ -93,7 +145,45 @@ impl ExploreReport {
 ///
 /// The invariant returns `Ok(())` for healthy states and `Err(description)`
 /// otherwise. States are deduplicated by [`SystemState::fingerprint`].
+/// The produced report is independent of [`ExploreConfig::threads`].
 pub fn explore<S, M>(
+    spec: &SystemSpec<S, M>,
+    initial: SystemState<S, M>,
+    config: ExploreConfig,
+    invariant: impl Fn(&SystemState<S, M>) -> Result<(), String> + Sync,
+) -> ExploreReport
+where
+    S: Clone + Hash + Send + Sync,
+    M: Clone + Hash + Send + Sync,
+{
+    if config.resolved_threads() <= 1 {
+        explore_sequential(spec, initial, config, invariant)
+    } else {
+        explore_parallel(spec, initial, config, invariant)
+    }
+}
+
+/// Reconstructs the action-name path from the initial state to `fp` by
+/// following parent links.
+fn reconstruct_path<S, M>(
+    spec: &SystemSpec<S, M>,
+    parents: &HashMap<u64, (u64, usize)>,
+    mut fp: u64,
+) -> Vec<String> {
+    let mut path = Vec::new();
+    while let Some(&(parent_fp, action_index)) = parents.get(&fp) {
+        path.push(spec.actions()[action_index].name.clone());
+        fp = parent_fp;
+    }
+    path.reverse();
+    path
+}
+
+// ---------------------------------------------------------------------
+// Sequential fast path (threads == 1)
+// ---------------------------------------------------------------------
+
+fn explore_sequential<S, M>(
     spec: &SystemSpec<S, M>,
     initial: SystemState<S, M>,
     config: ExploreConfig,
@@ -104,41 +194,25 @@ where
     M: Clone + Hash,
 {
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut queue: VecDeque<(SystemState<S, M>, usize)> = VecDeque::new();
+    // Fingerprints are computed once, on discovery, and carried through the
+    // queue so neither the dedup check nor the parent map re-hashes a state.
+    let mut queue: VecDeque<(SystemState<S, M>, u64, usize)> = VecDeque::new();
     // fingerprint -> (parent fingerprint, action index taken from parent)
-    let mut parents: std::collections::HashMap<u64, (u64, usize)> =
-        std::collections::HashMap::new();
-    let mut report = ExploreReport {
-        states_visited: 0,
-        transitions: 0,
-        max_depth_reached: 0,
-        violations: Vec::new(),
-        outcome: ExploreOutcome::Exhausted,
-        counterexample: None,
-    };
+    let mut parents: HashMap<u64, (u64, usize)> = HashMap::new();
+    let mut enabled: Vec<usize> = Vec::new();
+    let mut report = ExploreReport::new();
 
     let root_fp = initial.fingerprint();
     seen.insert(root_fp);
-    queue.push_back((initial, 0));
+    queue.push_back((initial, root_fp, 0));
 
-    let reconstruct =
-        |parents: &std::collections::HashMap<u64, (u64, usize)>, mut fp: u64| -> Vec<String> {
-            let mut path = Vec::new();
-            while let Some(&(parent_fp, action_index)) = parents.get(&fp) {
-                path.push(spec.actions()[action_index].name.clone());
-                fp = parent_fp;
-            }
-            path.reverse();
-            path
-        };
-
-    while let Some((state, depth)) = queue.pop_front() {
+    while let Some((state, state_fp, depth)) = queue.pop_front() {
         report.states_visited += 1;
         report.max_depth_reached = report.max_depth_reached.max(depth);
 
         if let Err(message) = invariant(&state) {
             if report.violations.is_empty() && config.record_counterexample {
-                report.counterexample = Some(reconstruct(&parents, state.fingerprint()));
+                report.counterexample = Some(reconstruct_path(spec, &parents, state_fp));
             }
             report.violations.push(ApError::InvariantViolated {
                 message,
@@ -158,11 +232,11 @@ where
             continue;
         }
 
-        let enabled = spec.enabled_actions(&state);
+        spec.enabled_into(&state, &mut enabled);
         if enabled.is_empty() {
             if config.deadlock_is_error {
                 if report.violations.is_empty() && config.record_counterexample {
-                    report.counterexample = Some(reconstruct(&parents, state.fingerprint()));
+                    report.counterexample = Some(reconstruct_path(spec, &parents, state_fp));
                 }
                 report
                     .violations
@@ -174,19 +248,305 @@ where
             }
             continue;
         }
-        let state_fp = state.fingerprint();
-        for index in enabled {
+        report.transitions += enabled.len();
+        // The last enabled action consumes the popped state instead of
+        // cloning it — one clone saved per expanded state.
+        let (head, last) = enabled.split_at(enabled.len() - 1);
+        for &index in head {
             let mut next = state.clone();
-            spec.execute(index, &mut next);
-            report.transitions += 1;
+            spec.execute_unchecked(index, &mut next);
             let next_fp = next.fingerprint();
             if seen.insert(next_fp) {
                 if config.record_counterexample {
                     parents.insert(next_fp, (state_fp, index));
                 }
-                queue.push_back((next, depth + 1));
+                queue.push_back((next, next_fp, depth + 1));
             }
         }
+        let index = last[0];
+        let mut next = state;
+        spec.execute_unchecked(index, &mut next);
+        let next_fp = next.fingerprint();
+        if seen.insert(next_fp) {
+            if config.record_counterexample {
+                parents.insert(next_fp, (state_fp, index));
+            }
+            queue.push_back((next, next_fp, depth + 1));
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Parallel level-synchronous path (threads >= 2)
+// ---------------------------------------------------------------------
+
+/// Shard count for the fingerprint-sharded sets; a power of two so the
+/// shard index is a mask of the fingerprint's low bits.
+const SEEN_SHARDS: usize = 64;
+
+/// A `u64`-keyed map sharded by the key's low bits, each shard behind its
+/// own mutex so concurrent readers/writers only contend within a shard.
+struct ShardedMap<V> {
+    shards: Vec<Mutex<HashMap<u64, V>>>,
+}
+
+impl<V> ShardedMap<V> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..SEEN_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<HashMap<u64, V>> {
+        &self.shards[(fp as usize) & (SEEN_SHARDS - 1)]
+    }
+
+    fn contains(&self, fp: u64) -> bool {
+        self.shard(fp).lock().contains_key(&fp)
+    }
+
+    fn insert(&self, fp: u64, value: V) {
+        self.shard(fp).lock().insert(fp, value);
+    }
+
+    fn get_cloned(&self, fp: u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(fp).lock().get(&fp).cloned()
+    }
+}
+
+/// One frontier entry: a state plus its precomputed fingerprint.
+struct Frame<S, M> {
+    fp: u64,
+    state: SystemState<S, M>,
+}
+
+/// What a worker computed for one frontier rank; consumed by the control
+/// pass.
+struct RankOut {
+    invariant_err: Option<String>,
+    enabled_count: usize,
+}
+
+/// A newly discovered state, keyed for deterministic ordering by its
+/// discovery position `(parent rank in frontier, action index)`.
+struct Candidate<S, M> {
+    key: (usize, usize),
+    parent_fp: u64,
+    state: SystemState<S, M>,
+}
+
+fn explore_parallel<S, M>(
+    spec: &SystemSpec<S, M>,
+    initial: SystemState<S, M>,
+    config: ExploreConfig,
+    invariant: impl Fn(&SystemState<S, M>) -> Result<(), String> + Sync,
+) -> ExploreReport
+where
+    S: Clone + Hash + Send + Sync,
+    M: Clone + Hash + Send + Sync,
+{
+    let threads = config.resolved_threads();
+    let mut report = ExploreReport::new();
+
+    // All fingerprints ever discovered (frontier members included). Workers
+    // read it concurrently during a level; the merge phase inserts the
+    // level's survivors.
+    let seen: ShardedMap<()> = ShardedMap::new();
+    // fingerprint -> (parent fingerprint, action index), for counterexample
+    // reconstruction. Written during merges, read when a violation needs a
+    // path.
+    let parents: ShardedMap<(u64, usize)> = ShardedMap::new();
+
+    let root_fp = initial.fingerprint();
+    seen.insert(root_fp, ());
+    let mut frontier: Vec<Frame<S, M>> = vec![Frame {
+        fp: root_fp,
+        state: initial,
+    }];
+    let mut depth = 0usize;
+
+    let reconstruct = |fp: u64| -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cursor = fp;
+        while let Some((parent_fp, action_index)) = parents.get_cloned(cursor) {
+            path.push(spec.actions()[action_index].name.clone());
+            cursor = parent_fp;
+        }
+        path.reverse();
+        path
+    };
+
+    while !frontier.is_empty() {
+        let expand = depth < config.max_depth;
+        // Per-rank worker outputs; each slot is written by exactly one
+        // worker (ranks are partitioned across chunks).
+        let outs: Vec<OnceLock<RankOut>> = (0..frontier.len()).map(|_| OnceLock::new()).collect();
+        // Per-level discoveries, sharded like `seen`.
+        let candidates: ShardedMap<Candidate<S, M>> = ShardedMap::new();
+
+        // Chunk the frontier across per-worker deques; idle workers steal.
+        let chunk = (frontier.len() / (threads * 8)).max(1);
+        let queues: Vec<Worker<(usize, usize)>> =
+            (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<(usize, usize)>> = queues.iter().map(Worker::stealer).collect();
+        let mut start = 0usize;
+        let mut which = 0usize;
+        while start < frontier.len() {
+            let end = (start + chunk).min(frontier.len());
+            queues[which % threads].push((start, end));
+            which += 1;
+            start = end;
+        }
+
+        let frontier_ref = &frontier;
+        let outs_ref = &outs;
+        let candidates_ref = &candidates;
+        let seen_ref = &seen;
+        let invariant_ref = &invariant;
+
+        std::thread::scope(|scope| {
+            for (w, own) in queues.into_iter().enumerate() {
+                let stealers = &stealers;
+                scope.spawn(move || {
+                    let mut enabled: Vec<usize> = Vec::new();
+                    loop {
+                        // Own queue first, then round-robin steal attempts.
+                        let job = own.pop().or_else(|| {
+                            for offset in 1..stealers.len() {
+                                let victim = &stealers[(w + offset) % stealers.len()];
+                                loop {
+                                    match victim.steal() {
+                                        Steal::Success(job) => return Some(job),
+                                        Steal::Retry => continue,
+                                        Steal::Empty => break,
+                                    }
+                                }
+                            }
+                            None
+                        });
+                        let Some((lo, hi)) = job else { break };
+                        for rank in lo..hi {
+                            let frame = &frontier_ref[rank];
+                            let invariant_err = invariant_ref(&frame.state).err();
+                            let mut enabled_count = 0;
+                            if expand {
+                                spec.enabled_into(&frame.state, &mut enabled);
+                                enabled_count = enabled.len();
+                                for &action_index in &enabled {
+                                    let mut child = frame.state.clone();
+                                    spec.execute_unchecked(action_index, &mut child);
+                                    let child_fp = child.fingerprint();
+                                    if seen_ref.contains(child_fp) {
+                                        continue;
+                                    }
+                                    // First discoverer in BFS order wins:
+                                    // keep the minimum (rank, action) key.
+                                    let key = (rank, action_index);
+                                    let mut shard = candidates_ref.shard(child_fp).lock();
+                                    match shard.entry(child_fp) {
+                                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                                            if key < e.get().key {
+                                                let slot = e.get_mut();
+                                                slot.key = key;
+                                                slot.parent_fp = frame.fp;
+                                            }
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(v) => {
+                                            v.insert(Candidate {
+                                                key,
+                                                parent_fp: frame.fp,
+                                                state: child,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            let _ = outs_ref[rank].set(RankOut {
+                                invariant_err,
+                                enabled_count,
+                            });
+                        }
+                    }
+                });
+            }
+        });
+
+        // Control pass: replay the sequential per-state bookkeeping in
+        // frontier order using the precomputed results. Any early return
+        // here discards the level's speculative expansions, exactly like
+        // the sequential walk never reaching those queue entries.
+        for (rank, out_slot) in outs.iter().enumerate() {
+            let out = out_slot.get().expect("worker covered every rank");
+            report.states_visited += 1;
+            report.max_depth_reached = report.max_depth_reached.max(depth);
+
+            if let Some(message) = out.invariant_err.clone() {
+                if report.violations.is_empty() && config.record_counterexample {
+                    report.counterexample = Some(reconstruct(frontier[rank].fp));
+                }
+                report.violations.push(ApError::InvariantViolated {
+                    message,
+                    depth: Some(depth),
+                });
+                if config.stop_at_first_violation {
+                    report.outcome = ExploreOutcome::StoppedAtViolation;
+                    return report;
+                }
+            }
+
+            if report.states_visited >= config.max_states {
+                report.outcome = ExploreOutcome::StateBudgetReached;
+                return report;
+            }
+            if !expand {
+                continue;
+            }
+            if out.enabled_count == 0 {
+                if config.deadlock_is_error {
+                    if report.violations.is_empty() && config.record_counterexample {
+                        report.counterexample = Some(reconstruct(frontier[rank].fp));
+                    }
+                    report
+                        .violations
+                        .push(ApError::Deadlock { depth: Some(depth) });
+                    if config.stop_at_first_violation {
+                        report.outcome = ExploreOutcome::StoppedAtViolation;
+                        return report;
+                    }
+                }
+                continue;
+            }
+            report.transitions += out.enabled_count;
+        }
+
+        // Merge: sort the level's discoveries into BFS order, publish them
+        // to `seen`/`parents`, and make them the next frontier.
+        let mut discovered: Vec<(u64, Candidate<S, M>)> = candidates
+            .shards
+            .into_iter()
+            .flat_map(|shard| shard.into_inner().into_iter())
+            .collect();
+        discovered.sort_by_key(|(_, c)| c.key);
+        frontier = discovered
+            .into_iter()
+            .map(|(fp, cand)| {
+                seen.insert(fp, ());
+                if config.record_counterexample {
+                    parents.insert(fp, (cand.parent_fp, cand.key.1));
+                }
+                Frame {
+                    fp,
+                    state: cand.state,
+                }
+            })
+            .collect();
+        depth += 1;
     }
     report
 }
@@ -211,11 +571,11 @@ pub fn find_reachable<S, M>(
     spec: &SystemSpec<S, M>,
     initial: SystemState<S, M>,
     config: ExploreConfig,
-    goal: impl Fn(&SystemState<S, M>) -> bool,
+    goal: impl Fn(&SystemState<S, M>) -> bool + Sync,
 ) -> Option<ReachabilityWitness>
 where
-    S: Clone + Hash,
-    M: Clone + Hash,
+    S: Clone + Hash + Send + Sync,
+    M: Clone + Hash + Send + Sync,
 {
     let config = ExploreConfig {
         stop_at_first_violation: true,
@@ -295,24 +655,8 @@ mod tests {
         st.local_states().iter().filter(|s| s.holding).count() + st.total_in_flight()
     }
 
-    #[test]
-    fn exploration_exhausts_small_ring_and_holds_invariant() {
-        let spec = ring_spec(3, 3);
-        let report = explore(&spec, ring_initial(3), ExploreConfig::default(), |st| {
-            if tokens_in_system(st) == 1 {
-                Ok(())
-            } else {
-                Err(format!("{} tokens in system", tokens_in_system(st)))
-            }
-        });
-        assert!(report.is_clean(), "violations: {:?}", report.violations);
-        assert_eq!(report.outcome, ExploreOutcome::Exhausted);
-        assert!(report.states_visited > 3);
-    }
-
-    #[test]
-    fn exploration_finds_planted_violation() {
-        // A broken ring that duplicates the token.
+    /// Two-process protocol with a planted token-duplication bug.
+    fn duplicating_spec() -> (SystemSpec<Tok, ()>, SystemState<Tok, ()>) {
         let mut spec = SystemSpec::<Tok, ()>::new();
         let a = spec.add_process("a");
         let b = spec.add_process("b");
@@ -335,6 +679,27 @@ mod tests {
         ];
         locals[0].holding = true;
         let initial = SystemState::new(locals, 2);
+        (spec, initial)
+    }
+
+    #[test]
+    fn exploration_exhausts_small_ring_and_holds_invariant() {
+        let spec = ring_spec(3, 3);
+        let report = explore(&spec, ring_initial(3), ExploreConfig::default(), |st| {
+            if tokens_in_system(st) == 1 {
+                Ok(())
+            } else {
+                Err(format!("{} tokens in system", tokens_in_system(st)))
+            }
+        });
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcome, ExploreOutcome::Exhausted);
+        assert!(report.states_visited > 3);
+    }
+
+    #[test]
+    fn exploration_finds_planted_violation() {
+        let (spec, initial) = duplicating_spec();
         let report = explore(&spec, initial, ExploreConfig::default(), |st| {
             if tokens_in_system(st) <= 1 {
                 Ok(())
@@ -355,30 +720,9 @@ mod tests {
 
     #[test]
     fn counterexample_replays_to_the_violation() {
-        // Same duplicated-token protocol as above; the counterexample must
-        // be an executable path that actually reaches the bad state.
-        let mut spec = SystemSpec::<Tok, ()>::new();
-        let a = spec.add_process("a");
-        let b = spec.add_process("b");
-        spec.add_action(
-            a,
-            "dup",
-            Guard::local(|s: &Tok| s.holding && s.count == 0),
-            move |s, _, fx| {
-                s.count = 1;
-                fx.send(b, ());
-            },
-        );
-        spec.add_action(b, "take", Guard::receive(a), |s, _, _| s.holding = true);
-        let mut locals = vec![
-            Tok {
-                holding: false,
-                count: 0
-            };
-            2
-        ];
-        locals[0].holding = true;
-        let initial = SystemState::new(locals, 2);
+        // The counterexample must be an executable path that actually
+        // reaches the bad state.
+        let (spec, initial) = duplicating_spec();
         let report = explore(&spec, initial.clone(), ExploreConfig::default(), |st| {
             if tokens_in_system(st) <= 1 {
                 Ok(())
@@ -509,5 +853,127 @@ mod tests {
         let report = explore(&spec, ring_initial(2), config, |_| Err("always".into()));
         assert_eq!(report.violations.len(), report.states_visited);
         assert_eq!(report.outcome, ExploreOutcome::Exhausted);
+    }
+
+    // -----------------------------------------------------------------
+    // Determinism across thread counts
+    // -----------------------------------------------------------------
+
+    /// The invariant used by the clean-ring equivalence checks.
+    fn one_token(st: &SystemState<Tok, ()>) -> Result<(), String> {
+        if tokens_in_system(st) == 1 {
+            Ok(())
+        } else {
+            Err(format!("{} tokens in system", tokens_in_system(st)))
+        }
+    }
+
+    #[test]
+    fn parallel_report_identical_on_clean_ring() {
+        let spec = ring_spec(4, 4);
+        let sequential = explore(&spec, ring_initial(4), ExploreConfig::default(), one_token);
+        for threads in [2, 3, 4, 8] {
+            let parallel = explore(
+                &spec,
+                ring_initial(4),
+                ExploreConfig::default().with_threads(threads),
+                one_token,
+            );
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_report_identical_on_planted_violation() {
+        let (spec, initial) = duplicating_spec();
+        let check = |st: &SystemState<Tok, ()>| {
+            if tokens_in_system(st) <= 1 {
+                Ok(())
+            } else {
+                Err("token duplicated".to_string())
+            }
+        };
+        let sequential = explore(&spec, initial.clone(), ExploreConfig::default(), check);
+        for threads in [2, 4] {
+            let parallel = explore(
+                &spec,
+                initial.clone(),
+                ExploreConfig::default().with_threads(threads),
+                check,
+            );
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_report_identical_under_budget_and_depth_bounds() {
+        let spec = ring_spec(4, 20);
+        for config in [
+            ExploreConfig {
+                max_states: 50,
+                ..ExploreConfig::default()
+            },
+            ExploreConfig {
+                max_depth: 3,
+                ..ExploreConfig::default()
+            },
+            ExploreConfig {
+                deadlock_is_error: true,
+                stop_at_first_violation: false,
+                ..ExploreConfig::default()
+            },
+        ] {
+            let sequential = explore(&spec, ring_initial(4), config, |_| Ok(()));
+            let parallel = explore(&spec, ring_initial(4), config.with_threads(4), |_| Ok(()));
+            assert_eq!(parallel, sequential, "config = {config:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_collects_all_violations_in_bfs_order() {
+        let spec = ring_spec(2, 2);
+        let config = ExploreConfig {
+            stop_at_first_violation: false,
+            ..ExploreConfig::default()
+        };
+        let sequential = explore(&spec, ring_initial(2), config, |_| Err("always".into()));
+        let parallel = explore(&spec, ring_initial(2), config.with_threads(3), |_| {
+            Err("always".into())
+        });
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let spec = ring_spec(3, 3);
+        let auto = explore(
+            &spec,
+            ring_initial(3),
+            ExploreConfig::default().with_threads(0),
+            one_token,
+        );
+        let sequential = explore(&spec, ring_initial(3), ExploreConfig::default(), one_token);
+        assert_eq!(auto, sequential);
+    }
+
+    #[test]
+    fn parallel_find_reachable_matches_sequential() {
+        let spec = ring_spec(3, 5);
+        let goal = |st: &SystemState<Tok, ()>| {
+            st.local_states()
+                .iter()
+                .map(|s| u32::from(s.count))
+                .sum::<u32>()
+                >= 2
+        };
+        let sequential = find_reachable(&spec, ring_initial(3), ExploreConfig::default(), goal);
+        let parallel = find_reachable(
+            &spec,
+            ring_initial(3),
+            ExploreConfig::default().with_threads(4),
+            goal,
+        );
+        assert_eq!(parallel, sequential);
+        assert!(sequential.is_some());
     }
 }

@@ -10,13 +10,13 @@
 
 use crate::state::SystemState;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Predicate over a message, used by filtered receive guards.
-pub type MsgPredicate<M> = Rc<dyn Fn(&M) -> bool>;
+pub type MsgPredicate<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
 
 /// Predicate over the whole system state, used by timeout guards.
-pub type GlobalPredicate<S, M> = Rc<dyn Fn(&SystemState<S, M>) -> bool>;
+pub type GlobalPredicate<S, M> = Arc<dyn Fn(&SystemState<S, M>) -> bool + Send + Sync>;
 
 /// Identifier of a process within a [`SystemSpec`] (its index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -37,7 +37,7 @@ impl fmt::Display for Pid {
 ///   i.e. every process's variables and all channel contents.
 pub enum Guard<S, M> {
     /// Boolean expression over local state.
-    Local(Rc<dyn Fn(&S) -> bool>),
+    Local(Arc<dyn Fn(&S) -> bool + Send + Sync>),
     /// Receive guard: enabled when a message from `from` is at the head of
     /// the channel and `matches` (if any) accepts it.
     Receive {
@@ -53,12 +53,12 @@ pub enum Guard<S, M> {
 impl<S, M> Clone for Guard<S, M> {
     fn clone(&self) -> Self {
         match self {
-            Guard::Local(f) => Guard::Local(Rc::clone(f)),
+            Guard::Local(f) => Guard::Local(Arc::clone(f)),
             Guard::Receive { from, matches } => Guard::Receive {
                 from: *from,
-                matches: matches.as_ref().map(Rc::clone),
+                matches: matches.as_ref().map(Arc::clone),
             },
-            Guard::Timeout(f) => Guard::Timeout(Rc::clone(f)),
+            Guard::Timeout(f) => Guard::Timeout(Arc::clone(f)),
         }
     }
 }
@@ -75,13 +75,13 @@ impl<S, M> fmt::Debug for Guard<S, M> {
 
 impl<S, M> Guard<S, M> {
     /// Builds a local guard from a predicate over the process state.
-    pub fn local(f: impl Fn(&S) -> bool + 'static) -> Self {
-        Guard::Local(Rc::new(f))
+    pub fn local(f: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        Guard::Local(Arc::new(f))
     }
 
     /// Builds an always-true local guard (the paper's `true -->` actions).
     pub fn always() -> Self {
-        Guard::Local(Rc::new(|_| true))
+        Guard::Local(Arc::new(|_| true))
     }
 
     /// Builds a receive guard accepting any message from `from`.
@@ -93,16 +93,16 @@ impl<S, M> Guard<S, M> {
     }
 
     /// Builds a receive guard accepting only head messages satisfying `f`.
-    pub fn receive_if(from: Pid, f: impl Fn(&M) -> bool + 'static) -> Self {
+    pub fn receive_if(from: Pid, f: impl Fn(&M) -> bool + Send + Sync + 'static) -> Self {
         Guard::Receive {
             from,
-            matches: Some(Rc::new(f)),
+            matches: Some(Arc::new(f)),
         }
     }
 
     /// Builds a timeout guard from a predicate over the global state.
-    pub fn timeout(f: impl Fn(&SystemState<S, M>) -> bool + 'static) -> Self {
-        Guard::Timeout(Rc::new(f))
+    pub fn timeout(f: impl Fn(&SystemState<S, M>) -> bool + Send + Sync + 'static) -> Self {
+        Guard::Timeout(Arc::new(f))
     }
 }
 
@@ -133,7 +133,7 @@ impl<M> Effects<M> {
 /// Effect function type: receives the process's local state, the received
 /// message for receive-guarded actions (`None` otherwise), and an
 /// [`Effects`] sink for sends.
-pub type EffectFn<S, M> = Rc<dyn Fn(&mut S, Option<&M>, &mut Effects<M>)>;
+pub type EffectFn<S, M> = Arc<dyn Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync>;
 
 /// One guarded action of a process.
 pub struct Action<S, M> {
@@ -153,7 +153,7 @@ impl<S, M> Clone for Action<S, M> {
             name: self.name.clone(),
             pid: self.pid,
             guard: self.guard.clone(),
-            effect: Rc::clone(&self.effect),
+            effect: Arc::clone(&self.effect),
         }
     }
 }
@@ -215,7 +215,7 @@ impl<S, M> SystemSpec<S, M> {
         pid: Pid,
         name: impl Into<String>,
         guard: Guard<S, M>,
-        effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + 'static,
+        effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync + 'static,
     ) {
         assert!(
             pid.0 < self.process_names.len(),
@@ -225,7 +225,7 @@ impl<S, M> SystemSpec<S, M> {
             name: name.into(),
             pid,
             guard,
-            effect: Rc::new(effect),
+            effect: Arc::new(effect),
         });
     }
 
@@ -254,12 +254,25 @@ impl<S, M> SystemSpec<S, M> {
         S: Clone,
         M: Clone,
     {
-        self.actions
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| self.is_enabled(a, state))
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_into(state, &mut out);
+        out
+    }
+
+    /// Like [`SystemSpec::enabled_actions`], but reuses `out` instead of
+    /// allocating — the explorer calls this once per visited state, so
+    /// buffer reuse matters on the hot path.
+    pub fn enabled_into(&self, state: &SystemState<S, M>, out: &mut Vec<usize>)
+    where
+        S: Clone,
+        M: Clone,
+    {
+        out.clear();
+        for (i, a) in self.actions.iter().enumerate() {
+            if self.is_enabled(a, state) {
+                out.push(i);
+            }
+        }
     }
 
     /// Whether a single action's guard holds in `state`.
@@ -296,6 +309,23 @@ impl<S, M> SystemSpec<S, M> {
             "executing disabled action {}",
             action.name
         );
+        self.execute_unchecked(index, state);
+    }
+
+    /// Executes action `index` without re-evaluating its guard.
+    ///
+    /// The explorer computes the enabled set once per state and then fires
+    /// each enabled action on a fresh clone; re-asserting the guard there
+    /// would double the guard-evaluation cost for nothing. Callers must
+    /// have established that the action is enabled in `state` — for a
+    /// receive action on an empty channel the effect runs with no message,
+    /// which diverges from AP semantics.
+    pub fn execute_unchecked(&self, index: usize, state: &mut SystemState<S, M>)
+    where
+        S: Clone,
+        M: Clone,
+    {
+        let action = &self.actions[index];
         let received = match &action.guard {
             Guard::Receive { from, .. } => state.pop_channel(*from, action.pid),
             _ => None,

@@ -1,0 +1,120 @@
+//! Property test: parallel exploration is observationally identical to
+//! sequential exploration.
+//!
+//! Random small specs — token rings with a randomized token count, pass
+//! budget, optionally a planted duplication bug, and randomized exploration
+//! bounds — are explored with `threads = 1` and with `threads ∈ {2, 4}`.
+//! The full [`ExploreReport`] must match: distinct-state count, transition
+//! count, violation set, outcome, and counterexample trace.
+
+use proptest::prelude::*;
+use zmail_ap::{explore, ExploreConfig, Guard, Pid, SystemSpec, SystemState};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Tok {
+    holding: bool,
+    count: u8,
+}
+
+/// Token ring of `n` processes, each with a `max_count` pass budget. When
+/// `bug` is set, process 0's first pass keeps the token while also sending
+/// it — a duplication the invariant catches.
+fn random_ring(n: usize, tokens: usize, max_count: u8, bug: bool) -> RingModel {
+    let mut spec = SystemSpec::<Tok, ()>::new();
+    let pids: Vec<Pid> = (0..n).map(|i| spec.add_process(format!("p{i}"))).collect();
+    for i in 0..n {
+        let next = pids[(i + 1) % n];
+        let duplicate_here = bug && i == 0;
+        spec.add_action(
+            pids[i],
+            format!("pass{i}"),
+            Guard::local(move |s: &Tok| s.holding && s.count < max_count),
+            move |s, _, fx| {
+                if !(duplicate_here && s.count == 0) {
+                    s.holding = false;
+                }
+                s.count += 1;
+                fx.send(next, ());
+            },
+        );
+        let from = pids[(i + n - 1) % n];
+        spec.add_action(
+            pids[i],
+            format!("take{i}"),
+            Guard::receive(from),
+            |s, _, _| s.holding = true,
+        );
+    }
+    let mut locals = vec![
+        Tok {
+            holding: false,
+            count: 0,
+        };
+        n
+    ];
+    for local in locals.iter_mut().take(tokens) {
+        local.holding = true;
+    }
+    let initial = SystemState::new(locals, n);
+    RingModel { spec, initial }
+}
+
+struct RingModel {
+    spec: SystemSpec<Tok, ()>,
+    initial: SystemState<Tok, ()>,
+}
+
+fn tokens_in_system(st: &SystemState<Tok, ()>) -> usize {
+    st.local_states().iter().filter(|s| s.holding).count() + st.total_in_flight()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_explore_matches_sequential(
+        n in 2usize..=4,
+        tokens in 1usize..=2,
+        max_count in 1u8..=3,
+        bug in any::<bool>(),
+        max_depth in 4usize..=12,
+        max_states in 50usize..=5_000,
+        stop_at_first in any::<bool>(),
+    ) {
+        let model = random_ring(n, tokens.min(n), max_count, bug);
+        let expected = tokens.min(n);
+        let config = ExploreConfig {
+            max_states,
+            max_depth,
+            stop_at_first_violation: stop_at_first,
+            ..ExploreConfig::default()
+        };
+        let invariant = move |st: &SystemState<Tok, ()>| {
+            let found = tokens_in_system(st);
+            if found == expected {
+                Ok(())
+            } else {
+                Err(format!("{found} tokens in system, expected {expected}"))
+            }
+        };
+        let sequential = explore(&model.spec, model.initial.clone(), config, invariant);
+        for threads in [2usize, 4] {
+            let parallel = explore(
+                &model.spec,
+                model.initial.clone(),
+                config.with_threads(threads),
+                invariant,
+            );
+            prop_assert_eq!(
+                &parallel,
+                &sequential,
+                "report diverged at {} threads (n={}, tokens={}, max_count={}, bug={})",
+                threads,
+                n,
+                tokens,
+                max_count,
+                bug
+            );
+        }
+    }
+}

@@ -7,15 +7,22 @@
 //! (no honest ISP flagged) in every reachable state.
 
 use std::time::Instant;
-use zmail_bench::{header, shape};
-use zmail_core::spec::{check, SpecParams, TimeoutMode};
+use zmail_bench::{header, parse_threads, shape};
+use zmail_core::spec::{check_with, SpecParams, TimeoutMode};
 use zmail_sim::Table;
+
+/// Exploration budget: distinct states per configuration. The parallel
+/// explorer sustains a deep enough walk that the bound is set well above
+/// every configuration's reachable set.
+const STATE_BUDGET: usize = 20_000_000;
 
 fn main() {
     header(
         "E12: exhaustive state-space check of the AP-notation spec",
         "the protocol's invariants hold in every reachable state under the intended (global-quiescence) timeout; the paper-literal local timeout admits detector false positives",
     );
+    let threads = parse_threads();
+    println!("explorer threads: {threads} (pass --threads N to change; 0 = all cores)\n");
 
     let cases: Vec<(&str, SpecParams)> = vec![
         ("n=2 m=1 bal=1 r=1", SpecParams::default()),
@@ -66,6 +73,7 @@ fn main() {
         "transitions",
         "max depth",
         "time",
+        "states/s",
         "verdict",
     ]);
     let mut global_all_clean = true;
@@ -73,8 +81,9 @@ fn main() {
     let mut counterexample: Option<Vec<String>> = None;
     for (name, params) in cases {
         let start = Instant::now();
-        let report = check(params, 5_000_000);
+        let report = check_with(params, STATE_BUDGET, threads);
         let elapsed = start.elapsed();
+        let states_per_sec = report.states_visited as f64 / elapsed.as_secs_f64().max(1e-9);
         let clean = report.is_clean();
         match params.timeout_mode {
             TimeoutMode::GlobalQuiescence => global_all_clean &= clean,
@@ -96,6 +105,7 @@ fn main() {
             report.transitions.to_string(),
             report.max_depth_reached.to_string(),
             format!("{:.2}s", elapsed.as_secs_f64()),
+            format!("{:.0}", states_per_sec),
             verdict,
         ]);
     }

@@ -16,7 +16,8 @@
 //! This experiment measures both horns: wedged pools without retry, and
 //! stranded value with it.
 
-use zmail_bench::{header, pct, shape};
+use std::time::Instant;
+use zmail_bench::{header, parse_threads, pct, shape};
 use zmail_core::{IspId, ZmailConfig, ZmailSystem};
 use zmail_econ::EPennies;
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
@@ -136,23 +137,29 @@ fn main() {
     // The formal counterpart: the same facts as theorems about an AP
     // model of the exchange (see core::spec_bank).
     use zmail_core::spec_bank::{
-        build_bank_spec, check_no_counterfeit, recovery_reachable, BankSpecParams,
+        build_bank_spec, check_no_counterfeit_with, recovery_reachable, BankSpecParams,
     };
-    let mut formal = Table::new(&["model", "property", "verdict"]);
+    let threads = parse_threads();
+    println!("\nexplorer threads: {threads} (pass --threads N to change; 0 = all cores)");
+    let mut formal = Table::new(&["model", "property", "verdict", "time", "states/s"]);
     let reliable = BankSpecParams {
         allow_loss: false,
         ..BankSpecParams::default()
     };
     let (spec, initial) = build_bank_spec(reliable);
+    let start = Instant::now();
+    let completes = recovery_reachable(&spec, initial, reliable.buy_value);
     formal.row_owned(vec![
         "no loss, no retry".into(),
         "exchange completes".into(),
-        if recovery_reachable(&spec, initial, reliable.buy_value) {
+        if completes {
             "reachable"
         } else {
             "UNREACHABLE"
         }
         .into(),
+        format!("{:.3}s", start.elapsed().as_secs_f64()),
+        "-".into(),
     ]);
     let lossy = BankSpecParams::default();
     let (spec, initial) = build_bank_spec(lossy);
@@ -166,6 +173,7 @@ fn main() {
             .expect("action exists");
         spec.execute(index, &mut wedge);
     }
+    let start = Instant::now();
     let wedge_recoverable = recovery_reachable(&spec, wedge, lossy.buy_value);
     formal.row_owned(vec![
         "loss, no retry".into(),
@@ -176,12 +184,17 @@ fn main() {
             "UNREACHABLE (the wedge)"
         }
         .into(),
+        format!("{:.3}s", start.elapsed().as_secs_f64()),
+        "-".into(),
     ]);
     let retrying = BankSpecParams {
         max_retries: 2,
         ..BankSpecParams::default()
     };
-    let counterfeit = check_no_counterfeit(retrying);
+    let start = Instant::now();
+    let counterfeit = check_no_counterfeit_with(retrying, threads);
+    let elapsed = start.elapsed();
+    let states_per_sec = counterfeit.states_visited as f64 / elapsed.as_secs_f64().max(1e-9);
     formal.row_owned(vec![
         "loss + 2 retries".into(),
         "ISP never pools more than issued".into(),
@@ -190,6 +203,8 @@ fn main() {
         } else {
             "VIOLATED".into()
         },
+        format!("{:.3}s", elapsed.as_secs_f64()),
+        format!("{:.0}", states_per_sec),
     ]);
     println!("\nformal model (exhaustive exploration):\n{formal}");
 

@@ -48,6 +48,39 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
+/// Parses a `--threads N` argument for the experiment binaries.
+///
+/// Returns `1` (sequential) when the flag is absent; `0` means "use all
+/// available cores" (resolved inside the explorer). Accepts both
+/// `--threads N` and `--threads=N`.
+pub fn parse_threads() -> usize {
+    parse_threads_from(std::env::args().skip(1))
+}
+
+/// Flag parsing behind [`parse_threads`], split out for testing.
+pub fn parse_threads_from(args: impl IntoIterator<Item = String>) -> usize {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(value) = args.next() {
+                if let Ok(n) = value.parse() {
+                    return n;
+                }
+            }
+            eprintln!("--threads expects a number; using 1");
+            return 1;
+        }
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = value.parse() {
+                return n;
+            }
+            eprintln!("--threads expects a number; using 1");
+            return 1;
+        }
+    }
+    1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,7 +89,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.00123), "0.00123");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(4.56789), "4.57");
         assert_eq!(fmt(12345.0), "12345");
         assert_eq!(fmt(2.5e7), "2.50e7");
     }
@@ -64,5 +97,16 @@ mod tests {
     #[test]
     fn pct_format() {
         assert_eq!(pct(0.125), "12.50%");
+    }
+
+    #[test]
+    fn threads_flag_forms() {
+        let parse = |args: &[&str]| parse_threads_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), 1);
+        assert_eq!(parse(&["--threads", "4"]), 4);
+        assert_eq!(parse(&["--threads=8"]), 8);
+        assert_eq!(parse(&["--threads", "0"]), 0);
+        assert_eq!(parse(&["--threads", "bogus"]), 1);
+        assert_eq!(parse(&["--other", "--threads", "2"]), 2);
     }
 }

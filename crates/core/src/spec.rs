@@ -444,12 +444,19 @@ pub fn spec_invariant(
 
 /// Explores the spec exhaustively under `params` with the given budget.
 pub fn check(params: SpecParams, max_states: usize) -> ExploreReport {
+    check_with(params, max_states, 1)
+}
+
+/// Like [`check`], but exploring on `threads` workers (`0` = all available
+/// cores). The report is identical for every thread count.
+pub fn check_with(params: SpecParams, max_states: usize, threads: usize) -> ExploreReport {
     let (spec, initial) = build_spec(params);
     explore(
         &spec,
         initial,
         ExploreConfig {
             max_states,
+            threads,
             ..ExploreConfig::default()
         },
         spec_invariant(params),
@@ -618,5 +625,50 @@ mod tests {
             isps: 1,
             ..SpecParams::default()
         });
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_on_e12_configs() {
+        // The E12 experiment's six configurations, with a budget small
+        // enough for a test run. The full report — states visited,
+        // violation set, counterexample trace, outcome — must be
+        // byte-identical for every thread count.
+        let configs = [
+            SpecParams::default(),
+            SpecParams {
+                initial_balance: 2,
+                ..SpecParams::default()
+            },
+            SpecParams {
+                initial_balance: 2,
+                max_rounds: 2,
+                ..SpecParams::default()
+            },
+            SpecParams {
+                users: 2,
+                limit: 1,
+                ..SpecParams::default()
+            },
+            SpecParams {
+                isps: 3,
+                limit: 1,
+                ..SpecParams::default()
+            },
+            SpecParams {
+                initial_balance: 2,
+                timeout_mode: TimeoutMode::LocalDrain,
+                ..SpecParams::default()
+            },
+        ];
+        for params in configs {
+            let sequential = check_with(params, 200_000, 1);
+            for threads in [2, 4] {
+                let parallel = check_with(params, 200_000, threads);
+                assert_eq!(
+                    parallel, sequential,
+                    "report diverged at {threads} threads for {params:?}"
+                );
+            }
+        }
     }
 }

@@ -272,8 +272,15 @@ pub fn recovery_reachable(
 /// Exhaustively checks that the ISP never pools more than the bank issued
 /// (no counterfeiting, with or without loss and retries).
 pub fn check_no_counterfeit(params: BankSpecParams) -> ExploreReport {
+    check_no_counterfeit_with(params, 1)
+}
+
+/// Like [`check_no_counterfeit`], but exploring on `threads` workers
+/// (`0` = all available cores). The report is identical for every count.
+pub fn check_no_counterfeit_with(params: BankSpecParams, threads: usize) -> ExploreReport {
     let (spec, initial) = build_bank_spec(params);
-    explore(&spec, initial, ExploreConfig::default(), |st| {
+    let config = ExploreConfig::default().with_threads(threads);
+    explore(&spec, initial, config, |st| {
         let (pooled, _, _, _, _) = isp_of(st.local(Pid(0)));
         match st.local(Pid(1)) {
             BState::Bank { issued, .. } => {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The repository's CI gate: formatting, lints, build, and the full test
+# suite. Run from the repository root; fails fast on the first problem.
+set -euo pipefail
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI: all green"

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the workspace uses: [`BytesMut`] as a growable byte
+//! buffer (backed by `Vec<u8>`, so `advance` is O(n) rather than O(1) — fine
+//! for the line-oriented SMTP framing it serves) and the [`Buf`] trait with
+//! `remaining` / `advance`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a byte buffer that can be consumed from the front.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor past `cnt` bytes, discarding them.
+    fn advance(&mut self, cnt: usize);
+    /// Returns `true` if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// A growable, consumable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends `extend` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..cnt);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BytesMut};
+
+    #[test]
+    fn extend_index_advance() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.extend_from_slice(b"hello\r\nworld");
+        let pos = buf.windows(2).position(|w| w == b"\r\n").unwrap();
+        assert_eq!(&buf[..pos], b"hello");
+        buf.advance(pos + 2);
+        assert_eq!(&buf[..], b"world");
+        assert_eq!(buf.remaining(), 5);
+    }
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut buf = BytesMut::from(&b"abcdef"[..]);
+        let head = buf.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&buf[..], b"cdef");
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) generating `#[test]` functions;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] /
+//!   [`prop_oneof!`];
+//! * strategies for integer/float ranges, `any::<T>()`, [`strategy::Just`],
+//!   tuples, `collection::vec`, and a regex-lite interpretation of `&str`
+//!   patterns (char classes, escapes, `{m,n}` quantifiers);
+//! * a deterministic [`test_runner::TestRunner`]-style loop: each case is
+//!   seeded from the test name and case index, so failures are reproducible.
+//!
+//! There is **no shrinking**: a failing case reports its inputs verbatim.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy producing vectors of `element` values with a
+    /// length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual imports: strategies, config, error type, and the macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// The main test-definition macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __inputs = String::new();
+                    $(
+                        __inputs.push_str(stringify!($arg));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    let __result = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (__result, __inputs)
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case (returns `Err(TestCaseError::Fail)`) if the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    concat!("assertion failed: ", stringify!($cond), ": {}"),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            concat!(
+                                "assertion failed: ",
+                                stringify!($left),
+                                " == ",
+                                stringify!($right),
+                                "\n  left: {:?}\n right: {:?}"
+                            ),
+                            __l, __r,
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            concat!(
+                                "assertion failed: ",
+                                stringify!($left),
+                                " == ",
+                                stringify!($right),
+                                ": {}\n  left: {:?}\n right: {:?}"
+                            ),
+                            format!($($fmt)+),
+                            __l, __r,
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs, not a failure)
+/// when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption not met: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (all producing one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,312 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking; `generate`
+/// draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Boxes a strategy, erasing its concrete type. A function (rather than an
+/// inline cast) so integer-literal inference flows through `S::Value` when
+/// `prop_oneof!` collects alternatives into one `Vec`.
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-lite string strategies: `&str` patterns like "[a-z]{1,12}" or
+// "[ -~]{0,60}" generate matching strings. Supported syntax: literal
+// chars, `\x` escapes, `[...]` classes with ranges, and the quantifiers
+// `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repeats).
+// ---------------------------------------------------------------------
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    class.push(d);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                        assert!(lo <= hi, "bad char range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in pattern")],
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad quantifier"),
+                        n.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            !choices.is_empty() && min <= max,
+            "unsupported pattern {pattern:?}"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..count {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{any, Just, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let (a, b) = (0u8..5, 10i64..20).generate(&mut rng);
+            assert!(a < 5 && (10..20).contains(&b));
+            let j = Just(42u16).generate(&mut rng);
+            assert_eq!(j, 42);
+            let _any: u8 = any::<u8>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn regex_lite_patterns_match_shape() {
+        let mut rng = TestRng::seed_from_u64(12);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let dom = "[a-z]{1,12}\\.[a-z]{2,4}".generate(&mut rng);
+            let (head, tail) = dom.split_once('.').expect("dot present");
+            assert!((1..=12).contains(&head.len()) && (2..=4).contains(&tail.len()));
+
+            let printable = "[ -~]{0,60}".generate(&mut rng);
+            assert!(printable.len() <= 60);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 0..512).generate(&mut rng);
+            assert!(v.len() < 512);
+        }
+    }
+}

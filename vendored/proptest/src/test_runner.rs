@@ -1,0 +1,160 @@
+//! The deterministic case-running loop behind the [`crate::proptest!`] macro.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. Deterministic per (test name, case index).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Max rejected cases (via `prop_assume!`) before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with the default reject cap.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion; fails the whole test.
+    Fail(String),
+    /// The case's inputs were rejected (`prop_assume!`); retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure with the case's rendered inputs. Each case's RNG is seeded from
+/// the test name and a case counter, so runs are reproducible.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = fnv1a(test_name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case_idx: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(base ^ case_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (result, inputs) = case(&mut rng);
+        match result {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{test_name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case #{case_idx}\n  {msg}\n  inputs: {inputs}"
+                );
+            }
+        }
+        case_idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{run_cases, ProptestConfig, TestCaseError};
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        let mut count = 0;
+        run_cases(ProptestConfig::with_cases(10), "t", |_rng| {
+            count += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut calls = 0;
+        run_cases(ProptestConfig::with_cases(5), "t", |_rng| {
+            calls += 1;
+            if calls % 2 == 0 {
+                (Err(TestCaseError::reject("skip")), String::new())
+            } else {
+                (Ok(()), String::new())
+            }
+        });
+        assert!(calls >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_inputs() {
+        run_cases(ProptestConfig::with_cases(5), "t", |_rng| {
+            (Err(TestCaseError::fail("boom")), "x = 3; ".to_string())
+        });
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut first = Vec::new();
+        run_cases(ProptestConfig::with_cases(5), "stable", |rng| {
+            first.push(rand::Rng::gen::<u64>(rng));
+            (Ok(()), String::new())
+        });
+        let mut second = Vec::new();
+        run_cases(ProptestConfig::with_cases(5), "stable", |rng| {
+            second.push(rand::Rng::gen::<u64>(rng));
+            (Ok(()), String::new())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace declares `serde` with the `derive` feature but no crate
+//! currently serializes anything through it; this stub keeps the dependency
+//! graph buildable without network access. The traits are deliberately
+//! minimal markers — enough for `#[derive(Serialize, Deserialize)]` (which
+//! the stub `serde_derive` expands to nothing) and for generic bounds.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

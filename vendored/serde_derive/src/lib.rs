@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` to nothing —
+//! the stub `serde` crate provides blanket marker impls, so deriving only
+//! needs to parse, not generate code.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
