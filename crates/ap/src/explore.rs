@@ -120,6 +120,14 @@ pub struct ExploreReport {
     /// actions leading from the initial state to the violating state, in
     /// execution order.
     pub counterexample: Option<Vec<String>>,
+    /// Per-action fire counts, indexed like [`SystemSpec::actions`]: how
+    /// many times each action was executed as a transition during the
+    /// walk. `transitions` is their sum. An entry of `0` after an
+    /// [`ExploreOutcome::Exhausted`] walk means the action's guard was
+    /// never true in any reachable state — a vacuous (dead) action; the
+    /// [`analyze`](mod@crate::analyze) module turns that into lint `AP010`.
+    /// Identical for every thread count, like the rest of the report.
+    pub action_fires: Vec<u64>,
 }
 
 impl ExploreReport {
@@ -128,7 +136,19 @@ impl ExploreReport {
         self.violations.is_empty()
     }
 
-    fn new() -> Self {
+    /// Indices of actions that never fired during the walk (in spec
+    /// registration order). Meaningful as a vacuity verdict only when the
+    /// walk exhausted the reachable space.
+    pub fn dead_actions(&self) -> Vec<usize> {
+        self.action_fires
+            .iter()
+            .enumerate()
+            .filter(|(_, &fires)| fires == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn new(action_count: usize) -> Self {
         ExploreReport {
             states_visited: 0,
             transitions: 0,
@@ -136,6 +156,7 @@ impl ExploreReport {
             violations: Vec::new(),
             outcome: ExploreOutcome::Exhausted,
             counterexample: None,
+            action_fires: vec![0; action_count],
         }
     }
 }
@@ -200,7 +221,7 @@ where
     // fingerprint -> (parent fingerprint, action index taken from parent)
     let mut parents: HashMap<u64, (u64, usize)> = HashMap::new();
     let mut enabled: Vec<usize> = Vec::new();
-    let mut report = ExploreReport::new();
+    let mut report = ExploreReport::new(spec.actions().len());
 
     let root_fp = initial.fingerprint();
     seen.insert(root_fp);
@@ -249,6 +270,9 @@ where
             continue;
         }
         report.transitions += enabled.len();
+        for &index in &enabled {
+            report.action_fires[index] += 1;
+        }
         // The last enabled action consumes the popped state instead of
         // cloning it — one clone saved per expanded state.
         let (head, last) = enabled.split_at(enabled.len() - 1);
@@ -327,10 +351,12 @@ struct Frame<S, M> {
 }
 
 /// What a worker computed for one frontier rank; consumed by the control
-/// pass.
+/// pass. Carrying the full enabled-index list (not just its length) lets
+/// the control pass replay per-action fire counts in exact frontier
+/// order, keeping `action_fires` byte-identical to the sequential walk.
 struct RankOut {
     invariant_err: Option<String>,
-    enabled_count: usize,
+    enabled: Vec<usize>,
 }
 
 /// A newly discovered state, keyed for deterministic ordering by its
@@ -352,7 +378,7 @@ where
     M: Clone + Hash + Send + Sync,
 {
     let threads = config.resolved_threads();
-    let mut report = ExploreReport::new();
+    let mut report = ExploreReport::new(spec.actions().len());
 
     // All fingerprints ever discovered (frontier members included). Workers
     // read it concurrently during a level; the merge phase inserts the
@@ -434,10 +460,8 @@ where
                         for rank in lo..hi {
                             let frame = &frontier_ref[rank];
                             let invariant_err = invariant_ref(&frame.state).err();
-                            let mut enabled_count = 0;
                             if expand {
                                 spec.enabled_into(&frame.state, &mut enabled);
-                                enabled_count = enabled.len();
                                 for &action_index in &enabled {
                                     let mut child = frame.state.clone();
                                     spec.execute_unchecked(action_index, &mut child);
@@ -469,7 +493,7 @@ where
                             }
                             let _ = outs_ref[rank].set(RankOut {
                                 invariant_err,
-                                enabled_count,
+                                enabled: if expand { enabled.clone() } else { Vec::new() },
                             });
                         }
                     }
@@ -507,7 +531,7 @@ where
             if !expand {
                 continue;
             }
-            if out.enabled_count == 0 {
+            if out.enabled.is_empty() {
                 if config.deadlock_is_error {
                     if report.violations.is_empty() && config.record_counterexample {
                         report.counterexample = Some(reconstruct(frontier[rank].fp));
@@ -522,7 +546,10 @@ where
                 }
                 continue;
             }
-            report.transitions += out.enabled_count;
+            report.transitions += out.enabled.len();
+            for &index in &out.enabled {
+                report.action_fires[index] += 1;
+            }
         }
 
         // Merge: sort the level's discoveries into BFS order, publish them
@@ -954,6 +981,46 @@ mod tests {
         );
         let sequential = explore(&spec, ring_initial(3), ExploreConfig::default(), one_token);
         assert_eq!(auto, sequential);
+    }
+
+    #[test]
+    fn action_fires_sum_to_transitions_and_spot_dead_actions() {
+        let mut spec = ring_spec(3, 3);
+        // Plant an action whose guard is never true: it must show a zero
+        // fire count while every ring action fires at least once.
+        spec.add_action(Pid(0), "never", Guard::local(|_| false), |_, _, _| {});
+        let report = explore(&spec, ring_initial(3), ExploreConfig::default(), |_| Ok(()));
+        assert_eq!(report.outcome, ExploreOutcome::Exhausted);
+        assert_eq!(report.action_fires.len(), spec.actions().len());
+        assert_eq!(
+            report.action_fires.iter().sum::<u64>(),
+            report.transitions as u64
+        );
+        let dead = report.dead_actions();
+        assert_eq!(dead, vec![spec.actions().len() - 1]);
+        for (i, fires) in report.action_fires.iter().enumerate() {
+            if !dead.contains(&i) {
+                assert!(*fires > 0, "ring action {i} should fire");
+            }
+        }
+    }
+
+    #[test]
+    fn action_fires_identical_across_thread_counts() {
+        let spec = ring_spec(4, 4);
+        let sequential = explore(&spec, ring_initial(4), ExploreConfig::default(), |_| Ok(()));
+        for threads in [2, 4] {
+            let parallel = explore(
+                &spec,
+                ring_initial(4),
+                ExploreConfig::default().with_threads(threads),
+                |_| Ok(()),
+            );
+            assert_eq!(
+                parallel.action_fires, sequential.action_fires,
+                "fire counts diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

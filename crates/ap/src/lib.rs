@@ -25,6 +25,13 @@
 //!   space, checking user invariants in every reachable state and detecting
 //!   deadlocks; this is what lets us *machine-check* the Zmail spec on small
 //!   configurations.
+//! * [`analyze()`] — the `speclint` static analyzer: declared action
+//!   footprints ([`ActionMeta`]), structural lints with stable `AP0xx`
+//!   codes, explorer-backed vacuity detection, and the footprint-derived
+//!   action-independence relation (the future partial-order-reduction
+//!   input). A spec whose encoding is wrong explores a smaller space than
+//!   intended and "verifies" vacuously; the analyzer catches that before
+//!   the verdict is trusted.
 //!
 //! The paper's `par` construct (one action per parameter value) maps to
 //! registering one [`Action`] per value; the paper's `any` (simulated user
@@ -69,15 +76,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod explore;
 pub mod process;
 pub mod runner;
 pub mod state;
 
+pub use analyze::{
+    analyze, analyze_structure, AnalysisReport, AnalyzeConfig, Diagnostic, Severity,
+    WriteWriteConflict,
+};
 pub use explore::{
     explore, find_reachable, ExploreConfig, ExploreOutcome, ExploreReport, ReachabilityWitness,
 };
-pub use process::{Action, Effects, Guard, Pid, SystemSpec};
+pub use process::{Action, ActionMeta, Effects, Guard, Pid, SystemSpec};
 pub use runner::{Runner, Trace, TraceEntry};
 pub use state::SystemState;
 

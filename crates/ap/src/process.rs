@@ -135,6 +135,83 @@ impl<M> Effects<M> {
 /// [`Effects`] sink for sends.
 pub type EffectFn<S, M> = Arc<dyn Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync>;
 
+/// Declared read/write footprint of an action, for static analysis.
+///
+/// Guards and effects are opaque closures, so the engine cannot see which
+/// variables an action touches or where it sends. [`ActionMeta`] lets the
+/// spec author *declare* that footprint; the [`analyze`](mod@crate::analyze)
+/// module lints the declarations for structural soundness (sends without
+/// receivers, permanently disabled receives, write-only variables, …),
+/// cross-checks them against observed behaviour during bounded
+/// exploration, and derives the action-independence relation that a
+/// partial-order-reducing explorer needs.
+///
+/// Variable names are free-form strings scoped to the owning process:
+/// `"balance"` in two different processes' footprints refers to each
+/// process's own variable. Declarations are *claims*; lying about
+/// `sends_to` is caught by lint `AP011`.
+///
+/// ```rust
+/// use zmail_ap::{ActionMeta, Pid};
+/// let meta = ActionMeta::new()
+///     .reads(["cansend", "balance"])
+///     .writes(["balance", "credit"])
+///     .sends_to([Pid(1)]);
+/// assert!(!meta.global_reads);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActionMeta {
+    /// Own-process variables the guard or effect reads.
+    pub reads: Vec<String>,
+    /// Own-process variables the effect writes.
+    pub writes: Vec<String>,
+    /// Processes this action may send to (over-approximation).
+    pub sends_to: Vec<Pid>,
+    /// Whether the guard inspects state beyond the own process — other
+    /// processes' variables or channel contents (timeout guards). Actions
+    /// with global reads are conservatively dependent on everything.
+    pub global_reads: bool,
+}
+
+impl ActionMeta {
+    /// An empty footprint: no reads, no writes, no sends, local-only.
+    pub fn new() -> Self {
+        ActionMeta::default()
+    }
+
+    /// Declares own-process variables read by the guard or effect.
+    pub fn reads<I>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        self.reads.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares own-process variables written by the effect.
+    pub fn writes<I>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        self.writes.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares the set of processes this action may send to.
+    pub fn sends_to(mut self, pids: impl IntoIterator<Item = Pid>) -> Self {
+        self.sends_to.extend(pids);
+        self
+    }
+
+    /// Marks the guard as reading global state (timeout guards).
+    pub fn reads_global(mut self) -> Self {
+        self.global_reads = true;
+        self
+    }
+}
+
 /// One guarded action of a process.
 pub struct Action<S, M> {
     /// Human-readable name, shown in traces and exploration reports.
@@ -145,6 +222,9 @@ pub struct Action<S, M> {
     pub guard: Guard<S, M>,
     /// What executing it does.
     pub effect: EffectFn<S, M>,
+    /// Declared read/write/send footprint, when the spec author provided
+    /// one via [`SystemSpec::add_action_meta`].
+    pub meta: Option<ActionMeta>,
 }
 
 impl<S, M> Clone for Action<S, M> {
@@ -154,6 +234,7 @@ impl<S, M> Clone for Action<S, M> {
             pid: self.pid,
             guard: self.guard.clone(),
             effect: Arc::clone(&self.effect),
+            meta: self.meta.clone(),
         }
     }
 }
@@ -209,7 +290,9 @@ impl<S, M> SystemSpec<S, M> {
     /// # Panics
     ///
     /// Panics if `pid` was not returned by [`SystemSpec::add_process`] on
-    /// this spec.
+    /// this spec, or if process `pid` already has an action named `name` —
+    /// duplicate `(pid, name)` pairs would make counterexample traces
+    /// ambiguous.
     pub fn add_action(
         &mut self,
         pid: Pid,
@@ -217,15 +300,75 @@ impl<S, M> SystemSpec<S, M> {
         guard: Guard<S, M>,
         effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync + 'static,
     ) {
+        self.push_action(pid, name.into(), guard, Arc::new(effect), None);
+    }
+
+    /// Registers an action with a declared [`ActionMeta`] footprint.
+    ///
+    /// Identical to [`SystemSpec::add_action`] except that the action
+    /// carries read/write/send metadata for the [`analyze`](mod@crate::analyze)
+    /// lints and the independence relation. Existing call sites need not
+    /// change: actions without metadata simply opt out of the
+    /// footprint-based checks (lint `AP009` reports the coverage gap).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SystemSpec::add_action`].
+    pub fn add_action_meta(
+        &mut self,
+        pid: Pid,
+        name: impl Into<String>,
+        guard: Guard<S, M>,
+        meta: ActionMeta,
+        effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync + 'static,
+    ) {
+        self.push_action(pid, name.into(), guard, Arc::new(effect), Some(meta));
+    }
+
+    fn push_action(
+        &mut self,
+        pid: Pid,
+        name: String,
+        guard: Guard<S, M>,
+        effect: EffectFn<S, M>,
+        meta: Option<ActionMeta>,
+    ) {
         assert!(
             pid.0 < self.process_names.len(),
             "action registered for unknown process {pid:?}"
         );
+        assert!(
+            !self.actions.iter().any(|a| a.pid == pid && a.name == name),
+            "duplicate action `{name}` for process {pid} ({}): action names must be \
+             unique within a process so counterexample traces stay unambiguous",
+            self.process_names[pid.0]
+        );
+        self.actions.push(Action {
+            name,
+            pid,
+            guard,
+            effect,
+            meta,
+        });
+    }
+
+    /// Registers an action without the duplicate-name check. Only for the
+    /// analyzer's own tests, which need to construct the malformed specs
+    /// that [`SystemSpec::add_action`] rejects.
+    #[cfg(test)]
+    pub(crate) fn add_action_unchecked_for_test(
+        &mut self,
+        pid: Pid,
+        name: impl Into<String>,
+        guard: Guard<S, M>,
+        effect: impl Fn(&mut S, Option<&M>, &mut Effects<M>) + Send + Sync + 'static,
+    ) {
         self.actions.push(Action {
             name: name.into(),
             pid,
             guard,
             effect: Arc::new(effect),
+            meta: None,
         });
     }
 
@@ -320,7 +463,36 @@ impl<S, M> SystemSpec<S, M> {
     /// have established that the action is enabled in `state` — for a
     /// receive action on an empty channel the effect runs with no message,
     /// which diverges from AP semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the offending action and target — if the effect
+    /// sends to a process outside the system, instead of failing deep in
+    /// the channel matrix with a bare index assertion.
     pub fn execute_unchecked(&self, index: usize, state: &mut SystemState<S, M>)
+    where
+        S: Clone,
+        M: Clone,
+    {
+        self.execute_inner(index, state, false);
+    }
+
+    /// Executes action `index` like [`SystemSpec::execute_unchecked`] and
+    /// returns the targets of the sends it performed, in send order.
+    ///
+    /// This is the analyzer's observation hook: bounded exploration with
+    /// traced execution yields the *observed* send footprint of every
+    /// action, which lint `AP011` compares against the declared
+    /// [`ActionMeta::sends_to`].
+    pub fn execute_traced(&self, index: usize, state: &mut SystemState<S, M>) -> Vec<Pid>
+    where
+        S: Clone,
+        M: Clone,
+    {
+        self.execute_inner(index, state, true)
+    }
+
+    fn execute_inner(&self, index: usize, state: &mut SystemState<S, M>, trace: bool) -> Vec<Pid>
     where
         S: Clone,
         M: Clone,
@@ -332,9 +504,24 @@ impl<S, M> SystemSpec<S, M> {
         };
         let mut fx = Effects::new();
         (action.effect)(state.local_mut(action.pid), received.as_ref(), &mut fx);
+        // `Vec::new` does not allocate; the untraced hot path pays nothing.
+        let mut targets = Vec::new();
         for (to, msg) in fx.into_sends() {
+            assert!(
+                to.0 < state.process_count(),
+                "action `{}` of process {} sends to out-of-range process {} \
+                 (system has {} processes)",
+                action.name,
+                action.pid,
+                to,
+                state.process_count()
+            );
+            if trace {
+                targets.push(to);
+            }
             state.push_channel(action.pid, to, msg);
         }
+        targets
     }
 }
 
@@ -465,5 +652,94 @@ mod tests {
     #[test]
     fn pid_display() {
         assert_eq!(Pid(4).to_string(), "P4");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate action `inc` for process P0")]
+    fn duplicate_action_name_within_process_is_rejected() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        let p = spec.add_process("p");
+        spec.add_action(p, "inc", Guard::always(), |s, _, _| s.0 += 1);
+        spec.add_action(p, "inc", Guard::always(), |s, _, _| s.0 += 2);
+    }
+
+    #[test]
+    fn same_action_name_on_different_processes_is_fine() {
+        let mut spec = SystemSpec::<Counter, ()>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action(p, "step", Guard::always(), |_, _, _| {});
+        spec.add_action(q, "step", Guard::always(), |_, _, _| {});
+        assert_eq!(spec.actions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "action `stray` of process P0 sends to out-of-range process P7")]
+    fn out_of_range_send_names_the_action() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        spec.add_action(p, "stray", Guard::always(), |_, _, fx| {
+            fx.send(Pid(7), 1);
+        });
+        let mut state = SystemState::new(vec![Counter(0)], 1);
+        spec.execute(0, &mut state);
+    }
+
+    #[test]
+    fn execute_traced_reports_send_targets_in_order() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        let r = spec.add_process("r");
+        spec.add_action(p, "fanout", Guard::always(), move |_, _, fx| {
+            fx.send(q, 1);
+            fx.send(r, 2);
+            fx.send(q, 3);
+        });
+        let mut state = SystemState::new(vec![Counter(0); 3], 3);
+        let targets = spec.execute_traced(0, &mut state);
+        assert_eq!(targets, vec![q, r, q]);
+        assert_eq!(state.channel_len(p, q), 2);
+        assert_eq!(state.channel_len(p, r), 1);
+    }
+
+    #[test]
+    fn add_action_meta_attaches_footprint() {
+        let mut spec = SystemSpec::<Counter, u8>::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action_meta(
+            p,
+            "send",
+            Guard::local(|s: &Counter| s.0 > 0),
+            ActionMeta::new()
+                .reads(["count"])
+                .writes(["count"])
+                .sends_to([q]),
+            move |s, _, fx| {
+                s.0 -= 1;
+                fx.send(q, 1);
+            },
+        );
+        spec.add_action(q, "recv", Guard::receive(p), |_, _, _| {});
+        let meta = spec.actions()[0].meta.as_ref().expect("meta attached");
+        assert_eq!(meta.reads, vec!["count".to_string()]);
+        assert_eq!(meta.writes, vec!["count".to_string()]);
+        assert_eq!(meta.sends_to, vec![q]);
+        assert!(!meta.global_reads);
+        assert!(spec.actions()[1].meta.is_none());
+    }
+
+    #[test]
+    fn action_meta_builder_accumulates() {
+        let meta = ActionMeta::new()
+            .reads(["a"])
+            .reads(["b"])
+            .writes(["c"])
+            .sends_to([Pid(0)])
+            .reads_global();
+        assert_eq!(meta.reads, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(meta.writes, vec!["c".to_string()]);
+        assert!(meta.global_reads);
     }
 }

@@ -1,0 +1,151 @@
+//! Property test: the footprint-derived independence relation is *sound*.
+//!
+//! `analyze_structure` declares a pair of actions independent only when
+//! their declared footprints cannot interact (different processes, no
+//! shared channel, no global reads). Independence is the contract a
+//! partial-order-reducing explorer relies on: from any state where both
+//! actions are enabled, executing them in either order must reach the
+//! same state, and neither order may disable the other. This test builds
+//! random annotated token-ring specs, walks to random reachable states,
+//! and checks that contract for every declared-independent enabled pair.
+
+use proptest::prelude::*;
+use zmail_ap::{analyze_structure, ActionMeta, Guard, Pid, SystemSpec, SystemState};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    has_token: bool,
+    passes: u32,
+    ticks: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Token;
+
+/// A ring of `n` processes. Each passes a token to its successor and
+/// receives from its predecessor; processes with `tick[i]` set also have
+/// a private local action. All actions carry full footprints, so the
+/// analyzer derives independence for every pair.
+fn ring_spec(n: usize, ticks: &[bool]) -> SystemSpec<Node, Token> {
+    let mut spec = SystemSpec::<Node, Token>::new();
+    let pids: Vec<Pid> = (0..n).map(|i| spec.add_process(format!("p{i}"))).collect();
+    for i in 0..n {
+        let next = pids[(i + 1) % n];
+        let prev = pids[(i + n - 1) % n];
+        spec.add_action_meta(
+            pids[i],
+            "pass",
+            Guard::local(|s: &Node| s.has_token),
+            ActionMeta::new()
+                .reads(["has_token", "passes"])
+                .writes(["has_token", "passes"])
+                .sends_to([next]),
+            move |s, _msg, fx| {
+                s.has_token = false;
+                s.passes += 1;
+                fx.send(next, Token);
+            },
+        );
+        spec.add_action_meta(
+            pids[i],
+            "recv",
+            Guard::receive(prev),
+            ActionMeta::new().writes(["has_token"]),
+            |s, _msg, _fx| s.has_token = true,
+        );
+        if ticks[i] {
+            spec.add_action_meta(
+                pids[i],
+                "tick",
+                Guard::local(|s: &Node| s.ticks < 3),
+                ActionMeta::new().reads(["ticks"]).writes(["ticks"]),
+                |s, _msg, _fx| s.ticks += 1,
+            );
+        }
+    }
+    spec
+}
+
+fn initial_state(n: usize, tokens: &[bool]) -> SystemState<Node, Token> {
+    SystemState::new(
+        (0..n)
+            .map(|i| Node {
+                has_token: tokens[i],
+                passes: 0,
+                ticks: 0,
+            })
+            .collect(),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn declared_independent_pairs_commute(
+        n in 2usize..=4,
+        ticks in proptest::collection::vec(any::<bool>(), 4..5),
+        tokens in proptest::collection::vec(any::<bool>(), 4..5),
+        walk in proptest::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let spec = ring_spec(n, &ticks);
+        let report = analyze_structure(&spec);
+        prop_assert!(!report.has_errors(), "ring must be lint-clean: {:#?}", report.diagnostics);
+
+        // Walk to a random reachable state, steering with the `walk` seeds.
+        let mut state = initial_state(n, &tokens);
+        for seed in walk {
+            let enabled = spec.enabled_actions(&state);
+            if enabled.is_empty() {
+                break;
+            }
+            spec.execute(enabled[seed as usize % enabled.len()], &mut state);
+        }
+
+        let enabled = spec.enabled_actions(&state);
+        for &(a, b) in &report.independent_pairs {
+            if !enabled.contains(&a) || !enabled.contains(&b) {
+                continue;
+            }
+            // Neither order may disable the other action…
+            let mut via_a = state.clone();
+            spec.execute(a, &mut via_a);
+            prop_assert!(
+                spec.is_enabled(&spec.actions()[b], &via_a),
+                "independent action {b} disabled by {a}"
+            );
+            spec.execute(b, &mut via_a);
+
+            let mut via_b = state.clone();
+            spec.execute(b, &mut via_b);
+            prop_assert!(
+                spec.is_enabled(&spec.actions()[a], &via_b),
+                "independent action {a} disabled by {b}"
+            );
+            spec.execute(a, &mut via_b);
+
+            // …and both orders must reach the same global state.
+            prop_assert_eq!(
+                via_a.fingerprint(),
+                via_b.fingerprint(),
+                "independent pair ({}, {}) does not commute",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn dependent_same_process_pairs_are_never_declared_independent(
+        n in 2usize..=4,
+        ticks in proptest::collection::vec(any::<bool>(), 4..5),
+    ) {
+        let spec = ring_spec(n, &ticks);
+        let report = analyze_structure(&spec);
+        let actions = spec.actions();
+        for &(a, b) in &report.independent_pairs {
+            prop_assert!(actions[a].pid != actions[b].pid, "same-process pair declared independent");
+        }
+    }
+}

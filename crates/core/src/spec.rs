@@ -43,7 +43,9 @@
 //! older round. With it, every configuration verifies clean *and* a
 //! complete billing round is provably reachable.
 
-use zmail_ap::{explore, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec, SystemState};
+use zmail_ap::{
+    explore, ActionMeta, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec, SystemState,
+};
 
 /// Parameters of the model-checked configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,7 +206,7 @@ pub fn build_spec(
                 for r in 0..m {
                     let my_pid = isp_pids[i];
                     let peers = isp_pids.clone();
-                    spec.add_action(
+                    spec.add_action_meta(
                         isp_pids[i],
                         format!("send i{i} j{j} s{s} r{r}"),
                         // The paper's guard is local (`cansend ∧ …`), but
@@ -224,6 +226,11 @@ pub fn build_spec(
                                     .iter()
                                     .all(|&p| isp_state(global.local(p)).seq >= me.seq)
                         }),
+                        ActionMeta::new()
+                            .reads(["cansend", "balance", "sent", "seq"])
+                            .writes(["balance", "credit", "sent"])
+                            .sends_to([to_pid])
+                            .reads_global(),
                         move |st, _msg, fx| {
                             let isp = isp_state_mut(st);
                             isp.balance[s] -= 1;
@@ -235,10 +242,13 @@ pub fn build_spec(
                 }
             }
             // rcv email(s, r) from isp[g]
-            spec.add_action(
+            spec.add_action_meta(
                 isp_pids[j],
                 format!("recv j{j} from{i}"),
                 Guard::receive(isp_pids[i]),
+                ActionMeta::new()
+                    .reads(["balance", "credit"])
+                    .writes(["balance", "credit"]),
                 move |st, msg, _fx| {
                     let Some(SpecMsg::Email { r, .. }) = msg else {
                         panic!("isp-to-isp channel carries only email");
@@ -253,13 +263,17 @@ pub fn build_spec(
 
     // --- §4.4: snapshot request / reply / verification ----------------------
     let max_rounds = params.max_rounds;
-    spec.add_action(
+    spec.add_action_meta(
         bank_pid,
         "bank request",
         Guard::local(move |st: &ProcState| match st {
             ProcState::Bank(b) => b.canrequest && b.rounds < max_rounds,
             ProcState::Isp(_) => false,
         }),
+        ActionMeta::new()
+            .reads(["canrequest", "rounds", "seq"])
+            .writes(["canrequest", "awaiting"])
+            .sends_to(isp_pids.iter().copied()),
         {
             let isp_pids = isp_pids.clone();
             move |st, _msg, fx| {
@@ -277,10 +291,11 @@ pub fn build_spec(
 
     for i in 0..n {
         // rcv request(x) from bank
-        spec.add_action(
+        spec.add_action_meta(
             isp_pids[i],
             format!("isp{i} recv request"),
             Guard::receive(bank_pid),
+            ActionMeta::new().reads(["seq"]).writes(["cansend"]),
             |st, msg, _fx| {
                 let Some(SpecMsg::Request { seq }) = msg else {
                     panic!("bank-to-isp channel carries only requests");
@@ -295,7 +310,7 @@ pub fn build_spec(
         let mode = params.timeout_mode;
         let my_pid = isp_pids[i];
         let isp_pids_for_guard = isp_pids.clone();
-        spec.add_action(
+        spec.add_action_meta(
             isp_pids[i],
             format!("isp{i} timeout"),
             Guard::timeout(move |global: &SystemState<ProcState, SpecMsg>| {
@@ -322,6 +337,11 @@ pub fn build_spec(
                     }
                 }
             }),
+            ActionMeta::new()
+                .reads(["cansend", "credit", "seq"])
+                .writes(["credit", "cansend", "seq"])
+                .sends_to([bank_pid])
+                .reads_global(),
             move |st, _msg, fx| {
                 let isp = isp_state_mut(st);
                 fx.send(
@@ -339,10 +359,23 @@ pub fn build_spec(
             },
         );
         // bank receives the reply
-        spec.add_action(
+        spec.add_action_meta(
             bank_pid,
             format!("bank recv reply {i}"),
             Guard::receive(isp_pids[i]),
+            // `error_detected` is deliberately write-only here: the spec
+            // invariant (external to the process) is its reader, so the
+            // analyzer reports one AP007 warning for it — see EXPERIMENTS.md.
+            ActionMeta::new()
+                .reads(["verify", "awaiting", "seq", "rounds"])
+                .writes([
+                    "verify",
+                    "awaiting",
+                    "canrequest",
+                    "error_detected",
+                    "seq",
+                    "rounds",
+                ]),
             move |st, msg, _fx| {
                 let Some(SpecMsg::Reply { from, credit }) = msg else {
                     panic!("isp-to-bank channel carries only replies");

@@ -23,7 +23,8 @@
 //!    the stranded value is not an artifact of the simulator.
 
 use zmail_ap::{
-    explore, find_reachable, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec, SystemState,
+    explore, find_reachable, ActionMeta, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec,
+    SystemState,
 };
 
 /// Parameters of the modelled exchange.
@@ -115,13 +116,17 @@ pub fn build_bank_spec(
 
     // ISP issues the initial buy (one logical exchange per model run,
     // so the state space is finite).
-    spec.add_action(
+    spec.add_action_meta(
         isp,
         "buy",
         Guard::local(|st: &BState| {
             let (_, canbuy, outstanding, next_nonce, _) = isp_of(st);
             *canbuy && outstanding.is_none() && *next_nonce == 0
         }),
+        ActionMeta::new()
+            .reads(["canbuy", "outstanding", "next_nonce"])
+            .writes(["canbuy", "outstanding", "next_nonce"])
+            .sends_to([bank]),
         move |st, _msg, fx| {
             if let BState::Isp {
                 canbuy,
@@ -147,13 +152,18 @@ pub fn build_bank_spec(
     // ISP retransmits with a fresh nonce once the wire is quiet (a timer
     // longer than one round trip), while attempts remain.
     if params.max_retries > 0 {
-        spec.add_action(
+        spec.add_action_meta(
             isp,
             "retry",
             Guard::timeout(move |global: &SystemState<BState, BMsg>| {
                 let (_, canbuy, outstanding, _, retries_left) = isp_of(global.local(Pid(0)));
                 !*canbuy && outstanding.is_some() && *retries_left > 0 && global.channels_empty()
             }),
+            ActionMeta::new()
+                .reads(["canbuy", "outstanding", "retries_left", "next_nonce"])
+                .writes(["outstanding", "retries_left", "next_nonce"])
+                .sends_to([bank])
+                .reads_global(),
             move |st, _msg, fx| {
                 if let BState::Isp {
                     outstanding,
@@ -178,10 +188,14 @@ pub fn build_bank_spec(
     }
 
     // Bank processes a buy: replay-guarded grant.
-    spec.add_action(
+    spec.add_action_meta(
         bank,
         "process buy",
         Guard::receive(isp),
+        ActionMeta::new()
+            .reads(["issued", "seen"])
+            .writes(["issued", "seen"])
+            .sends_to([isp]),
         move |st, msg, fx| {
             let Some(BMsg::Buy { value, nonce }) = msg else {
                 panic!("isp->bank channel carries only buys");
@@ -206,29 +220,53 @@ pub fn build_bank_spec(
 
     // ISP applies a reply matching the outstanding nonce; stale replies
     // are ignored (the harness's behaviour too).
-    spec.add_action(isp, "apply reply", Guard::receive(bank), |st, msg, _fx| {
-        let Some(BMsg::Reply { nonce, granted }) = msg else {
-            panic!("bank->isp channel carries only replies");
-        };
-        if let BState::Isp {
-            pooled,
-            canbuy,
-            outstanding,
-            ..
-        } = st
-        {
-            if *outstanding == Some(*nonce) {
-                *pooled += granted;
-                *outstanding = None;
-                *canbuy = true;
+    spec.add_action_meta(
+        isp,
+        "apply reply",
+        Guard::receive(bank),
+        ActionMeta::new().reads(["outstanding", "pooled"]).writes([
+            "pooled",
+            "outstanding",
+            "canbuy",
+        ]),
+        |st, msg, _fx| {
+            let Some(BMsg::Reply { nonce, granted }) = msg else {
+                panic!("bank->isp channel carries only replies");
+            };
+            if let BState::Isp {
+                pooled,
+                canbuy,
+                outstanding,
+                ..
+            } = st
+            {
+                if *outstanding == Some(*nonce) {
+                    *pooled += granted;
+                    *outstanding = None;
+                    *canbuy = true;
+                }
             }
-        }
-    });
+        },
+    );
 
     // The lossy network: either message can vanish.
     if params.allow_loss {
-        spec.add_action(bank, "lose buy", Guard::receive(isp), |_st, _msg, _fx| {});
-        spec.add_action(isp, "lose reply", Guard::receive(bank), |_st, _msg, _fx| {});
+        // The adversary touches no local state and sends nothing: an
+        // intentionally empty footprint, not a missing one.
+        spec.add_action_meta(
+            bank,
+            "lose buy",
+            Guard::receive(isp),
+            ActionMeta::new(),
+            |_st, _msg, _fx| {},
+        );
+        spec.add_action_meta(
+            isp,
+            "lose reply",
+            Guard::receive(bank),
+            ActionMeta::new(),
+            |_st, _msg, _fx| {},
+        );
     }
 
     let initial = SystemState::new(

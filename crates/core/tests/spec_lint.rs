@@ -1,0 +1,166 @@
+//! Spec-hygiene gate: every bundled spec configuration must lint clean
+//! of `Severity::Error` diagnostics — the same condition the `speclint`
+//! binary enforces in CI, asserted here per configuration so a
+//! regression points at the exact spec that broke.
+
+use zmail_ap::{analyze, AnalyzeConfig, ExploreConfig, Severity};
+use zmail_core::spec::{build_spec, SpecParams, TimeoutMode};
+use zmail_core::spec_bank::{build_bank_spec, BankSpecParams};
+
+/// Test-sized vacuity budget. Small enough for a debug-build test run;
+/// unexhausted exploration only downgrades AP010/AP012, never hides an
+/// Error (AP001–AP004 and AP011 are budget-independent for these specs).
+fn config() -> AnalyzeConfig {
+    AnalyzeConfig {
+        explore: ExploreConfig {
+            max_states: 200_000,
+            record_counterexample: false,
+            ..ExploreConfig::default()
+        },
+    }
+}
+
+fn assert_error_free(name: &str, report: &zmail_ap::AnalysisReport) {
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "{name} has lint errors: {:#?}",
+        report.diagnostics
+    );
+    assert!(!report.has_errors(), "{name} has lint errors");
+    assert_eq!(
+        report.footprint_covered, report.action_count,
+        "{name}: every action must carry a footprint"
+    );
+}
+
+#[test]
+fn e12_protocol_configs_lint_error_free() {
+    let cases: Vec<(&str, SpecParams)> = vec![
+        ("default", SpecParams::default()),
+        (
+            "bal=2",
+            SpecParams {
+                initial_balance: 2,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "bal=2 r=2",
+            SpecParams {
+                initial_balance: 2,
+                max_rounds: 2,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "m=2 limit=1",
+            SpecParams {
+                users: 2,
+                limit: 1,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "n=3 limit=1",
+            SpecParams {
+                isps: 3,
+                limit: 1,
+                ..SpecParams::default()
+            },
+        ),
+        (
+            "bal=2 local-drain",
+            SpecParams {
+                initial_balance: 2,
+                timeout_mode: TimeoutMode::LocalDrain,
+                ..SpecParams::default()
+            },
+        ),
+    ];
+    for (name, params) in cases {
+        let (spec, initial) = build_spec(params);
+        let report = analyze(&spec, &initial, &config());
+        assert_error_free(name, &report);
+        // The one expected warning: `error_detected` is read only by the
+        // external invariant, never by a bank action.
+        let ap007 = report.with_code(zmail_ap::analyze::codes::WRITE_NEVER_READ);
+        assert_eq!(
+            ap007.len(),
+            1,
+            "{name}: expected exactly the documented AP007"
+        );
+        assert!(ap007[0].message.contains("error_detected"));
+    }
+}
+
+#[test]
+fn bank_exchange_configs_lint_error_free() {
+    let cases: Vec<(&str, BankSpecParams)> = vec![
+        ("loss r=0", BankSpecParams::default()),
+        (
+            "loss r=2",
+            BankSpecParams {
+                max_retries: 2,
+                ..BankSpecParams::default()
+            },
+        ),
+        (
+            "no-loss r=0",
+            BankSpecParams {
+                allow_loss: false,
+                ..BankSpecParams::default()
+            },
+        ),
+        (
+            "no-loss r=1",
+            BankSpecParams {
+                allow_loss: false,
+                max_retries: 1,
+                ..BankSpecParams::default()
+            },
+        ),
+    ];
+    for (name, params) in cases {
+        let (spec, initial) = build_bank_spec(params);
+        let report = analyze(&spec, &initial, &config());
+        assert_error_free(name, &report);
+    }
+}
+
+#[test]
+fn reliable_network_provably_kills_the_retry_action() {
+    // A reliable network never drops the outstanding buy or its reply, so
+    // the retry timer's channels-empty condition cannot be met while a
+    // request is outstanding: the analyzer proves `retry` vacuous. This is
+    // a *true* finding about the model, surfaced as AP010 (Warn).
+    let (spec, initial) = build_bank_spec(BankSpecParams {
+        allow_loss: false,
+        max_retries: 1,
+        ..BankSpecParams::default()
+    });
+    let report = analyze(&spec, &initial, &config());
+    assert_eq!(report.vacuity_exhausted, Some(true));
+    let ap010 = report.with_code(zmail_ap::analyze::codes::NEVER_FIRES);
+    assert_eq!(ap010.len(), 1);
+    assert_eq!(ap010[0].action.as_deref(), Some("retry"));
+    assert_eq!(ap010[0].severity, Severity::Warn);
+}
+
+#[test]
+fn protocol_independence_relation_is_nontrivial() {
+    // The footprints must buy the future partial-order reduction real
+    // freedom: the default protocol spec has independent action pairs
+    // (e.g. the two ISPs' receive actions), and every declared pair
+    // crosses processes.
+    let (spec, _) = build_spec(SpecParams::default());
+    let report = zmail_ap::analyze_structure(&spec);
+    assert!(
+        !report.independent_pairs.is_empty(),
+        "expected some independent pairs"
+    );
+    let actions = spec.actions();
+    for &(a, b) in &report.independent_pairs {
+        assert_ne!(actions[a].pid, actions[b].pid);
+    }
+}

@@ -15,4 +15,12 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo doc (first-party crates, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p zmail -p zmail-ap -p zmail-core -p zmail-bench -p zmail-crypto \
+  -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines
+
+echo "== speclint (static analysis of the bundled AP specs)"
+cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
+
 echo "CI: all green"
