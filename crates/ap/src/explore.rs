@@ -35,7 +35,9 @@ use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Limits and switches for [`explore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,10 +180,110 @@ where
     M: Clone + Hash + Send + Sync,
 {
     if config.resolved_threads() <= 1 {
-        explore_sequential(spec, initial, config, invariant)
+        explore_sequential(spec, initial, config, invariant, None)
     } else {
-        explore_parallel(spec, initial, config, invariant)
+        explore_parallel(spec, initial, config, invariant, None)
     }
+}
+
+/// Execution-shape telemetry for one [`explore_profiled`] walk.
+///
+/// Everything in here describes *how* the exploration ran — wall time,
+/// work distribution, memory shape — and nothing about *what* it found;
+/// verification results live exclusively in [`ExploreReport`], which is
+/// byte-identical whether or not profiling was requested and at every
+/// thread count. Fields that depend on scheduling (e.g. [`steals`]) are
+/// naturally nondeterministic; diff the report, not the profile.
+///
+/// [`steals`]: ExploreProfile::steals
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreProfile {
+    /// Worker threads the walk actually used (after resolving `threads:
+    /// 0` to the machine's available parallelism).
+    pub threads: usize,
+    /// BFS frontier size per level: `level_sizes[d]` is the number of
+    /// distinct states at depth `d`. The sequential path counts states as
+    /// they are popped, so a walk cut short by a budget or violation
+    /// reports a partial final level.
+    pub level_sizes: Vec<usize>,
+    /// Successful steals from peer deques, summed over workers and
+    /// levels. Always `0` on the sequential path; scheduling-dependent
+    /// (nondeterministic) on the parallel path.
+    pub steals: u64,
+    /// Final occupancy of each fingerprint shard of the `seen` set. The
+    /// sequential path keeps one flat set but reports the same
+    /// fingerprint-masked grouping, so the distribution is comparable
+    /// across thread counts.
+    pub shard_occupancy: Vec<usize>,
+    /// Distinct states visited, copied from the report for rate math.
+    pub states_visited: usize,
+    /// Wall-clock duration of the walk.
+    pub wall: Duration,
+}
+
+impl ExploreProfile {
+    fn new(threads: usize) -> Self {
+        ExploreProfile {
+            threads,
+            level_sizes: Vec::new(),
+            steals: 0,
+            shard_occupancy: Vec::new(),
+            states_visited: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Visited states per wall-clock second (`0.0` for an instant walk).
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.states_visited as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Ratio of the fullest shard to the mean shard occupancy — `1.0` is
+    /// a perfectly even fingerprint spread, large values mean contention
+    /// on a hot shard. `0.0` when nothing was recorded.
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: usize = self.shard_occupancy.iter().sum();
+        if total == 0 || self.shard_occupancy.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.shard_occupancy.len() as f64;
+        let max = *self.shard_occupancy.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+/// Like [`explore`], but also returns an [`ExploreProfile`] describing
+/// the walk's execution shape.
+///
+/// The report half of the pair is byte-identical to what [`explore`]
+/// returns for the same inputs — profiling only observes the walk, it
+/// never steers it.
+pub fn explore_profiled<S, M>(
+    spec: &SystemSpec<S, M>,
+    initial: SystemState<S, M>,
+    config: ExploreConfig,
+    invariant: impl Fn(&SystemState<S, M>) -> Result<(), String> + Sync,
+) -> (ExploreReport, ExploreProfile)
+where
+    S: Clone + Hash + Send + Sync,
+    M: Clone + Hash + Send + Sync,
+{
+    let threads = config.resolved_threads();
+    let mut profile = ExploreProfile::new(threads);
+    let started = Instant::now();
+    let report = if threads <= 1 {
+        explore_sequential(spec, initial, config, invariant, Some(&mut profile))
+    } else {
+        explore_parallel(spec, initial, config, invariant, Some(&mut profile))
+    };
+    profile.wall = started.elapsed();
+    profile.states_visited = report.states_visited;
+    (report, profile)
 }
 
 /// Reconstructs the action-name path from the initial state to `fp` by
@@ -209,6 +311,7 @@ fn explore_sequential<S, M>(
     initial: SystemState<S, M>,
     config: ExploreConfig,
     invariant: impl Fn(&SystemState<S, M>) -> Result<(), String>,
+    mut profile: Option<&mut ExploreProfile>,
 ) -> ExploreReport
 where
     S: Clone + Hash,
@@ -227,57 +330,75 @@ where
     seen.insert(root_fp);
     queue.push_back((initial, root_fp, 0));
 
-    while let Some((state, state_fp, depth)) = queue.pop_front() {
-        report.states_visited += 1;
-        report.max_depth_reached = report.max_depth_reached.max(depth);
-
-        if let Err(message) = invariant(&state) {
-            if report.violations.is_empty() && config.record_counterexample {
-                report.counterexample = Some(reconstruct_path(spec, &parents, state_fp));
+    let report = 'walk: {
+        while let Some((state, state_fp, depth)) = queue.pop_front() {
+            report.states_visited += 1;
+            report.max_depth_reached = report.max_depth_reached.max(depth);
+            if let Some(p) = profile.as_deref_mut() {
+                if p.level_sizes.len() <= depth {
+                    p.level_sizes.resize(depth + 1, 0);
+                }
+                p.level_sizes[depth] += 1;
             }
-            report.violations.push(ApError::InvariantViolated {
-                message,
-                depth: Some(depth),
-            });
-            if config.stop_at_first_violation {
-                report.outcome = ExploreOutcome::StoppedAtViolation;
-                return report;
-            }
-        }
 
-        if report.states_visited >= config.max_states {
-            report.outcome = ExploreOutcome::StateBudgetReached;
-            return report;
-        }
-        if depth >= config.max_depth {
-            continue;
-        }
-
-        spec.enabled_into(&state, &mut enabled);
-        if enabled.is_empty() {
-            if config.deadlock_is_error {
+            if let Err(message) = invariant(&state) {
                 if report.violations.is_empty() && config.record_counterexample {
                     report.counterexample = Some(reconstruct_path(spec, &parents, state_fp));
                 }
-                report
-                    .violations
-                    .push(ApError::Deadlock { depth: Some(depth) });
+                report.violations.push(ApError::InvariantViolated {
+                    message,
+                    depth: Some(depth),
+                });
                 if config.stop_at_first_violation {
                     report.outcome = ExploreOutcome::StoppedAtViolation;
-                    return report;
+                    break 'walk report;
                 }
             }
-            continue;
-        }
-        report.transitions += enabled.len();
-        for &index in &enabled {
-            report.action_fires[index] += 1;
-        }
-        // The last enabled action consumes the popped state instead of
-        // cloning it — one clone saved per expanded state.
-        let (head, last) = enabled.split_at(enabled.len() - 1);
-        for &index in head {
-            let mut next = state.clone();
+
+            if report.states_visited >= config.max_states {
+                report.outcome = ExploreOutcome::StateBudgetReached;
+                break 'walk report;
+            }
+            if depth >= config.max_depth {
+                continue;
+            }
+
+            spec.enabled_into(&state, &mut enabled);
+            if enabled.is_empty() {
+                if config.deadlock_is_error {
+                    if report.violations.is_empty() && config.record_counterexample {
+                        report.counterexample = Some(reconstruct_path(spec, &parents, state_fp));
+                    }
+                    report
+                        .violations
+                        .push(ApError::Deadlock { depth: Some(depth) });
+                    if config.stop_at_first_violation {
+                        report.outcome = ExploreOutcome::StoppedAtViolation;
+                        break 'walk report;
+                    }
+                }
+                continue;
+            }
+            report.transitions += enabled.len();
+            for &index in &enabled {
+                report.action_fires[index] += 1;
+            }
+            // The last enabled action consumes the popped state instead of
+            // cloning it — one clone saved per expanded state.
+            let (head, last) = enabled.split_at(enabled.len() - 1);
+            for &index in head {
+                let mut next = state.clone();
+                spec.execute_unchecked(index, &mut next);
+                let next_fp = next.fingerprint();
+                if seen.insert(next_fp) {
+                    if config.record_counterexample {
+                        parents.insert(next_fp, (state_fp, index));
+                    }
+                    queue.push_back((next, next_fp, depth + 1));
+                }
+            }
+            let index = last[0];
+            let mut next = state;
             spec.execute_unchecked(index, &mut next);
             let next_fp = next.fingerprint();
             if seen.insert(next_fp) {
@@ -287,16 +408,16 @@ where
                 queue.push_back((next, next_fp, depth + 1));
             }
         }
-        let index = last[0];
-        let mut next = state;
-        spec.execute_unchecked(index, &mut next);
-        let next_fp = next.fingerprint();
-        if seen.insert(next_fp) {
-            if config.record_counterexample {
-                parents.insert(next_fp, (state_fp, index));
-            }
-            queue.push_back((next, next_fp, depth + 1));
+        report
+    };
+    if let Some(p) = profile {
+        // Group the flat set by the same low-bits mask the parallel path
+        // shards on, so occupancy is comparable across thread counts.
+        let mut occupancy = vec![0usize; SEEN_SHARDS];
+        for &fp in &seen {
+            occupancy[(fp as usize) & (SEEN_SHARDS - 1)] += 1;
         }
+        p.shard_occupancy = occupancy;
     }
     report
 }
@@ -372,6 +493,7 @@ fn explore_parallel<S, M>(
     initial: SystemState<S, M>,
     config: ExploreConfig,
     invariant: impl Fn(&SystemState<S, M>) -> Result<(), String> + Sync,
+    mut profile: Option<&mut ExploreProfile>,
 ) -> ExploreReport
 where
     S: Clone + Hash + Send + Sync,
@@ -379,6 +501,10 @@ where
 {
     let threads = config.resolved_threads();
     let mut report = ExploreReport::new(spec.actions().len());
+    // Steal counting costs one relaxed add per *successful* steal — rare
+    // enough to record unconditionally; the counter is simply dropped when
+    // profiling was not requested.
+    let steal_count = AtomicU64::new(0);
 
     // All fingerprints ever discovered (frontier members included). Workers
     // read it concurrently during a level; the merge phase inserts the
@@ -409,6 +535,9 @@ where
     };
 
     while !frontier.is_empty() {
+        if let Some(p) = profile.as_deref_mut() {
+            p.level_sizes.push(frontier.len());
+        }
         let expand = depth < config.max_depth;
         // Per-rank worker outputs; each slot is written by exactly one
         // worker (ranks are partitioned across chunks).
@@ -435,6 +564,7 @@ where
         let candidates_ref = &candidates;
         let seen_ref = &seen;
         let invariant_ref = &invariant;
+        let steal_count_ref = &steal_count;
 
         std::thread::scope(|scope| {
             for (w, own) in queues.into_iter().enumerate() {
@@ -448,7 +578,10 @@ where
                                 let victim = &stealers[(w + offset) % stealers.len()];
                                 loop {
                                     match victim.steal() {
-                                        Steal::Success(job) => return Some(job),
+                                        Steal::Success(job) => {
+                                            steal_count_ref.fetch_add(1, Ordering::Relaxed);
+                                            return Some(job);
+                                        }
                                         Steal::Retry => continue,
                                         Steal::Empty => break,
                                     }
@@ -520,12 +653,14 @@ where
                 });
                 if config.stop_at_first_violation {
                     report.outcome = ExploreOutcome::StoppedAtViolation;
+                    finish_parallel_profile(profile.take(), &seen, &steal_count);
                     return report;
                 }
             }
 
             if report.states_visited >= config.max_states {
                 report.outcome = ExploreOutcome::StateBudgetReached;
+                finish_parallel_profile(profile.take(), &seen, &steal_count);
                 return report;
             }
             if !expand {
@@ -541,6 +676,7 @@ where
                         .push(ApError::Deadlock { depth: Some(depth) });
                     if config.stop_at_first_violation {
                         report.outcome = ExploreOutcome::StoppedAtViolation;
+                        finish_parallel_profile(profile.take(), &seen, &steal_count);
                         return report;
                     }
                 }
@@ -575,7 +711,22 @@ where
             .collect();
         depth += 1;
     }
+    finish_parallel_profile(profile, &seen, &steal_count);
     report
+}
+
+/// Copies the end-of-walk aggregates into `profile`, when one was
+/// requested: total successful steals and the final `seen`-shard
+/// occupancy distribution.
+fn finish_parallel_profile(
+    profile: Option<&mut ExploreProfile>,
+    seen: &ShardedMap<()>,
+    steal_count: &AtomicU64,
+) {
+    if let Some(p) = profile {
+        p.steals = steal_count.load(Ordering::Relaxed);
+        p.shard_occupancy = seen.shards.iter().map(|s| s.lock().len()).collect();
+    }
 }
 
 /// A witness that a goal state is reachable.
@@ -1019,6 +1170,111 @@ mod tests {
             assert_eq!(
                 parallel.action_fires, sequential.action_fires,
                 "fire counts diverged at {threads} threads"
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Profiling hooks
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn profiled_report_identical_to_unprofiled_at_any_thread_count() {
+        let spec = ring_spec(4, 4);
+        let plain = explore(&spec, ring_initial(4), ExploreConfig::default(), one_token);
+        for threads in [1, 2, 4] {
+            let (report, profile) = explore_profiled(
+                &spec,
+                ring_initial(4),
+                ExploreConfig::default().with_threads(threads),
+                one_token,
+            );
+            assert_eq!(report, plain, "profiling changed the report at {threads}");
+            assert_eq!(profile.threads, threads);
+            assert_eq!(profile.states_visited, report.states_visited);
+        }
+    }
+
+    #[test]
+    fn profile_level_sizes_sum_to_visited_states() {
+        let spec = ring_spec(3, 3);
+        for threads in [1, 4] {
+            let (report, profile) = explore_profiled(
+                &spec,
+                ring_initial(3),
+                ExploreConfig::default().with_threads(threads),
+                |_| Ok(()),
+            );
+            assert_eq!(
+                profile.level_sizes.iter().sum::<usize>(),
+                report.states_visited,
+                "threads = {threads}"
+            );
+            assert_eq!(profile.level_sizes[0], 1, "root level holds one state");
+            assert_eq!(
+                profile.level_sizes.len(),
+                report.max_depth_reached + 1,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_level_sizes_identical_across_thread_counts_on_full_walks() {
+        // On an exhausted walk the per-level counts are a property of the
+        // state graph, not the schedule.
+        let spec = ring_spec(4, 4);
+        let (_, sequential) =
+            explore_profiled(&spec, ring_initial(4), ExploreConfig::default(), one_token);
+        let (_, parallel) = explore_profiled(
+            &spec,
+            ring_initial(4),
+            ExploreConfig::default().with_threads(4),
+            one_token,
+        );
+        assert_eq!(parallel.level_sizes, sequential.level_sizes);
+    }
+
+    #[test]
+    fn profile_shard_occupancy_counts_every_seen_state() {
+        let spec = ring_spec(4, 4);
+        let (seq_report, sequential) =
+            explore_profiled(&spec, ring_initial(4), ExploreConfig::default(), one_token);
+        let (_, parallel) = explore_profiled(
+            &spec,
+            ring_initial(4),
+            ExploreConfig::default().with_threads(4),
+            one_token,
+        );
+        assert_eq!(sequential.shard_occupancy.len(), SEEN_SHARDS);
+        assert_eq!(sequential.steals, 0, "sequential path never steals");
+        // Exhausted walks see exactly the reachable states, so the shard
+        // distribution matches across thread counts.
+        assert_eq!(parallel.shard_occupancy, sequential.shard_occupancy);
+        assert_eq!(
+            sequential.shard_occupancy.iter().sum::<usize>(),
+            seq_report.states_visited
+        );
+        assert!(sequential.shard_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn profile_filled_even_when_walk_stops_early() {
+        let spec = ring_spec(4, 20);
+        let config = ExploreConfig {
+            max_states: 50,
+            ..ExploreConfig::default()
+        };
+        for threads in [1, 4] {
+            let (report, profile) =
+                explore_profiled(&spec, ring_initial(4), config.with_threads(threads), |_| {
+                    Ok(())
+                });
+            assert_eq!(report.outcome, ExploreOutcome::StateBudgetReached);
+            assert_eq!(profile.shard_occupancy.len(), SEEN_SHARDS);
+            assert!(
+                profile.shard_occupancy.iter().sum::<usize>() >= report.states_visited,
+                "seen must cover at least the visited states (threads = {threads})"
             );
         }
     }

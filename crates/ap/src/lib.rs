@@ -87,7 +87,8 @@ pub use analyze::{
     WriteWriteConflict,
 };
 pub use explore::{
-    explore, find_reachable, ExploreConfig, ExploreOutcome, ExploreReport, ReachabilityWitness,
+    explore, explore_profiled, find_reachable, ExploreConfig, ExploreOutcome, ExploreProfile,
+    ExploreReport, ReachabilityWitness,
 };
 pub use process::{Action, ActionMeta, Effects, Guard, Pid, SystemSpec};
 pub use runner::{Runner, Trace, TraceEntry};

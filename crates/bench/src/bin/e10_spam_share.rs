@@ -5,12 +5,12 @@
 //! We calibrate the legacy market to that trajectory, then run the
 //! counterfactual with e-penny pricing.
 
-use zmail_bench::{fmt, header, pct, shape};
+use zmail_bench::{fmt, pct, Report};
 use zmail_econ::{MarketModel, MarketParams, ProductivityModel};
 use zmail_sim::Table;
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E10: spam share of traffic, legacy vs Zmail counterfactual",
         "legacy economics reproduce the 8%->60% Brightmail trajectory; e-penny pricing collapses the market",
     );
@@ -60,7 +60,7 @@ fn main() {
         fmt(gartner)
     );
 
-    shape(
+    experiment.finish(
         (0.05..=0.12).contains(&start)
             && at36 > 0.60
             && zmail_end < 0.01

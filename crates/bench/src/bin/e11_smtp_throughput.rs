@@ -7,7 +7,7 @@
 //! overhead of the `X-Zmail-*` headers.
 
 use std::time::Instant;
-use zmail_bench::{fmt, header, pct, shape};
+use zmail_bench::{fmt, pct, Report};
 use zmail_core::bridge::ZmailGateway;
 use zmail_core::{UserAddr, ZmailConfig};
 use zmail_sim::Table;
@@ -15,16 +15,33 @@ use zmail_smtp::{Client, CollectSink, MailMessage, TcpConnection, TcpMailServer,
 
 const MESSAGES: u32 = 2_000;
 
-fn submit_batch(addr: std::net::SocketAddr, from: String, make_to: impl Fn(u32) -> String) -> f64 {
+/// Submits [`MESSAGES`] messages over one session, returning msgs/sec.
+///
+/// With `--metrics` the per-message client round-trip (build, send, both
+/// SMTP replies) lands in the `hist_name` histogram, whose p50/p90/p99
+/// the telemetry section reports alongside the server-side
+/// `smtp.parse_us`/`smtp.frame_us` timings.
+fn submit_batch(
+    addr: std::net::SocketAddr,
+    from: String,
+    make_to: impl Fn(u32) -> String,
+    hist_name: &str,
+) -> f64 {
     let conn = TcpConnection::connect(addr).expect("connect");
     let mut client = Client::connect(conn, "bench.example").expect("greeting");
+    let timing = zmail_obs::global().is_enabled();
+    let send_us = zmail_obs::global().histogram(hist_name);
     let start = Instant::now();
     for k in 0..MESSAGES {
+        let sent_at = timing.then(Instant::now);
         let msg = MailMessage::builder(from.clone(), make_to(k))
             .header("Subject", format!("bench {k}"))
             .body("a short representative body line\r\nand a second one\r\n")
             .build();
         client.send(&msg).expect("send");
+        if let Some(at) = sent_at {
+            send_us.record_duration(at.elapsed());
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
     client.quit().expect("quit");
@@ -32,7 +49,7 @@ fn submit_batch(addr: std::net::SocketAddr, from: String, make_to: impl Fn(u32) 
 }
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E11: SMTP end-to-end throughput, plain vs Zmail ledger",
         "the e-penny ledger adds negligible overhead to real SMTP sessions; the header overhead is a few dozen bytes",
     );
@@ -40,9 +57,12 @@ fn main() {
     // Plain SMTP: the same server and client with a collect-only sink.
     let sink = CollectSink::shared();
     let mut plain_server = TcpMailServer::start("plain.example", sink.clone()).unwrap();
-    let plain_rate = submit_batch(plain_server.addr(), "u0@isp0.example".into(), |k| {
-        format!("u{}@isp1.example", k % 50)
-    });
+    let plain_rate = submit_batch(
+        plain_server.addr(),
+        "u0@isp0.example".into(),
+        |k| format!("u{}@isp1.example", k % 50),
+        "e11.plain.send_us",
+    );
     plain_server.stop();
 
     // Zmail: the gateway runs the full §4.1 ledger per message.
@@ -58,6 +78,7 @@ fn main() {
         zmail_server.addr(),
         ZmailGateway::address(UserAddr::new(0, 0)),
         |k| ZmailGateway::address(UserAddr::new(1, k % 50)),
+        "e11.zmail.send_us",
     );
     zmail_server.stop();
 
@@ -90,6 +111,12 @@ fn main() {
     ]);
     println!("{table}");
 
+    if experiment.metrics_enabled() {
+        zmail_obs::global()
+            .gauge("e11.header_overhead_bytes")
+            .set((stamped_len - bare_len) as i64);
+    }
+
     let stats = gateway.stats();
     println!(
         "zmail run: {} paid deliveries, {} bounced; header overhead {} bytes",
@@ -99,7 +126,7 @@ fn main() {
     );
     assert_eq!(stats.delivered_paid as u32, MESSAGES);
 
-    shape(
+    experiment.finish(
         zmail_rate > 0.5 * plain_rate && stamped_len - bare_len < 100,
         "the full ledger path sustains the same order of throughput as plain SMTP over real sockets, and the protocol rides in <100 bytes of standard headers",
     );

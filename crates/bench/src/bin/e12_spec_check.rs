@@ -7,8 +7,8 @@
 //! (no honest ISP flagged) in every reachable state.
 
 use std::time::Instant;
-use zmail_bench::{header, parse_threads, shape};
-use zmail_core::spec::{check_with, SpecParams, TimeoutMode};
+use zmail_bench::{parse_threads, record_explore_profile, Report};
+use zmail_core::spec::{check_with, check_with_profiled, SpecParams, TimeoutMode};
 use zmail_sim::Table;
 
 /// Exploration budget: distinct states per configuration. The parallel
@@ -17,7 +17,7 @@ use zmail_sim::Table;
 const STATE_BUDGET: usize = 20_000_000;
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E12: exhaustive state-space check of the AP-notation spec",
         "the protocol's invariants hold in every reachable state under the intended (global-quiescence) timeout; the paper-literal local timeout admits detector false positives",
     );
@@ -79,9 +79,18 @@ fn main() {
     let mut global_all_clean = true;
     let mut local_drain_violates = false;
     let mut counterexample: Option<Vec<String>> = None;
-    for (name, params) in cases {
+    for (case, (name, params)) in cases.into_iter().enumerate() {
         let start = Instant::now();
-        let report = check_with(params, STATE_BUDGET, threads);
+        // With telemetry on, run the profiled explorer and record each
+        // configuration as one `ap.caseN` exploration phase. The report
+        // half is byte-identical to the unprofiled call.
+        let report = if experiment.metrics_enabled() {
+            let (report, profile) = check_with_profiled(params, STATE_BUDGET, threads);
+            record_explore_profile(&format!("ap.case{case}"), &profile);
+            report
+        } else {
+            check_with(params, STATE_BUDGET, threads)
+        };
         let elapsed = start.elapsed();
         let states_per_sec = report.states_visited as f64 / elapsed.as_secs_f64().max(1e-9);
         let clean = report.is_clean();
@@ -158,7 +167,7 @@ fn main() {
          false positive. The send guard carries that condition explicitly."
     );
 
-    shape(
+    experiment.finish(
         global_all_clean && local_drain_violates,
         "all global-quiescence configurations verify exhaustively clean, and the exploration *finds* the concrete interleaving where the paper-literal timeout lets the bank flag two honest ISPs — the 10-minute window is load-bearing",
     );

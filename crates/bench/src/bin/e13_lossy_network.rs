@@ -15,7 +15,7 @@
 //! (retransmission + dedup) underneath it, or its misbehavior detector
 //! loses its meaning.
 
-use zmail_bench::{fmt, header, pct, shape};
+use zmail_bench::{fmt, pct, Report};
 use zmail_core::{ZmailConfig, ZmailSystem};
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, Table};
@@ -65,7 +65,7 @@ fn run(loss: f64, duplicate: f64, seed: u64) -> Outcome {
 }
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E13: Zmail over an unreliable network (beyond the paper)",
         "the protocol assumes reliable channels; loss destroys e-pennies and turns the misbehavior detector against honest ISPs",
     );
@@ -128,7 +128,7 @@ fn main() {
         pct(lossy_accusation_rate)
     );
 
-    shape(
+    experiment.finish(
         clean_accusations == 0 && lossy_accusation_rate > 0.5 && destroyed_at_1pct > 0,
         "with reliable channels no honest ISP is ever accused; at just 1% email loss most billing rounds accuse honest pairs and value steadily leaks — Zmail as specified requires reliable transport underneath",
     );

@@ -11,7 +11,7 @@
 //! * inter-bank settlement is computed from the same credit columns and
 //!   always nets to zero.
 
-use zmail_bench::{header, shape};
+use zmail_bench::Report;
 use zmail_core::isp::{Isp, SendOutcome};
 use zmail_core::multibank::Federation;
 use zmail_core::{CheatMode, IspId, NetMsg, ZmailConfig};
@@ -112,7 +112,7 @@ struct RoundSummary {
 }
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E14: a federation of distributed banks",
         "regional banks each serve n/k ISPs; cross-region cheaters are still caught; settlement nets to zero",
     );
@@ -209,7 +209,7 @@ fn main() {
     ]);
     println!("full-harness federation (3 banks, 6 ISPs, 5 days):\n{harness}");
 
-    shape(
+    experiment.finish(
         all_clean && load_shrinks && always_caught && audit_ok,
         "splitting the bank across regions divides the snapshot load, keeps honest traffic clean, settles exactly (zero net flow), and loses none of the detector's power across region boundaries",
     );

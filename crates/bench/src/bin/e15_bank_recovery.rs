@@ -17,7 +17,7 @@
 //! stranded value with it.
 
 use std::time::Instant;
-use zmail_bench::{header, parse_threads, pct, shape};
+use zmail_bench::{parse_threads, pct, Report};
 use zmail_core::{IspId, ZmailConfig, ZmailSystem};
 use zmail_econ::EPennies;
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
@@ -75,7 +75,7 @@ fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
 }
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E15: bank-channel loss, the replay guard, and retransmission",
         "without retransmission a single lost reply wedges an ISP's pool forever; fresh-nonce retransmission recovers it but strands double-granted e-pennies at the bank",
     );
@@ -208,7 +208,7 @@ fn main() {
     ]);
     println!("\nformal model (exhaustive exploration):\n{formal}");
 
-    shape(
+    experiment.finish(
         wedged_without_retry > 0
             && wedged_with_retry == 0
             && stranded_with_retry >= 0

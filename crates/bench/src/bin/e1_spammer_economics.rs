@@ -4,12 +4,12 @@
 //! of magnitude … The response rate required to break even will increase
 //! similarly."
 
-use zmail_bench::{fmt, header, pct, shape};
+use zmail_bench::{fmt, pct, Report};
 use zmail_econ::{CampaignEconomics, SendingRegime};
 use zmail_sim::Table;
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E1: spammer economics under the e-penny",
         "cost/message and break-even response rate rise >= 100x at $0.01",
     );
@@ -106,7 +106,7 @@ fn main() {
     println!(
         "cost factor at $0.01: {factor_at_paper_price:.0}x; break-even ratio: {breakeven_ratio:.0}x"
     );
-    shape(
+    experiment.finish(
         factor_at_paper_price >= 100.0 && breakeven_ratio >= 100.0,
         "both the per-message cost and the break-even response rate rise by >= two orders of magnitude at one cent per e-penny, and only targeted (>=0.05% response) campaigns survive",
     );

@@ -4,13 +4,13 @@
 //! neither pay nor profit from email, once they have set up initial
 //! balances with their ISPs to buffer the fluctuations."
 
-use zmail_bench::{fmt, header, shape};
+use zmail_bench::{fmt, Report};
 use zmail_core::{IspId, UserAddr, ZmailConfig, ZmailSystem};
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, Summary, Table};
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E2: zero-sum balances for balanced users",
         "balanced users drift to neither profit nor loss; system-wide e-pennies are conserved exactly",
     );
@@ -119,7 +119,7 @@ fn main() {
         isp0.sent_paid, isp0.received_paid, isp0.delivered_local
     );
 
-    shape(
+    experiment.finish(
         final_sd.is_finite(),
         "per-user drift is centred on zero with bounded dispersion, the population sum is exactly zero, and the conservation audit passes at every horizon",
     );

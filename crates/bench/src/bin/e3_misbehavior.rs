@@ -7,7 +7,7 @@
 //! timeout is too short for in-flight mail to drain — the reason the
 //! paper picks 10 minutes.
 
-use zmail_bench::{header, pct, shape};
+use zmail_bench::{pct, Report};
 use zmail_core::{CheatMode, IspId, ZmailConfig, ZmailSystem};
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, Table};
@@ -58,7 +58,7 @@ fn run_with(
 }
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E3: misbehavior detection and the quiescence window",
         "cheating ISPs are caught by the pairwise credit check; honest ISPs are not flagged when the freeze covers in-flight mail",
     );
@@ -157,7 +157,7 @@ fn main() {
         "(one-way latency here is 5s: windows shorter than that cannot drain\n in-flight mail, exactly the failure the paper's 10-minute wait avoids)"
     );
 
-    shape(
+    experiment.finish(
         full_detection_at_heavy_cheat && zero_fp_at_ten_min && short_window_fp > 0 && long_window_fp == 0,
         "a fully cheating ISP is flagged in every round with zero honest false positives at the paper's 10-minute window, while too-short windows flag honest ISPs",
     );

@@ -4,12 +4,12 @@
 //! distributor", and as a side benefit "the email distributor can keep
 //! its subscriber database clean and up-to-date."
 
-use zmail_bench::{fmt, header, pct, shape};
+use zmail_bench::{fmt, pct, Report};
 use zmail_core::{ListConfig, ListServer};
 use zmail_sim::{Sampler, Table};
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E4: mailing-list distributor economics",
         "acknowledgments recover nearly all distribution cost; dead subscribers are pruned automatically",
     );
@@ -147,7 +147,7 @@ fn main() {
     println!("(integrated run: every ack is itself a paid protocol message)");
     assert_eq!(full_ack_cost, 0, "full acks must fully refund");
 
-    shape(
+    experiment.finish(
         cost_at_high_ack < 0.05 * naive_cost && final_size == live,
         "at realistic ack rates the distributor recovers >95% of the fanout cost, and pruning shrinks the database to exactly the live population",
     );

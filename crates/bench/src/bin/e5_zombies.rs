@@ -9,7 +9,7 @@
 //! detection latency fall together, while too-tight limits start blocking
 //! the user's own legitimate bursts.
 
-use zmail_bench::{header, shape};
+use zmail_bench::Report;
 use zmail_core::zombie::liability_bound;
 use zmail_core::{UserAddr, ZmailConfig, ZmailSystem, ZombieAnalysis};
 use zmail_econ::EPennies;
@@ -17,7 +17,7 @@ use zmail_sim::workload::{Infection, TrafficConfig, TrafficGenerator};
 use zmail_sim::{MailKind, Sampler, SimDuration, SimTime, Table};
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E5: zombie liability and detection vs the daily limit",
         "the limit bounds the victim's e-penny loss and detects the zombie; tight limits trade off against legitimate bursts",
     );
@@ -101,7 +101,7 @@ fn main() {
         .all(|&(limit, lost)| lost as u64 <= liability_bound(limit, infection.duration));
     println!("liability monotone in limit: {monotone}; within analytic bound: {bounded}");
 
-    shape(
+    experiment.finish(
         monotone && bounded && legit_blocked_at_tightest > 0,
         "e-penny liability is capped by limit x days and detection is fast; the unlimited column shows what the victim loses without the mechanism, while the tightest limit visibly blocks legitimate bursts (the knob is a real tradeoff)",
     );

@@ -5,12 +5,12 @@
 //! ISP, which in turn causes more people to use compliant ISPs and more
 //! ISPs to become compliant."
 
-use zmail_bench::{header, pct, shape};
+use zmail_bench::{pct, Report};
 use zmail_econ::{AdoptionModel, AdoptionParams};
 use zmail_sim::Table;
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E6: adoption dynamics from a two-ISP bootstrap",
         "positive feedback produces an S-curve from 2 compliant ISPs to full deployment; user spam exposure collapses along the way",
     );
@@ -144,7 +144,7 @@ fn main() {
         pct(end.mean_spam_exposure)
     );
 
-    shape(
+    experiment.finish(
         s_curve_ok
             && end.compliant_isp_fraction > 0.99
             && end.mean_spam_exposure < 0.05

@@ -9,14 +9,14 @@
 //! credit reconciliation vs a per-message clearing regime.
 
 use zmail_baselines::{Shred, Vanquish};
-use zmail_bench::{fmt, header, shape};
+use zmail_bench::{fmt, Report};
 use zmail_core::{UserAddr, ZmailConfig, ZmailSystem};
 use zmail_econ::EPennies;
 use zmail_sim::workload::{Campaign, TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, SimTime, Table};
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E7: payment-handling overhead across schemes",
         "Zmail settles in bulk (a handful of messages per billing period); SHRED/Vanquish process one payment per triggered message, at a cost comparable to the payment itself",
     );
@@ -114,7 +114,7 @@ fn main() {
 
     let ratio_shred = shred.isp_processing_cost_cents / shred.spammer_cost_cents.max(1.0);
     let ratio_zmail = zmail_processing_cents / zmail_spammer_cost.max(1.0);
-    shape(
+    experiment.finish(
         zmail_settlement_ops < shred.triggers / 100
             && ratio_zmail < 0.05
             && ratio_shred > 1.0

@@ -5,11 +5,11 @@
 //! no spam definition at all, so evasion is irrelevant.
 
 use zmail_baselines::{Blacklist, ChallengeResponse, SyntheticCorpus, Whitelist};
-use zmail_bench::{header, pct, shape};
+use zmail_bench::{pct, Report};
 use zmail_sim::{Sampler, Table};
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E8: filtering baselines vs Zmail",
         "every filter trades false positives against evasion; Zmail delivers all legitimate mail and is indifferent to content tricks",
     );
@@ -135,7 +135,7 @@ fn main() {
     zmail.row_owned(vec!["zmail".into(), "0%".into(), "no".into(), "no".into()]);
     println!("{zmail}");
 
-    shape(
+    experiment.finish(
         evaded_fn > clean_fn + 0.10
             && rotating_delivered > static_delivered * 10
             && cr_stats.legit_lost > 0,

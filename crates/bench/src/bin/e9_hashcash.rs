@@ -9,11 +9,11 @@
 
 use std::time::Instant;
 use zmail_baselines::hashcash::{max_send_rate, mint, verify};
-use zmail_bench::{fmt, header, shape};
+use zmail_bench::{fmt, Report};
 use zmail_sim::Table;
 
 fn main() {
-    header(
+    let experiment = Report::new(
         "E9: hashcash proof-of-work postage, measured",
         "the CPU burden that throttles spammers also taxes every legitimate sender, and scales with difficulty; Zmail costs zero CPU",
     );
@@ -83,7 +83,7 @@ fn main() {
         fmt(1_000_000.0 / 86_400.0)
     );
 
-    shape(
+    experiment.finish(
         mint_ms_at_20 > 0.1 && verify_us < 1_000.0,
         "minting cost grows exponentially with difficulty while verification stays trivial — the throttle works, but only by taxing every legitimate sender and relay with the same CPU burden Zmail avoids entirely",
     );

@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 use zmail_ap::{analyze, AnalysisReport, AnalyzeConfig, ExploreConfig, Severity};
-use zmail_bench::{header, parse_threads, shape};
+use zmail_bench::{parse_threads, Report};
 use zmail_core::spec::{build_spec, SpecParams, TimeoutMode};
 use zmail_core::spec_bank::{build_bank_spec, BankSpecParams};
 use zmail_sim::Table;
@@ -146,7 +146,7 @@ fn main() -> ExitCode {
         };
     }
 
-    header(
+    let experiment = Report::new(
         "speclint: static analysis of the bundled AP specs",
         "every machine-checked spec is structurally sound — no dead channels, no footprint lies, no vacuously-passing actions hiding behind a mis-encoded guard",
     );
@@ -193,7 +193,7 @@ fn main() -> ExitCode {
     }
 
     let any_error = reports.iter().any(|(_, r)| r.has_errors());
-    shape(
+    experiment.finish(
         !any_error,
         "all bundled specs lint clean of errors; the surviving warnings are the documented intentional ones (the invariant-only `error_detected` variable, the provably-dead retry under a reliable network)",
     );

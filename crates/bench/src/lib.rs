@@ -5,7 +5,14 @@
 //!
 //! 1. a header naming the experiment and the paper claim it reproduces;
 //! 2. one or more [`zmail_sim::Table`]s with the measured rows;
-//! 3. a `shape:` line stating whether the qualitative claim held.
+//! 3. a `shape:` line stating whether the qualitative claim held;
+//! 4. with `--metrics [human|json|prom]`, a telemetry section rendered
+//!    from the global [`zmail_obs`] registry.
+//!
+//! The [`Report`] guard bundles 1, 3 and 4: construct it first thing in
+//! `main`, call [`Report::finish`] last. The registry stays disabled (and
+//! every instrumented hot path stays at one relaxed atomic load) unless
+//! the flag is present.
 //!
 //! `EXPERIMENTS.md` records one run of each.
 
@@ -26,6 +33,165 @@ pub fn shape(held: bool, description: &str) {
         "\nshape: {} — {description}",
         if held { "HOLDS" } else { "DOES NOT HOLD" }
     );
+}
+
+/// Output format for the `--metrics` telemetry section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Aligned, human-readable table ([`zmail_obs::export::human`]).
+    Human,
+    /// One JSON object per line ([`zmail_obs::export::json_lines`]).
+    Json,
+    /// Prometheus text exposition ([`zmail_obs::export::prometheus`]).
+    Prom,
+}
+
+/// Parses a `--metrics [human|json|prom]` argument for the experiment
+/// binaries. Returns `None` when the flag is absent (telemetry off — the
+/// default). A bare `--metrics` means [`MetricsFormat::Human`]; an
+/// unrecognised format falls back to human with a warning.
+pub fn parse_metrics() -> Option<MetricsFormat> {
+    parse_metrics_from(std::env::args().skip(1))
+}
+
+/// Flag parsing behind [`parse_metrics`], split out for testing. Accepts
+/// both `--metrics fmt` and `--metrics=fmt`.
+pub fn parse_metrics_from(args: impl IntoIterator<Item = String>) -> Option<MetricsFormat> {
+    fn decode(value: &str) -> Option<MetricsFormat> {
+        match value {
+            "human" => Some(MetricsFormat::Human),
+            "json" => Some(MetricsFormat::Json),
+            "prom" => Some(MetricsFormat::Prom),
+            _ => None,
+        }
+    }
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            // The format operand is optional: `--metrics --threads 4`
+            // must not eat `--threads` as a format name.
+            let value = match args.peek() {
+                Some(next) if !next.starts_with("--") => args.next(),
+                _ => None,
+            };
+            return Some(match value.as_deref() {
+                Some(v) => decode(v).unwrap_or_else(|| {
+                    eprintln!("--metrics: unknown format {v:?}; using human");
+                    MetricsFormat::Human
+                }),
+                None => MetricsFormat::Human,
+            });
+        }
+        if let Some(value) = arg.strip_prefix("--metrics=") {
+            return Some(decode(value).unwrap_or_else(|| {
+                eprintln!("--metrics: unknown format {value:?}; using human");
+                MetricsFormat::Human
+            }));
+        }
+    }
+    None
+}
+
+/// Experiment bracket: prints the header on construction, the shape
+/// verdict plus (when `--metrics` was passed) the telemetry section on
+/// [`finish`](Report::finish).
+///
+/// Constructing a `Report` with metrics requested enables the global
+/// [`zmail_obs`] registry, so everything the run records — core ledger
+/// counters, SMTP latency histograms, simulator queue depths, explorer
+/// profiles — shows up in the final dump.
+#[derive(Debug)]
+pub struct Report {
+    metrics: Option<MetricsFormat>,
+}
+
+impl Report {
+    /// Prints the experiment header and arms telemetry when `--metrics`
+    /// is on the command line.
+    pub fn new(id: &str, claim: &str) -> Report {
+        header(id, claim);
+        let metrics = parse_metrics();
+        if metrics.is_some() {
+            zmail_obs::global().set_enabled(true);
+        }
+        Report { metrics }
+    }
+
+    /// Like [`Report::new`], but with the metrics format supplied
+    /// directly instead of parsed from `std::env::args` — for tests and
+    /// embedding.
+    pub fn with_metrics(id: &str, claim: &str, metrics: Option<MetricsFormat>) -> Report {
+        header(id, claim);
+        if metrics.is_some() {
+            zmail_obs::global().set_enabled(true);
+        }
+        Report { metrics }
+    }
+
+    /// Whether `--metrics` was requested (and the global registry armed).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Prints the shape verdict and, when metrics were requested, the
+    /// telemetry section: a `--- telemetry ---` marker line followed by
+    /// *only* exporter output, so `json` stays machine-parseable with a
+    /// `sed -n '/^--- telemetry ---$/,$p' | tail -n +2`.
+    pub fn finish(self, held: bool, description: &str) {
+        shape(held, description);
+        let Some(format) = self.metrics else {
+            return;
+        };
+        let snapshot = zmail_obs::global().snapshot();
+        println!("\n--- telemetry ---");
+        match format {
+            MetricsFormat::Human => print!("{}", zmail_obs::export::human(&snapshot)),
+            MetricsFormat::Json => print!("{}", zmail_obs::export::json_lines(&snapshot)),
+            MetricsFormat::Prom => print!("{}", zmail_obs::export::prometheus(&snapshot)),
+        }
+    }
+}
+
+/// Records an explorer [`ExploreProfile`](zmail_ap::ExploreProfile) into
+/// the global registry under `prefix`, one exploration phase per call:
+///
+/// * `<prefix>.states`, `<prefix>.steals`, `<prefix>.wall_us` — counters;
+/// * `<prefix>.levels`, `<prefix>.states_per_sec`,
+///   `<prefix>.shards_occupied`, `<prefix>.threads` — gauges;
+/// * `<prefix>.frontier` — histogram of per-level BFS frontier sizes;
+/// * `<prefix>.shard_occupancy` — histogram of seen-set shard sizes.
+pub fn record_explore_profile(prefix: &str, profile: &zmail_ap::ExploreProfile) {
+    let registry = zmail_obs::global();
+    registry
+        .counter(&format!("{prefix}.states"))
+        .add(profile.states_visited as u64);
+    registry
+        .counter(&format!("{prefix}.steals"))
+        .add(profile.steals);
+    registry
+        .counter(&format!("{prefix}.wall_us"))
+        .add(profile.wall.as_micros().min(u128::from(u64::MAX)) as u64);
+    registry
+        .gauge(&format!("{prefix}.levels"))
+        .set(profile.level_sizes.len() as i64);
+    registry
+        .gauge(&format!("{prefix}.states_per_sec"))
+        .set(profile.states_per_sec() as i64);
+    registry
+        .gauge(&format!("{prefix}.threads"))
+        .set(profile.threads as i64);
+    let occupied = profile.shard_occupancy.iter().filter(|&&n| n > 0).count();
+    registry
+        .gauge(&format!("{prefix}.shards_occupied"))
+        .set(occupied as i64);
+    let frontier = registry.histogram(&format!("{prefix}.frontier"));
+    for &size in &profile.level_sizes {
+        frontier.record(size as u64);
+    }
+    let shards = registry.histogram(&format!("{prefix}.shard_occupancy"));
+    for &n in &profile.shard_occupancy {
+        shards.record(n as u64);
+    }
 }
 
 /// Formats a float with engineering-friendly precision.
@@ -108,5 +274,51 @@ mod tests {
         assert_eq!(parse(&["--threads", "0"]), 0);
         assert_eq!(parse(&["--threads", "bogus"]), 1);
         assert_eq!(parse(&["--other", "--threads", "2"]), 2);
+    }
+
+    #[test]
+    fn metrics_flag_forms() {
+        let parse = |args: &[&str]| parse_metrics_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), None);
+        assert_eq!(parse(&["--metrics"]), Some(MetricsFormat::Human));
+        assert_eq!(parse(&["--metrics", "human"]), Some(MetricsFormat::Human));
+        assert_eq!(parse(&["--metrics", "json"]), Some(MetricsFormat::Json));
+        assert_eq!(parse(&["--metrics=prom"]), Some(MetricsFormat::Prom));
+        assert_eq!(parse(&["--metrics", "bogus"]), Some(MetricsFormat::Human));
+        // A following flag is not swallowed as the format operand.
+        assert_eq!(
+            parse(&["--metrics", "--threads", "4"]),
+            Some(MetricsFormat::Human)
+        );
+        assert_eq!(
+            parse(&["--threads", "4", "--metrics", "json"]),
+            Some(MetricsFormat::Json)
+        );
+    }
+
+    #[test]
+    fn explore_profile_records_under_prefix() {
+        let (_, profile) = zmail_core::spec::check_with_profiled(
+            zmail_core::spec::SpecParams::default(),
+            100_000,
+            1,
+        );
+        zmail_obs::global().set_enabled(true);
+        record_explore_profile("test_profile", &profile);
+        let snap = zmail_obs::global().snapshot();
+        assert_eq!(
+            snap.counters["test_profile.states"],
+            profile.states_visited as u64
+        );
+        assert_eq!(snap.counters["test_profile.steals"], 0);
+        assert_eq!(
+            snap.histograms["test_profile.frontier"].count,
+            profile.level_sizes.len() as u64
+        );
+        assert_eq!(snap.histograms["test_profile.shard_occupancy"].count, 64);
+        assert_eq!(
+            snap.gauges["test_profile.levels"],
+            profile.level_sizes.len() as i64
+        );
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::config::{CheatMode, NonCompliantPolicy, ZmailConfig};
 use crate::ids::IspId;
+use crate::metrics::CoreMetrics;
 use crate::msg::{decode_value_nonce, encode_credit, encode_value_nonce, EmailMsg, NetMsg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -308,6 +309,7 @@ impl Isp {
         if !self.cansend {
             self.pending.push_back(PendingSend { sender, to, kind });
             self.stats.buffered_sends += 1;
+            CoreMetrics::get().buffered.inc();
             return Ok(SendOutcome::Buffered);
         }
         let dest = IspId(to.isp);
@@ -316,12 +318,14 @@ impl Isp {
             self.charge_sender(sender)?;
             self.users[to.user as usize].balance += EPennies::ONE;
             self.stats.delivered_local += 1;
+            CoreMetrics::get().transfers_local.inc();
             return Ok(SendOutcome::DeliveredLocally);
         }
         if self.compliant[dest.index()] {
             self.charge_sender(sender)?;
             self.book_credit(dest);
             self.stats.sent_paid += 1;
+            CoreMetrics::get().transfers_remote.inc();
             Ok(SendOutcome::Outbound {
                 to: dest,
                 msg: NetMsg::Email(EmailMsg {
@@ -334,6 +338,7 @@ impl Isp {
         } else {
             // `~compliant[j] --> send email(s, r) to isp[j]` — no charge.
             self.stats.sent_unpaid += 1;
+            CoreMetrics::get().transfers_unpaid.inc();
             Ok(SendOutcome::Outbound {
                 to: dest,
                 msg: NetMsg::Email(EmailMsg {
@@ -350,10 +355,12 @@ impl Isp {
         let user = &mut self.users[sender as usize];
         if user.balance < EPennies::ONE {
             self.stats.bounced_balance += 1;
+            CoreMetrics::get().reject_balance.inc();
             return Err(SendError::InsufficientBalance);
         }
         if user.sent_today >= user.limit {
             self.stats.bounced_limit += 1;
+            CoreMetrics::get().reject_limit.inc();
             return Err(SendError::DailyLimitExceeded);
         }
         user.balance -= EPennies::ONE;
@@ -399,6 +406,7 @@ impl Isp {
             self.users[email.to.user as usize].balance += EPennies::ONE;
             self.credit[from_isp.index()] -= 1;
             self.stats.received_paid += 1;
+            CoreMetrics::get().receive_paid.inc();
             return Delivery::Delivered;
         }
         // Mail from a non-compliant ISP: apply the receive policy.
@@ -505,6 +513,7 @@ impl Isp {
         self.ns1 = Some(nonce);
         let plain = encode_value_nonce(self.buyvalue, nonce);
         self.stats.bank_buys += 1;
+        CoreMetrics::get().bank_buys.inc();
         Some(NetMsg::Buy {
             envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
             audit: self.buyvalue,
@@ -523,6 +532,7 @@ impl Isp {
         self.ns2 = Some(nonce);
         let plain = encode_value_nonce(self.sellvalue, nonce);
         self.stats.bank_sells += 1;
+        CoreMetrics::get().bank_sells.inc();
         Some(NetMsg::Sell {
             envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
             audit: self.sellvalue,
@@ -554,6 +564,7 @@ impl Isp {
         self.ns1 = Some(nonce);
         let plain = encode_value_nonce(self.buyvalue, nonce);
         self.stats.bank_retries += 1;
+        CoreMetrics::get().bank_retries.inc();
         Some(NetMsg::Buy {
             envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
             audit: self.buyvalue,
@@ -568,6 +579,7 @@ impl Isp {
         self.ns2 = Some(nonce);
         let plain = encode_value_nonce(self.sellvalue, nonce);
         self.stats.bank_retries += 1;
+        CoreMetrics::get().bank_retries.inc();
         Some(NetMsg::Sell {
             envelope: seal_for_public(&self.bank_key, &plain, &mut self.rng),
             audit: self.sellvalue,
@@ -592,11 +604,13 @@ impl Isp {
         if self.ns1 == Some(nr1) {
             self.ns1 = None;
             self.canbuy = true;
+            CoreMetrics::get().bank_buy_roundtrips.inc();
             if accepted != 0 {
                 self.avail += EPennies(self.buyvalue);
             }
         } else {
             self.stats.stale_replies += 1;
+            CoreMetrics::get().bank_stale_replies.inc();
         }
         Ok(())
     }
@@ -617,8 +631,10 @@ impl Isp {
             self.ns2 = None;
             self.avail -= EPennies(self.sellvalue);
             self.cansell = true;
+            CoreMetrics::get().bank_sell_roundtrips.inc();
         } else {
             self.stats.stale_replies += 1;
+            CoreMetrics::get().bank_stale_replies.inc();
         }
         Ok(())
     }
@@ -646,6 +662,7 @@ impl Isp {
             Ok(true)
         } else {
             self.stats.stale_replies += 1;
+            CoreMetrics::get().bank_stale_replies.inc();
             Ok(false)
         }
     }

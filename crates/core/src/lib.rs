@@ -21,6 +21,9 @@
 //!   latency-modelled network, and a workload trace into a runnable world
 //!   with full metrics;
 //! * [`invariants`] — the conservation and consistency auditors;
+//! * [`metrics`] — ledger-layer counters recorded into the global
+//!   `zmail-obs` registry (disabled by default; the bench harness's
+//!   `--metrics` flag turns them on);
 //! * [`mailinglist`] — the §5 acknowledgment-refund mechanism for mailing
 //!   lists, including stale-subscriber pruning;
 //! * [`zombie`] — analysis of the §5 daily-limit defence against zombified
@@ -61,6 +64,7 @@ pub mod ids;
 pub mod invariants;
 pub mod isp;
 pub mod mailinglist;
+pub mod metrics;
 pub mod msg;
 pub mod multibank;
 pub mod spec;

@@ -1,0 +1,95 @@
+//! Ledger-layer metrics: always-on counters over the protocol's own
+//! accounting events, recorded into the global `zmail-obs` registry.
+//!
+//! Zmail's correctness story is observational — the bank *watches*
+//! per-peer `credit` counters to detect misbehaviour (§4.4) — and this
+//! module generalizes that stance: every transfer, bank round-trip,
+//! rejection, snapshot round, and zombie detection ticks a counter here.
+//! The registry starts disabled, so instrumented code paths cost one
+//! relaxed atomic load until a binary opts in (the bench harness does on
+//! `--metrics`).
+
+use std::sync::OnceLock;
+use zmail_obs::Counter;
+
+/// Counter handles for the `core` layer, registered once against
+/// [`zmail_obs::global()`].
+#[derive(Debug)]
+pub struct CoreMetrics {
+    /// Same-ISP paid deliveries (`core.transfers.local`).
+    pub transfers_local: Counter,
+    /// Paid sends to other compliant ISPs (`core.transfers.remote`).
+    pub transfers_remote: Counter,
+    /// Unpaid sends to non-compliant ISPs (`core.transfers.unpaid`).
+    pub transfers_unpaid: Counter,
+    /// Paid messages received from compliant ISPs (`core.receive.paid`).
+    pub receive_paid: Counter,
+    /// Sends refused for lack of balance (`core.reject.balance`).
+    pub reject_balance: Counter,
+    /// Sends refused by the daily cap (`core.reject.limit`).
+    pub reject_limit: Counter,
+    /// Sends buffered during snapshot freezes (`core.buffered`).
+    pub buffered: Counter,
+    /// Buy requests issued to the bank (`core.bank.buys`).
+    pub bank_buys: Counter,
+    /// Sell requests issued to the bank (`core.bank.sells`).
+    pub bank_sells: Counter,
+    /// Fresh-nonce retransmissions (`core.bank.retries`).
+    pub bank_retries: Counter,
+    /// Replayed or mismatched replies ignored (`core.bank.stale_replies`).
+    pub bank_stale_replies: Counter,
+    /// Completed buy exchanges — request matched by its reply
+    /// (`core.bank.buy_roundtrips`).
+    pub bank_buy_roundtrips: Counter,
+    /// Completed sell exchanges (`core.bank.sell_roundtrips`).
+    pub bank_sell_roundtrips: Counter,
+    /// Completed credit-snapshot rounds (`core.snapshot.rounds`).
+    pub snapshot_rounds: Counter,
+    /// Zombie infections detected by the daily limit
+    /// (`core.zombie.detections`).
+    pub zombie_detections: Counter,
+}
+
+impl CoreMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static CoreMetrics {
+        static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            CoreMetrics {
+                transfers_local: r.counter("core.transfers.local"),
+                transfers_remote: r.counter("core.transfers.remote"),
+                transfers_unpaid: r.counter("core.transfers.unpaid"),
+                receive_paid: r.counter("core.receive.paid"),
+                reject_balance: r.counter("core.reject.balance"),
+                reject_limit: r.counter("core.reject.limit"),
+                buffered: r.counter("core.buffered"),
+                bank_buys: r.counter("core.bank.buys"),
+                bank_sells: r.counter("core.bank.sells"),
+                bank_retries: r.counter("core.bank.retries"),
+                bank_stale_replies: r.counter("core.bank.stale_replies"),
+                bank_buy_roundtrips: r.counter("core.bank.buy_roundtrips"),
+                bank_sell_roundtrips: r.counter("core.bank.sell_roundtrips"),
+                snapshot_rounds: r.counter("core.snapshot.rounds"),
+                zombie_detections: r.counter("core.zombie.detections"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_registered_once() {
+        let a = CoreMetrics::get();
+        let b = CoreMetrics::get();
+        // Same statics, and the names exist in the global registry.
+        assert!(std::ptr::eq(a, b));
+        let snap = zmail_obs::global().snapshot();
+        assert!(snap.counters.contains_key("core.transfers.local"));
+        assert!(snap.counters.contains_key("core.zombie.detections"));
+    }
+}

@@ -44,7 +44,8 @@
 //! complete billing round is provably reachable.
 
 use zmail_ap::{
-    explore, ActionMeta, ExploreConfig, ExploreReport, Guard, Pid, SystemSpec, SystemState,
+    explore, explore_profiled, ActionMeta, ExploreConfig, ExploreProfile, ExploreReport, Guard,
+    Pid, SystemSpec, SystemState,
 };
 
 /// Parameters of the model-checked configuration.
@@ -485,6 +486,29 @@ pub fn check(params: SpecParams, max_states: usize) -> ExploreReport {
 pub fn check_with(params: SpecParams, max_states: usize, threads: usize) -> ExploreReport {
     let (spec, initial) = build_spec(params);
     explore(
+        &spec,
+        initial,
+        ExploreConfig {
+            max_states,
+            threads,
+            ..ExploreConfig::default()
+        },
+        spec_invariant(params),
+    )
+}
+
+/// Like [`check_with`], but also returns the explorer's execution
+/// profile — per-level frontier sizes, steal counts, seen-set shard
+/// occupancy, and states/second. The report half is byte-identical to
+/// [`check_with`] for the same inputs; only the profile varies with the
+/// schedule.
+pub fn check_with_profiled(
+    params: SpecParams,
+    max_states: usize,
+    threads: usize,
+) -> (ExploreReport, ExploreProfile) {
+    let (spec, initial) = build_spec(params);
+    explore_profiled(
         &spec,
         initial,
         ExploreConfig {

@@ -13,6 +13,7 @@ use crate::config::ZmailConfig;
 use crate::ids::IspId;
 use crate::invariants::{self, AuditError};
 use crate::isp::{Isp, SendError, SendOutcome};
+use crate::metrics::CoreMetrics;
 use crate::msg::{EmailMsg, NetMsg};
 use crate::multibank::{Federation, SettlementFlow};
 use std::collections::BTreeMap;
@@ -380,6 +381,7 @@ impl ZmailWorld {
                 },
             ) => {
                 if let Ok(Some(round)) = self.banks.handle_snapshot_reply(isp, &envelope) {
+                    CoreMetrics::get().snapshot_rounds.inc();
                     self.report
                         .consistency_reports
                         .push((scheduler.now(), round.consistency));
@@ -456,6 +458,18 @@ impl World for ZmailWorld {
             }
         }
     }
+
+    fn event_label(event: &Event) -> &'static str {
+        match event {
+            Event::Workload(_) => "workload",
+            Event::Deliver { .. } => "deliver",
+            Event::DayEnd => "day_end",
+            Event::BillingKickoff => "billing_kickoff",
+            Event::SnapshotTimeout(_) => "snapshot_timeout",
+            Event::ListPost(_) => "list_post",
+            Event::BankRetry(_) => "bank_retry",
+        }
+    }
 }
 
 /// The runnable Zmail deployment.
@@ -497,6 +511,14 @@ impl ZmailSystem {
         ZmailSystem {
             sim: Simulation::new(world),
         }
+    }
+
+    /// Attaches a telemetry sink to the underlying engine: events are
+    /// counted and timed per type (`workload`, `deliver`, `day_end`, …)
+    /// and, if the sink carries a tracer, traced under the **sim clock**
+    /// so two runs of the same seed produce byte-identical trace streams.
+    pub fn attach_telemetry(&mut self, telemetry: zmail_sim::SimTelemetry) {
+        self.sim.attach_telemetry(telemetry);
     }
 
     /// Runs a workload trace to completion (including network drain and any

@@ -46,7 +46,7 @@ impl ZombieAnalysis {
     /// A warning counts as detecting an infection when it names the victim
     /// and fires at or after the infection instant.
     pub fn from_run(infections: &[Infection], report: &RunReport) -> ZombieAnalysis {
-        let incidents = infections
+        let incidents: Vec<ZombieIncident> = infections
             .iter()
             .map(|inf| ZombieIncident {
                 victim: inf.victim,
@@ -54,6 +54,10 @@ impl ZombieAnalysis {
                 detected_at: first_warning_after(&report.limit_warnings, inf.victim, inf.at),
             })
             .collect();
+        let detected = incidents.iter().filter(|i| i.detected_at.is_some()).count();
+        crate::metrics::CoreMetrics::get()
+            .zombie_detections
+            .add(detected as u64);
         ZombieAnalysis { incidents }
     }
 

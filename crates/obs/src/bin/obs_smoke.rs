@@ -1,0 +1,91 @@
+//! Smoke binary for the observability substrate: exercises the metrics
+//! registry, the tracer, and all three exporters end-to-end, and fails
+//! loudly (non-zero exit) if any invariant is violated. Run by
+//! `scripts/ci.sh`.
+
+use zmail_obs::{export, Registry, Tracer};
+
+fn main() {
+    // --- metrics: counters, gauges, histograms across threads ---------
+    let registry = Registry::new();
+    let sends = registry.counter("smoke.sends");
+    let depth = registry.gauge("smoke.queue_depth");
+    let lat = registry.histogram("smoke.latency_us");
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let sends = sends.clone();
+            let lat = lat.clone();
+            scope.spawn(move || {
+                for i in 0..25_000u64 {
+                    sends.inc();
+                    lat.record(t * 1000 + i % 997);
+                }
+            });
+        }
+    });
+    depth.set(42);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["smoke.sends"], 100_000, "lost increments");
+    let h = &snap.histograms["smoke.latency_us"];
+    assert_eq!(h.count, 100_000, "lost histogram samples");
+    assert!(h.p50().is_some() && h.p99().is_some(), "quantiles missing");
+
+    // Disabled registries must record nothing.
+    let off = Registry::disabled();
+    let dead = off.counter("smoke.dead");
+    dead.inc();
+    assert_eq!(dead.get(), 0, "disabled registry recorded");
+
+    // Snapshot merge must add.
+    let mut merged = snap.clone();
+    merged.merge(&snap);
+    assert_eq!(merged.counters["smoke.sends"], 200_000, "merge lost counts");
+    assert_eq!(merged.histograms["smoke.latency_us"].count, 200_000);
+
+    // --- tracing: deterministic sim-clock stamps + wraparound ---------
+    let tracer = Tracer::new(8);
+    tracer.span_start(0, "smoke.run");
+    for ms in 1..=20u64 {
+        tracer.event(ms, "smoke.tick", format!("i={ms}"));
+    }
+    tracer.span_end(21, "smoke.run");
+    let log = tracer.drain();
+    assert_eq!(log.events.len(), 8, "ring did not bound");
+    assert_eq!(log.dropped, 14, "drop accounting wrong");
+
+    // --- exporters ----------------------------------------------------
+    let human = export::human(&snap);
+    assert!(human.contains("smoke.sends"), "human export missing metric");
+
+    let json = export::json_lines(&snap);
+    for line in json.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSON line: {line}"
+        );
+    }
+    assert!(json.contains("\"type\":\"histogram\""), "no histogram line");
+
+    let prom = export::prometheus(&snap);
+    assert!(
+        prom.contains("# TYPE smoke_latency_us histogram"),
+        "prometheus TYPE line missing"
+    );
+    assert!(
+        prom.contains("smoke_latency_us_bucket{le=\"+Inf\"} 100000"),
+        "prometheus +Inf bucket missing"
+    );
+
+    let trace = export::trace_json_lines(&log);
+    assert!(
+        trace.contains("\"type\":\"trace_summary\",\"events\":8,\"dropped\":14"),
+        "trace summary wrong"
+    );
+
+    println!("obs smoke: metrics + tracing + 3 exporters OK");
+    println!("--- human ---\n{human}");
+    println!("--- json-lines ---\n{json}");
+    println!("--- prometheus ---\n{prom}");
+}

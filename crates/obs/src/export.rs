@@ -1,0 +1,319 @@
+//! Renderers for [`Snapshot`]s and [`TraceLog`]s: human tables,
+//! JSON-lines, and Prometheus text exposition format.
+//!
+//! All JSON is emitted by hand — the workspace has no JSON dependency —
+//! with full string escaping, one object per line so streams can be
+//! processed with line-oriented tools. Every exporter is a pure function
+//! of its snapshot, so identical snapshots render to identical bytes.
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::trace::TraceLog;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as an aligned, human-readable table.
+///
+/// Counters and gauges print one per line; histograms get count, mean,
+/// p50/p90/p99, and min/max. Returns the empty string for an empty
+/// snapshot so callers can print unconditionally.
+pub fn human(snap: &Snapshot) -> String {
+    if snap.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let width = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(0);
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            let _ = writeln!(out, "  {name:<width$}  (no samples)");
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {name:<width$}  n={} mean={:.1} p50={} p90={} p99={} min={} max={}",
+            h.count,
+            h.mean(),
+            h.p50().unwrap_or(0),
+            h.p90().unwrap_or(0),
+            h.p99().unwrap_or(0),
+            h.min,
+            h.max,
+        );
+    }
+    out
+}
+
+fn histogram_json(name: &str, h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (i, (lower, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, "[{lower},{n}]");
+    }
+    buckets.push(']');
+    let quantiles = if h.count == 0 {
+        String::from("\"p50\":null,\"p90\":null,\"p99\":null")
+    } else {
+        format!(
+            "\"p50\":{},\"p90\":{},\"p99\":{}",
+            h.p50().unwrap_or(0),
+            h.p90().unwrap_or(0),
+            h.p99().unwrap_or(0)
+        )
+    };
+    format!(
+        "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},{},\"buckets\":{}}}",
+        json_escape(name),
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        quantiles,
+        buckets
+    )
+}
+
+/// Renders a snapshot as JSON-lines: one self-describing JSON object per
+/// line (`type` is `counter`, `gauge`, or `histogram`), names in sorted
+/// order, trailing newline after every line.
+pub fn json_lines(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "{}", histogram_json(name, h));
+    }
+    out
+}
+
+/// Sanitizes a metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots, dashes, and other invalid
+/// characters become underscores.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le="..."}` series (the bound is
+/// each stored bucket's lower bound), a `+Inf` bucket, and `_sum` /
+/// `_count` series, matching what a Prometheus scraper expects.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for &(lower, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{lower}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Renders a trace log as JSON-lines, one event per line in stream
+/// order, followed by a summary line reporting the drop count.
+///
+/// When events are timestamped from the sim clock, this output is a pure
+/// function of the workload — byte-identical across runs.
+pub fn trace_json_lines(log: &TraceLog) -> String {
+    let mut out = String::new();
+    for ev in &log.events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"trace\",\"ts\":{},\"kind\":\"{}\",\"name\":\"{}\",\"detail\":\"{}\"}}",
+            ev.ts,
+            ev.kind.label(),
+            json_escape(&ev.name),
+            json_escape(&ev.detail)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"trace_summary\",\"events\":{},\"dropped\":{}}}",
+        log.events.len(),
+        log.dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::Tracer;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("core.transfers.local").add(3);
+        r.gauge("sim.queue_depth").set(-2);
+        let h = r.histogram("smtp.parse_us");
+        h.record(1);
+        h.record(9);
+        h.record(9);
+        r.snapshot()
+    }
+
+    #[test]
+    fn human_golden() {
+        let got = human(&sample_snapshot());
+        let want = concat!(
+            "  core.transfers.local  3\n",
+            "  sim.queue_depth       -2\n",
+            "  smtp.parse_us         n=3 mean=6.3 p50=9 p90=9 p99=9 min=1 max=9\n",
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn human_empty_is_empty() {
+        assert_eq!(human(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn json_lines_golden() {
+        let got = json_lines(&sample_snapshot());
+        let want = "\
+{\"type\":\"counter\",\"name\":\"core.transfers.local\",\"value\":3}
+{\"type\":\"gauge\",\"name\":\"sim.queue_depth\",\"value\":-2}
+{\"type\":\"histogram\",\"name\":\"smtp.parse_us\",\"count\":3,\"sum\":19,\"min\":1,\"max\":9,\"p50\":9,\"p90\":9,\"p99\":9,\"buckets\":[[1,1],[9,2]]}
+";
+        assert_eq!(got, want);
+        // Every line must be minimally well-formed JSON.
+        for line in got.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let got = prometheus(&sample_snapshot());
+        let want = "\
+# TYPE core_transfers_local counter
+core_transfers_local 3
+# TYPE sim_queue_depth gauge
+sim_queue_depth -2
+# TYPE smtp_parse_us histogram
+smtp_parse_us_bucket{le=\"1\"} 1
+smtp_parse_us_bucket{le=\"9\"} 3
+smtp_parse_us_bucket{le=\"+Inf\"} 3
+smtp_parse_us_sum 19
+smtp_parse_us_count 3
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_export_golden() {
+        let t = Tracer::new(4);
+        t.span_start(0, "run");
+        t.event(3, "tick", "q=\"x\"");
+        t.span_end(7, "run");
+        let got = trace_json_lines(&t.drain());
+        let want = "\
+{\"type\":\"trace\",\"ts\":0,\"kind\":\"span_start\",\"name\":\"run\",\"detail\":\"\"}
+{\"type\":\"trace\",\"ts\":3,\"kind\":\"event\",\"name\":\"tick\",\"detail\":\"q=\\\"x\\\"\"}
+{\"type\":\"trace\",\"ts\":7,\"kind\":\"span_end\",\"name\":\"run\",\"detail\":\"\"}
+{\"type\":\"trace_summary\",\"events\":3,\"dropped\":0}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_histogram_renders_null_quantiles() {
+        let r = Registry::new();
+        r.histogram("h");
+        let got = json_lines(&r.snapshot());
+        assert!(got.contains("\"p50\":null"), "{got}");
+    }
+}

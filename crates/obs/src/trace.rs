@@ -1,0 +1,311 @@
+//! Structured event tracing into a bounded ring buffer.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s — span starts, span ends, and
+//! point events — into a fixed-capacity ring. When the ring fills, the
+//! oldest events are overwritten and a drop counter advances, so tracing
+//! can stay on for arbitrarily long runs with bounded memory.
+//!
+//! Timestamps are supplied by the **caller**: code running inside the
+//! simulation engine stamps events with the sim clock (integer
+//! milliseconds), which makes traces a pure function of the workload —
+//! two runs of the same seed produce byte-identical trace streams, the
+//! property the determinism guard test asserts. Outside the engine the
+//! `*_wall` convenience methods stamp microseconds elapsed since the
+//! tracer was created, using a monotonic clock.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What kind of trace record this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Beginning of a named region.
+    SpanStart,
+    /// End of a named region.
+    SpanEnd,
+    /// A point-in-time event.
+    Event,
+}
+
+impl TraceKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::SpanStart => "span_start",
+            TraceKind::SpanEnd => "span_end",
+            TraceKind::Event => "event",
+        }
+    }
+}
+
+/// One record in the trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Caller-supplied timestamp: sim-clock milliseconds inside the
+    /// engine, wall-clock microseconds since tracer creation otherwise.
+    pub ts: u64,
+    /// Record kind.
+    pub kind: TraceKind,
+    /// Event or span name (static in the common case — no allocation).
+    pub name: Cow<'static, str>,
+    /// Free-form detail; empty when there is nothing to add.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Backing storage; grows up to `capacity` then becomes a ring.
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Total events ever written (so `dropped = written - len`).
+    written: u64,
+}
+
+/// A drained, ordered copy of a tracer's ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLog {
+    /// Events oldest-first.
+    pub events: Vec<TraceEvent>,
+    /// How many older events were overwritten before this drain.
+    pub dropped: u64,
+}
+
+/// A bounded, thread-safe trace collector.
+///
+/// Cloning shares the underlying ring. Recording when disabled is a
+/// single relaxed load; the ring mutex is only touched when enabled.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: Arc<AtomicBool>,
+    ring: Arc<Mutex<Ring>>,
+    capacity: usize,
+    origin: Instant,
+}
+
+impl Tracer {
+    /// Creates an **enabled** tracer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be non-zero");
+        Tracer {
+            enabled: Arc::new(AtomicBool::new(true)),
+            ring: Arc::new(Mutex::new(Ring {
+                buf: Vec::new(),
+                head: 0,
+                written: 0,
+            })),
+            capacity,
+            origin: Instant::now(),
+        }
+    }
+
+    /// Creates a disabled tracer (recording is a no-op until enabled).
+    pub fn disabled(capacity: usize) -> Self {
+        let t = Self::new(capacity);
+        t.set_enabled(false);
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("tracer lock");
+        ring.written += 1;
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(ev);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+
+    #[inline]
+    fn record(&self, ts: u64, kind: TraceKind, name: Cow<'static, str>, detail: String) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            ts,
+            kind,
+            name,
+            detail,
+        });
+    }
+
+    /// Records a point event with a caller-supplied timestamp
+    /// (sim-clock milliseconds inside the engine).
+    #[inline]
+    pub fn event(&self, ts: u64, name: impl Into<Cow<'static, str>>, detail: impl Into<String>) {
+        self.record(ts, TraceKind::Event, name.into(), detail.into());
+    }
+
+    /// Records the start of a span with a caller-supplied timestamp.
+    #[inline]
+    pub fn span_start(&self, ts: u64, name: impl Into<Cow<'static, str>>) {
+        self.record(ts, TraceKind::SpanStart, name.into(), String::new());
+    }
+
+    /// Records the end of a span with a caller-supplied timestamp.
+    #[inline]
+    pub fn span_end(&self, ts: u64, name: impl Into<Cow<'static, str>>) {
+        self.record(ts, TraceKind::SpanEnd, name.into(), String::new());
+    }
+
+    /// Microseconds elapsed on the monotonic clock since this tracer (or
+    /// the clone ancestor it was cloned from) was created.
+    #[inline]
+    pub fn wall_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Records a point event stamped from the monotonic wall clock.
+    /// Not deterministic — use [`Tracer::event`] with the sim clock when
+    /// traces must be diffable across runs.
+    pub fn event_wall(&self, name: impl Into<Cow<'static, str>>, detail: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(
+            self.wall_micros(),
+            TraceKind::Event,
+            name.into(),
+            detail.into(),
+        );
+    }
+
+    /// Records a span start stamped from the monotonic wall clock.
+    pub fn span_start_wall(&self, name: impl Into<Cow<'static, str>>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(
+            self.wall_micros(),
+            TraceKind::SpanStart,
+            name.into(),
+            String::new(),
+        );
+    }
+
+    /// Records a span end stamped from the monotonic wall clock.
+    pub fn span_end_wall(&self, name: impl Into<Cow<'static, str>>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(
+            self.wall_micros(),
+            TraceKind::SpanEnd,
+            name.into(),
+            String::new(),
+        );
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer lock").buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained events oldest-first and clears the ring.
+    pub fn drain(&self) -> TraceLog {
+        let mut ring = self.ring.lock().expect("tracer lock");
+        let mut events = Vec::with_capacity(ring.buf.len());
+        // Oldest events start at `head` once the ring has wrapped.
+        events.extend_from_slice(&ring.buf[ring.head..]);
+        events.extend_from_slice(&ring.buf[..ring.head]);
+        let dropped = ring.written - events.len() as u64;
+        ring.buf.clear();
+        ring.head = 0;
+        ring.written = 0;
+        TraceLog { events, dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let t = Tracer::new(16);
+        t.span_start(0, "run");
+        t.event(5, "tick", "n=1");
+        t.span_end(9, "run");
+        let log = t.drain();
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[0].kind, TraceKind::SpanStart);
+        assert_eq!(log.events[1].detail, "n=1");
+        assert_eq!(log.events[2].ts, 9);
+        // Drain clears.
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let t = Tracer::new(4);
+        for i in 0..10u64 {
+            t.event(i, "e", String::new());
+        }
+        let log = t.drain();
+        assert_eq!(log.dropped, 6);
+        let ts: Vec<u64> = log.events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wraparound_exactly_at_capacity() {
+        let t = Tracer::new(3);
+        for i in 0..3u64 {
+            t.event(i, "e", String::new());
+        }
+        let log = t.drain();
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.events.len(), 3);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled(8);
+        t.event(1, "e", String::new());
+        t.event_wall("w", String::new());
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.event(2, "e", String::new());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let t = Tracer::new(8);
+        let u = t.clone();
+        t.event(1, "a", String::new());
+        u.event(2, "b", String::new());
+        assert_eq!(t.drain().events.len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for snapshot merging: the fold used to combine
+//! per-worker telemetry must be associative and commutative, and
+//! cross-thread recording into shared handles must agree with merging
+//! per-thread snapshots.
+
+use proptest::prelude::*;
+use zmail_obs::{Registry, Snapshot};
+
+/// Builds a snapshot from scripted recordings: counter increments and
+/// histogram observations.
+fn build(counts: &[(u8, u64)], samples: &[u64]) -> Snapshot {
+    let r = Registry::new();
+    for &(which, n) in counts {
+        r.counter(match which % 3 {
+            0 => "a",
+            1 => "b",
+            _ => "c",
+        })
+        .add(n % 1_000_003);
+    }
+    let h = r.histogram("h");
+    for &s in samples {
+        h.record(s);
+    }
+    r.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        ys in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        zs in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        sx in proptest::collection::vec(any::<u64>(), 0..8),
+        sy in proptest::collection::vec(any::<u64>(), 0..8),
+        sz in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let a = build(&xs, &sx);
+        let b = build(&ys, &sy);
+        let c = build(&zs, &sz);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        ys in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        sx in proptest::collection::vec(any::<u64>(), 0..8),
+        sy in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let a = build(&xs, &sx);
+        let b = build(&ys, &sy);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn shared_handles_equal_merged_snapshots(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..64), 1..5),
+    ) {
+        // Record everything into ONE registry from several threads...
+        let shared = Registry::new();
+        let counter = shared.counter("n");
+        let hist = shared.histogram("h");
+        std::thread::scope(|scope| {
+            for chunk in &per_thread {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for &v in chunk {
+                        counter.inc();
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+
+        // ...and separately into one registry per thread, then merge.
+        let mut merged = Snapshot::default();
+        for chunk in &per_thread {
+            let solo = Registry::new();
+            let c = solo.counter("n");
+            let h = solo.histogram("h");
+            for &v in chunk {
+                c.inc();
+                h.record(v);
+            }
+            merged.merge(&solo.snapshot());
+        }
+
+        prop_assert_eq!(shared.snapshot(), merged);
+    }
+}

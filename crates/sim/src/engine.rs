@@ -7,6 +7,7 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::event::EventQueue;
+use crate::telemetry::SimTelemetry;
 
 /// Interface the engine offers to event handlers for scheduling new events.
 #[derive(Debug)]
@@ -49,6 +50,14 @@ pub trait World {
         event: Self::Event,
         scheduler: &mut Scheduler<'_, Self::Event>,
     );
+
+    /// Short static label for an event, used by telemetry to bucket
+    /// per-event-type latency histograms and trace lines. The default
+    /// lumps everything under one label; worlds with an event enum
+    /// should override it.
+    fn event_label(_event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// The event loop: owns the queue and the clock, drives a [`World`].
@@ -58,6 +67,7 @@ pub struct Simulation<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl<W: World> Simulation<W> {
@@ -68,7 +78,19 @@ impl<W: World> Simulation<W> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent events are counted, timed,
+    /// and (if the sink carries a tracer) traced under the sim clock.
+    pub fn attach_telemetry(&mut self, telemetry: SimTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Schedules an initial event before the run starts.
@@ -108,12 +130,23 @@ impl<W: World> Simulation<W> {
             Some((time, event)) => {
                 debug_assert!(time >= self.now);
                 self.now = time;
+                // Read the label and start the timer before `handle`
+                // borrows the world and queue.
+                let label_and_start = self.telemetry.as_ref().map(|tel| {
+                    let label = W::event_label(&event);
+                    (label, tel.on_event_start(time.as_millis(), label))
+                });
                 let mut scheduler = Scheduler {
                     now: time,
                     queue: &mut self.queue,
                 };
                 self.world.handle(time, event, &mut scheduler);
                 self.processed += 1;
+                if let (Some(tel), Some((label, started))) =
+                    (self.telemetry.as_mut(), label_and_start)
+                {
+                    tel.on_event_end(label, started, self.queue.len());
+                }
                 true
             }
             None => false,
@@ -141,8 +174,13 @@ impl<W: World> Simulation<W> {
     /// Runs until the event queue is exhausted. Returns events handled.
     pub fn run_to_completion(&mut self) -> u64 {
         let before = self.processed;
+        let started = std::time::Instant::now();
         while self.step() {}
-        self.processed - before
+        let handled = self.processed - before;
+        if let Some(tel) = &self.telemetry {
+            tel.on_run_complete(handled, started.elapsed());
+        }
+        handled
     }
 }
 
@@ -231,6 +269,32 @@ mod tests {
         let mut sim = Simulation::new(Rewinder);
         sim.schedule(SimTime::ZERO + SimDuration::from_secs(10), 1);
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn telemetry_counts_and_traces_under_sim_clock() {
+        use crate::telemetry::SimTelemetry;
+        use zmail_obs::{Registry, Tracer};
+
+        let registry = Registry::new();
+        let tracer = Tracer::new(64);
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_secs(2),
+            limit: 3,
+        });
+        sim.attach_telemetry(SimTelemetry::with_tracer(&registry, tracer.clone()));
+        sim.schedule(SimTime::ZERO, Ring);
+        sim.run_to_completion();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sim.events"], 3);
+        assert_eq!(snap.gauges["sim.queue_depth"], 0);
+        assert_eq!(snap.histograms["sim.handle_us.event"].count, 3);
+
+        // Trace stamps are sim-clock milliseconds: 0s, 2s, 4s.
+        let ts: Vec<u64> = tracer.drain().events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 2000, 4000]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   the only external randomness dependency stays `rand`;
 //! * [`stats`] — counters, log-binned histograms with percentiles, time
 //!   series, and an aligned-table printer used by every experiment binary;
+//! * [`telemetry`] — an optional [`SimTelemetry`] sink wiring the engine
+//!   into `zmail-obs`: event counts, queue depth, per-event-type handler
+//!   latency, and sim-clock-stamped (hence deterministic) trace streams;
 //! * [`workload`] — email traffic models: normal users, spammers,
 //!   newsletters, mailing lists, and virus/zombie outbreaks.
 //!
@@ -40,6 +43,7 @@ pub mod engine;
 pub mod event;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod workload;
 
 pub use clock::{SimDuration, SimTime};
@@ -47,4 +51,5 @@ pub use engine::{Scheduler, Simulation, World};
 pub use event::EventQueue;
 pub use rng::Sampler;
 pub use stats::{Histogram, Quantiles, Summary, Table, TimeSeries};
+pub use telemetry::SimTelemetry;
 pub use workload::{MailKind, SendEvent, TrafficConfig, TrafficGenerator, UserAddr};

@@ -1,0 +1,104 @@
+//! Engine telemetry: metrics and deterministic tracing for the event loop.
+//!
+//! A [`SimTelemetry`] attached to a [`Simulation`](crate::Simulation)
+//! records, per processed event:
+//!
+//! * `sim.events` — total events handled (counter);
+//! * `sim.queue_depth` — pending events after each handle (gauge);
+//! * `sim.events_per_sec` — wall-clock throughput of the last
+//!   `run_to_completion` (gauge);
+//! * `sim.handle_us.<label>` — wall-clock handler latency per event
+//!   type (histogram), where `<label>` comes from
+//!   [`World::event_label`](crate::World::event_label).
+//!
+//! Optionally, each event is also written to a [`Tracer`] stamped with
+//! the **sim clock** (integer milliseconds), not the wall clock. Because
+//! virtual time is a pure function of the workload, two runs of the same
+//! seed yield byte-identical trace streams — the deterministic-trace
+//! guarantee the guard test in `crates/bench/tests/determinism.rs`
+//! asserts. Wall-clock latency histograms are kept out of the trace for
+//! the same reason.
+
+use std::collections::HashMap;
+use std::time::Instant;
+use zmail_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+
+/// Telemetry sink for one [`Simulation`](crate::Simulation).
+#[derive(Debug)]
+pub struct SimTelemetry {
+    registry: Registry,
+    events: Counter,
+    queue_depth: Gauge,
+    events_per_sec: Gauge,
+    /// Lazily created `sim.handle_us.<label>` histograms. Labels are
+    /// `&'static str` so lookups never allocate.
+    handle_us: HashMap<&'static str, Histogram>,
+    tracer: Option<Tracer>,
+}
+
+impl SimTelemetry {
+    /// Creates a telemetry sink recording into `registry`, without
+    /// tracing.
+    pub fn new(registry: &Registry) -> Self {
+        SimTelemetry {
+            registry: registry.clone(),
+            events: registry.counter("sim.events"),
+            queue_depth: registry.gauge("sim.queue_depth"),
+            events_per_sec: registry.gauge("sim.events_per_sec"),
+            handle_us: HashMap::new(),
+            tracer: None,
+        }
+    }
+
+    /// Creates a telemetry sink that additionally writes every event to
+    /// `tracer`, stamped with sim-clock milliseconds.
+    pub fn with_tracer(registry: &Registry, tracer: Tracer) -> Self {
+        let mut t = Self::new(registry);
+        t.tracer = Some(tracer);
+        t
+    }
+
+    /// The tracer, if one is attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Called by the engine just before an event handler runs. Returns
+    /// the wall-clock start when latency timing is on (registry
+    /// enabled); tracing piggybacks here with the sim-clock stamp.
+    #[inline]
+    pub(crate) fn on_event_start(&self, now_ms: u64, label: &'static str) -> Option<Instant> {
+        if let Some(tracer) = &self.tracer {
+            tracer.event(now_ms, label, String::new());
+        }
+        self.registry.is_enabled().then(Instant::now)
+    }
+
+    /// Called by the engine after a handler returns.
+    #[inline]
+    pub(crate) fn on_event_end(
+        &mut self,
+        label: &'static str,
+        started: Option<Instant>,
+        queue_len: usize,
+    ) {
+        self.events.inc();
+        self.queue_depth.set(queue_len as i64);
+        if let Some(started) = started {
+            let hist = self
+                .handle_us
+                .entry(label)
+                .or_insert_with(|| self.registry.histogram(&format!("sim.handle_us.{label}")));
+            hist.record(started.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Called by the engine at the end of a full run with the events
+    /// handled and the wall time taken.
+    pub(crate) fn on_run_complete(&self, handled: u64, wall: std::time::Duration) {
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_per_sec.set((handled as f64 / secs) as i64);
+        }
+    }
+}

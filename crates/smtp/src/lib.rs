@@ -47,6 +47,7 @@
 pub mod client;
 pub mod command;
 pub mod message;
+pub mod metrics;
 pub mod relay;
 pub mod reply;
 pub mod server;

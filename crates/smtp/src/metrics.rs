@@ -1,0 +1,76 @@
+//! SMTP-layer metrics recorded into the global `zmail-obs` registry.
+//!
+//! The server loop is the E11 hot path — thousands of messages per second
+//! over loopback — so every handle here is lock-free and the wall-clock
+//! reads for the timing histograms are skipped entirely while the global
+//! registry is disabled (its default state).
+
+use std::sync::OnceLock;
+use zmail_obs::{Counter, Histogram};
+
+/// Handle set for the `smtp` layer, registered once against
+/// [`zmail_obs::global()`].
+#[derive(Debug)]
+pub struct SmtpMetrics {
+    /// Command lines parsed, well-formed or not (`smtp.commands`).
+    pub commands: Counter,
+    /// Lines rejected with `500` (`smtp.syntax_errors`).
+    pub syntax_errors: Counter,
+    /// Messages accepted with the final `250` (`smtp.messages`).
+    pub messages: Counter,
+    /// Messages bounced with `552` — balance, limit, size, or malformed
+    /// (`smtp.bounces`).
+    pub bounces: Counter,
+    /// Bytes of accepted `DATA` payloads, headers included
+    /// (`smtp.data_bytes`).
+    pub data_bytes: Counter,
+    /// Time to parse one command line, microseconds (`smtp.parse_us`).
+    pub parse_us: Histogram,
+    /// Time to frame one `DATA` payload — read, size-check, parse into a
+    /// message, and deliver to the sink — microseconds (`smtp.frame_us`).
+    pub frame_us: Histogram,
+}
+
+impl SmtpMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static SmtpMetrics {
+        static METRICS: OnceLock<SmtpMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            SmtpMetrics {
+                commands: r.counter("smtp.commands"),
+                syntax_errors: r.counter("smtp.syntax_errors"),
+                messages: r.counter("smtp.messages"),
+                bounces: r.counter("smtp.bounces"),
+                data_bytes: r.counter("smtp.data_bytes"),
+                parse_us: r.histogram("smtp.parse_us"),
+                frame_us: r.histogram("smtp.frame_us"),
+            }
+        })
+    }
+
+    /// Wall-clock start for a timing histogram, or `None` while the
+    /// global registry is disabled (so the hot path never reads a clock
+    /// it will not use).
+    #[inline]
+    pub fn timer() -> Option<std::time::Instant> {
+        zmail_obs::global()
+            .is_enabled()
+            .then(std::time::Instant::now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_register_in_global_registry() {
+        let m = SmtpMetrics::get();
+        assert!(std::ptr::eq(m, SmtpMetrics::get()));
+        let snap = zmail_obs::global().snapshot();
+        assert!(snap.counters.contains_key("smtp.messages"));
+        assert!(snap.histograms.contains_key("smtp.parse_us"));
+    }
+}

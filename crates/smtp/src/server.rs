@@ -9,6 +9,7 @@
 
 use crate::command::Command;
 use crate::message::MailMessage;
+use crate::metrics::SmtpMetrics;
 use crate::reply::{Reply, ReplyCode};
 use crate::transport::Connection;
 use crate::SmtpError;
@@ -143,9 +144,17 @@ impl<S: MailSink> SmtpServer<S> {
             let Some(line) = conn.recv_line()? else {
                 return Ok(accepted); // client went away
             };
-            let command = match Command::parse(&line) {
+            let metrics = SmtpMetrics::get();
+            let parse_started = SmtpMetrics::timer();
+            let parsed = Command::parse(&line);
+            if let Some(started) = parse_started {
+                metrics.parse_us.record_duration(started.elapsed());
+            }
+            metrics.commands.inc();
+            let command = match parsed {
                 Ok(c) => c,
                 Err(_) => {
+                    metrics.syntax_errors.inc();
                     conn.send_line(
                         &Reply::new(ReplyCode::SyntaxError, "command unrecognized").to_string(),
                     )?;
@@ -197,7 +206,9 @@ impl<S: MailSink> SmtpServer<S> {
                         &Reply::new(ReplyCode::StartMailInput, "end data with <CRLF>.<CRLF>")
                             .to_string(),
                     )?;
+                    let frame_started = SmtpMetrics::timer();
                     let payload = read_data(&mut conn)?;
+                    let payload_bytes = payload.len();
                     let too_large = self.max_data_bytes.is_some_and(|cap| payload.len() > cap);
                     let outcome = if too_large {
                         Err("message exceeds size limit".to_string())
@@ -210,15 +221,23 @@ impl<S: MailSink> SmtpServer<S> {
                         .map_err(|_| "message malformed".to_string())
                         .and_then(|msg| self.sink.deliver(msg))
                     };
+                    if let Some(started) = frame_started {
+                        metrics.frame_us.record_duration(started.elapsed());
+                    }
                     recipients.clear();
                     sender.clear();
                     state = State::Idle;
                     match outcome {
                         Ok(()) => {
                             accepted += 1;
+                            metrics.messages.inc();
+                            metrics.data_bytes.add(payload_bytes as u64);
                             Reply::new(ReplyCode::Ok, "message accepted")
                         }
-                        Err(text) => Reply::new(ReplyCode::ExceededAllocation, text),
+                        Err(text) => {
+                            metrics.bounces.inc();
+                            Reply::new(ReplyCode::ExceededAllocation, text)
+                        }
                     }
                 }
                 (cmd, bad_state) => Reply::new(

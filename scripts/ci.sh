@@ -18,9 +18,15 @@ cargo test -q --workspace
 echo "== cargo doc (first-party crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p zmail -p zmail-ap -p zmail-core -p zmail-bench -p zmail-crypto \
-  -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines
+  -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines -p zmail-obs
 
 echo "== speclint (static analysis of the bundled AP specs)"
 cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
+
+echo "== obs smoke (metrics/tracing/exporters end to end)"
+cargo run --release -q -p zmail-obs --bin obs_smoke > /dev/null
+
+echo "== determinism guards (sim-clock traces, profiled explorer)"
+cargo test -q --release -p zmail-bench --test determinism
 
 echo "CI: all green"
