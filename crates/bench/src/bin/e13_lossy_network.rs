@@ -17,6 +17,7 @@
 
 use zmail_bench::{fmt, pct, Report};
 use zmail_core::{ZmailConfig, ZmailSystem};
+use zmail_fault::{FaultCounters, FaultPlan};
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, Table};
 
@@ -29,6 +30,7 @@ struct Outcome {
     rounds: usize,
     accused_rounds: usize,
     audit_ok: bool,
+    faults: FaultCounters,
 }
 
 fn run(loss: f64, duplicate: f64, seed: u64) -> Outcome {
@@ -44,7 +46,7 @@ fn run(loss: f64, duplicate: f64, seed: u64) -> Outcome {
     let config = ZmailConfig::builder(3, 20)
         .limit(10_000)
         .billing_period(SimDuration::from_days(1))
-        .lossy_network(loss, duplicate)
+        .faults(FaultPlan::lossy_email(loss, duplicate))
         .build();
     let mut system = ZmailSystem::new(config, seed);
     let report = system.run_trace(&trace);
@@ -61,6 +63,7 @@ fn run(loss: f64, duplicate: f64, seed: u64) -> Outcome {
             .filter(|(_, r)| !r.is_clean())
             .count(),
         audit_ok: system.audit().is_ok(),
+        faults: *system.fault_counters(),
     }
 }
 
@@ -83,6 +86,7 @@ fn main() {
     let mut clean_accusations = 0usize;
     let mut lossy_accusation_rate = 0.0;
     let mut destroyed_at_1pct = 0i64;
+    let mut injected = Table::new(&["loss rate", "dup rate", "injected drops", "injected dups"]);
     for (loss, dup) in [
         (0.0, 0.0),
         (0.001, 0.0),
@@ -113,6 +117,12 @@ fn main() {
                 "BROKEN".into()
             },
         ]);
+        injected.row_owned(vec![
+            pct(loss),
+            pct(dup),
+            out.faults.total_drops().to_string(),
+            out.faults.duplicates.to_string(),
+        ]);
     }
     println!("{table}");
     println!(
@@ -126,6 +136,11 @@ fn main() {
          lossy link from a cheating peer.",
         fmt(destroyed_at_1pct as f64),
         pct(lossy_accusation_rate)
+    );
+    println!(
+        "\nfault-injection telemetry (zmail-fault; the injector's own\n\
+         deterministic counters — what was *injected*, as opposed to the\n\
+         table's protocol-level damage):\n{injected}"
     );
 
     experiment.finish(

@@ -20,6 +20,7 @@ use std::time::Instant;
 use zmail_bench::{parse_threads, pct, Report};
 use zmail_core::{IspId, ZmailConfig, ZmailSystem};
 use zmail_econ::EPennies;
+use zmail_fault::FaultPlan;
 use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, Table};
 
@@ -30,6 +31,7 @@ struct Outcome {
     pools_recovered: u32,
     stranded: i64,
     audit_ok: bool,
+    injected_drops: u64,
 }
 
 fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
@@ -39,7 +41,8 @@ fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
     let config = ZmailConfig::builder(isps, 10)
         .initial_balance(EPennies(5))
         .avail_bounds(EPennies(1_000), EPennies(1_200), EPennies(500))
-        .lossy_bank_channel(loss, retry)
+        .faults(FaultPlan::lossy_bank(loss))
+        .bank_retry(retry)
         .build();
     let traffic = TrafficConfig {
         isps,
@@ -71,6 +74,7 @@ fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
         pools_recovered: recovered,
         stranded: system.pennies_stranded(),
         audit_ok: system.audit().is_ok(),
+        injected_drops: system.fault_counters().total_drops(),
     }
 }
 
@@ -94,6 +98,7 @@ fn main() {
     let mut wedged_without_retry = 0u32;
     let mut wedged_with_retry = 0u32;
     let mut stranded_with_retry = 0i64;
+    let mut injected = Table::new(&["bank loss", "retry", "injected drops (zmail-fault)"]);
     for (loss, retry_cfg, label) in [
         (0.0, None, "off"),
         (0.3, None, "off"),
@@ -123,6 +128,11 @@ fn main() {
                 "BROKEN".into()
             },
         ]);
+        injected.row_owned(vec![
+            pct(loss),
+            label.to_string(),
+            out.injected_drops.to_string(),
+        ]);
     }
     println!("{table}");
     println!(
@@ -133,6 +143,7 @@ fn main() {
          the pool never received — the extended audit still balances, so\n\
          the leak is precisely attributable.)"
     );
+    println!("\nfault-injection telemetry (zmail-fault):\n{injected}");
 
     // The formal counterpart: the same facts as theorems about an AP
     // model of the exchange (see core::spec_bank).

@@ -2,6 +2,7 @@
 
 use crate::ids::IspId;
 use zmail_econ::{EPennies, ExchangeRate, RealPennies};
+use zmail_fault::{ChannelFault, Fault, FaultPlan, MsgClass};
 use zmail_sim::SimDuration;
 
 /// What a compliant ISP does with mail arriving from a non-compliant ISP.
@@ -95,15 +96,11 @@ pub struct ZmailConfig {
     pub topup_amount: EPennies,
     /// Per-ISP cheating behaviour, for misbehavior-detection experiments.
     pub cheat_modes: Vec<CheatMode>,
-    /// Probability an inter-ISP email is silently lost in transit. The
-    /// paper assumes reliable channels; experiment E13 quantifies what
-    /// loss does to the e-penny ledger and the misbehavior detector.
-    pub email_loss_rate: f64,
-    /// Probability an inter-ISP email is duplicated in transit.
-    pub email_duplicate_rate: f64,
-    /// Probability a buy/sell message or its reply is lost in transit
-    /// (snapshot traffic stays reliable so billing rounds terminate).
-    pub bank_loss_rate: f64,
+    /// The fault plan applied to every network message (see
+    /// `zmail-fault`). The paper assumes reliable channels; experiments
+    /// E13/E15 and the fault-scenario harness quantify what goes wrong
+    /// without them. Empty by default.
+    pub faults: FaultPlan,
     /// If set, an ISP whose buy/sell exchange has not completed after this
     /// long retransmits with a **fresh nonce** (the paper's replay guard
     /// rejects identical retransmissions — see experiment E15).
@@ -138,9 +135,7 @@ impl ZmailConfig {
                 auto_topup_below: Some(EPennies(10)),
                 topup_amount: EPennies(100),
                 cheat_modes: vec![CheatMode::Honest; isps as usize],
-                email_loss_rate: 0.0,
-                email_duplicate_rate: 0.0,
-                bank_loss_rate: 0.0,
+                faults: FaultPlan::none(),
                 bank_retry_after: None,
                 banks: 1,
             },
@@ -192,6 +187,7 @@ impl ZmailConfig {
             !self.initial_balance.is_negative() && !self.initial_avail.is_negative(),
             "negative initial holdings"
         );
+        self.faults.validate(self.isps);
     }
 }
 
@@ -254,17 +250,39 @@ impl ZmailConfigBuilder {
 
     /// Makes the inter-ISP network lossy: emails are dropped with
     /// probability `loss` and duplicated with probability `duplicate`.
+    /// Sugar for appending the matching `zmail-fault` clause to the
+    /// configuration's [`FaultPlan`].
     ///
     /// # Panics
     ///
-    /// Panics if either rate is outside `[0, 1]`.
+    /// Panics at `build` if either rate is outside `[0, 1]`.
     pub fn lossy_network(mut self, loss: f64, duplicate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&loss) && (0.0..=1.0).contains(&duplicate),
-            "rates must be within [0, 1]"
-        );
-        self.config.email_loss_rate = loss;
-        self.config.email_duplicate_rate = duplicate;
+        self.config.faults.faults.push(Fault::Channel(ChannelFault {
+            drop: loss,
+            duplicate,
+            ..ChannelFault::inert(MsgClass::Email)
+        }));
+        self
+    }
+
+    /// Installs a full fault plan, replacing any clauses added so far
+    /// (see `zmail-fault` for the clause vocabulary).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Appends one fault clause to the plan.
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.config.faults.faults.push(fault);
+        self
+    }
+
+    /// Enables (or disables, with `None`) fresh-nonce retransmission of
+    /// buy/sell exchanges that have not completed after `retry_after` —
+    /// independently of any fault clauses.
+    pub fn bank_retry(mut self, retry_after: Option<SimDuration>) -> Self {
+        self.config.bank_retry_after = retry_after;
         self
     }
 
@@ -279,14 +297,18 @@ impl ZmailConfigBuilder {
     }
 
     /// Makes the ISP-bank channel lossy, optionally with fresh-nonce
-    /// retransmission after `retry_after`.
+    /// retransmission after `retry_after`. Sugar for appending the
+    /// matching `zmail-fault` clause (snapshot traffic stays reliable so
+    /// billing rounds terminate).
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is outside `[0, 1]`.
+    /// Panics at `build` if `loss` is outside `[0, 1]`.
     pub fn lossy_bank_channel(mut self, loss: f64, retry_after: Option<SimDuration>) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss must be within [0, 1]");
-        self.config.bank_loss_rate = loss;
+        self.config.faults.faults.push(Fault::Channel(ChannelFault {
+            drop: loss,
+            ..ChannelFault::inert(MsgClass::Bank)
+        }));
         self.config.bank_retry_after = retry_after;
         self
     }
@@ -360,6 +382,41 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn zero_users_panics() {
         ZmailConfig::builder(2, 0).build();
+    }
+
+    #[test]
+    fn legacy_lossy_builders_become_fault_clauses() {
+        let c = ZmailConfig::builder(2, 2)
+            .lossy_network(0.05, 0.01)
+            .lossy_bank_channel(0.5, Some(SimDuration::from_secs(1)))
+            .build();
+        assert_eq!(c.faults.len(), 2);
+        assert_eq!(c.bank_retry_after, Some(SimDuration::from_secs(1)));
+        let email = &c.faults.faults[0];
+        assert!(
+            matches!(email, Fault::Channel(f) if f.class == MsgClass::Email
+                && f.drop == 0.05 && f.duplicate == 0.01)
+        );
+        let bank = &c.faults.faults[1];
+        assert!(matches!(bank, Fault::Channel(f) if f.class == MsgClass::Bank && f.drop == 0.5));
+    }
+
+    #[test]
+    fn faults_builder_replaces_and_fault_appends() {
+        let c = ZmailConfig::builder(2, 2)
+            .lossy_network(0.9, 0.9)
+            .faults(FaultPlan::lossy_email(0.1, 0.0))
+            .fault(Fault::Channel(ChannelFault::inert(MsgClass::Bank)))
+            .bank_retry(Some(SimDuration::from_mins(1)))
+            .build();
+        assert_eq!(c.faults.len(), 2);
+        assert_eq!(c.bank_retry_after, Some(SimDuration::from_mins(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_fault_rate_caught_at_build() {
+        ZmailConfig::builder(2, 2).lossy_network(1.5, 0.0).build();
     }
 
     #[test]

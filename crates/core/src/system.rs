@@ -18,6 +18,7 @@ use crate::msg::{EmailMsg, NetMsg};
 use crate::multibank::{Federation, SettlementFlow};
 use std::collections::BTreeMap;
 use zmail_econ::EPennies;
+use zmail_fault::{Endpoint, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
 use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
 use zmail_sim::{Scheduler, SimTime, Simulation, World};
 
@@ -92,6 +93,9 @@ pub struct RunReport {
     pub emails_duplicated: u64,
     /// Buy/sell messages (or replies) lost by the bank channel.
     pub bank_messages_lost: u64,
+    /// Snapshot requests or replies eaten by structural faults
+    /// (partitions, crashes, outages) — each stalls its billing round.
+    pub snapshot_messages_lost: u64,
     /// Daily-limit warnings, in order (the §5 zombie defence signal).
     pub limit_warnings: Vec<LimitWarning>,
     /// Completed consistency checks, in order.
@@ -143,8 +147,29 @@ struct ZmailWorld {
     /// retired exactly once more than any pool reflects).
     pennies_stranded: i64,
     net_faults: zmail_sim::Sampler,
+    faults: FaultInjector,
     lists: Vec<RegisteredList>,
     report: RunReport,
+}
+
+/// The fault layer's view of a [`Node`].
+fn endpoint(node: Node) -> Endpoint {
+    match node {
+        Node::Isp(i) => Endpoint::Isp(i.0),
+        Node::Bank => Endpoint::Bank,
+    }
+}
+
+/// The fault layer's traffic class of a message.
+fn msg_class(msg: &NetMsg) -> MsgClass {
+    match msg {
+        NetMsg::Email(_) => MsgClass::Email,
+        NetMsg::Buy { .. }
+        | NetMsg::BuyReply { .. }
+        | NetMsg::Sell { .. }
+        | NetMsg::SellReply { .. } => MsgClass::Bank,
+        NetMsg::SnapshotRequest { .. } | NetMsg::SnapshotReply { .. } => MsgClass::Snapshot,
+    }
 }
 
 impl ZmailWorld {
@@ -240,9 +265,9 @@ impl ZmailWorld {
         }
     }
 
-    /// Puts a message on the network with the configured latency, applying
-    /// the configured email loss/duplication faults (bank exchanges are
-    /// assumed reliable, as the paper does).
+    /// Puts a message on the network with the configured latency, after
+    /// consulting the fault injector (the configured `zmail-fault` plan,
+    /// rolled on the world's shared fault sampler).
     fn dispatch(
         &mut self,
         scheduler: &mut Scheduler<'_, Event>,
@@ -250,57 +275,72 @@ impl ZmailWorld {
         to: Node,
         msg: NetMsg,
     ) {
-        if matches!(msg, NetMsg::Email(_)) {
-            if self.config.email_loss_rate > 0.0
-                && self.net_faults.bernoulli(self.config.email_loss_rate)
-            {
-                self.report.emails_lost += 1;
-                self.pennies_lost += msg.pennies_in_flight();
-                return;
-            }
-            if self.config.email_duplicate_rate > 0.0
-                && self.net_faults.bernoulli(self.config.email_duplicate_rate)
-            {
-                self.report.emails_duplicated += 1;
-                self.pennies_duplicated += msg.pennies_in_flight();
-                self.pennies_in_flight += msg.pennies_in_flight();
+        // An ISP-originated exchange arms a retransmission check —
+        // before the fault decision, because a lost *request* is exactly
+        // the case retransmission must cover.
+        if let (Node::Isp(isp), NetMsg::Buy { .. } | NetMsg::Sell { .. }, Some(after)) =
+            (from, &msg, self.config.bank_retry_after)
+        {
+            scheduler.after(self.config.net_latency + after, Event::BankRetry(isp));
+        }
+        let class = msg_class(&msg);
+        let pennies = msg.pennies_in_flight();
+        let verdict = self.faults.decide(
+            &mut self.net_faults,
+            scheduler.now(),
+            endpoint(from),
+            endpoint(to),
+            class,
+            pennies,
+        );
+        match verdict {
+            Verdict::Drop(_) => match class {
+                // A lost paid email destroys its e-penny: the sender was
+                // debited, the receiver is never credited.
+                MsgClass::Email => {
+                    self.report.emails_lost += 1;
+                    self.pennies_lost += pennies;
+                }
+                // A lost exchange message strands value at the bank: a
+                // lost grant was issued but never pooled (+audit), a lost
+                // retirement is still pooled (−audit).
+                MsgClass::Bank => {
+                    self.report.bank_messages_lost += 1;
+                    self.pennies_stranded += pennies;
+                }
+                // Snapshot traffic carries no value; losing it stalls the
+                // billing round (there is no retry path in the paper).
+                MsgClass::Snapshot => {
+                    self.report.snapshot_messages_lost += 1;
+                }
+            },
+            Verdict::Deliver {
+                copies,
+                extra_delay,
+            } => {
+                let latency = self.config.net_latency + extra_delay;
+                // Extra copies go first, preserving the legacy
+                // duplicate-before-original arrival order under the
+                // queue's FIFO tie-breaking.
+                for _ in 1..copies {
+                    self.report.emails_duplicated += 1;
+                    self.pennies_duplicated += pennies;
+                    self.pennies_in_flight += pennies;
+                    self.report.network_messages += 1;
+                    scheduler.after(
+                        latency,
+                        Event::Deliver {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.pennies_in_flight += pennies;
                 self.report.network_messages += 1;
-                scheduler.after(
-                    self.config.net_latency,
-                    Event::Deliver {
-                        from,
-                        to,
-                        msg: msg.clone(),
-                    },
-                );
+                scheduler.after(latency, Event::Deliver { from, to, msg });
             }
         }
-        if matches!(
-            msg,
-            NetMsg::Buy { .. }
-                | NetMsg::BuyReply { .. }
-                | NetMsg::Sell { .. }
-                | NetMsg::SellReply { .. }
-        ) {
-            // An ISP-originated exchange arms a retransmission check —
-            // before the loss roll, because a lost *request* is exactly
-            // the case retransmission must cover.
-            if let (Node::Isp(isp), NetMsg::Buy { .. } | NetMsg::Sell { .. }, Some(after)) =
-                (from, &msg, self.config.bank_retry_after)
-            {
-                scheduler.after(self.config.net_latency + after, Event::BankRetry(isp));
-            }
-            if self.config.bank_loss_rate > 0.0
-                && self.net_faults.bernoulli(self.config.bank_loss_rate)
-            {
-                self.report.bank_messages_lost += 1;
-                self.pennies_stranded += msg.pennies_in_flight();
-                return;
-            }
-        }
-        self.pennies_in_flight += msg.pennies_in_flight();
-        self.report.network_messages += 1;
-        scheduler.after(self.config.net_latency, Event::Deliver { from, to, msg });
     }
 
     fn handle_delivery(
@@ -494,6 +534,7 @@ impl ZmailSystem {
                 )
             })
             .collect();
+        let faults = FaultInjector::new(config.faults.clone(), config.net_latency);
         let world = ZmailWorld {
             config,
             isps,
@@ -505,6 +546,7 @@ impl ZmailSystem {
             pennies_duplicated: 0,
             pennies_stranded: 0,
             net_faults: zmail_sim::Sampler::new(seed ^ 0xFA17_FA17),
+            faults,
             lists: Vec::new(),
             report: RunReport::default(),
         };
@@ -709,6 +751,19 @@ impl ZmailSystem {
     /// E-pennies stranded at the bank by lost buy/sell replies so far.
     pub fn pennies_stranded(&self) -> i64 {
         self.sim.world().pennies_stranded
+    }
+
+    /// Deterministic tallies of every fault the `zmail-fault` injector
+    /// applied to this deployment's traffic.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        self.sim.world().faults.counters()
+    }
+
+    /// The injector's e-penny damage ledger for emails between two ISPs
+    /// (order irrelevant) — what pairwise `credit` sums may legitimately
+    /// drift by under the configured faults.
+    pub fn email_pair_ledger(&self, a: IspId, b: IspId) -> PairLedger {
+        self.sim.world().faults.email_pair_ledger(a.0, b.0)
     }
 }
 
@@ -989,6 +1044,38 @@ mod tests {
         let cost = 100 - system.user_balance(distributor).amount();
         assert_eq!(cost, 25 - acks as i64, "cost = unacknowledged copies");
         system.audit().unwrap();
+    }
+
+    #[test]
+    fn mailing_list_acks_under_email_loss_stay_zero_sum() {
+        // The §5 refund loop meets the fault injector: lost posts (or
+        // lost acks) each destroy one e-penny, the distributor eats
+        // exactly the un-refunded copies, and the extended audit still
+        // balances to the penny.
+        let config = ZmailConfig::builder(2, 26)
+            .limit(1_000)
+            .no_auto_topup()
+            .faults(zmail_fault::FaultPlan::lossy_email(0.2, 0.0))
+            .build();
+        let mut system = ZmailSystem::new(config, 47);
+        let distributor = UserAddr::new(0, 25);
+        let subscribers: Vec<UserAddr> = (0..25).map(|u| UserAddr::new(1, u)).collect();
+        let handle = system.register_mailing_list(distributor, subscribers, 1.0);
+        system.schedule_list_post(system.now(), handle);
+        system.drain();
+        let report = system.report().clone();
+        assert!(report.emails_lost > 0, "20% loss must eat some copies");
+        let refunded = report.delivered(MailKind::Ack) as i64;
+        let cost = 100 - system.user_balance(distributor).amount();
+        assert_eq!(
+            cost,
+            25 - refunded,
+            "cost = copies whose penny never returned"
+        );
+        assert_eq!(system.pennies_lost(), report.emails_lost as i64);
+        system
+            .audit()
+            .expect("extended audit absorbs the destroyed pennies");
     }
 
     #[test]

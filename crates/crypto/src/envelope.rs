@@ -34,6 +34,37 @@ impl SealedEnvelope {
     pub fn wire_len(&self) -> usize {
         4 * 8 + self.body.len()
     }
+
+    /// Serializes to the wire form: four little-endian wrapped-key blocks
+    /// followed by the encrypted body. `wire_len` bytes exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for w in &self.wrapped_key {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses the wire form produced by [`SealedEnvelope::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Malformed`] when `bytes` is too short to hold
+    /// the wrapped key and the integrity tag.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 4 * 8 + 8 {
+            return Err(CryptoError::Malformed);
+        }
+        let mut wrapped_key = [0u64; 4];
+        for (i, slot) in wrapped_key.iter_mut().enumerate() {
+            *slot = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+        }
+        Ok(SealedEnvelope {
+            wrapped_key,
+            body: bytes[4 * 8..].to_vec(),
+        })
+    }
 }
 
 /// 64-bit integrity tag over the plaintext (FNV-1a then SplitMix finishing).
@@ -234,6 +265,23 @@ mod tests {
         let a = seal_for_public(bank.public(), b"same plaintext", &mut rng);
         let b = seal_for_public(bank.public(), b"same plaintext", &mut rng);
         assert_ne!(a, b, "two seals of the same plaintext should differ");
+    }
+
+    #[test]
+    fn wire_form_roundtrips() {
+        let (bank, _, mut rng) = fixtures();
+        let env = seal_for_public(bank.public(), b"over the wire", &mut rng);
+        let bytes = env.to_bytes();
+        assert_eq!(bytes.len(), env.wire_len());
+        assert_eq!(SealedEnvelope::from_bytes(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn short_wire_form_is_malformed() {
+        assert_eq!(
+            SealedEnvelope::from_bytes(&[0u8; 39]),
+            Err(CryptoError::Malformed)
+        );
     }
 
     #[test]

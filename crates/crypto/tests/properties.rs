@@ -1,0 +1,128 @@
+//! Property tests for the crypto substrate: sealed envelopes round-trip
+//! in both key directions, any single-byte tamper is detected, and the
+//! nonce machinery never repeats and always catches replays.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use zmail_crypto::{
+    open_with_private, open_with_public, seal_for_public, seal_with_private, CryptoError, KeyPair,
+    Nnc, ReplayGuard, SealedEnvelope,
+};
+
+fn payloads() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+proptest! {
+    #[test]
+    fn confidentiality_direction_roundtrips(plain in payloads(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let env = seal_for_public(bank.public(), &plain, &mut rng);
+        prop_assert_eq!(open_with_private(bank.private(), &env), Ok(plain));
+    }
+
+    #[test]
+    fn authenticity_direction_roundtrips(plain in payloads(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let env = seal_with_private(bank.private(), &plain, &mut rng);
+        prop_assert_eq!(open_with_public(bank.public(), &env), Ok(plain));
+    }
+
+    #[test]
+    fn wire_form_roundtrips(plain in payloads(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let env = seal_for_public(bank.public(), &plain, &mut rng);
+        let bytes = env.to_bytes();
+        prop_assert_eq!(bytes.len(), env.wire_len());
+        prop_assert_eq!(SealedEnvelope::from_bytes(&bytes), Ok(env));
+    }
+
+    /// Flipping any single byte anywhere in the wire form — wrapped key or
+    /// body — must make the envelope unopenable (the 64-bit integrity tag
+    /// covers the body; the RSA modulus is odd, so a byte flip can never
+    /// alias to the same residue).
+    #[test]
+    fn any_single_byte_tamper_is_detected(
+        plain in payloads(),
+        seed in any::<u64>(),
+        pos_pick in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let env = seal_for_public(bank.public(), &plain, &mut rng);
+        let mut bytes = env.to_bytes();
+        let pos = (pos_pick % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        let tampered = SealedEnvelope::from_bytes(&bytes).expect("length unchanged");
+        let got = open_with_private(bank.private(), &tampered);
+        prop_assert!(
+            matches!(got, Err(CryptoError::WrongKey) | Err(CryptoError::Malformed)),
+            "tamper at byte {} (mask {:#04x}) went undetected: {:?}", pos, mask, got
+        );
+    }
+
+    /// Truncating the wire form is either structurally malformed or fails
+    /// the integrity check — never a silent partial plaintext.
+    #[test]
+    fn truncation_is_detected(plain in payloads(), seed in any::<u64>(), keep_pick in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let env = seal_for_public(bank.public(), &plain, &mut rng);
+        let bytes = env.to_bytes();
+        let keep = (keep_pick % bytes.len() as u64) as usize;
+        let got = SealedEnvelope::from_bytes(&bytes[..keep])
+            .and_then(|e| open_with_private(bank.private(), &e));
+        prop_assert!(
+            matches!(got, Err(CryptoError::WrongKey) | Err(CryptoError::Malformed)),
+            "truncation to {} of {} bytes went undetected: {:?}", keep, bytes.len(), got
+        );
+    }
+
+    /// Opening with the wrong keypair never yields the plaintext.
+    #[test]
+    fn wrong_keypair_never_opens(plain in payloads(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = KeyPair::generate(&mut rng);
+        let intruder = KeyPair::generate(&mut rng);
+        let env = seal_for_public(bank.public(), &plain, &mut rng);
+        let got = open_with_private(intruder.private(), &env);
+        prop_assert!(got != Ok(plain) || got.is_err());
+    }
+
+    /// NNC never repeats a nonce within a stream, whatever the key/tag.
+    #[test]
+    fn nnc_streams_never_repeat(key in any::<u64>(), tag in any::<u64>(), count in 1usize..2_000) {
+        let mut nnc = Nnc::new(key, tag);
+        let mut seen = HashSet::with_capacity(count);
+        for _ in 0..count {
+            prop_assert!(seen.insert(nnc.next_nonce()), "nonce repeated within a stream");
+        }
+        prop_assert_eq!(nnc.issued(), count as u64);
+    }
+
+    /// A replay guard accepts a fresh stream in full, then rejects any
+    /// replayed element with exactly `ReplayDetected`.
+    #[test]
+    fn replayed_nonce_is_rejected(
+        key in any::<u64>(),
+        tag in any::<u64>(),
+        count in 1usize..200,
+        replay_pick in any::<u64>(),
+    ) {
+        let mut nnc = Nnc::new(key, tag);
+        let mut guard = ReplayGuard::new();
+        let nonces: Vec<_> = (0..count).map(|_| nnc.next_nonce()).collect();
+        for &n in &nonces {
+            prop_assert_eq!(guard.check_and_record(n), Ok(()));
+        }
+        let replayed = nonces[(replay_pick % count as u64) as usize];
+        prop_assert_eq!(guard.check_and_record(replayed), Err(CryptoError::ReplayDetected));
+        prop_assert_eq!(guard.len(), count);
+    }
+}

@@ -1,0 +1,477 @@
+//! The injector: turns a [`FaultPlan`] plus a caller-owned sampler into
+//! per-message verdicts, with deterministic counters on the side.
+//!
+//! # Determinism contract
+//!
+//! [`FaultInjector::decide`] draws randomness **only** from the sampler
+//! the caller passes in, and only for probabilistic clauses whose
+//! probability is strictly positive — the exact discipline the legacy
+//! in-`core` fault code followed, so plans built by the legacy
+//! `lossy_network` / `lossy_bank_channel` builders replay the historical
+//! byte-identical streams. Structural clauses (partitions, crashes,
+//! outages) are pure time-window checks and consume no randomness, so
+//! adding them to a plan never shifts the probabilistic stream.
+
+use crate::metrics::FaultMetrics;
+use crate::plan::{Endpoint, Fault, FaultPlan, MsgClass};
+use std::collections::BTreeMap;
+use zmail_sim::{Sampler, SimDuration, SimTime};
+
+/// Why a message was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// A probabilistic channel clause fired.
+    Channel,
+    /// An open link partition.
+    Partition,
+    /// A crashed ISP's dead link.
+    Crash,
+    /// A bank outage window.
+    Outage,
+}
+
+/// The injector's decision for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Silently discard the message.
+    Drop(DropCause),
+    /// Deliver `copies` copies of the message (1 = normal, more =
+    /// duplication), each after `extra_delay` on top of the base latency.
+    Deliver {
+        /// How many copies arrive (at least 1).
+        copies: u8,
+        /// Additional latency from delay/reorder clauses.
+        extra_delay: SimDuration,
+    },
+}
+
+/// Per-ISP-pair e-penny damage from email faults, used by the scenario
+/// harness to predict exactly how far pairwise `credit[i][j] +
+/// credit[j][i] = 0` may legitimately drift.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairLedger {
+    /// E-pennies inside emails dropped between the pair (either
+    /// direction) — each leaves the pair sum one high.
+    pub lost_pennies: i64,
+    /// E-pennies inside extra duplicated copies — each leaves the pair
+    /// sum one low.
+    pub duplicated_pennies: i64,
+}
+
+/// Deterministic tallies of everything the injector did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped by probabilistic channel clauses.
+    pub drops: u64,
+    /// Extra copies injected by duplication clauses.
+    pub duplicates: u64,
+    /// Messages pushed behind later traffic by reorder clauses.
+    pub reorders: u64,
+    /// Messages held back by delay clauses.
+    pub delays: u64,
+    /// Messages eaten by open partitions.
+    pub partition_drops: u64,
+    /// Messages eaten by crashed ISPs' dead links.
+    pub crash_drops: u64,
+    /// Messages eaten by bank outages.
+    pub outage_drops: u64,
+    /// Structural fault windows observed opening (partitions, crashes,
+    /// outages — counted when traffic first observes the open window).
+    pub partitions_opened: u64,
+    /// Structural fault windows observed closing.
+    pub partitions_closed: u64,
+}
+
+impl FaultCounters {
+    /// Total messages dropped for any cause.
+    pub fn total_drops(&self) -> u64 {
+        self.drops + self.partition_drops + self.crash_drops + self.outage_drops
+    }
+}
+
+/// Lifecycle of one structural clause's window, as observed by traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Window has not been seen open yet.
+    Pending,
+    /// Window observed open, not yet observed closed.
+    Open,
+    /// Window observed closed (or the clause has no window).
+    Done,
+}
+
+/// Applies a [`FaultPlan`] to a message stream. See the
+/// [module docs](self) for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// The delay standing in for "reordered one hop behind": the
+    /// deployment's one-way latency, so a reordered message lands behind
+    /// anything sent up to one latency later.
+    reorder_quantum: SimDuration,
+    counters: FaultCounters,
+    email_pairs: BTreeMap<(u32, u32), PairLedger>,
+    phases: Vec<Phase>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`. `reorder_quantum` is the extra
+    /// delay modelling a reorder — pass the deployment's one-way network
+    /// latency.
+    pub fn new(plan: FaultPlan, reorder_quantum: SimDuration) -> Self {
+        let phases = plan
+            .faults
+            .iter()
+            .map(|f| match f.structural_window() {
+                Some(_) => Phase::Pending,
+                None => Phase::Done,
+            })
+            .collect();
+        FaultInjector {
+            plan,
+            reorder_quantum,
+            counters: FaultCounters::default(),
+            email_pairs: BTreeMap::new(),
+            phases,
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Everything injected so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// E-penny damage to emails between ISPs `a` and `b` (order
+    /// irrelevant; zero if the pair was never touched).
+    pub fn email_pair_ledger(&self, a: u32, b: u32) -> PairLedger {
+        let key = (a.min(b), a.max(b));
+        self.email_pairs.get(&key).copied().unwrap_or_default()
+    }
+
+    /// Decides the fate of one message about to be put on the wire.
+    ///
+    /// `pennies` is the e-penny content of the message (the core's
+    /// `NetMsg::pennies_in_flight`), used only for the pair ledgers.
+    pub fn decide(
+        &mut self,
+        sampler: &mut Sampler,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        class: MsgClass,
+        pennies: i64,
+    ) -> Verdict {
+        self.observe_windows(now);
+        // Structural clauses first: pure time checks, no randomness.
+        for i in 0..self.plan.faults.len() {
+            let cause = match self.plan.faults[i] {
+                Fault::Channel(_) => continue,
+                Fault::Partition(p) if p.cuts(now, from, to) => DropCause::Partition,
+                Fault::Crash(c)
+                    if c.window().contains(now)
+                        && (from == Endpoint::Isp(c.isp) || to == Endpoint::Isp(c.isp)) =>
+                {
+                    DropCause::Crash
+                }
+                Fault::BankOutage(o)
+                    if o.window.contains(now)
+                        && (from == Endpoint::Bank || to == Endpoint::Bank) =>
+                {
+                    DropCause::Outage
+                }
+                _ => continue,
+            };
+            return self.record_drop(cause, from, to, class, pennies);
+        }
+        // Probabilistic clauses, in plan order; each roll is guarded by
+        // `p > 0.0` so zero-probability clauses consume no randomness.
+        let mut copies: u8 = 1;
+        let mut extra_delay = SimDuration::ZERO;
+        for i in 0..self.plan.faults.len() {
+            let Fault::Channel(f) = self.plan.faults[i] else {
+                continue;
+            };
+            if !f.matches(now, from, to, class) {
+                continue;
+            }
+            if f.drop > 0.0 && sampler.bernoulli(f.drop) {
+                return self.record_drop(DropCause::Channel, from, to, class, pennies);
+            }
+            if f.duplicate > 0.0 && sampler.bernoulli(f.duplicate) && copies < 4 {
+                copies += 1;
+                self.counters.duplicates += 1;
+                FaultMetrics::get().duplicates.inc();
+                self.record_pair(from, to, |l| l.duplicated_pennies += pennies);
+            }
+            if f.reorder > 0.0 && sampler.bernoulli(f.reorder) {
+                extra_delay = extra_delay + self.reorder_quantum;
+                self.counters.reorders += 1;
+                FaultMetrics::get().reorders.inc();
+            }
+            if f.delay > 0.0 && sampler.bernoulli(f.delay) {
+                extra_delay = extra_delay + f.delay_by;
+                self.counters.delays += 1;
+                FaultMetrics::get().delays.inc();
+            }
+        }
+        Verdict::Deliver {
+            copies,
+            extra_delay,
+        }
+    }
+
+    fn record_drop(
+        &mut self,
+        cause: DropCause,
+        from: Endpoint,
+        to: Endpoint,
+        class: MsgClass,
+        pennies: i64,
+    ) -> Verdict {
+        let m = FaultMetrics::get();
+        match cause {
+            DropCause::Channel => {
+                self.counters.drops += 1;
+                m.drops.inc();
+            }
+            DropCause::Partition => {
+                self.counters.partition_drops += 1;
+                m.partition_drops.inc();
+            }
+            DropCause::Crash => {
+                self.counters.crash_drops += 1;
+                m.crash_drops.inc();
+            }
+            DropCause::Outage => {
+                self.counters.outage_drops += 1;
+                m.outage_drops.inc();
+            }
+        }
+        if class == MsgClass::Email {
+            self.record_pair(from, to, |l| l.lost_pennies += pennies);
+        }
+        Verdict::Drop(cause)
+    }
+
+    fn record_pair(&mut self, from: Endpoint, to: Endpoint, apply: impl FnOnce(&mut PairLedger)) {
+        if let (Endpoint::Isp(a), Endpoint::Isp(b)) = (from, to) {
+            apply(self.email_pairs.entry((a.min(b), a.max(b))).or_default());
+        }
+    }
+
+    /// Advances window lifecycle bookkeeping to `now` (traffic-observed:
+    /// a window no message ever crosses is never counted).
+    fn observe_windows(&mut self, now: SimTime) {
+        for i in 0..self.phases.len() {
+            if self.phases[i] == Phase::Done {
+                continue;
+            }
+            let Some(w) = self.plan.faults[i].structural_window() else {
+                continue;
+            };
+            if self.phases[i] == Phase::Pending && now >= w.from {
+                self.phases[i] = Phase::Open;
+                self.counters.partitions_opened += 1;
+                FaultMetrics::get().partitions_opened.inc();
+            }
+            if self.phases[i] == Phase::Open && now >= w.until {
+                self.phases[i] = Phase::Done;
+                self.counters.partitions_closed += 1;
+                FaultMetrics::get().partitions_closed.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{BankOutage, ChannelFault, Crash, EndpointSel, Partition, Window};
+
+    const Q: SimDuration = SimDuration::from_millis(50);
+
+    fn email_decide(inj: &mut FaultInjector, s: &mut Sampler, at_ms: u64) -> Verdict {
+        inj.decide(
+            s,
+            SimTime::from_millis(at_ms),
+            Endpoint::Isp(0),
+            Endpoint::Isp(1),
+            MsgClass::Email,
+            1,
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_transparent_and_consumes_no_randomness() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), Q);
+        let mut s = Sampler::new(7);
+        for t in 0..100 {
+            assert_eq!(
+                email_decide(&mut inj, &mut s, t),
+                Verdict::Deliver {
+                    copies: 1,
+                    extra_delay: SimDuration::ZERO
+                }
+            );
+        }
+        // The sampler was never touched.
+        let mut fresh = Sampler::new(7);
+        assert_eq!(s.uniform().to_bits(), fresh.uniform().to_bits());
+        assert_eq!(*inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn legacy_email_plan_replays_the_historical_stream() {
+        // The old in-core code rolled drop-then-duplicate on one shared
+        // sampler, each roll guarded by rate > 0. The injector must
+        // consume the exact same stream for the same plan.
+        let (loss, dup) = (0.3, 0.2);
+        let mut inj = FaultInjector::new(FaultPlan::lossy_email(loss, dup), Q);
+        let mut s = Sampler::new(99);
+        let mut reference = Sampler::new(99);
+        for t in 0..2_000 {
+            let verdict = email_decide(&mut inj, &mut s, t);
+            let expect = if reference.bernoulli(loss) {
+                Verdict::Drop(DropCause::Channel)
+            } else if reference.bernoulli(dup) {
+                Verdict::Deliver {
+                    copies: 2,
+                    extra_delay: SimDuration::ZERO,
+                }
+            } else {
+                Verdict::Deliver {
+                    copies: 1,
+                    extra_delay: SimDuration::ZERO,
+                }
+            };
+            assert_eq!(verdict, expect, "diverged at message {t}");
+        }
+        assert!(inj.counters().drops > 0 && inj.counters().duplicates > 0);
+    }
+
+    #[test]
+    fn structural_faults_consume_no_randomness() {
+        let plan = FaultPlan::none()
+            .with(Fault::Partition(Partition {
+                a: EndpointSel::Isp(0),
+                b: EndpointSel::Isp(1),
+                window: Window::new(SimTime::from_millis(10), SimTime::from_millis(20)),
+            }))
+            .with(Fault::Crash(Crash {
+                isp: 2,
+                at: SimTime::from_millis(30),
+                restart_after: SimDuration::from_millis(10),
+            }))
+            .with(Fault::BankOutage(BankOutage {
+                window: Window::new(SimTime::from_millis(50), SimTime::from_millis(60)),
+            }));
+        let mut inj = FaultInjector::new(plan, Q);
+        let mut s = Sampler::new(1);
+        // Partition cuts both directions inside its window only.
+        assert!(matches!(
+            email_decide(&mut inj, &mut s, 15),
+            Verdict::Drop(DropCause::Partition)
+        ));
+        assert!(matches!(
+            email_decide(&mut inj, &mut s, 25),
+            Verdict::Deliver { .. }
+        ));
+        // Crash blacks out isp2's links.
+        let v = inj.decide(
+            &mut s,
+            SimTime::from_millis(35),
+            Endpoint::Isp(2),
+            Endpoint::Isp(0),
+            MsgClass::Email,
+            1,
+        );
+        assert!(matches!(v, Verdict::Drop(DropCause::Crash)));
+        // Outage eats bank traffic.
+        let v = inj.decide(
+            &mut s,
+            SimTime::from_millis(55),
+            Endpoint::Isp(0),
+            Endpoint::Bank,
+            MsgClass::Bank,
+            0,
+        );
+        assert!(matches!(v, Verdict::Drop(DropCause::Outage)));
+        // None of it consumed randomness.
+        let mut fresh = Sampler::new(1);
+        assert_eq!(s.uniform().to_bits(), fresh.uniform().to_bits());
+        // Window bookkeeping observed each window open (and the first two
+        // close — the outage was last observed mid-window).
+        assert_eq!(inj.counters().partitions_opened, 3);
+        assert_eq!(inj.counters().partitions_closed, 2);
+        assert_eq!(inj.counters().total_drops(), 3);
+    }
+
+    #[test]
+    fn delay_and_reorder_accumulate() {
+        let plan = FaultPlan::none().with(Fault::Channel(ChannelFault {
+            reorder: 1.0,
+            delay: 1.0,
+            delay_by: SimDuration::from_millis(500),
+            ..ChannelFault::inert(MsgClass::Email)
+        }));
+        let mut inj = FaultInjector::new(plan, Q);
+        let mut s = Sampler::new(3);
+        let v = email_decide(&mut inj, &mut s, 0);
+        assert_eq!(
+            v,
+            Verdict::Deliver {
+                copies: 1,
+                extra_delay: Q + SimDuration::from_millis(500)
+            }
+        );
+        assert_eq!(inj.counters().reorders, 1);
+        assert_eq!(inj.counters().delays, 1);
+    }
+
+    #[test]
+    fn pair_ledger_tracks_email_damage_by_unordered_pair() {
+        let plan = FaultPlan::lossy_email(1.0, 0.0);
+        let mut inj = FaultInjector::new(plan, Q);
+        let mut s = Sampler::new(4);
+        for (a, b) in [(0u32, 1u32), (1, 0), (0, 2)] {
+            inj.decide(
+                &mut s,
+                SimTime::ZERO,
+                Endpoint::Isp(a),
+                Endpoint::Isp(b),
+                MsgClass::Email,
+                1,
+            );
+        }
+        assert_eq!(inj.email_pair_ledger(0, 1).lost_pennies, 2);
+        assert_eq!(inj.email_pair_ledger(1, 0).lost_pennies, 2);
+        assert_eq!(inj.email_pair_ledger(0, 2).lost_pennies, 1);
+        assert_eq!(inj.email_pair_ledger(1, 2), PairLedger::default());
+    }
+
+    #[test]
+    fn class_and_selector_filters_apply() {
+        // A bank-only clause must leave email untouched and vice versa.
+        let plan = FaultPlan::lossy_bank(1.0);
+        let mut inj = FaultInjector::new(plan, Q);
+        let mut s = Sampler::new(5);
+        assert!(matches!(
+            email_decide(&mut inj, &mut s, 0),
+            Verdict::Deliver { .. }
+        ));
+        let v = inj.decide(
+            &mut s,
+            SimTime::ZERO,
+            Endpoint::Isp(0),
+            Endpoint::Bank,
+            MsgClass::Bank,
+            0,
+        );
+        assert!(matches!(v, Verdict::Drop(DropCause::Channel)));
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic fault injection for the Zmail simulation.
+//!
+//! The paper assumes lossless channels ("each message … remains in the
+//! channel until it is eventually received", §3). Experiments E13 and E15
+//! showed that assumption is load-bearing: 1% email loss makes the
+//! credit-snapshot detector accuse honest ISPs, and lost bank messages
+//! wedge ISPs permanently. This crate turns those one-off experiment
+//! hacks into a first-class, reusable fault layer:
+//!
+//! * [`FaultPlan`] — a declarative list of clauses: per-channel
+//!   drop/duplicate/reorder/delay probabilities ([`ChannelFault`]),
+//!   scheduled link [`Partition`]s, ISP [`Crash`]-restarts, and bank
+//!   outage windows ([`BankOutage`]); plus [`FaultPlan::random`] for
+//!   seed-derived randomized plans that stay recoverable by construction.
+//! * [`FaultInjector`] — applies a plan to a message stream, drawing
+//!   randomness **only** from a caller-owned [`zmail_sim::Sampler`], so a
+//!   plan plus a seed reproduces every injected fault byte-identically.
+//!   Structural clauses consume no randomness at all. Deterministic
+//!   [`FaultCounters`] and per-ISP-pair [`PairLedger`]s record the damage,
+//!   and [`FaultMetrics`] mirrors it into the global `zmail-obs` registry
+//!   so telemetry can tell injected faults from organic behavior.
+//! * [`LineFaults`] — the same discipline at the SMTP transport level
+//!   (drop/duplicate/garble whole protocol lines), used by
+//!   `zmail_smtp::FaultyConnection`.
+//! * [`shrink()`] — `ddmin` delta debugging over a failing plan's clause
+//!   list, minimizing a failure to a 1-minimal reproducing plan.
+//!
+//! # Example
+//!
+//! ```rust
+//! use zmail_fault::{Endpoint, FaultInjector, FaultPlan, MsgClass, Verdict};
+//! use zmail_sim::{Sampler, SimDuration, SimTime};
+//!
+//! let plan = FaultPlan::lossy_email(0.5, 0.0);
+//! let mut injector = FaultInjector::new(plan, SimDuration::from_millis(50));
+//! let mut sampler = Sampler::new(42);
+//! let verdict = injector.decide(
+//!     &mut sampler,
+//!     SimTime::ZERO,
+//!     Endpoint::Isp(0),
+//!     Endpoint::Isp(1),
+//!     MsgClass::Email,
+//!     1,
+//! );
+//! assert!(matches!(verdict, Verdict::Drop(_) | Verdict::Deliver { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod line;
+pub mod metrics;
+pub mod plan;
+pub mod shrink;
+
+pub use inject::{DropCause, FaultCounters, FaultInjector, PairLedger, Verdict};
+pub use line::{LineFaults, LineVerdict};
+pub use metrics::FaultMetrics;
+pub use plan::{
+    BankOutage, ChannelFault, Crash, Endpoint, EndpointSel, Fault, FaultPlan, MsgClass, Partition,
+    PlanSpace, Window,
+};
+pub use shrink::{shrink, ShrinkOutcome};

@@ -1,0 +1,121 @@
+//! Line-level faults for the SMTP transport: the same deterministic
+//! discipline as [`crate::FaultInjector`], applied to raw protocol lines
+//! instead of simulation messages. `zmail-smtp`'s `FaultyConnection`
+//! wraps any transport with these.
+
+use zmail_sim::Sampler;
+
+/// Per-line fault probabilities for a wrapped SMTP connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFaults {
+    /// Probability a written line is silently swallowed.
+    pub drop: f64,
+    /// Probability a written line is sent twice.
+    pub duplicate: f64,
+    /// Probability one byte of the line is replaced with printable junk.
+    pub garble: f64,
+}
+
+impl LineFaults {
+    /// A transparent wrapper: all probabilities zero.
+    pub fn none() -> Self {
+        LineFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            garble: 0.0,
+        }
+    }
+
+    /// Decides the fate of a line of `len` bytes. Rolls drop, duplicate,
+    /// then garble, each only when its probability is positive — the
+    /// crate-wide determinism discipline.
+    pub fn decide(&self, sampler: &mut Sampler, len: usize) -> LineVerdict {
+        if self.drop > 0.0 && sampler.bernoulli(self.drop) {
+            return LineVerdict::Drop;
+        }
+        let duplicated = self.duplicate > 0.0 && sampler.bernoulli(self.duplicate);
+        if self.garble > 0.0 && len > 0 && sampler.bernoulli(self.garble) {
+            let pos = sampler.uniform_range(0, len as u64) as usize;
+            // Printable non-space junk: stays one line, breaks syntax.
+            let byte = sampler.uniform_range(0x21, 0x7f) as u8;
+            return LineVerdict::Garble {
+                pos,
+                byte,
+                duplicated,
+            };
+        }
+        if duplicated {
+            LineVerdict::Duplicate
+        } else {
+            LineVerdict::Deliver
+        }
+    }
+}
+
+/// The decision for one written line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineVerdict {
+    /// Send the line as-is.
+    Deliver,
+    /// Swallow the line.
+    Drop,
+    /// Send the line twice, unmodified.
+    Duplicate,
+    /// Replace the byte at `pos` with `byte` before sending (twice, when
+    /// `duplicated`).
+    Garble {
+        /// Index of the corrupted byte.
+        pos: usize,
+        /// Its replacement (printable, non-space).
+        byte: u8,
+        /// Whether the garbled line is also duplicated.
+        duplicated: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_faults_consume_no_randomness() {
+        let mut s = Sampler::new(8);
+        for _ in 0..100 {
+            assert_eq!(LineFaults::none().decide(&mut s, 20), LineVerdict::Deliver);
+        }
+        let mut fresh = Sampler::new(8);
+        assert_eq!(s.uniform().to_bits(), fresh.uniform().to_bits());
+    }
+
+    #[test]
+    fn garble_stays_in_bounds_and_printable() {
+        let faults = LineFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            garble: 1.0,
+        };
+        let mut s = Sampler::new(9);
+        for len in 1..50usize {
+            match faults.decide(&mut s, len) {
+                LineVerdict::Garble { pos, byte, .. } => {
+                    assert!(pos < len);
+                    assert!((0x21..0x7f).contains(&byte));
+                }
+                other => panic!("expected garble, got {other:?}"),
+            }
+        }
+        // Empty lines cannot be garbled.
+        assert_eq!(faults.decide(&mut s, 0), LineVerdict::Deliver);
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let faults = LineFaults {
+            drop: 1.0,
+            duplicate: 1.0,
+            garble: 1.0,
+        };
+        let mut s = Sampler::new(10);
+        assert_eq!(faults.decide(&mut s, 10), LineVerdict::Drop);
+    }
+}

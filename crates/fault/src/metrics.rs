@@ -1,0 +1,69 @@
+//! Fault-layer metrics: counters distinguishing *injected* faults from
+//! organic protocol behavior, registered against the global `zmail-obs`
+//! registry (disabled by default, like every other layer's handles).
+
+use std::sync::OnceLock;
+use zmail_obs::Counter;
+
+/// Counter handles for the fault layer, registered once against
+/// [`zmail_obs::global()`].
+#[derive(Debug)]
+pub struct FaultMetrics {
+    /// Messages dropped by a probabilistic channel clause (`fault.drops`).
+    pub drops: Counter,
+    /// Extra copies injected by duplication (`fault.duplicates`).
+    pub duplicates: Counter,
+    /// Messages pushed behind later traffic (`fault.reorders`).
+    pub reorders: Counter,
+    /// Messages held back by a delay clause (`fault.delays`).
+    pub delays: Counter,
+    /// Messages eaten by an open partition (`fault.drops.partition`).
+    pub partition_drops: Counter,
+    /// Messages eaten by a crashed ISP's dead link (`fault.drops.crash`).
+    pub crash_drops: Counter,
+    /// Messages eaten by a bank outage (`fault.drops.outage`).
+    pub outage_drops: Counter,
+    /// Structural fault windows observed opening
+    /// (`fault.partitions.opened`).
+    pub partitions_opened: Counter,
+    /// Structural fault windows observed closing
+    /// (`fault.partitions.closed`).
+    pub partitions_closed: Counter,
+}
+
+impl FaultMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static FaultMetrics {
+        static METRICS: OnceLock<FaultMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            FaultMetrics {
+                drops: r.counter("fault.drops"),
+                duplicates: r.counter("fault.duplicates"),
+                reorders: r.counter("fault.reorders"),
+                delays: r.counter("fault.delays"),
+                partition_drops: r.counter("fault.drops.partition"),
+                crash_drops: r.counter("fault.drops.crash"),
+                outage_drops: r.counter("fault.drops.outage"),
+                partitions_opened: r.counter("fault.partitions.opened"),
+                partitions_closed: r.counter("fault.partitions.closed"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_registered_once() {
+        let a = FaultMetrics::get();
+        let b = FaultMetrics::get();
+        assert!(std::ptr::eq(a, b));
+        let snap = zmail_obs::global().snapshot();
+        assert!(snap.counters.contains_key("fault.drops"));
+        assert!(snap.counters.contains_key("fault.partitions.opened"));
+    }
+}

@@ -1,0 +1,600 @@
+//! Fault plans: declarative descriptions of what goes wrong on the wire.
+//!
+//! A [`FaultPlan`] is a flat list of [`Fault`] clauses. Probabilistic
+//! clauses ([`ChannelFault`]) consume randomness from the sampler the
+//! *caller* passes to the injector — never from hidden state — so a plan
+//! plus a seed fully determines every injected fault. Structural clauses
+//! ([`Partition`], [`Crash`], [`BankOutage`]) are pure time-window checks
+//! and consume no randomness at all, which keeps them freely composable
+//! with probabilistic clauses without perturbing the random stream.
+
+use std::fmt;
+use zmail_sim::{Sampler, SimDuration, SimTime};
+
+/// Addressable parties as the fault layer sees them.
+///
+/// The fault crate sits below `zmail-core`, so it names ISPs by raw index
+/// rather than by the protocol's `IspId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// ISP number `i`.
+    Isp(u32),
+    /// The bank (any member of the federation).
+    Bank,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Isp(i) => write!(f, "isp{i}"),
+            Endpoint::Bank => write!(f, "bank"),
+        }
+    }
+}
+
+/// Which endpoints a fault clause applies to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EndpointSel {
+    /// Matches every endpoint.
+    Any,
+    /// Matches every ISP (but not the bank).
+    AnyIsp,
+    /// Matches exactly one ISP.
+    Isp(u32),
+    /// Matches the bank.
+    Bank,
+}
+
+impl EndpointSel {
+    /// Whether `endpoint` is selected.
+    pub fn matches(self, endpoint: Endpoint) -> bool {
+        match (self, endpoint) {
+            (EndpointSel::Any, _) => true,
+            (EndpointSel::AnyIsp, Endpoint::Isp(_)) => true,
+            (EndpointSel::Isp(i), Endpoint::Isp(j)) => i == j,
+            (EndpointSel::Bank, Endpoint::Bank) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for EndpointSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointSel::Any => write!(f, "*"),
+            EndpointSel::AnyIsp => write!(f, "isp*"),
+            EndpointSel::Isp(i) => write!(f, "isp{i}"),
+            EndpointSel::Bank => write!(f, "bank"),
+        }
+    }
+}
+
+/// The traffic classes fault clauses discriminate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Inter-ISP email (the only class that may carry an e-penny).
+    Email,
+    /// Buy/sell exchanges and their replies.
+    Bank,
+    /// Credit-snapshot requests and replies.
+    Snapshot,
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgClass::Email => write!(f, "email"),
+            MsgClass::Bank => write!(f, "bank"),
+            MsgClass::Snapshot => write!(f, "snapshot"),
+        }
+    }
+}
+
+/// A half-open activity window `[from, until)` in sim time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// First instant the window is active.
+    pub from: SimTime,
+    /// First instant it no longer is.
+    pub until: SimTime,
+}
+
+impl Window {
+    /// A window covering `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        Window { from, until }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.from, self.until)
+    }
+}
+
+/// A probabilistic per-channel fault clause.
+///
+/// Each matching message rolls, in order: drop, duplicate, reorder,
+/// delay. A probability of exactly `0.0` consumes **no** randomness, so
+/// adding an all-zero clause never perturbs an existing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelFault {
+    /// Sender selector.
+    pub from: EndpointSel,
+    /// Receiver selector.
+    pub to: EndpointSel,
+    /// Which traffic class the clause applies to.
+    pub class: MsgClass,
+    /// Probability a matching message is silently dropped.
+    pub drop: f64,
+    /// Probability a matching message is duplicated (email only — the
+    /// bank's replay guard makes duplicated exchange traffic a protocol
+    /// no-op, and duplicated replies would fake permanent in-flight
+    /// value; [`FaultPlan::validate`] rejects it on other classes).
+    pub duplicate: f64,
+    /// Probability a matching message is reordered behind later traffic
+    /// (implemented as one extra latency quantum of delay).
+    pub reorder: f64,
+    /// Probability a matching message is delayed by [`delay_by`](Self::delay_by).
+    pub delay: f64,
+    /// How long a delayed message is held back.
+    pub delay_by: SimDuration,
+    /// When the clause is active (`None` = always).
+    pub window: Option<Window>,
+}
+
+impl ChannelFault {
+    /// An inert clause for `class`: matches everything, does nothing.
+    pub fn inert(class: MsgClass) -> Self {
+        ChannelFault {
+            from: EndpointSel::Any,
+            to: EndpointSel::Any,
+            class,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_by: SimDuration::ZERO,
+            window: None,
+        }
+    }
+
+    /// Whether this clause applies to a message.
+    pub fn matches(&self, now: SimTime, from: Endpoint, to: Endpoint, class: MsgClass) -> bool {
+        self.class == class
+            && self.from.matches(from)
+            && self.to.matches(to)
+            && self.window.is_none_or(|w| w.contains(now))
+    }
+}
+
+impl fmt::Display for ChannelFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {} {}->{} drop={} dup={} reorder={} delay={}@{}",
+            self.class,
+            self.from,
+            self.to,
+            self.drop,
+            self.duplicate,
+            self.reorder,
+            self.delay,
+            self.delay_by
+        )?;
+        match self.window {
+            Some(w) => write!(f, " during {w}"),
+            None => write!(f, " always"),
+        }
+    }
+}
+
+/// A scheduled link partition: all traffic between the two selected
+/// endpoint sets (in either direction) is dropped while the window is
+/// open. Consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: EndpointSel,
+    /// The other side.
+    pub b: EndpointSel,
+    /// When the cut is in effect.
+    pub window: Window,
+}
+
+impl Partition {
+    /// Whether this partition cuts a message `from -> to` at `now`.
+    pub fn cuts(&self, now: SimTime, from: Endpoint, to: Endpoint) -> bool {
+        self.window.contains(now)
+            && ((self.a.matches(from) && self.b.matches(to))
+                || (self.a.matches(to) && self.b.matches(from)))
+    }
+}
+
+/// A scheduled ISP crash-restart: between `at` and `at + restart_after`
+/// everything on the wire to or from the ISP is lost, as if its network
+/// interface were down. Process state (pool, ledgers, outstanding
+/// exchanges) survives — a warm restart, which is what the paper's
+/// durable-state assumption implies. Consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crash {
+    /// Which ISP crashes.
+    pub isp: u32,
+    /// When it goes down.
+    pub at: SimTime,
+    /// How long until it is back on the network.
+    pub restart_after: SimDuration,
+}
+
+impl Crash {
+    /// The blackout window.
+    pub fn window(&self) -> Window {
+        Window::new(self.at, self.at + self.restart_after)
+    }
+}
+
+/// A scheduled bank outage: every message to or from the bank is dropped
+/// while the window is open. Consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankOutage {
+    /// When the bank is dark.
+    pub window: Window,
+}
+
+/// One clause of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Probabilistic per-channel faults.
+    Channel(ChannelFault),
+    /// A scheduled link partition.
+    Partition(Partition),
+    /// A scheduled ISP crash-restart.
+    Crash(Crash),
+    /// A scheduled bank outage.
+    BankOutage(BankOutage),
+}
+
+impl Fault {
+    /// The activity window of a structural (non-probabilistic) clause.
+    pub fn structural_window(&self) -> Option<Window> {
+        match self {
+            Fault::Channel(_) => None,
+            Fault::Partition(p) => Some(p.window),
+            Fault::Crash(c) => Some(c.window()),
+            Fault::BankOutage(o) => Some(o.window),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Channel(c) => c.fmt(f),
+            Fault::Partition(p) => write!(f, "partition {} | {} during {}", p.a, p.b, p.window),
+            Fault::Crash(c) => write!(f, "crash isp{} during {}", c.isp, c.window()),
+            Fault::BankOutage(o) => write!(f, "bank outage during {}", o.window),
+        }
+    }
+}
+
+/// Bounds for [`FaultPlan::random`]: how large a deployment the plan must
+/// fit, and how long its run is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSpace {
+    /// Number of ISPs in the deployment.
+    pub isps: u32,
+    /// End of the workload trace. Generated windows close by `0.95 *
+    /// horizon` so liveness can be judged after the faults clear.
+    pub horizon: SimTime,
+    /// Maximum number of clauses in a generated plan (at least 1 is
+    /// always generated).
+    pub max_faults: usize,
+}
+
+/// What goes wrong, and when. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The clauses, applied in order by the injector.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly reliable network.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends a clause (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The classic E13 network: inter-ISP emails dropped with probability
+    /// `drop` and duplicated with probability `duplicate`, everywhere,
+    /// always.
+    pub fn lossy_email(drop: f64, duplicate: f64) -> Self {
+        FaultPlan::none().with(Fault::Channel(ChannelFault {
+            drop,
+            duplicate,
+            ..ChannelFault::inert(MsgClass::Email)
+        }))
+    }
+
+    /// The classic E15 bank channel: buy/sell messages and replies
+    /// dropped with probability `drop`, everywhere, always.
+    pub fn lossy_bank(drop: f64) -> Self {
+        FaultPlan::none().with(Fault::Channel(ChannelFault {
+            drop,
+            ..ChannelFault::inert(MsgClass::Bank)
+        }))
+    }
+
+    /// Whether the plan has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Checks the plan against a deployment of `isps` ISPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities, inverted windows,
+    /// out-of-range ISP indices, duplication on a non-email class (see
+    /// [`ChannelFault::duplicate`]), or a zero-length crash.
+    pub fn validate(&self, isps: u32) {
+        let prob = |p: f64, what: &str| {
+            assert!((0.0..=1.0).contains(&p), "{what} must be within [0, 1]");
+        };
+        let sel = |s: EndpointSel| {
+            if let EndpointSel::Isp(i) = s {
+                assert!(i < isps, "fault names isp{i} but only {isps} exist");
+            }
+        };
+        let window = |w: Window| {
+            assert!(w.from < w.until, "window {w} is empty or inverted");
+        };
+        for fault in &self.faults {
+            match fault {
+                Fault::Channel(c) => {
+                    prob(c.drop, "drop");
+                    prob(c.duplicate, "duplicate");
+                    prob(c.reorder, "reorder");
+                    prob(c.delay, "delay");
+                    assert!(
+                        c.class == MsgClass::Email || c.duplicate == 0.0,
+                        "duplication is only defined for the email class"
+                    );
+                    sel(c.from);
+                    sel(c.to);
+                    if let Some(w) = c.window {
+                        window(w);
+                    }
+                }
+                Fault::Partition(p) => {
+                    sel(p.a);
+                    sel(p.b);
+                    window(p.window);
+                }
+                Fault::Crash(c) => {
+                    assert!(
+                        c.isp < isps,
+                        "crash names isp{} but only {isps} exist",
+                        c.isp
+                    );
+                    assert!(c.restart_after > SimDuration::ZERO, "zero-length crash");
+                }
+                Fault::BankOutage(o) => window(o.window),
+            }
+        }
+    }
+
+    /// Draws a random plan from `space`, deterministically from `sampler`.
+    ///
+    /// Generated plans are *recoverable by construction*: every clause is
+    /// window-bounded with windows closing by `0.95 * horizon`, bank-class
+    /// clauses only drop (no duplication or delay, so fresh-nonce retries
+    /// converge once windows close), and email duplication/delay stay
+    /// moderate. This is what lets the scenario harness assert liveness
+    /// after the faults clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` has no ISPs, a zero horizon, or `max_faults == 0`.
+    pub fn random(sampler: &mut Sampler, space: &PlanSpace) -> Self {
+        assert!(space.isps >= 1, "need at least one ISP");
+        assert!(space.max_faults >= 1, "need room for at least one fault");
+        let horizon_ms = space.horizon.as_millis();
+        assert!(horizon_ms >= 100, "horizon too short to schedule windows");
+        let window = |sampler: &mut Sampler| {
+            let start = sampler.uniform_range(0, horizon_ms * 7 / 10);
+            let max_len = (horizon_ms * 95 / 100 - start).max(2);
+            let len = sampler.uniform_range(1, max_len);
+            Window::new(
+                SimTime::from_millis(start),
+                SimTime::from_millis(start + len),
+            )
+        };
+        let pick_isp =
+            |sampler: &mut Sampler| sampler.uniform_range(0, u64::from(space.isps)) as u32;
+        let count = sampler.uniform_range(1, space.max_faults as u64 + 1) as usize;
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let fault = match sampler.uniform_range(0, 6) {
+                0 => Fault::Channel(ChannelFault {
+                    drop: sampler.uniform() * 0.4,
+                    duplicate: sampler.uniform() * 0.2,
+                    window: Some(window(sampler)),
+                    ..ChannelFault::inert(MsgClass::Email)
+                }),
+                1 => Fault::Channel(ChannelFault {
+                    drop: sampler.uniform(),
+                    window: Some(window(sampler)),
+                    ..ChannelFault::inert(MsgClass::Bank)
+                }),
+                2 => Fault::Channel(ChannelFault {
+                    reorder: sampler.uniform() * 0.5,
+                    delay: sampler.uniform() * 0.5,
+                    delay_by: SimDuration::from_millis(sampler.uniform_range(50, 10_000)),
+                    window: Some(window(sampler)),
+                    ..ChannelFault::inert(MsgClass::Email)
+                }),
+                3 => {
+                    let a = pick_isp(sampler);
+                    let b = if sampler.bernoulli(0.3) || space.isps == 1 {
+                        EndpointSel::Bank
+                    } else {
+                        // A distinct ISP on the other side of the cut.
+                        let mut b = pick_isp(sampler);
+                        if b == a {
+                            b = (b + 1) % space.isps;
+                        }
+                        EndpointSel::Isp(b)
+                    };
+                    Fault::Partition(Partition {
+                        a: EndpointSel::Isp(a),
+                        b,
+                        window: window(sampler),
+                    })
+                }
+                4 => {
+                    let w = window(sampler);
+                    Fault::Crash(Crash {
+                        isp: pick_isp(sampler),
+                        at: w.from,
+                        restart_after: w.until.since(w.from),
+                    })
+                }
+                _ => Fault::BankOutage(BankOutage {
+                    window: window(sampler),
+                }),
+            };
+            faults.push(fault);
+        }
+        let plan = FaultPlan { faults };
+        plan.validate(space.isps);
+        plan
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return writeln!(f, "  (no faults)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            writeln!(f, "  [{i}] {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match_as_documented() {
+        assert!(EndpointSel::Any.matches(Endpoint::Bank));
+        assert!(EndpointSel::Any.matches(Endpoint::Isp(3)));
+        assert!(EndpointSel::AnyIsp.matches(Endpoint::Isp(0)));
+        assert!(!EndpointSel::AnyIsp.matches(Endpoint::Bank));
+        assert!(EndpointSel::Isp(2).matches(Endpoint::Isp(2)));
+        assert!(!EndpointSel::Isp(2).matches(Endpoint::Isp(1)));
+        assert!(EndpointSel::Bank.matches(Endpoint::Bank));
+        assert!(!EndpointSel::Bank.matches(Endpoint::Isp(0)));
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = Window::new(SimTime::from_millis(10), SimTime::from_millis(20));
+        assert!(!w.contains(SimTime::from_millis(9)));
+        assert!(w.contains(SimTime::from_millis(10)));
+        assert!(w.contains(SimTime::from_millis(19)));
+        assert!(!w.contains(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn partition_cuts_both_directions() {
+        let p = Partition {
+            a: EndpointSel::Isp(0),
+            b: EndpointSel::Isp(1),
+            window: Window::new(SimTime::ZERO, SimTime::from_millis(100)),
+        };
+        let t = SimTime::from_millis(50);
+        assert!(p.cuts(t, Endpoint::Isp(0), Endpoint::Isp(1)));
+        assert!(p.cuts(t, Endpoint::Isp(1), Endpoint::Isp(0)));
+        assert!(!p.cuts(t, Endpoint::Isp(0), Endpoint::Isp(2)));
+        assert!(!p.cuts(
+            SimTime::from_millis(100),
+            Endpoint::Isp(0),
+            Endpoint::Isp(1)
+        ));
+    }
+
+    #[test]
+    fn legacy_constructors_shape() {
+        let p = FaultPlan::lossy_email(0.05, 0.01);
+        assert_eq!(p.len(), 1);
+        p.validate(2);
+        let p = FaultPlan::lossy_bank(0.5);
+        assert_eq!(p.len(), 1);
+        p.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for the email class")]
+    fn bank_duplication_rejected() {
+        FaultPlan::none()
+            .with(Fault::Channel(ChannelFault {
+                duplicate: 0.1,
+                ..ChannelFault::inert(MsgClass::Bank)
+            }))
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 exist")]
+    fn out_of_range_isp_rejected() {
+        FaultPlan::none()
+            .with(Fault::Crash(Crash {
+                isp: 5,
+                at: SimTime::ZERO,
+                restart_after: SimDuration::from_secs(1),
+            }))
+            .validate(2);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let space = PlanSpace {
+            isps: 3,
+            horizon: SimTime::ZERO + SimDuration::from_days(2),
+            max_faults: 8,
+        };
+        for seed in 0..50u64 {
+            let a = FaultPlan::random(&mut Sampler::new(seed), &space);
+            let b = FaultPlan::random(&mut Sampler::new(seed), &space);
+            assert_eq!(a, b, "seed {seed} must regenerate the same plan");
+            assert!(!a.is_empty() && a.len() <= 8);
+            a.validate(space.isps);
+            // Every window closes before the horizon (liveness headroom).
+            for fault in &a.faults {
+                if let Some(w) = fault.structural_window() {
+                    assert!(w.until < space.horizon, "window {w} outlives the run");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault-plan shrinking: given a failing plan, find a (locally) smallest
+//! sub-plan that still fails, by delta debugging over the clause list.
+//!
+//! The algorithm is Zeller–Hildebrandt `ddmin`: partition the clause list
+//! into `n` chunks, try deleting each chunk; on success restart with the
+//! reduced list, otherwise refine the partition until chunks are single
+//! clauses. The result is 1-minimal — removing any single remaining
+//! clause makes the failure disappear — which is the strongest guarantee
+//! a black-box predicate admits.
+
+use crate::plan::FaultPlan;
+
+/// Result of a [`shrink`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (still failing, per the predicate).
+    pub plan: FaultPlan,
+    /// How many candidate plans the predicate evaluated.
+    pub tests_run: u32,
+}
+
+/// Minimizes `plan` against `still_fails`.
+///
+/// `still_fails` must return `true` for any plan that reproduces the
+/// failure; it is assumed `true` for `plan` itself (if not, the original
+/// plan is returned untouched after one probe). The predicate should be
+/// deterministic — rerun the scenario from its fixed seed — or the
+/// result is meaningless.
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> ShrinkOutcome {
+    let mut tests_run = 0u32;
+    let mut check = |candidate: &FaultPlan| {
+        tests_run += 1;
+        still_fails(candidate)
+    };
+    if !check(plan) {
+        return ShrinkOutcome {
+            plan: plan.clone(),
+            tests_run,
+        };
+    }
+    let mut current = plan.faults.clone();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        for i in 0..n {
+            let lo = i * chunk;
+            if lo >= current.len() {
+                break;
+            }
+            let hi = ((i + 1) * chunk).min(current.len());
+            // Complement: everything except chunk i.
+            let candidate: Vec<_> = current[..lo]
+                .iter()
+                .chain(&current[hi..])
+                .copied()
+                .collect();
+            if candidate.is_empty() {
+                continue;
+            }
+            if check(&FaultPlan {
+                faults: candidate.clone(),
+            }) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            n = (n - 1).max(2);
+        } else {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    ShrinkOutcome {
+        plan: FaultPlan { faults: current },
+        tests_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ChannelFault, Fault, MsgClass};
+
+    /// A plan whose "failure" is carrying at least the clauses whose drop
+    /// probabilities appear in `required`.
+    fn fails_with(required: &[f64]) -> impl Fn(&FaultPlan) -> bool + '_ {
+        move |plan| {
+            required.iter().all(|&r| {
+                plan.faults
+                    .iter()
+                    .any(|f| matches!(f, Fault::Channel(c) if c.drop == r))
+            })
+        }
+    }
+
+    fn clause(drop: f64) -> Fault {
+        Fault::Channel(ChannelFault {
+            drop,
+            ..ChannelFault::inert(MsgClass::Email)
+        })
+    }
+
+    #[test]
+    fn single_culprit_is_isolated() {
+        let plan = FaultPlan {
+            faults: (1..=8).map(|i| clause(i as f64 / 100.0)).collect(),
+        };
+        let outcome = shrink(&plan, fails_with(&[0.05]));
+        assert_eq!(outcome.plan.len(), 1);
+        assert!(fails_with(&[0.05])(&outcome.plan));
+        assert!(outcome.tests_run > 1);
+    }
+
+    #[test]
+    fn interacting_pair_is_kept() {
+        let plan = FaultPlan {
+            faults: (1..=10).map(|i| clause(i as f64 / 100.0)).collect(),
+        };
+        let outcome = shrink(&plan, fails_with(&[0.02, 0.09]));
+        assert_eq!(outcome.plan.len(), 2);
+    }
+
+    #[test]
+    fn non_failing_plan_returned_untouched() {
+        let plan = FaultPlan {
+            faults: vec![clause(0.1)],
+        };
+        let outcome = shrink(&plan, |_| false);
+        assert_eq!(outcome.plan, plan);
+        assert_eq!(outcome.tests_run, 1);
+    }
+
+    #[test]
+    fn always_failing_predicate_minimizes_to_one_clause() {
+        let plan = FaultPlan {
+            faults: (1..=7).map(|i| clause(i as f64 / 100.0)).collect(),
+        };
+        let outcome = shrink(&plan, |_| true);
+        assert_eq!(outcome.plan.len(), 1);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Against a predicate requiring 3 specific clauses out of 12, the
+        // shrunk plan must be exactly those 3: removing any one breaks it.
+        let plan = FaultPlan {
+            faults: (1..=12).map(|i| clause(i as f64 / 100.0)).collect(),
+        };
+        let required = [0.01, 0.07, 0.12];
+        let pred = fails_with(&required);
+        let outcome = shrink(&plan, &pred);
+        assert_eq!(outcome.plan.len(), required.len());
+        for skip in 0..outcome.plan.len() {
+            let mut smaller = outcome.plan.clone();
+            smaller.faults.remove(skip);
+            assert!(!pred(&smaller), "result was not 1-minimal");
+        }
+    }
+}

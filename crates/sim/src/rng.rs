@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 /// A seeded sampler over the distributions used by the workload models.
 #[derive(Debug, Clone)]
 pub struct Sampler {
+    seed: u64,
     rng: SmallRng,
 }
 
@@ -19,8 +20,28 @@ impl Sampler {
     /// Creates a sampler with a deterministic seed.
     pub fn new(seed: u64) -> Self {
         Sampler {
+            seed,
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+
+    /// The seed this sampler was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent sub-sampler for `stream`, as a pure
+    /// function of this sampler's *seed* (not its current state): the
+    /// same `(seed, stream)` always yields the same sub-stream, and
+    /// deriving never perturbs `self`. The mixing is splitmix64, so
+    /// nearby stream ids decorrelate.
+    pub fn derive(&self, stream: u64) -> Sampler {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Sampler::new(z ^ (z >> 31))
     }
 
     /// Uniform in `[0, 1)`.
@@ -169,6 +190,20 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
         }
+    }
+
+    #[test]
+    fn derive_is_pure_and_independent() {
+        let parent = Sampler::new(11);
+        let mut a = parent.derive(3);
+        let mut b = Sampler::new(11).derive(3);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+        // Different streams diverge, and neither matches the parent seed.
+        let mut c = parent.derive(4);
+        assert_ne!(a.uniform().to_bits(), c.uniform().to_bits());
+        assert_eq!(parent.seed(), 11);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use message::MailMessage;
 pub use relay::RelaySink;
 pub use reply::{Reply, ReplyCode};
 pub use server::{CollectSink, MailSink, SmtpServer};
-pub use transport::{Connection, MemoryTransport, TcpConnection, TcpMailServer};
+pub use transport::{Connection, FaultyConnection, MemoryTransport, TcpConnection, TcpMailServer};
 pub use zheaders::{ZmailHeaders, HEADER_ACK_TO, HEADER_KIND, HEADER_PAYMENT};
 
 use std::error::Error;

@@ -103,10 +103,9 @@ impl Reply {
     pub fn parse(line: &str) -> Result<Reply, SmtpError> {
         let trimmed = line.trim_end_matches(['\r', '\n']);
         let syntax = || SmtpError::Syntax(trimmed.to_string());
-        if trimmed.len() < 3 {
-            return Err(syntax());
-        }
-        let (digits, rest) = trimmed.split_at(3);
+        // split_at would panic if byte 3 falls inside a multi-byte char
+        // (possible on garbled wire input), so use the checked form.
+        let (digits, rest) = trimmed.split_at_checked(3).ok_or_else(syntax)?;
         let number: u16 = digits.parse().map_err(|_| syntax())?;
         let code = ReplyCode::from_code(number).ok_or_else(syntax)?;
         let text = rest.strip_prefix([' ', '-']).unwrap_or(rest).to_string();
@@ -174,7 +173,14 @@ mod tests {
 
     #[test]
     fn reply_parse_rejects_garbage() {
-        for bad in ["", "25", "abc hello", "999 unknown"] {
+        for bad in [
+            "",
+            "25",
+            "abc hello",
+            "999 unknown",
+            "2\u{30AB}5 x",
+            "\u{FFFD}\u{FFFD}",
+        ] {
             assert!(Reply::parse(bad).is_err(), "{bad:?}");
         }
     }

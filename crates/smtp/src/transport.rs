@@ -14,6 +14,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use zmail_fault::{LineFaults, LineVerdict};
+use zmail_sim::Sampler;
 
 /// A bidirectional, line-oriented connection (CRLF framing handled by the
 /// implementation).
@@ -66,6 +68,85 @@ impl Connection for MemoryTransport {
             Ok(line) => Ok(Some(line)),
             Err(_) => Ok(None), // peer dropped: clean EOF
         }
+    }
+}
+
+/// A [`Connection`] wrapper that injects deterministic line-level faults
+/// on the **send** path: drops, duplicates, and single-byte garbling, all
+/// drawn from a seeded [`Sampler`] so any failure replays exactly.
+///
+/// The receive path is untouched — wrap both endpoints to fault both
+/// directions. Counters record what was injected so tests can assert the
+/// server survived *actual* noise, not a lucky all-clean run.
+#[derive(Debug)]
+pub struct FaultyConnection<C: Connection> {
+    inner: C,
+    faults: LineFaults,
+    sampler: Sampler,
+    /// Lines silently swallowed on send.
+    pub dropped: u64,
+    /// Lines sent twice.
+    pub duplicated: u64,
+    /// Lines with one byte corrupted.
+    pub garbled: u64,
+}
+
+impl<C: Connection> FaultyConnection<C> {
+    /// Wraps `inner`, drawing every fault decision from `sampler`.
+    pub fn new(inner: C, faults: LineFaults, sampler: Sampler) -> Self {
+        FaultyConnection {
+            inner,
+            faults,
+            sampler,
+            dropped: 0,
+            duplicated: 0,
+            garbled: 0,
+        }
+    }
+
+    /// Unwraps back to the underlying transport.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Connection> Connection for FaultyConnection<C> {
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        match self.faults.decide(&mut self.sampler, line.len()) {
+            LineVerdict::Deliver => self.inner.send_line(line),
+            LineVerdict::Drop => {
+                self.dropped += 1;
+                Ok(())
+            }
+            LineVerdict::Duplicate => {
+                self.duplicated += 1;
+                self.inner.send_line(line)?;
+                self.inner.send_line(line)
+            }
+            LineVerdict::Garble {
+                pos,
+                byte,
+                duplicated,
+            } => {
+                self.garbled += 1;
+                let mut bytes = line.as_bytes().to_vec();
+                bytes[pos] = byte;
+                // The replacement byte is printable ASCII, so the line
+                // stays valid UTF-8 unless it lands inside a multi-byte
+                // sequence — fall back to lossy decoding in that case.
+                let garbled_line = String::from_utf8_lossy(&bytes).into_owned();
+                self.inner.send_line(&garbled_line)?;
+                if duplicated {
+                    self.duplicated += 1;
+                    self.inner.send_line(&garbled_line)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn recv_line(&mut self) -> io::Result<Option<String>> {
+        self.inner.recv_line()
     }
 }
 
@@ -232,6 +313,63 @@ mod tests {
         for i in 0..10 {
             assert_eq!(b.recv_line().unwrap(), Some(format!("l{i}")));
         }
+    }
+
+    #[test]
+    fn faulty_connection_is_transparent_with_no_faults() {
+        let (a, mut b) = MemoryTransport::pair();
+        let mut a = FaultyConnection::new(a, LineFaults::none(), Sampler::new(1));
+        a.send_line("MAIL FROM:<u@x>").unwrap();
+        assert_eq!(b.recv_line().unwrap(), Some("MAIL FROM:<u@x>".into()));
+        assert_eq!((a.dropped, a.duplicated, a.garbled), (0, 0, 0));
+    }
+
+    #[test]
+    fn faulty_connection_drops_and_duplicates_deterministically() {
+        let run = |seed| {
+            let (a, mut b) = MemoryTransport::pair();
+            let faults = LineFaults {
+                drop: 0.3,
+                duplicate: 0.3,
+                garble: 0.0,
+            };
+            let mut a = FaultyConnection::new(a, faults, Sampler::new(seed));
+            for i in 0..50 {
+                a.send_line(&format!("line {i}")).unwrap();
+            }
+            drop(a.into_inner());
+            let mut received = Vec::new();
+            while let Some(line) = b.recv_line().unwrap() {
+                received.push(line);
+            }
+            received
+        };
+        let first = run(42);
+        // Byte-identical replay from the same seed.
+        assert_eq!(first, run(42));
+        // With 50 lines at 30%/30%, both fault kinds fire.
+        assert!(first.len() != 50, "faults should change the line count");
+    }
+
+    #[test]
+    fn faulty_connection_garbles_exactly_one_byte() {
+        let (a, mut b) = MemoryTransport::pair();
+        let faults = LineFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            garble: 1.0,
+        };
+        let mut a = FaultyConnection::new(a, faults, Sampler::new(7));
+        a.send_line("HELO example.org").unwrap();
+        let got = b.recv_line().unwrap().unwrap();
+        assert_eq!(got.len(), "HELO example.org".len());
+        let differing = got
+            .bytes()
+            .zip("HELO example.org".bytes())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert_eq!(differing, 1);
+        assert_eq!(a.garbled, 1);
     }
 
     #[test]

@@ -18,7 +18,8 @@ cargo test -q --workspace
 echo "== cargo doc (first-party crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p zmail -p zmail-ap -p zmail-core -p zmail-bench -p zmail-crypto \
-  -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines -p zmail-obs
+  -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines -p zmail-obs \
+  -p zmail-fault
 
 echo "== speclint (static analysis of the bundled AP specs)"
 cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
@@ -28,5 +29,12 @@ cargo run --release -q -p zmail-obs --bin obs_smoke > /dev/null
 
 echo "== determinism guards (sim-clock traces, profiled explorer)"
 cargo test -q --release -p zmail-bench --test determinism
+
+echo "== fault scenarios (randomized plans over fixed seeds, shrinker)"
+cargo test -q --release -p zmail --test fault_scenarios
+
+echo "== property suites (crypto envelopes/nonces, SMTP grammar)"
+cargo test -q --release -p zmail-crypto --test properties
+cargo test -q --release -p zmail-smtp --test properties
 
 echo "CI: all green"

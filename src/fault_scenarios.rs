@@ -1,0 +1,312 @@
+//! Scenario harness: the whole Zmail system under a randomized fault
+//! plan, checked against system-wide invariants.
+//!
+//! A [`Scenario`] bundles a deployment size, a workload length, a
+//! [`FaultPlan`], and one seed. [`Scenario::run`] executes the full
+//! protocol stack under that plan and returns an [`Outcome`] carrying
+//! every invariant [`Violation`] found:
+//!
+//! * **zero-sum audit** — the extended ledger (`issued + bootstrap −
+//!   destroyed + counterfeited − stranded = found`) must balance to the
+//!   e-penny, whatever was injected;
+//! * **pairwise consistency** — when billing never reset the credit
+//!   arrays, `credit[i][j] + credit[j][i]` must equal exactly the drift
+//!   the injector's [pair ledgers](zmail_fault::PairLedger) predict
+//!   (lost minus duplicated e-pennies for that pair), not an e-penny
+//!   more;
+//! * **liveness** — once every fault window has closed and the trace has
+//!   drained, no ISP may be left wedged in a bank exchange and no
+//!   e-penny may be stuck in flight.
+//!
+//! Everything is deterministic from `Scenario::seed`: the workload, the
+//! plan (for [`Scenario::random`]), and every fault decision replay
+//! byte-identically, so a failure report is a complete reproduction
+//! recipe. [`Scenario::shrink_failure`] then minimizes the plan by delta
+//! debugging ([`zmail_fault::shrink()`]) to a 1-minimal clause set that
+//! still fails.
+//!
+//! ```rust
+//! use zmail::fault_scenarios::Scenario;
+//!
+//! let outcome = Scenario::random(7).run();
+//! assert!(outcome.is_ok(), "{}", Scenario::random(7).failure_report(&outcome));
+//! ```
+
+use std::fmt;
+use zmail_core::{IspId, RunReport, ZmailConfig, ZmailSystem};
+use zmail_fault::{shrink, FaultCounters, FaultPlan, PlanSpace, ShrinkOutcome};
+use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
+use zmail_sim::{Sampler, SimDuration, SimTime};
+
+/// Sampler stream id for deriving a scenario's fault plan from its seed,
+/// independent of the workload and network streams.
+const PLAN_STREAM: u64 = 0x5EED_F417;
+
+/// One invariant breach found by [`Scenario::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The extended zero-sum audit did not balance.
+    AuditBroken(String),
+    /// E-pennies were still inside network messages after the drain.
+    PenniesInFlight(i64),
+    /// An ISP was left with a bank exchange outstanding forever.
+    WedgedIsp(u32),
+    /// A pairwise credit sum drifted away from the injector's prediction.
+    PairwiseDrift {
+        /// First ISP of the pair.
+        a: u32,
+        /// Second ISP of the pair.
+        b: u32,
+        /// Drift the pair ledger predicts (lost − duplicated e-pennies).
+        expected: i64,
+        /// Observed `credit[a][b] + credit[b][a]`.
+        actual: i64,
+    },
+    /// Billing rounds accused honest ISPs (only checked when the
+    /// scenario demands clean consistency reports).
+    HonestAccusation {
+        /// Rounds with at least one accusation.
+        accused: usize,
+        /// Rounds completed in total.
+        total: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AuditBroken(e) => write!(f, "zero-sum audit broken: {e}"),
+            Violation::PenniesInFlight(n) => {
+                write!(f, "{n} e-pennies still in flight after drain")
+            }
+            Violation::WedgedIsp(i) => {
+                write!(f, "isp{i} wedged: bank exchange outstanding after drain")
+            }
+            Violation::PairwiseDrift {
+                a,
+                b,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "credit[{a}][{b}] + credit[{b}][{a}] = {actual}, \
+                 but injected faults predict {expected}"
+            ),
+            Violation::HonestAccusation { accused, total } => {
+                write!(f, "{accused} of {total} billing rounds accused honest ISPs")
+            }
+        }
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The protocol-level run report.
+    pub report: RunReport,
+    /// The injector's own deterministic tallies.
+    pub counters: FaultCounters,
+    /// Every invariant breach, in check order. Empty means the run held.
+    pub violations: Vec<Violation>,
+}
+
+impl Outcome {
+    /// Whether every invariant held.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A reproducible full-system run under a fault plan.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Master seed: workload, fault decisions, and (for
+    /// [`Scenario::random`]) the plan itself all derive from it.
+    pub seed: u64,
+    /// Number of compliant ISPs.
+    pub isps: u32,
+    /// Users per ISP.
+    pub users_per_isp: u32,
+    /// Workload length in days.
+    pub days: u64,
+    /// The faults to inject.
+    pub plan: FaultPlan,
+    /// Run daily billing rounds (credit snapshots reset the credit
+    /// arrays, so the pairwise drift check is skipped).
+    pub daily_billing: bool,
+    /// Demand that no billing round accuses anyone. Under email loss
+    /// this is a *known-false* property (E13: the detector turns on
+    /// honest ISPs) — it exists to exercise failure reporting and the
+    /// shrinker on demand.
+    pub require_clean_consistency: bool,
+}
+
+impl Scenario {
+    /// A small, fast deployment (3 ISPs × 8 users × 3 days) with a
+    /// perfectly reliable network.
+    pub fn new(seed: u64) -> Self {
+        Scenario {
+            seed,
+            isps: 3,
+            users_per_isp: 8,
+            days: 3,
+            plan: FaultPlan::none(),
+            daily_billing: false,
+            require_clean_consistency: false,
+        }
+    }
+
+    /// A scenario whose fault plan is drawn deterministically from the
+    /// seed: same seed, same plan, same run, byte for byte.
+    pub fn random(seed: u64) -> Self {
+        let mut scenario = Scenario::new(seed);
+        let mut sampler = Sampler::new(seed).derive(PLAN_STREAM);
+        scenario.plan = FaultPlan::random(
+            &mut sampler,
+            &PlanSpace {
+                isps: scenario.isps,
+                horizon: SimTime::ZERO + SimDuration::from_days(scenario.days),
+                max_faults: 4,
+            },
+        );
+        scenario
+    }
+
+    /// Replaces the plan (builder style).
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Runs the scenario and checks every invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] for this
+    /// deployment (malformed plans are a bug in the caller, not a
+    /// scenario failure).
+    pub fn run(&self) -> Outcome {
+        let traffic = TrafficConfig {
+            isps: self.isps,
+            users_per_isp: self.users_per_isp,
+            horizon: SimDuration::from_days(self.days),
+            personal_per_user_day: 12.0,
+            ..TrafficConfig::default()
+        };
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(self.seed));
+        let mut builder = ZmailConfig::builder(self.isps, self.users_per_isp)
+            .faults(self.plan.clone())
+            // Fresh-nonce retransmission well above 2× latency: without
+            // it any lost bank message wedges its ISP forever (E15), so
+            // liveness would be trivially false under bank-channel loss.
+            .bank_retry(Some(SimDuration::from_mins(1)));
+        if self.daily_billing {
+            builder = builder.billing_period(SimDuration::from_days(1));
+        }
+        let mut system = ZmailSystem::new(builder.build(), self.seed);
+        let report = system.run_trace(&trace);
+
+        let mut violations = Vec::new();
+        if let Err(e) = system.audit() {
+            violations.push(Violation::AuditBroken(e.to_string()));
+        }
+        if system.pennies_in_flight() != 0 {
+            violations.push(Violation::PenniesInFlight(system.pennies_in_flight()));
+        }
+        for i in 0..self.isps {
+            let isp = system.isp(IspId(i));
+            if isp.buy_outstanding() || isp.sell_outstanding() {
+                violations.push(Violation::WedgedIsp(i));
+            }
+        }
+        if report.consistency_reports.is_empty() {
+            // Credit arrays were never reset by a snapshot, so each
+            // pair's sum must match the injected damage exactly.
+            for a in 0..self.isps {
+                for b in (a + 1)..self.isps {
+                    let ledger = system.email_pair_ledger(IspId(a), IspId(b));
+                    let expected = ledger.lost_pennies - ledger.duplicated_pennies;
+                    let actual = system.isp(IspId(a)).credit(IspId(b))
+                        + system.isp(IspId(b)).credit(IspId(a));
+                    if actual != expected {
+                        violations.push(Violation::PairwiseDrift {
+                            a,
+                            b,
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
+        if self.require_clean_consistency {
+            let total = report.consistency_reports.len();
+            let accused = report
+                .consistency_reports
+                .iter()
+                .filter(|(_, r)| !r.is_clean())
+                .count();
+            if accused > 0 {
+                violations.push(Violation::HonestAccusation { accused, total });
+            }
+        }
+        Outcome {
+            counters: *system.fault_counters(),
+            report,
+            violations,
+        }
+    }
+
+    /// A complete reproduction recipe for a failed outcome: the seed,
+    /// the exact plan, and every violation. Panic messages built from
+    /// this are self-contained bug reports.
+    pub fn failure_report(&self, outcome: &Outcome) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "fault scenario FAILED (seed {})", self.seed);
+        let _ = writeln!(
+            out,
+            "  deployment: {} ISPs x {} users, {} days, daily billing {}",
+            self.isps,
+            self.users_per_isp,
+            self.days,
+            if self.daily_billing { "on" } else { "off" },
+        );
+        let _ = writeln!(out, "  plan:\n{}", indent(&self.plan.to_string(), 4));
+        let _ = writeln!(out, "  violations:");
+        for v in &outcome.violations {
+            let _ = writeln!(out, "    - {v}");
+        }
+        let _ = write!(
+            out,
+            "  reproduce with: zmail::fault_scenarios::Scenario::random({})\
+             .run() — or rebuild this exact Scenario; all randomness \
+             derives from the seed",
+            self.seed
+        );
+        out
+    }
+
+    /// Minimizes this scenario's failing plan by delta debugging: every
+    /// candidate sub-plan is re-run from the same seed, so the predicate
+    /// is deterministic. Returns `None` if the scenario does not fail as
+    /// given.
+    pub fn shrink_failure(&self) -> Option<ShrinkOutcome> {
+        if self.run().is_ok() {
+            return None;
+        }
+        let outcome = shrink(&self.plan, |candidate| {
+            !self.clone().with_plan(candidate.clone()).run().is_ok()
+        });
+        Some(outcome)
+    }
+}
+
+fn indent(text: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    text.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -9,6 +9,11 @@
 //! * [`crypto`] — the simulation-grade `NNC`/`NCR`/`DCR` substrate;
 //! * [`smtp`] — the RFC 821 substrate Zmail deploys over;
 //! * [`sim`] — the discrete-event simulator and workload models;
+//! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
+//!   reorder, partitions, crashes, outages) with ddmin plan shrinking,
+//!   plus the [`fault_scenarios`] harness that runs the full system
+//!   under randomized plans and checks zero-sum, consistency, and
+//!   liveness invariants;
 //! * [`econ`] — spammer economics, adoption dynamics, the spam market;
 //! * [`baselines`] — SHRED, Vanquish, hashcash, challenge-response,
 //!   naive Bayes, black/whitelists, and plain SMTP.
@@ -45,5 +50,8 @@ pub use zmail_baselines as baselines;
 pub use zmail_core as core;
 pub use zmail_crypto as crypto;
 pub use zmail_econ as econ;
+pub use zmail_fault as fault;
 pub use zmail_sim as sim;
 pub use zmail_smtp as smtp;
+
+pub mod fault_scenarios;
