@@ -12,9 +12,13 @@
 //!   the bank grant twice while the ISP applies once: e-pennies are
 //!   stranded at the bank. Sound recovery needs idempotent request ids,
 //!   not just replay rejection.
+//! * With **idempotent request ids** (`ZmailConfig::idempotent_bank_ids`)
+//!   the retransmission reuses the outstanding nonce and the bank serves
+//!   a cached copy of its original reply: liveness is restored *and*
+//!   nothing is stranded.
 //!
-//! This experiment measures both horns: wedged pools without retry, and
-//! stranded value with it.
+//! This experiment measures all three: wedged pools without retry,
+//! stranded value with fresh-nonce retry, and the idempotent fix.
 
 use std::time::Instant;
 use zmail_bench::{parse_threads, pct, Report};
@@ -27,6 +31,7 @@ use zmail_sim::{Sampler, SimDuration, Table};
 struct Outcome {
     lost: u64,
     retries: u64,
+    cached_replies: u64,
     wedged_isps: u32,
     pools_recovered: u32,
     stranded: i64,
@@ -34,7 +39,7 @@ struct Outcome {
     injected_drops: u64,
 }
 
-fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
+fn run(loss: f64, retry: Option<SimDuration>, idempotent: bool, seed: u64) -> Outcome {
     let isps = 3u32;
     // Users start nearly broke and top up constantly, so the pool cycles
     // through minavail and the ISPs run many bank exchanges per day.
@@ -43,6 +48,7 @@ fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
         .avail_bounds(EPennies(1_000), EPennies(1_200), EPennies(500))
         .faults(FaultPlan::lossy_bank(loss))
         .bank_retry(retry)
+        .idempotent_bank_ids(idempotent)
         .build();
     let traffic = TrafficConfig {
         isps,
@@ -70,6 +76,7 @@ fn run(loss: f64, retry: Option<SimDuration>, seed: u64) -> Outcome {
     Outcome {
         lost: report.bank_messages_lost,
         retries,
+        cached_replies: system.bank().stats().idempotent_replays,
         wedged_isps: wedged,
         pools_recovered: recovered,
         stranded: system.pennies_stranded(),
@@ -88,8 +95,10 @@ fn main() {
     let mut table = Table::new(&[
         "bank loss",
         "retry",
+        "req ids",
         "msgs lost",
         "retries",
+        "cached replies",
         "ISPs wedged",
         "pools healthy",
         "e¢ stranded",
@@ -98,27 +107,44 @@ fn main() {
     let mut wedged_without_retry = 0u32;
     let mut wedged_with_retry = 0u32;
     let mut stranded_with_retry = 0i64;
-    let mut injected = Table::new(&["bank loss", "retry", "injected drops (zmail-fault)"]);
-    for (loss, retry_cfg, label) in [
-        (0.0, None, "off"),
-        (0.3, None, "off"),
-        (1.0, None, "off"),
-        (0.3, retry, "1m"),
-        (0.6, retry, "1m"),
+    let mut wedged_idempotent = 0u32;
+    let mut stranded_idempotent = 0i64;
+    let mut cached_idempotent = 0u64;
+    let mut injected = Table::new(&["bank loss", "retry", "req ids", "injected drops"]);
+    for (loss, retry_cfg, label, idempotent) in [
+        (0.0, None, "off", false),
+        (0.3, None, "off", false),
+        (1.0, None, "off", false),
+        (0.3, retry, "1m", false),
+        (0.6, retry, "1m", false),
+        (0.3, retry, "1m", true),
+        (0.6, retry, "1m", true),
     ] {
-        let out = run(loss, retry_cfg, 81);
+        let out = run(loss, retry_cfg, idempotent, 81);
+        let mode = if idempotent {
+            "idempotent"
+        } else {
+            "fresh-nonce"
+        };
         if retry_cfg.is_none() && loss > 0.0 {
             wedged_without_retry += out.wedged_isps;
         }
-        if retry_cfg.is_some() {
+        if retry_cfg.is_some() && !idempotent {
             wedged_with_retry += out.wedged_isps;
             stranded_with_retry += out.stranded;
+        }
+        if idempotent {
+            wedged_idempotent += out.wedged_isps;
+            stranded_idempotent += out.stranded;
+            cached_idempotent += out.cached_replies;
         }
         table.row_owned(vec![
             pct(loss),
             label.to_string(),
+            mode.to_string(),
             out.lost.to_string(),
             out.retries.to_string(),
+            out.cached_replies.to_string(),
             out.wedged_isps.to_string(),
             format!("{} / 3", out.pools_recovered),
             out.stranded.to_string(),
@@ -131,6 +157,7 @@ fn main() {
         injected.row_owned(vec![
             pct(loss),
             label.to_string(),
+            mode.to_string(),
             out.injected_drops.to_string(),
         ]);
     }
@@ -141,7 +168,9 @@ fn main() {
          the protocol clears `canbuy`. The stranded column is the price of\n\
          the fresh-nonce fix: replies lost after processing leave grants\n\
          the pool never received — the extended audit still balances, so\n\
-         the leak is precisely attributable.)"
+         the leak is precisely attributable. The idempotent rows close the\n\
+         gap: the retransmission reuses the outstanding request id, the\n\
+         bank serves its cached reply, and nothing is ever stranded.)"
     );
     println!("\nfault-injection telemetry (zmail-fault):\n{injected}");
 
@@ -223,8 +252,11 @@ fn main() {
         wedged_without_retry > 0
             && wedged_with_retry == 0
             && stranded_with_retry >= 0
+            && wedged_idempotent == 0
+            && stranded_idempotent == 0
+            && cached_idempotent > 0
             && !wedge_recoverable
             && counterfeit.is_clean(),
-        "lossy bank channels wedge ISPs permanently under the paper's design — provably, on the formal model; fresh-nonce retransmission restores liveness at a quantified, audited cost in stranded value — sound recovery needs idempotent request ids",
+        "lossy bank channels wedge ISPs permanently under the paper's design — provably, on the formal model; fresh-nonce retransmission restores liveness at a quantified, audited cost in stranded value; idempotent request ids restore liveness AND strand nothing",
     );
 }

@@ -1,0 +1,229 @@
+//! E16 — Durability engineering: WAL throughput and recovery cost.
+//!
+//! The paper assumes the ledgers its zero-sum argument ranges over
+//! simply persist; `zmail-store` makes that assumption concrete with a
+//! checksummed write-ahead log and dual-slot checkpoints. This
+//! experiment prices the machinery:
+//!
+//! * **WAL throughput vs. group-commit batch size** on both backends.
+//!   `batch_records = 1` syncs after every record (no loss window);
+//!   larger batches amortize the sync over more records at the cost of
+//!   a bounded number of un-synced records on a crash.
+//! * **Recovery time vs. log length**, with checkpointing off (full
+//!   replay from the bootstrap books) and on (replay bounded by
+//!   `checkpoint_every`). Recovery must also be *correct*: every
+//!   recovered image is compared against the live books, and a
+//!   deliberately torn WAL tail must be detected, never applied.
+//!
+//! Run with `--smoke` for a seconds-scale CI gate over the same code
+//! paths.
+
+use std::time::Instant;
+use zmail_bench::Report;
+use zmail_sim::Table;
+use zmail_store::{
+    BankBooks, Books, FileStorage, IspBooks, LedgerRecord, LedgerStore, MemStorage, Storage,
+    StoreConfig, UserBooks,
+};
+
+const ISPS: u32 = 3;
+const USERS: u32 = 8;
+
+/// Bootstrap books sized for the record stream below.
+fn bootstrap() -> Books {
+    Books {
+        isps: (0..ISPS)
+            .map(|_| IspBooks {
+                users: vec![
+                    UserBooks {
+                        account: 10_000,
+                        balance: 1_000,
+                        sent_today: 0,
+                        limit: 100,
+                    };
+                    USERS as usize
+                ],
+                avail: 50_000,
+                credit: vec![0; ISPS as usize],
+            })
+            .collect(),
+        banks: vec![BankBooks {
+            accounts: vec![100_000; ISPS as usize],
+            issued: 3 * 50_000,
+        }],
+    }
+}
+
+/// Deterministic mixed record stream: the shape the live system
+/// journals (mostly email legs, occasional counter trades and bank
+/// exchanges), as a pure function of the index.
+fn record(i: u64) -> LedgerRecord {
+    let isp = (i % u64::from(ISPS)) as u32;
+    let peer = ((i + 1) % u64::from(ISPS)) as u32;
+    let user = ((i / 3) % u64::from(USERS)) as u32;
+    match i % 16 {
+        0..=5 => LedgerRecord::Charge { isp, user },
+        6..=10 => LedgerRecord::Deposit { isp, user },
+        11 | 12 => LedgerRecord::CreditDelta {
+            isp,
+            peer,
+            delta: if i.is_multiple_of(2) { 1 } else { -1 },
+        },
+        13 => LedgerRecord::UserBuy {
+            isp,
+            user,
+            amount: 5,
+        },
+        14 => LedgerRecord::PoolBuy { isp, amount: 40 },
+        _ => LedgerRecord::BankBuy {
+            bank: 0,
+            isp,
+            value: 40,
+            cost: 40,
+        },
+    }
+}
+
+/// Appends `n` records through a fresh store over `storage`, returning
+/// (elapsed seconds, WAL bytes written, final store).
+fn fill<S: Storage>(storage: S, config: StoreConfig, n: u64) -> (f64, u64, LedgerStore<S>) {
+    let (mut store, _) = LedgerStore::open(storage, config, bootstrap());
+    let start = Instant::now();
+    for i in 0..n {
+        store.append(&record(i));
+    }
+    store.commit();
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, store.wal_len(), store)
+}
+
+fn throughput_row(
+    table: &mut Table,
+    backend: &str,
+    batch: usize,
+    n: u64,
+    make: impl FnOnce() -> (f64, u64),
+) {
+    let (elapsed, wal_bytes) = make();
+    table.row_owned(vec![
+        backend.to_string(),
+        batch.to_string(),
+        n.to_string(),
+        format!("{:.0}", n as f64 / elapsed.max(1e-9)),
+        format!("{:.1}", wal_bytes as f64 / elapsed.max(1e-9) / 1e6),
+        format!("{:.3}s", elapsed),
+    ]);
+}
+
+fn main() {
+    let experiment = Report::new(
+        "E16: durability — WAL throughput and recovery cost",
+        "group commit buys WAL throughput with a bounded loss window; checkpoints bound recovery replay; torn tails are detected, never applied",
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        println!("(--smoke: reduced record counts, same code paths)\n");
+    }
+    let mut all_recoveries_exact = true;
+
+    // --- WAL throughput vs. group-commit batch size -------------------
+    let mem_n: u64 = if smoke { 2_000 } else { 200_000 };
+    let file_n: u64 = if smoke { 500 } else { 5_000 };
+    let no_ckpt = |batch| StoreConfig {
+        batch_records: batch,
+        checkpoint_every: u64::MAX,
+    };
+    let mut throughput = Table::new(&["backend", "batch", "records", "records/s", "MB/s", "wall"]);
+    let tmp = std::env::temp_dir().join(format!("zmail_e16_{}", std::process::id()));
+    for batch in [1usize, 8, 64, 512] {
+        throughput_row(&mut throughput, "mem", batch, mem_n, || {
+            let (elapsed, bytes, store) = fill(MemStorage::new(), no_ckpt(batch), mem_n);
+            let (recovered, _) = store.simulate_recovery();
+            all_recoveries_exact &= &recovered == store.books();
+            (elapsed, bytes)
+        });
+    }
+    for batch in [1usize, 8, 64, 512] {
+        throughput_row(&mut throughput, "file", batch, file_n, || {
+            let dir = tmp.join(format!("batch{batch}"));
+            let (elapsed, bytes, store) = fill(FileStorage::new(&dir), no_ckpt(batch), file_n);
+            let (recovered, _) = store.simulate_recovery();
+            all_recoveries_exact &= &recovered == store.books();
+            (elapsed, bytes)
+        });
+    }
+    println!("WAL throughput vs. group-commit batch (fsync per commit):\n{throughput}");
+    println!(
+        "(batch 1 is one sync per record — zero loss window; batch b\n\
+         risks at most b-1 un-synced records on a crash, truncated\n\
+         cleanly at the torn frame by recovery's CRC scan.)\n"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // --- Recovery time vs. log length --------------------------------
+    let lengths: &[u64] = if smoke {
+        &[200, 2_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut recovery = Table::new(&[
+        "records",
+        "checkpoints",
+        "ckpt seq",
+        "replayed",
+        "recovery",
+        "replayed/s",
+    ]);
+    for &n in lengths {
+        for (label, every) in [("off", u64::MAX), ("every 1024", 1024)] {
+            let config = StoreConfig {
+                batch_records: 64,
+                checkpoint_every: every,
+            };
+            let (_, _, store) = fill(MemStorage::new(), config, n);
+            let start = Instant::now();
+            let (recovered, report) = store.simulate_recovery();
+            let elapsed = start.elapsed().as_secs_f64();
+            all_recoveries_exact &= &recovered == store.books();
+            recovery.row_owned(vec![
+                n.to_string(),
+                label.to_string(),
+                report
+                    .checkpoint_seq
+                    .map_or_else(|| "-".into(), |s| s.to_string()),
+                report.replayed_records.to_string(),
+                format!("{:.1}µs", elapsed * 1e6),
+                format!("{:.0}", report.replayed_records as f64 / elapsed.max(1e-9)),
+            ]);
+        }
+    }
+    println!("recovery cost vs. log length (MemStorage, batch 64):\n{recovery}");
+    println!(
+        "(with checkpointing off, recovery replays the whole log from the\n\
+         bootstrap books; with it on, replay is bounded by the records\n\
+         since the last checkpoint regardless of total log length.)\n"
+    );
+
+    // --- Torn-tail handling: the crash that must not corrupt ----------
+    let (_, _, mut store) = fill(MemStorage::new(), no_ckpt(1), 100);
+    let before_tear = store.books().clone();
+    store.append(&record(100));
+    store.commit();
+    let torn_len = store.wal_len() - 3; // shear the final frame mid-payload
+    store.storage_mut().truncate("wal", torn_len);
+    let (recovered, report) = store.simulate_recovery();
+    let torn_detected = report.torn_tail && report.truncated_bytes > 0;
+    let torn_safe = recovered == before_tear;
+    println!(
+        "torn tail: sheared the final WAL frame 3 bytes short → detected={}, \
+         dropped {} byte(s), books rolled to the last durable record: {}",
+        torn_detected,
+        report.truncated_bytes,
+        if torn_safe { "exact" } else { "MISMATCH" }
+    );
+
+    experiment.finish(
+        all_recoveries_exact && torn_detected && torn_safe,
+        "every recovery reproduced the live books exactly on both backends; group commit trades a bounded loss window for measured throughput; a torn WAL tail is detected by CRC and truncated, never applied",
+    );
+}

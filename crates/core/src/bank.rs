@@ -12,11 +12,12 @@ use crate::ids::IspId;
 use crate::msg::{decode_credit, decode_value_nonce, encode_value_nonce, NetMsg};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use zmail_crypto::{
     open_with_private, seal_with_private, CryptoError, KeyPair, Nnc, PublicKey, ReplayGuard,
 };
 use zmail_econ::{EPennies, ExchangeRate, RealPennies};
+use zmail_store::{BankBooks, LedgerRecord};
 
 /// Counters the experiments read.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub struct BankStats {
     pub sells: u64,
     /// Replayed buy/sell requests dropped.
     pub replays_dropped: u64,
+    /// Retransmissions answered from the reply cache instead of being
+    /// dropped (idempotent request ids only).
+    pub idempotent_replays: u64,
     /// Snapshot rounds completed.
     pub snapshot_rounds: u64,
 }
@@ -74,6 +78,16 @@ pub struct Bank {
     replay: ReplayGuard,
     rng: SmallRng,
     stats: BankStats,
+    /// This bank's slot in the federation (0 for the central bank) —
+    /// the index its journal records carry.
+    index: u32,
+    /// Serve retransmitted exchanges from a cache instead of dropping
+    /// them ([`ZmailConfig::idempotent_bank_ids`]).
+    idempotent: bool,
+    /// Sealed reply per request nonce, kept while idempotent ids are on.
+    reply_cache: BTreeMap<u64, NetMsg>,
+    journal_enabled: bool,
+    journal: Vec<LedgerRecord>,
 }
 
 impl Bank {
@@ -116,6 +130,38 @@ impl Bank {
             replay: ReplayGuard::new(),
             rng,
             stats: BankStats::default(),
+            index: 0,
+            idempotent: config.idempotent_bank_ids,
+            reply_cache: BTreeMap::new(),
+            journal_enabled: config.durability.is_some(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Sets the slot this bank occupies in its federation; journal
+    /// records carry it so recovery can address the right books.
+    pub(crate) fn set_index(&mut self, index: u32) {
+        self.index = index;
+    }
+
+    fn journal(&mut self, rec: LedgerRecord) {
+        if self.journal_enabled {
+            self.journal.push(rec);
+        }
+    }
+
+    /// Takes every ledger record journalled since the last drain; the
+    /// harness appends them to the durable store.
+    pub fn drain_journal(&mut self) -> Vec<LedgerRecord> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// This bank's durable books: a snapshot of its accounts and issuance
+    /// in the store's format, used to bootstrap a ledger store.
+    pub fn books(&self) -> BankBooks {
+        BankBooks {
+            accounts: self.accounts.iter().map(|a| a.0).collect(),
+            issued: self.issued,
         }
     }
 
@@ -154,12 +200,32 @@ impl Bank {
     // buy / sell
     // ------------------------------------------------------------------
 
+    /// Serves a cached reply for a retransmitted nonce, flagged
+    /// `replayed` for the auditor.
+    fn cached_reply(&mut self, nonce: u64) -> Option<NetMsg> {
+        let mut reply = self.reply_cache.get(&nonce)?.clone();
+        match &mut reply {
+            NetMsg::BuyReply { replayed, .. } | NetMsg::SellReply { replayed, .. } => {
+                *replayed = true;
+            }
+            _ => unreachable!("only exchange replies are cached"),
+        }
+        self.stats.idempotent_replays += 1;
+        Some(reply)
+    }
+
     /// Handles `buy(x)` from `isp[g]`, returning the sealed reply.
+    ///
+    /// With idempotent request ids on, a retransmission of an
+    /// already-served nonce returns a cached copy of the original reply
+    /// (marked `replayed`) instead of an error, so a lost reply can be
+    /// recovered without a second grant.
     ///
     /// # Errors
     ///
     /// Returns a [`CryptoError`] for undecipherable envelopes and
-    /// [`CryptoError::ReplayDetected`] when the nonce was already used.
+    /// [`CryptoError::ReplayDetected`] when the nonce was already used
+    /// (and, with idempotent ids, no cached reply exists for it).
     pub fn handle_buy(
         &mut self,
         from: IspId,
@@ -168,6 +234,11 @@ impl Bank {
         let plain = open_with_private(self.keypair.private(), envelope)?;
         let (value, nonce) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
         if self.replay.check_and_record(nonce).is_err() {
+            if self.idempotent {
+                if let Some(reply) = self.cached_reply(nonce) {
+                    return Ok(reply);
+                }
+            }
             self.stats.replays_dropped += 1;
             return Err(CryptoError::ReplayDetected);
         }
@@ -178,19 +249,33 @@ impl Bank {
             *account -= cost;
             self.issued += value;
             self.stats.buys_granted += 1;
+            self.journal(LedgerRecord::BankBuy {
+                bank: self.index,
+                isp: from.0,
+                value,
+                cost: cost.0,
+            });
             value
         } else {
             self.stats.buys_rejected += 1;
             0
         };
         let reply_plain = encode_value_nonce(i64::from(accepted), nonce);
-        Ok(NetMsg::BuyReply {
+        let reply = NetMsg::BuyReply {
             envelope: seal_with_private(self.keypair.private(), &reply_plain, &mut self.rng),
             audit: granted,
-        })
+            replayed: false,
+        };
+        if self.idempotent {
+            self.reply_cache.insert(nonce, reply.clone());
+        }
+        Ok(reply)
     }
 
     /// Handles `sell(x)` from `isp[g]`, returning the sealed confirmation.
+    ///
+    /// Retransmissions are served from the reply cache when idempotent
+    /// request ids are on; see [`Bank::handle_buy`].
     ///
     /// # Errors
     ///
@@ -204,17 +289,34 @@ impl Bank {
         let plain = open_with_private(self.keypair.private(), envelope)?;
         let (value, nonce) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
         if self.replay.check_and_record(nonce).is_err() {
+            if self.idempotent {
+                if let Some(reply) = self.cached_reply(nonce) {
+                    return Ok(reply);
+                }
+            }
             self.stats.replays_dropped += 1;
             return Err(CryptoError::ReplayDetected);
         }
-        self.accounts[from.index()] += self.exchange.to_real(EPennies(value));
+        let credited = self.exchange.to_real(EPennies(value));
+        self.accounts[from.index()] += credited;
         self.issued -= value;
         self.stats.sells += 1;
+        self.journal(LedgerRecord::BankSell {
+            bank: self.index,
+            isp: from.0,
+            value,
+            credit: credited.0,
+        });
         let reply_plain = encode_value_nonce(0, nonce);
-        Ok(NetMsg::SellReply {
+        let reply = NetMsg::SellReply {
             envelope: seal_with_private(self.keypair.private(), &reply_plain, &mut self.rng),
             audit: value,
-        })
+            replayed: false,
+        };
+        if self.idempotent {
+            self.reply_cache.insert(nonce, reply.clone());
+        }
+        Ok(reply)
     }
 
     // ------------------------------------------------------------------
@@ -361,6 +463,7 @@ mod tests {
         let NetMsg::BuyReply {
             envelope,
             audit: granted,
+            ..
         } = reply
         else {
             panic!("expected buy reply");
@@ -382,7 +485,9 @@ mod tests {
         let Some(NetMsg::Buy { envelope, .. }) = isp.maybe_buy() else {
             panic!("expected buy");
         };
-        let NetMsg::BuyReply { envelope, audit } = bank.handle_buy(IspId(0), &envelope).unwrap()
+        let NetMsg::BuyReply {
+            envelope, audit, ..
+        } = bank.handle_buy(IspId(0), &envelope).unwrap()
         else {
             panic!("expected reply");
         };

@@ -4,6 +4,17 @@ use crate::ids::IspId;
 use zmail_econ::{EPennies, ExchangeRate, RealPennies};
 use zmail_fault::{ChannelFault, Fault, FaultPlan, MsgClass};
 use zmail_sim::SimDuration;
+use zmail_store::StoreConfig;
+
+/// Durable-books settings: when present on a [`ZmailConfig`], the system
+/// journals every ledger mutation into a `zmail-store` WAL (one group
+/// commit per simulation event) and `Crash` fault windows restart ISPs
+/// from the real recovery path instead of preserved memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// WAL/checkpoint tuning passed through to the ledger store.
+    pub store: StoreConfig,
+}
 
 /// What a compliant ISP does with mail arriving from a non-compliant ISP.
 ///
@@ -105,9 +116,18 @@ pub struct ZmailConfig {
     /// long retransmits with a **fresh nonce** (the paper's replay guard
     /// rejects identical retransmissions — see experiment E15).
     pub bank_retry_after: Option<SimDuration>,
+    /// If set, buy/sell retransmissions reuse the **same nonce** and the
+    /// bank answers replays from a cached reply instead of rejecting
+    /// them — the idempotent request ids that close E15's stranded-penny
+    /// gap. Meaningful only together with `bank_retry_after`.
+    pub idempotent_bank_ids: bool,
     /// Number of regional banks (1 = the paper's central bank; more
     /// engages the §5 federation with round-robin ISP assignment).
     pub banks: u32,
+    /// When set, ledger mutations are journaled to a `zmail-store` WAL
+    /// and crash windows restart ISPs from recovery (`None` keeps the
+    /// seed behaviour: in-memory books, warm restarts).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ZmailConfig {
@@ -137,7 +157,9 @@ impl ZmailConfig {
                 cheat_modes: vec![CheatMode::Honest; isps as usize],
                 faults: FaultPlan::none(),
                 bank_retry_after: None,
+                idempotent_bank_ids: false,
                 banks: 1,
+                durability: None,
             },
         }
     }
@@ -283,6 +305,28 @@ impl ZmailConfigBuilder {
     /// independently of any fault clauses.
     pub fn bank_retry(mut self, retry_after: Option<SimDuration>) -> Self {
         self.config.bank_retry_after = retry_after;
+        self
+    }
+
+    /// Makes bank buy/sell retransmissions idempotent: retries reuse the
+    /// original nonce and the bank serves replays from a cached sealed
+    /// reply, so a reply lost *after* processing no longer strands
+    /// e-pennies (E15's documented gap).
+    pub fn idempotent_bank_ids(mut self, enabled: bool) -> Self {
+        self.config.idempotent_bank_ids = enabled;
+        self
+    }
+
+    /// Enables durable books with default WAL/checkpoint tuning: every
+    /// ledger mutation is journaled and committed once per simulation
+    /// event, and `Crash` windows restart ISPs from the recovery path.
+    pub fn durable(self) -> Self {
+        self.durability(DurabilityConfig::default())
+    }
+
+    /// Enables durable books with explicit tuning.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = Some(durability);
         self
     }
 

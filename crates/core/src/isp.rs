@@ -29,6 +29,7 @@ use std::fmt;
 use zmail_crypto::{open_with_public, seal_for_public, CryptoError, Nnc, Nonce, PublicKey};
 use zmail_econ::{EPennies, RealPennies};
 use zmail_sim::workload::{MailKind, UserAddr};
+use zmail_store::{IspBooks, LedgerRecord, UserBooks};
 
 /// One user's ledgers at their ISP.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +121,9 @@ pub struct IspStats {
     /// Buy/sell requests retransmitted with a fresh nonce after a
     /// reply went missing (see experiment E15).
     pub bank_retries: u64,
+    /// Buy/sell requests retransmitted with the **original** nonce
+    /// under idempotent request ids (`ZmailConfig::idempotent_bank_ids`).
+    pub idempotent_retries: u64,
     /// Replayed or mismatched bank replies ignored.
     pub stale_replies: u64,
 }
@@ -177,6 +181,9 @@ pub struct Isp {
     seq: u64,
     rng: SmallRng,
     stats: IspStats,
+    idempotent: bool,
+    journal_enabled: bool,
+    journal: Vec<LedgerRecord>,
 }
 
 impl Isp {
@@ -221,7 +228,62 @@ impl Isp {
                 seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(id.0)),
             ),
             stats: IspStats::default(),
+            idempotent: config.idempotent_bank_ids,
+            journal_enabled: config.durability.is_some(),
+            journal: Vec::new(),
         }
+    }
+
+    fn journal(&mut self, rec: LedgerRecord) {
+        if self.journal_enabled {
+            self.journal.push(rec);
+        }
+    }
+
+    /// Takes every ledger record journaled since the last drain, in
+    /// mutation order. Empty unless the configuration enables
+    /// durability.
+    pub fn drain_journal(&mut self) -> Vec<LedgerRecord> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// The durable books this ISP would checkpoint: exactly the state
+    /// `zmail-store` recovery reconstructs after a crash.
+    pub fn books(&self) -> IspBooks {
+        IspBooks {
+            users: self
+                .users
+                .iter()
+                .map(|u| UserBooks {
+                    account: u.account.0,
+                    balance: u.balance.0,
+                    sent_today: u.sent_today,
+                    limit: u.limit,
+                })
+                .collect(),
+            avail: self.avail.0,
+            credit: self.credit.clone(),
+        }
+    }
+
+    /// Installs recovered books, replacing the durable ledgers. Volatile
+    /// session state (nonces, pending sends, freeze flags) is untouched:
+    /// the retransmission protocol rebuilds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the books describe a different deployment shape.
+    pub fn restore_books(&mut self, books: &IspBooks) {
+        assert_eq!(books.users.len(), self.users.len(), "user count mismatch");
+        assert_eq!(books.credit.len(), self.credit.len(), "peer count mismatch");
+        for (user, b) in self.users.iter_mut().zip(&books.users) {
+            user.account = RealPennies(b.account);
+            user.balance = EPennies(b.balance);
+            user.sent_today = b.sent_today;
+            user.limit = b.limit;
+        }
+        self.avail = EPennies(books.avail);
+        self.credit = books.credit.clone();
     }
 
     /// This ISP's id.
@@ -250,12 +312,22 @@ impl Isp {
     /// Panics if `user` is out of range.
     pub fn set_limit(&mut self, user: u32, limit: u32) {
         self.users[user as usize].limit = limit;
+        self.journal(LedgerRecord::LimitSet {
+            isp: self.id.0,
+            user,
+            limit,
+        });
     }
 
     /// Grants a user e-pennies directly (test/experiment setup shortcut;
     /// production top-ups go through [`Isp::user_buy`]).
     pub fn grant_balance(&mut self, user: u32, amount: EPennies) {
         self.users[user as usize].balance += amount;
+        self.journal(LedgerRecord::Grant {
+            isp: self.id.0,
+            user,
+            amount: amount.0,
+        });
     }
 
     /// The ISP's e-penny pool.
@@ -317,6 +389,10 @@ impl Isp {
             // Local delivery: debit and credit inside this ISP.
             self.charge_sender(sender)?;
             self.users[to.user as usize].balance += EPennies::ONE;
+            self.journal(LedgerRecord::Deposit {
+                isp: self.id.0,
+                user: to.user,
+            });
             self.stats.delivered_local += 1;
             CoreMetrics::get().transfers_local.inc();
             return Ok(SendOutcome::DeliveredLocally);
@@ -365,6 +441,10 @@ impl Isp {
         }
         user.balance -= EPennies::ONE;
         user.sent_today += 1;
+        self.journal(LedgerRecord::Charge {
+            isp: self.id.0,
+            user: sender,
+        });
         Ok(())
     }
 
@@ -388,6 +468,13 @@ impl Isp {
             }
         };
         self.credit[dest.index()] += delta;
+        if delta != 0 {
+            self.journal(LedgerRecord::CreditDelta {
+                isp: self.id.0,
+                peer: dest.0,
+                delta,
+            });
+        }
     }
 
     /// Handles `rcv email(s, r) from isp[g]`.
@@ -405,6 +492,15 @@ impl Isp {
         if self.compliant[from_isp.index()] && email.paid {
             self.users[email.to.user as usize].balance += EPennies::ONE;
             self.credit[from_isp.index()] -= 1;
+            self.journal(LedgerRecord::Deposit {
+                isp: self.id.0,
+                user: email.to.user,
+            });
+            self.journal(LedgerRecord::CreditDelta {
+                isp: self.id.0,
+                peer: from_isp.0,
+                delta: -1,
+            });
             self.stats.received_paid += 1;
             CoreMetrics::get().receive_paid.inc();
             return Delivery::Delivered;
@@ -459,6 +555,11 @@ impl Isp {
             user.account -= price;
             user.balance += x;
             self.avail -= x;
+            self.journal(LedgerRecord::UserBuy {
+                isp: self.id.0,
+                user: t,
+                amount: x.0,
+            });
             true
         } else {
             false
@@ -477,6 +578,11 @@ impl Isp {
             user.balance -= x;
             user.account += RealPennies(x.amount());
             self.avail += x;
+            self.journal(LedgerRecord::UserSell {
+                isp: self.id.0,
+                user: t,
+                amount: x.0,
+            });
             true
         } else {
             false
@@ -550,18 +656,32 @@ impl Isp {
         self.ns2.is_some()
     }
 
-    /// Retransmits an outstanding buy with a **fresh nonce** and the same
-    /// `buyvalue`. Returns `None` when nothing is outstanding.
+    /// Retransmits an outstanding buy and the same `buyvalue`. Returns
+    /// `None` when nothing is outstanding.
     ///
-    /// The paper's replay guard at the bank silently drops an identical
-    /// retransmission, so recovery from a lost reply *requires* a fresh
-    /// nonce — at the price that, if only the reply (not the request) was
-    /// lost, the bank grants twice and the duplicate grant is stranded
-    /// (the stale reply is ignored here). Experiment E15 quantifies this.
+    /// Two modes, selected by [`ZmailConfig::idempotent_bank_ids`]:
+    ///
+    /// * **fresh nonce** (paper-faithful default) — the paper's replay
+    ///   guard at the bank silently drops an identical retransmission, so
+    ///   recovery from a lost reply *requires* a fresh nonce — at the
+    ///   price that, if only the reply (not the request) was lost, the
+    ///   bank grants twice and the duplicate grant is stranded (the stale
+    ///   reply is ignored here). Experiment E15 quantifies this.
+    /// * **idempotent** — the outstanding nonce doubles as a request id:
+    ///   the retransmission re-seals the *same* `(value, nonce)` pair and
+    ///   the bank serves a cached copy of its original reply, so a lost
+    ///   reply strands nothing.
     pub fn retry_buy(&mut self) -> Option<NetMsg> {
-        self.ns1?;
-        let nonce = self.nnc.next_nonce();
-        self.ns1 = Some(nonce);
+        let nonce = if self.idempotent {
+            let nonce = self.ns1?;
+            self.stats.idempotent_retries += 1;
+            nonce
+        } else {
+            self.ns1?;
+            let nonce = self.nnc.next_nonce();
+            self.ns1 = Some(nonce);
+            nonce
+        };
         let plain = encode_value_nonce(self.buyvalue, nonce);
         self.stats.bank_retries += 1;
         CoreMetrics::get().bank_retries.inc();
@@ -571,12 +691,19 @@ impl Isp {
         })
     }
 
-    /// Retransmits an outstanding sell with a fresh nonce; see
-    /// [`Isp::retry_buy`].
+    /// Retransmits an outstanding sell; see [`Isp::retry_buy`] for the
+    /// fresh-nonce vs idempotent retransmission modes.
     pub fn retry_sell(&mut self) -> Option<NetMsg> {
-        self.ns2?;
-        let nonce = self.nnc.next_nonce();
-        self.ns2 = Some(nonce);
+        let nonce = if self.idempotent {
+            let nonce = self.ns2?;
+            self.stats.idempotent_retries += 1;
+            nonce
+        } else {
+            self.ns2?;
+            let nonce = self.nnc.next_nonce();
+            self.ns2 = Some(nonce);
+            nonce
+        };
         let plain = encode_value_nonce(self.sellvalue, nonce);
         self.stats.bank_retries += 1;
         CoreMetrics::get().bank_retries.inc();
@@ -586,10 +713,11 @@ impl Isp {
         })
     }
 
-    /// Handles `buyreply(x)`: on a matching nonce, applies the grant.
+    /// Handles `buyreply(x)`: on a matching nonce, applies the grant and
+    /// returns `Ok(true)`.
     ///
-    /// Replayed or mismatched replies are counted and ignored, per the
-    /// paper's `ns1 != nr1 --> skip`.
+    /// Replayed or mismatched replies are counted and ignored
+    /// (`Ok(false)`), per the paper's `ns1 != nr1 --> skip`.
     ///
     /// # Errors
     ///
@@ -598,7 +726,7 @@ impl Isp {
     pub fn handle_buy_reply(
         &mut self,
         envelope: &zmail_crypto::SealedEnvelope,
-    ) -> Result<(), CryptoError> {
+    ) -> Result<bool, CryptoError> {
         let plain = open_with_public(&self.bank_key, envelope)?;
         let (accepted, nr1) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
         if self.ns1 == Some(nr1) {
@@ -607,16 +735,22 @@ impl Isp {
             CoreMetrics::get().bank_buy_roundtrips.inc();
             if accepted != 0 {
                 self.avail += EPennies(self.buyvalue);
+                self.journal(LedgerRecord::PoolBuy {
+                    isp: self.id.0,
+                    amount: self.buyvalue,
+                });
             }
+            Ok(true)
         } else {
             self.stats.stale_replies += 1;
             CoreMetrics::get().bank_stale_replies.inc();
+            Ok(false)
         }
-        Ok(())
     }
 
     /// Handles `sellreply(x)`: on a matching nonce, retires the sold
-    /// e-pennies from the pool.
+    /// e-pennies from the pool and returns `Ok(true)`; stale replies
+    /// return `Ok(false)`.
     ///
     /// # Errors
     ///
@@ -624,7 +758,7 @@ impl Isp {
     pub fn handle_sell_reply(
         &mut self,
         envelope: &zmail_crypto::SealedEnvelope,
-    ) -> Result<(), CryptoError> {
+    ) -> Result<bool, CryptoError> {
         let plain = open_with_public(&self.bank_key, envelope)?;
         let (_, nr2) = decode_value_nonce(&plain).ok_or(CryptoError::Malformed)?;
         if self.ns2 == Some(nr2) {
@@ -632,11 +766,16 @@ impl Isp {
             self.avail -= EPennies(self.sellvalue);
             self.cansell = true;
             CoreMetrics::get().bank_sell_roundtrips.inc();
+            self.journal(LedgerRecord::PoolSell {
+                isp: self.id.0,
+                amount: self.sellvalue,
+            });
+            Ok(true)
         } else {
             self.stats.stale_replies += 1;
             CoreMetrics::get().bank_stale_replies.inc();
+            Ok(false)
         }
-        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -679,6 +818,7 @@ impl Isp {
         for c in &mut self.credit {
             *c = 0;
         }
+        self.journal(LedgerRecord::SnapshotMarker { isp: self.id.0 });
         self.cansend = true;
         self.seq += 1;
         let drained = self
@@ -698,6 +838,7 @@ impl Isp {
         for user in &mut self.users {
             user.sent_today = 0;
         }
+        self.journal(LedgerRecord::DailyReset { isp: self.id.0 });
     }
 }
 

@@ -73,14 +73,16 @@ pub mod system;
 pub mod zombie;
 
 pub use bank::{Bank, ConsistencyReport};
-pub use config::{CheatMode, NonCompliantPolicy, ZmailConfig, ZmailConfigBuilder};
+pub use config::{
+    CheatMode, DurabilityConfig, NonCompliantPolicy, ZmailConfig, ZmailConfigBuilder,
+};
 pub use ids::IspId;
 pub use invariants::AuditError;
 pub use isp::{Isp, SendError, SendOutcome};
 pub use mailinglist::{ListConfig, ListServer, PostReport};
 pub use msg::{EmailMsg, NetMsg};
 pub use multibank::{FederatedRound, Federation};
-pub use system::{RunReport, ZmailSystem};
+pub use system::{RecoveryEvent, RunReport, ZmailSystem};
 pub use zombie::{ZombieAnalysis, ZombieIncident};
 
 /// The paper's user address type, re-exported from the workload model.

@@ -51,6 +51,13 @@ pub enum NetMsg {
         envelope: SealedEnvelope,
         /// Auditor-only mirror: e-pennies granted (0 when rejected).
         audit: i64,
+        /// Auditor-only: this is a cached copy of an earlier reply,
+        /// served because the ISP retransmitted an idempotent request id
+        /// (see `ZmailConfig::idempotent_bank_ids`). The granted pennies
+        /// were already issued — and, if the original reply was lost,
+        /// counted as stranded — so a replayed copy carries no *new*
+        /// value in flight.
+        replayed: bool,
     },
     /// `sell(NCR(Bb, sellvalue|ns2))` — ISP asks to sell e-pennies back.
     Sell {
@@ -65,6 +72,9 @@ pub enum NetMsg {
         envelope: SealedEnvelope,
         /// Auditor-only mirror: e-pennies retired once the ISP applies it.
         audit: i64,
+        /// Auditor-only: cached copy served for an idempotent
+        /// retransmission; see [`NetMsg::BuyReply`].
+        replayed: bool,
     },
     /// `request(NCR(Rb, seq))` — bank asks for a credit snapshot.
     SnapshotRequest {
@@ -89,6 +99,7 @@ impl NetMsg {
     pub fn pennies_in_flight(&self) -> i64 {
         match self {
             NetMsg::Email(email) => email.pennies_in_flight(),
+            NetMsg::BuyReply { replayed: true, .. } | NetMsg::SellReply { replayed: true, .. } => 0,
             NetMsg::BuyReply { audit, .. } => *audit,
             NetMsg::SellReply { audit, .. } => -*audit,
             NetMsg::Buy { .. }

@@ -101,12 +101,15 @@ impl Federation {
         );
         let bank_count = assignment.iter().max().map_or(0, |&b| b + 1);
         assert!(bank_count >= 1, "assignment references no bank");
-        let banks: Vec<Bank> = (0..bank_count)
+        let mut banks: Vec<Bank> = (0..bank_count)
             .map(|b| {
                 let served: Vec<bool> = assignment.iter().map(|&home| home == b).collect();
                 Bank::regional(config, seed ^ ((b as u64 + 1) << 24), served)
             })
             .collect();
+        for (b, bank) in banks.iter_mut().enumerate() {
+            bank.set_index(b as u32);
+        }
         Federation {
             pending_regional: vec![None; banks.len()],
             banks,
@@ -143,6 +146,22 @@ impl Federation {
     /// E-pennies outstanding across the whole federation.
     pub fn total_issued(&self) -> i64 {
         self.banks.iter().map(Bank::issued).sum()
+    }
+
+    /// Every member bank's durable books, in federation order — the
+    /// bank half of a ledger-store bootstrap.
+    pub fn bank_books(&self) -> Vec<zmail_store::BankBooks> {
+        self.banks.iter().map(Bank::books).collect()
+    }
+
+    /// Takes the ledger records every member bank journalled since the
+    /// last drain, in federation order.
+    pub fn drain_journals(&mut self) -> Vec<zmail_store::LedgerRecord> {
+        let mut records = Vec::new();
+        for bank in &mut self.banks {
+            records.append(&mut bank.drain_journal());
+        }
+        records
     }
 
     /// `isp`'s real-money account, held at its home bank.

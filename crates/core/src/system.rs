@@ -18,9 +18,10 @@ use crate::msg::{EmailMsg, NetMsg};
 use crate::multibank::{Federation, SettlementFlow};
 use std::collections::BTreeMap;
 use zmail_econ::EPennies;
-use zmail_fault::{Endpoint, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
+use zmail_fault::{Endpoint, Fault, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
 use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
 use zmail_sim::{Scheduler, SimTime, Simulation, World};
+use zmail_store::{Books, LedgerStore, MemStorage};
 
 /// Addressable parties on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,9 @@ enum Event {
     ListPost(usize),
     /// Check whether an ISP's bank exchange needs retransmission.
     BankRetry(IspId),
+    /// A crashed ISP comes back up and reloads its books from the
+    /// durable store (scheduled only when durability is configured).
+    CrashRestart(IspId),
 }
 
 /// A mailing list wired into the protocol (§5): posts fan out as paid
@@ -68,6 +72,26 @@ pub struct LimitWarning {
     pub at: SimTime,
     /// The user whose outgoing mail is now blocked for the day.
     pub user: UserAddr,
+}
+
+/// One crash-recovery performed by the harness: the ISP's books were
+/// reloaded from the durable store (latest valid checkpoint plus WAL
+/// tail) when its `Crash` window closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// When the restart happened.
+    pub at: SimTime,
+    /// The ISP that recovered.
+    pub isp: IspId,
+    /// Sequence number of the checkpoint recovery started from (`None`
+    /// when it replayed from the bootstrap image).
+    pub checkpoint_seq: Option<u64>,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Whether the recovered books differed from the live pre-crash
+    /// books. The harness group-commits once per event, so this is the
+    /// "books survive the crash" audit: it must stay `false`.
+    pub diverged: bool,
 }
 
 /// Aggregated outcome of a run.
@@ -105,6 +129,9 @@ pub struct RunReport {
     pub settlements: Vec<(SimTime, Vec<SettlementFlow>)>,
     /// Total messages put on the inter-party network.
     pub network_messages: u64,
+    /// Crash-recoveries performed from the durable store, in order
+    /// (empty unless durability is configured and a `Crash` fired).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl RunReport {
@@ -150,6 +177,11 @@ struct ZmailWorld {
     faults: FaultInjector,
     lists: Vec<RegisteredList>,
     report: RunReport,
+    /// The durable ledger engine, when [`ZmailConfig::durability`] is
+    /// set. In-memory backed so runs stay deterministic and
+    /// side-effect-free; the journal of every ISP and bank is appended
+    /// and group-committed once per event.
+    store: Option<LedgerStore<MemStorage>>,
 }
 
 /// The fault layer's view of a [`Node`].
@@ -378,15 +410,54 @@ impl ZmailWorld {
                     }
                 }
             }
-            (Node::Isp(j), NetMsg::BuyReply { envelope, audit }) => {
-                if self.isps[j.index()].handle_buy_reply(&envelope).is_err() {
-                    // Forged reply: restore the audit counter we removed.
-                    self.pennies_in_flight += audit;
+            (
+                Node::Isp(j),
+                NetMsg::BuyReply {
+                    envelope,
+                    audit,
+                    replayed,
+                },
+            ) => {
+                match self.isps[j.index()].handle_buy_reply(&envelope) {
+                    Ok(applied) => {
+                        if applied && replayed {
+                            // The grant this cached reply carries was
+                            // stranded when the original reply was lost;
+                            // it just landed in the pool after all.
+                            self.pennies_stranded -= audit;
+                        }
+                    }
+                    Err(_) => {
+                        // Forged reply: restore the audit counter we
+                        // removed (replayed replies carry none).
+                        if !replayed {
+                            self.pennies_in_flight += audit;
+                        }
+                    }
                 }
             }
-            (Node::Isp(j), NetMsg::SellReply { envelope, audit }) => {
-                if self.isps[j.index()].handle_sell_reply(&envelope).is_err() {
-                    self.pennies_in_flight -= audit;
+            (
+                Node::Isp(j),
+                NetMsg::SellReply {
+                    envelope,
+                    audit,
+                    replayed,
+                },
+            ) => {
+                match self.isps[j.index()].handle_sell_reply(&envelope) {
+                    Ok(applied) => {
+                        if applied && replayed {
+                            // The retirement was counted stranded when
+                            // the original confirmation was lost; the
+                            // pool has now actually given the value up.
+                            self.pennies_stranded += audit;
+                        }
+                    }
+                    Err(_) => {
+                        if !replayed {
+                            self.pennies_in_flight -= audit;
+                        }
+                    }
                 }
             }
             (Node::Isp(j), NetMsg::SnapshotRequest { envelope }) => {
@@ -436,6 +507,47 @@ impl ZmailWorld {
                 panic!("message {} misrouted to {node:?}", msg.label());
             }
         }
+    }
+
+    /// Appends every record the ISPs and banks journalled during this
+    /// event to the durable store and group-commits — one commit per
+    /// event, so recovered books always land on an event boundary.
+    fn persist_journals(&mut self) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        for isp in &mut self.isps {
+            for rec in isp.drain_journal() {
+                store.append(&rec);
+            }
+        }
+        for rec in self.banks.drain_journals() {
+            store.append(&rec);
+        }
+        store.commit();
+    }
+
+    /// Restarts a crashed ISP **from the durable store**: replays the
+    /// latest valid checkpoint plus the WAL tail and installs the
+    /// recovered books, discarding whatever the process held in memory.
+    /// Volatile session state (outstanding nonces, freeze flags, buffered
+    /// sends) stays as-is — the protocol's own retransmission machinery
+    /// rebuilds it, exactly as after a warm restart.
+    fn crash_restart(&mut self, now: SimTime, isp: IspId) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let (books, recovery) = store.simulate_recovery();
+        let recovered = &books.isps[isp.index()];
+        let diverged = *recovered != self.isps[isp.index()].books();
+        self.isps[isp.index()].restore_books(recovered);
+        self.report.recoveries.push(RecoveryEvent {
+            at: now,
+            isp,
+            checkpoint_seq: recovery.checkpoint_seq,
+            replayed: recovery.replayed_records,
+            diverged,
+        });
     }
 }
 
@@ -496,7 +608,11 @@ impl World for ZmailWorld {
                     self.process_send(scheduler, list.distributor, subscriber, MailKind::ListPost);
                 }
             }
+            Event::CrashRestart(isp) => {
+                self.crash_restart(now, isp);
+            }
         }
+        self.persist_journals();
     }
 
     fn event_label(event: &Event) -> &'static str {
@@ -508,6 +624,7 @@ impl World for ZmailWorld {
             Event::SnapshotTimeout(_) => "snapshot_timeout",
             Event::ListPost(_) => "list_post",
             Event::BankRetry(_) => "bank_retry",
+            Event::CrashRestart(_) => "crash_restart",
         }
     }
 }
@@ -524,7 +641,7 @@ impl ZmailSystem {
     pub fn new(config: ZmailConfig, seed: u64) -> Self {
         config.validate();
         let banks = Federation::new(&config, config.banks, seed);
-        let isps = (0..config.isps)
+        let isps: Vec<Isp> = (0..config.isps)
             .map(|i| {
                 Isp::new(
                     IspId(i),
@@ -535,6 +652,23 @@ impl ZmailSystem {
             })
             .collect();
         let faults = FaultInjector::new(config.faults.clone(), config.net_latency);
+        // With durability on, open the ledger store over the bootstrap
+        // books and arm a recovery restart at the close of every crash
+        // window (without it, crashes are warm restarts: memory survives).
+        let mut crash_restarts = Vec::new();
+        let store = config.durability.map(|durability| {
+            for fault in &config.faults.faults {
+                if let Fault::Crash(crash) = fault {
+                    crash_restarts.push((crash.at + crash.restart_after, IspId(crash.isp)));
+                }
+            }
+            let bootstrap = Books {
+                isps: isps.iter().map(Isp::books).collect(),
+                banks: banks.bank_books(),
+            };
+            let (store, _) = LedgerStore::open(MemStorage::new(), durability.store, bootstrap);
+            store
+        });
         let world = ZmailWorld {
             config,
             isps,
@@ -549,10 +683,15 @@ impl ZmailSystem {
             faults,
             lists: Vec::new(),
             report: RunReport::default(),
+            store,
         };
-        ZmailSystem {
+        let mut system = ZmailSystem {
             sim: Simulation::new(world),
+        };
+        for (at, isp) in crash_restarts {
+            system.sim.schedule(at, Event::CrashRestart(isp));
         }
+        system
     }
 
     /// Attaches a telemetry sink to the underlying engine: events are
@@ -751,6 +890,25 @@ impl ZmailSystem {
     /// E-pennies stranded at the bank by lost buy/sell replies so far.
     pub fn pennies_stranded(&self) -> i64 {
         self.sim.world().pennies_stranded
+    }
+
+    /// The durable ledger store, when the deployment was built with
+    /// [`ZmailConfigBuilder::durable`](crate::config::ZmailConfigBuilder::durable)
+    /// (or an explicit durability configuration).
+    pub fn store(&self) -> Option<&LedgerStore<MemStorage>> {
+        self.sim.world().store.as_ref()
+    }
+
+    /// The "books survive a crash" audit: replays the durable store
+    /// (latest valid checkpoint plus WAL tail) and checks the recovered
+    /// books are byte-for-byte the live ones. `None` when durability is
+    /// off, `Some(true)` when recovery reproduces the deployment's state.
+    pub fn verify_durable_books(&self) -> Option<bool> {
+        let world = self.sim.world();
+        let store = world.store.as_ref()?;
+        let (books, _) = store.simulate_recovery();
+        let live: Vec<_> = world.isps.iter().map(Isp::books).collect();
+        Some(books.isps == live && books.banks == world.banks.bank_books())
     }
 
     /// Deterministic tallies of every fault the `zmail-fault` injector
@@ -1275,5 +1433,103 @@ mod tests {
         let (_, a) = run(ZmailConfig::builder(2, 8).build(), traffic(2, 8, 2), 11);
         let (_, b) = run(ZmailConfig::builder(2, 8).build(), traffic(2, 8, 2), 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idempotent_retry_recovers_without_stranding() {
+        // Same fault load as `fresh_nonce_retry_recovers_from_bank_loss`,
+        // but with idempotent request ids: the bank serves cached replies
+        // for retransmissions, so no double grant is ever stranded.
+        let config = ZmailConfig::builder(2, 5)
+            .avail_bounds(EPennies(1_000), EPennies(10_000), EPennies(500))
+            .lossy_bank_channel(0.5, Some(SimDuration::from_secs(1)))
+            .idempotent_bank_ids(true)
+            .build();
+        let mut t = traffic(2, 5, 2);
+        t.personal_per_user_day = 20.0;
+        let (system, report) = run(config, t, 62);
+        assert!(report.bank_messages_lost >= 1, "loss must actually occur");
+        for i in 0..2 {
+            assert!(
+                system.isp(IspId(i)).avail() >= EPennies(1_000),
+                "isp[{i}] pool should have recovered"
+            );
+            assert!(!system.isp(IspId(i)).buy_outstanding());
+        }
+        let retries: u64 = (0..2)
+            .map(|i| system.isp(IspId(i)).stats().idempotent_retries)
+            .sum();
+        assert!(retries >= 1, "recovery requires at least one retry");
+        assert_eq!(
+            system.pennies_stranded(),
+            0,
+            "idempotent request ids must strand nothing"
+        );
+        system.audit().expect("books balance exactly");
+    }
+
+    #[test]
+    fn crash_recovery_restores_books_from_the_store() {
+        let crash = zmail_fault::Crash {
+            isp: 0,
+            at: SimTime::ZERO + SimDuration::from_hours(6),
+            restart_after: SimDuration::from_mins(30),
+        };
+        let config = ZmailConfig::builder(2, 8)
+            .faults(zmail_fault::FaultPlan::none().with(Fault::Crash(crash)))
+            .durable()
+            .build();
+        let (system, report) = run(config, traffic(2, 8, 1), 31);
+        assert_eq!(report.recoveries.len(), 1, "one restart per crash window");
+        let recovery = report.recoveries[0];
+        assert_eq!(recovery.isp, IspId(0));
+        assert!(
+            !recovery.diverged,
+            "recovered books must match the pre-crash books"
+        );
+        assert!(
+            recovery.replayed > 0 || recovery.checkpoint_seq.is_some(),
+            "recovery should have had journalled state to work from"
+        );
+        assert_eq!(
+            system.verify_durable_books(),
+            Some(true),
+            "store replay must reproduce the live books"
+        );
+        system.audit().expect("conservation across crash-recovery");
+    }
+
+    #[test]
+    fn durable_runs_are_reproducible() {
+        let plan = || {
+            zmail_fault::FaultPlan::none().with(Fault::Crash(zmail_fault::Crash {
+                isp: 1,
+                at: SimTime::ZERO + SimDuration::from_hours(4),
+                restart_after: SimDuration::from_mins(10),
+            }))
+        };
+        let config = || ZmailConfig::builder(2, 8).faults(plan()).durable().build();
+        let (_, a) = run(config(), traffic(2, 8, 2), 17);
+        let (_, b) = run(config(), traffic(2, 8, 2), 17);
+        assert_eq!(a, b, "crash-recovery must be deterministic");
+        assert_eq!(a.recoveries.len(), 1);
+    }
+
+    #[test]
+    fn durability_off_keeps_report_shape() {
+        // No durability: no store, no recoveries, crash is a warm restart.
+        let crash = zmail_fault::Crash {
+            isp: 0,
+            at: SimTime::ZERO + SimDuration::from_hours(6),
+            restart_after: SimDuration::from_mins(30),
+        };
+        let config = ZmailConfig::builder(2, 8)
+            .faults(zmail_fault::FaultPlan::none().with(Fault::Crash(crash)))
+            .build();
+        let (system, report) = run(config, traffic(2, 8, 1), 31);
+        assert!(report.recoveries.is_empty());
+        assert_eq!(system.store().map(|_| ()), None);
+        assert_eq!(system.verify_durable_books(), None);
+        system.audit().expect("warm restart conserves too");
     }
 }

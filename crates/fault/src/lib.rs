@@ -22,6 +22,10 @@
 //! * [`LineFaults`] — the same discipline at the SMTP transport level
 //!   (drop/duplicate/garble whole protocol lines), used by
 //!   `zmail_smtp::FaultyConnection`.
+//! * [`FaultyStorage`] — the same discipline at the disk level: a
+//!   durable/volatile byte split with caller-driven crash, partial-fsync
+//!   (torn write), tail-tear, and checkpoint-corruption faults that
+//!   `zmail-store` recovery must detect and truncate past.
 //! * [`shrink()`] — `ddmin` delta debugging over a failing plan's clause
 //!   list, minimizing a failure to a 1-minimal reproducing plan.
 //!
@@ -53,6 +57,7 @@ pub mod line;
 pub mod metrics;
 pub mod plan;
 pub mod shrink;
+pub mod storage;
 
 pub use inject::{DropCause, FaultCounters, FaultInjector, PairLedger, Verdict};
 pub use line::{LineFaults, LineVerdict};
@@ -62,3 +67,4 @@ pub use plan::{
     PlanSpace, Window,
 };
 pub use shrink::{shrink, ShrinkOutcome};
+pub use storage::{FaultyStorage, StorageFaultCounters};

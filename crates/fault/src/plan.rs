@@ -218,9 +218,18 @@ impl Partition {
 
 /// A scheduled ISP crash-restart: between `at` and `at + restart_after`
 /// everything on the wire to or from the ISP is lost, as if its network
-/// interface were down. Process state (pool, ledgers, outstanding
-/// exchanges) survives — a warm restart, which is what the paper's
-/// durable-state assumption implies. Consumes no randomness.
+/// interface were down. Consumes no randomness.
+///
+/// What the restart restores depends on the deployment. By default the
+/// process state (pool, ledgers, outstanding exchanges) survives — a
+/// warm restart, the paper's durable-state assumption taken for
+/// granted. With durability enabled (`ZmailConfig::durable` in
+/// `zmail-core`), the restart instead reloads the ISP's books through
+/// the real `zmail-store` recovery path — checkpoint plus WAL replay —
+/// and the harness audits that the recovered books match the pre-crash
+/// ones. Volatile session state (nonces, pending sends, freeze flags)
+/// is rebuilt by the protocol's own retransmission machinery either
+/// way.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Crash {
     /// Which ISP crashes.

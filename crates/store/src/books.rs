@@ -1,0 +1,373 @@
+//! Checkpointable ledger state: the books every record mutates.
+//!
+//! [`Books`] is the durable subset of the system's state — exactly the
+//! quantities the paper's zero-sum argument ranges over: per-user
+//! `account`/`balance`/`sent_today`/`limit`, per-ISP pool (`avail`) and
+//! per-peer `credit`, and per-bank real-money accounts plus outstanding
+//! issue. Volatile session state (nonces, pending sends, freeze flags,
+//! RNG positions) is deliberately *not* here: after a crash it is
+//! rebuilt by the protocol's own retransmission machinery, while the
+//! books come back from the store.
+//!
+//! [`Books::apply`] is the single replay function: a checkpoint plus a
+//! record sequence is replayed by folding `apply` — the same fold the
+//! live system performs implicitly through its mutation sites. The
+//! binary encoding (`encode`/`decode`) is the checkpoint payload format:
+//! fixed little-endian, no padding, so equal books encode to equal
+//! bytes and recovery comparisons can be exact.
+
+use crate::record::LedgerRecord;
+
+/// Durable per-user state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UserBooks {
+    /// Real-money account in real pennies (§4.2).
+    pub account: i64,
+    /// Spendable e-pennies (§4.1).
+    pub balance: i64,
+    /// Emails sent since the last daily reset.
+    pub sent_today: u32,
+    /// Daily send limit.
+    pub limit: u32,
+}
+
+/// Durable per-ISP state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IspBooks {
+    /// Every user account at this ISP.
+    pub users: Vec<UserBooks>,
+    /// The ISP's e-penny pool.
+    pub avail: i64,
+    /// Per-peer credit counters (§4.4), indexed by ISP id.
+    pub credit: Vec<i64>,
+}
+
+/// Durable per-bank state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankBooks {
+    /// Real-money accounts per ISP, indexed by ISP id.
+    pub accounts: Vec<i64>,
+    /// Net e-pennies issued and not yet bought back.
+    pub issued: i64,
+}
+
+/// The complete durable books of a deployment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Books {
+    /// Per-ISP books, indexed by ISP id.
+    pub isps: Vec<IspBooks>,
+    /// Per-bank books, indexed by federation position.
+    pub banks: Vec<BankBooks>,
+}
+
+impl Books {
+    /// Applies one record, mutating the books exactly as the live system
+    /// did when it journaled the record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record indexes an ISP, user, peer, or bank outside
+    /// these books — the journal and the checkpoint must describe the
+    /// same deployment, so an out-of-range index is corruption the WAL
+    /// checksums should have caught, not a condition to paper over.
+    pub fn apply(&mut self, rec: &LedgerRecord) {
+        match *rec {
+            LedgerRecord::Charge { isp, user } => {
+                let u = &mut self.isps[isp as usize].users[user as usize];
+                u.balance -= 1;
+                u.sent_today += 1;
+            }
+            LedgerRecord::Deposit { isp, user } => {
+                self.isps[isp as usize].users[user as usize].balance += 1;
+            }
+            LedgerRecord::CreditDelta { isp, peer, delta } => {
+                self.isps[isp as usize].credit[peer as usize] += delta;
+            }
+            LedgerRecord::UserBuy { isp, user, amount } => {
+                let books = &mut self.isps[isp as usize];
+                let u = &mut books.users[user as usize];
+                u.account -= amount;
+                u.balance += amount;
+                books.avail -= amount;
+            }
+            LedgerRecord::UserSell { isp, user, amount } => {
+                let books = &mut self.isps[isp as usize];
+                let u = &mut books.users[user as usize];
+                u.balance -= amount;
+                u.account += amount;
+                books.avail += amount;
+            }
+            LedgerRecord::PoolBuy { isp, amount } => {
+                self.isps[isp as usize].avail += amount;
+            }
+            LedgerRecord::PoolSell { isp, amount } => {
+                self.isps[isp as usize].avail -= amount;
+            }
+            LedgerRecord::BankBuy {
+                bank,
+                isp,
+                value,
+                cost,
+            } => {
+                let b = &mut self.banks[bank as usize];
+                b.accounts[isp as usize] -= cost;
+                b.issued += value;
+            }
+            LedgerRecord::BankSell {
+                bank,
+                isp,
+                value,
+                credit,
+            } => {
+                let b = &mut self.banks[bank as usize];
+                b.accounts[isp as usize] += credit;
+                b.issued -= value;
+            }
+            LedgerRecord::SnapshotMarker { isp } => {
+                for c in &mut self.isps[isp as usize].credit {
+                    *c = 0;
+                }
+            }
+            LedgerRecord::DailyReset { isp } => {
+                for u in &mut self.isps[isp as usize].users {
+                    u.sent_today = 0;
+                }
+            }
+            LedgerRecord::LimitSet { isp, user, limit } => {
+                self.isps[isp as usize].users[user as usize].limit = limit;
+            }
+            LedgerRecord::Grant { isp, user, amount } => {
+                self.isps[isp as usize].users[user as usize].balance += amount;
+            }
+        }
+    }
+
+    /// The checkpoint payload: fixed little-endian, field order exactly
+    /// as declared, counts as `u32` prefixes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.isps.len() as u32).to_le_bytes());
+        for isp in &self.isps {
+            out.extend_from_slice(&(isp.users.len() as u32).to_le_bytes());
+            for u in &isp.users {
+                out.extend_from_slice(&u.account.to_le_bytes());
+                out.extend_from_slice(&u.balance.to_le_bytes());
+                out.extend_from_slice(&u.sent_today.to_le_bytes());
+                out.extend_from_slice(&u.limit.to_le_bytes());
+            }
+            out.extend_from_slice(&isp.avail.to_le_bytes());
+            out.extend_from_slice(&(isp.credit.len() as u32).to_le_bytes());
+            for c in &isp.credit {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.banks.len() as u32).to_le_bytes());
+        for bank in &self.banks {
+            out.extend_from_slice(&(bank.accounts.len() as u32).to_le_bytes());
+            for a in &bank.accounts {
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+            out.extend_from_slice(&bank.issued.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a checkpoint payload; `None` on any short read, oversized
+    /// count, or trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Option<Books> {
+        let mut r = Cursor { bytes, at: 0 };
+        let isp_count = r.count()?;
+        let mut isps = Vec::with_capacity(isp_count);
+        for _ in 0..isp_count {
+            let user_count = r.count()?;
+            let mut users = Vec::with_capacity(user_count);
+            for _ in 0..user_count {
+                users.push(UserBooks {
+                    account: r.i64()?,
+                    balance: r.i64()?,
+                    sent_today: r.u32()?,
+                    limit: r.u32()?,
+                });
+            }
+            let avail = r.i64()?;
+            let credit_count = r.count()?;
+            let mut credit = Vec::with_capacity(credit_count);
+            for _ in 0..credit_count {
+                credit.push(r.i64()?);
+            }
+            isps.push(IspBooks {
+                users,
+                avail,
+                credit,
+            });
+        }
+        let bank_count = r.count()?;
+        let mut banks = Vec::with_capacity(bank_count);
+        for _ in 0..bank_count {
+            let account_count = r.count()?;
+            let mut accounts = Vec::with_capacity(account_count);
+            for _ in 0..account_count {
+                accounts.push(r.i64()?);
+            }
+            banks.push(BankBooks {
+                accounts,
+                issued: r.i64()?,
+            });
+        }
+        (r.at == bytes.len()).then_some(Books { isps, banks })
+    }
+
+    /// Sum of every e-penny the books hold (user balances + ISP pools),
+    /// the "found" side of the zero-sum audit.
+    pub fn epennies_found(&self) -> i64 {
+        self.isps
+            .iter()
+            .map(|isp| isp.avail + isp.users.iter().map(|u| u.balance).sum::<i64>())
+            .sum()
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.at.checked_add(4)?;
+        let v = u32::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        let end = self.at.checked_add(8)?;
+        let v = i64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    /// A length prefix, bounded by the bytes that could possibly remain
+    /// so corrupt counts cannot trigger huge allocations.
+    fn count(&mut self) -> Option<usize> {
+        let v = self.u32()? as usize;
+        (v <= self.bytes.len().saturating_sub(self.at)).then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Books {
+        Books {
+            isps: vec![
+                IspBooks {
+                    users: vec![
+                        UserBooks {
+                            account: 1_000,
+                            balance: 100,
+                            sent_today: 3,
+                            limit: 100,
+                        },
+                        UserBooks {
+                            account: 990,
+                            balance: 110,
+                            sent_today: 0,
+                            limit: 50,
+                        },
+                    ],
+                    avail: 5_000,
+                    credit: vec![0, -4],
+                },
+                IspBooks {
+                    users: vec![UserBooks::default()],
+                    avail: 4_300,
+                    credit: vec![4, 0],
+                },
+            ],
+            banks: vec![BankBooks {
+                accounts: vec![1_000_000, 999_550],
+                issued: 700,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let books = sample();
+        let bytes = books.encode();
+        assert_eq!(Books::decode(&bytes), Some(books));
+        assert_eq!(Books::decode(&[]), None);
+    }
+
+    #[test]
+    fn truncated_and_padded_payloads_are_rejected() {
+        let bytes = sample().encode();
+        for cut in [1, 7, bytes.len() - 1] {
+            assert_eq!(Books::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(Books::decode(&padded), None, "trailing byte accepted");
+    }
+
+    #[test]
+    fn corrupt_count_cannot_overallocate() {
+        // A count of u32::MAX with only a few bytes behind it must fail
+        // cleanly instead of trying to reserve gigabytes.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert_eq!(Books::decode(&bytes), None);
+    }
+
+    #[test]
+    fn apply_moves_pennies_zero_sum() {
+        let mut books = sample();
+        let before = books.epennies_found();
+        books.apply(&LedgerRecord::Charge { isp: 0, user: 0 });
+        books.apply(&LedgerRecord::Deposit { isp: 1, user: 0 });
+        // A transfer leg pair conserves e-pennies.
+        assert_eq!(books.epennies_found(), before);
+        assert_eq!(books.isps[0].users[0].balance, 99);
+        assert_eq!(books.isps[0].users[0].sent_today, 4);
+        assert_eq!(books.isps[1].users[0].balance, 1);
+
+        // A user buy moves pool -> balance and account pays 1:1.
+        books.apply(&LedgerRecord::UserBuy {
+            isp: 0,
+            user: 1,
+            amount: 10,
+        });
+        assert_eq!(books.isps[0].users[1].balance, 120);
+        assert_eq!(books.isps[0].users[1].account, 980);
+        assert_eq!(books.isps[0].avail, 4_990);
+        assert_eq!(books.epennies_found(), before);
+
+        // Bank buy + pool settle issues new e-pennies.
+        books.apply(&LedgerRecord::BankBuy {
+            bank: 0,
+            isp: 1,
+            value: 500,
+            cost: 50,
+        });
+        books.apply(&LedgerRecord::PoolBuy {
+            isp: 1,
+            amount: 500,
+        });
+        assert_eq!(books.banks[0].issued, 1_200);
+        assert_eq!(books.banks[0].accounts[1], 999_500);
+        assert_eq!(books.epennies_found(), before + 500);
+
+        books.apply(&LedgerRecord::SnapshotMarker { isp: 0 });
+        assert_eq!(books.isps[0].credit, vec![0, 0]);
+        books.apply(&LedgerRecord::DailyReset { isp: 0 });
+        assert_eq!(books.isps[0].users[0].sent_today, 0);
+        books.apply(&LedgerRecord::LimitSet {
+            isp: 0,
+            user: 0,
+            limit: 7,
+        });
+        assert_eq!(books.isps[0].users[0].limit, 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Dual-slot checkpoints: full [`Books`] images that bound WAL replay.
+//!
+//! A checkpoint is written alternately to one of two fixed slots
+//! (`ckpt.a`, `ckpt.b`), so a crash mid-write can destroy at most the
+//! slot being written — the other still holds the previous complete
+//! image. Recovery reads both, keeps every slot whose magic, length,
+//! and trailing CRC check out, and picks the one with the highest
+//! sequence number.
+//!
+//! Slot layout (all little-endian):
+//!
+//! ```text
+//! [magic: u32] [seq: u64] [wal_offset: u64] [books_len: u32]
+//! [books: books_len bytes] [crc32 of everything above: u32]
+//! ```
+//!
+//! `wal_offset` is the WAL length at the moment the image was taken:
+//! replay starts there. Leaving the prefix in place instead of
+//! truncating the WAL at checkpoint time keeps the two writes
+//! independent — there is no window where a crash between "truncate
+//! WAL" and "write slot" could lose records.
+
+use crate::books::Books;
+use crate::wal::crc32;
+
+/// The two checkpoint slot names, in write-rotation order.
+pub const SLOTS: [&str; 2] = ["ckpt.a", "ckpt.b"];
+
+/// Slot magic: `"ZCKP"`.
+pub const MAGIC: u32 = 0x5A43_4B50;
+
+const HEADER: usize = 4 + 8 + 8 + 4;
+
+/// One decoded checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotone checkpoint sequence number (also selects the slot:
+    /// even → `ckpt.a`, odd → `ckpt.b`).
+    pub seq: u64,
+    /// WAL length when the image was taken; replay starts here.
+    pub wal_offset: u64,
+    /// The full books at that moment.
+    pub books: Books,
+}
+
+impl Checkpoint {
+    /// The slot this checkpoint belongs in.
+    pub fn slot(&self) -> &'static str {
+        SLOTS[(self.seq % 2) as usize]
+    }
+
+    /// Serializes the slot image, CRC last.
+    pub fn encode(&self) -> Vec<u8> {
+        let books = self.books.encode();
+        let mut out = Vec::with_capacity(HEADER + books.len() + 4);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.wal_offset.to_le_bytes());
+        out.extend_from_slice(&(books.len() as u32).to_le_bytes());
+        out.extend_from_slice(&books);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and verifies a slot image; `None` if the magic, framing,
+    /// CRC, or books payload is damaged in any way.
+    pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        if bytes.len() < HEADER + 4 {
+            return None;
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+        if crc32(body) != crc {
+            return None;
+        }
+        let magic = u32::from_le_bytes(body[0..4].try_into().ok()?);
+        if magic != MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(body[4..12].try_into().ok()?);
+        let wal_offset = u64::from_le_bytes(body[12..20].try_into().ok()?);
+        let books_len = u32::from_le_bytes(body[20..24].try_into().ok()?) as usize;
+        let payload = body.get(HEADER..)?;
+        if payload.len() != books_len {
+            return None;
+        }
+        Some(Checkpoint {
+            seq,
+            wal_offset,
+            books: Books::decode(payload)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::books::{BankBooks, IspBooks, UserBooks};
+
+    fn sample(seq: u64) -> Checkpoint {
+        Checkpoint {
+            seq,
+            wal_offset: 1234,
+            books: Books {
+                isps: vec![IspBooks {
+                    users: vec![UserBooks {
+                        account: 990,
+                        balance: 110,
+                        sent_today: 2,
+                        limit: 100,
+                    }],
+                    avail: 5_000,
+                    credit: vec![0],
+                }],
+                banks: vec![BankBooks {
+                    accounts: vec![1_000_000],
+                    issued: 0,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_and_alternates_slots() {
+        for seq in [0, 1, 2, 7] {
+            let ckpt = sample(seq);
+            assert_eq!(Checkpoint::decode(&ckpt.encode()), Some(ckpt.clone()));
+            assert_eq!(ckpt.slot(), SLOTS[(seq % 2) as usize]);
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected() {
+        let bytes = sample(3).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                Checkpoint::decode(&bad),
+                None,
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample(3).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Checkpoint::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(Checkpoint::decode(&[]), None);
+    }
+}

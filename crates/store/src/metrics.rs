@@ -1,0 +1,82 @@
+//! `store.*` metrics: durability-path telemetry in the global
+//! `zmail-obs` registry.
+//!
+//! Latency samples come from wall-clock timers around storage calls,
+//! which is fine precisely because metrics are observation-only: no
+//! engine decision ever reads them, so timing jitter cannot leak into
+//! recovered state or break simulation determinism. The registry starts
+//! disabled, so instrumented paths cost one relaxed atomic load until a
+//! binary opts in.
+
+use std::sync::OnceLock;
+use zmail_obs::{Counter, Histogram};
+
+/// Handle set for the `store` layer, registered once against
+/// [`zmail_obs::global()`].
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Records appended to the WAL buffer (`store.appends`).
+    pub appends: Counter,
+    /// Group commits flushed to storage (`store.commits`).
+    pub commits: Counter,
+    /// WAL bytes written, framing included (`store.wal_bytes`).
+    pub wal_bytes: Counter,
+    /// Records per group commit (`store.batch_records`).
+    pub batch_records: Histogram,
+    /// Append-path latency in µs, encode included (`store.append_micros`).
+    pub append_micros: Histogram,
+    /// Commit latency in µs, sync included (`store.commit_micros`).
+    pub commit_micros: Histogram,
+    /// Checkpoints written (`store.checkpoints`).
+    pub checkpoints: Counter,
+    /// Bytes per checkpoint image (`store.checkpoint_bytes`).
+    pub checkpoint_bytes: Histogram,
+    /// Recovery passes executed (`store.recoveries`).
+    pub recoveries: Counter,
+    /// WAL records replayed per recovery (`store.replayed_records`).
+    pub replayed_records: Histogram,
+    /// Torn tails truncated during recovery (`store.torn_tails`).
+    pub torn_tails: Counter,
+    /// Checkpoint slots rejected by checksum (`store.corrupt_slots`).
+    pub corrupt_slots: Counter,
+}
+
+impl StoreMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static StoreMetrics {
+        static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            StoreMetrics {
+                appends: r.counter("store.appends"),
+                commits: r.counter("store.commits"),
+                wal_bytes: r.counter("store.wal_bytes"),
+                batch_records: r.histogram("store.batch_records"),
+                append_micros: r.histogram("store.append_micros"),
+                commit_micros: r.histogram("store.commit_micros"),
+                checkpoints: r.counter("store.checkpoints"),
+                checkpoint_bytes: r.histogram("store.checkpoint_bytes"),
+                recoveries: r.counter("store.recoveries"),
+                replayed_records: r.histogram("store.replayed_records"),
+                torn_tails: r.counter("store.torn_tails"),
+                corrupt_slots: r.counter("store.corrupt_slots"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_registered_once() {
+        let a = StoreMetrics::get();
+        let b = StoreMetrics::get();
+        assert!(std::ptr::eq(a, b));
+        let snap = zmail_obs::global().snapshot();
+        assert!(snap.counters.contains_key("store.appends"));
+        assert!(snap.histograms.contains_key("store.commit_micros"));
+    }
+}

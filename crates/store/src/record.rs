@@ -1,0 +1,423 @@
+//! The ledger record vocabulary: one typed entry per book mutation.
+//!
+//! Every way the paper's books can change — a §4.1 e-penny transfer leg,
+//! a §4.2 counter purchase, a §4.3 bank settlement, a §4.4 snapshot
+//! reset — is one [`LedgerRecord`] variant. Records are what the WAL
+//! stores and what [`crate::Books::apply`] replays; the pair must stay
+//! in lockstep with the live `zmail-core` mutation sites, which is
+//! exactly what the recovery round-trip property tests check.
+//!
+//! The wire form is a fixed little-endian layout per variant, one tag
+//! byte followed by the fields in declaration order. There is no
+//! self-describing framing here — the WAL layer wraps each record in a
+//! length- and checksum-framed envelope.
+
+/// One durable mutation of the ISP/bank books.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerRecord {
+    /// Sender-side leg of an email: user's balance −1, daily count +1
+    /// (§4.1 `charge`).
+    Charge {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+    },
+    /// Recipient-side leg of a paid email: user's balance +1.
+    Deposit {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+    },
+    /// Per-peer credit counter adjustment (`credit[peer] += delta`):
+    /// +1 when booking an outbound remote send, −1 when accepting a paid
+    /// inbound message, other values when a cheat fakes its books.
+    CreditDelta {
+        /// ISP whose credit array changes.
+        isp: u32,
+        /// Peer the counter tracks.
+        peer: u32,
+        /// Signed adjustment.
+        delta: i64,
+    },
+    /// User bought e-pennies at the ISP counter (§4.2): account −amount,
+    /// balance +amount, pool −amount.
+    UserBuy {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// E-pennies purchased.
+        amount: i64,
+    },
+    /// User sold e-pennies back: balance −amount, account +amount,
+    /// pool +amount.
+    UserSell {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// E-pennies sold.
+        amount: i64,
+    },
+    /// A bank `buy` settled at the ISP: pool +amount (§4.3).
+    PoolBuy {
+        /// ISP whose pool grew.
+        isp: u32,
+        /// E-pennies credited to the pool.
+        amount: i64,
+    },
+    /// A bank `sell` settled at the ISP: pool −amount.
+    PoolSell {
+        /// ISP whose pool shrank.
+        isp: u32,
+        /// E-pennies debited from the pool.
+        amount: i64,
+    },
+    /// Bank-side leg of a granted `buy`: ISP's real-money account −cost,
+    /// outstanding issue +value.
+    BankBuy {
+        /// Federation index of the bank.
+        bank: u32,
+        /// ISP whose account paid.
+        isp: u32,
+        /// E-pennies issued.
+        value: i64,
+        /// Real pennies charged.
+        cost: i64,
+    },
+    /// Bank-side leg of a `sell`: ISP's account +credit, issue −value.
+    BankSell {
+        /// Federation index of the bank.
+        bank: u32,
+        /// ISP whose account was credited.
+        isp: u32,
+        /// E-pennies retired.
+        value: i64,
+        /// Real pennies refunded.
+        credit: i64,
+    },
+    /// The ISP sealed and zeroed its credit array for a billing snapshot
+    /// (§4.4).
+    SnapshotMarker {
+        /// ISP that finished the snapshot.
+        isp: u32,
+    },
+    /// Midnight: every user's `sent_today` returns to zero.
+    DailyReset {
+        /// ISP whose counters reset.
+        isp: u32,
+    },
+    /// A user's daily send limit changed (zombie quarantine, plan
+    /// upgrades).
+    LimitSet {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// New daily limit.
+        limit: u32,
+    },
+    /// Direct e-penny grant to a user (experiment setup shortcut).
+    Grant {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// E-pennies granted.
+        amount: i64,
+    },
+}
+
+const TAG_CHARGE: u8 = 1;
+const TAG_DEPOSIT: u8 = 2;
+const TAG_CREDIT_DELTA: u8 = 3;
+const TAG_USER_BUY: u8 = 4;
+const TAG_USER_SELL: u8 = 5;
+const TAG_POOL_BUY: u8 = 6;
+const TAG_POOL_SELL: u8 = 7;
+const TAG_BANK_BUY: u8 = 8;
+const TAG_BANK_SELL: u8 = 9;
+const TAG_SNAPSHOT_MARKER: u8 = 10;
+const TAG_DAILY_RESET: u8 = 11;
+const TAG_LIMIT_SET: u8 = 12;
+const TAG_GRANT: u8 = 13;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.at.checked_add(4)?;
+        let v = u32::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        let end = self.at.checked_add(8)?;
+        let v = i64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+impl LedgerRecord {
+    /// Appends the wire form (tag byte + little-endian fields) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            LedgerRecord::Charge { isp, user } => {
+                out.push(TAG_CHARGE);
+                put_u32(out, isp);
+                put_u32(out, user);
+            }
+            LedgerRecord::Deposit { isp, user } => {
+                out.push(TAG_DEPOSIT);
+                put_u32(out, isp);
+                put_u32(out, user);
+            }
+            LedgerRecord::CreditDelta { isp, peer, delta } => {
+                out.push(TAG_CREDIT_DELTA);
+                put_u32(out, isp);
+                put_u32(out, peer);
+                put_i64(out, delta);
+            }
+            LedgerRecord::UserBuy { isp, user, amount } => {
+                out.push(TAG_USER_BUY);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_i64(out, amount);
+            }
+            LedgerRecord::UserSell { isp, user, amount } => {
+                out.push(TAG_USER_SELL);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_i64(out, amount);
+            }
+            LedgerRecord::PoolBuy { isp, amount } => {
+                out.push(TAG_POOL_BUY);
+                put_u32(out, isp);
+                put_i64(out, amount);
+            }
+            LedgerRecord::PoolSell { isp, amount } => {
+                out.push(TAG_POOL_SELL);
+                put_u32(out, isp);
+                put_i64(out, amount);
+            }
+            LedgerRecord::BankBuy {
+                bank,
+                isp,
+                value,
+                cost,
+            } => {
+                out.push(TAG_BANK_BUY);
+                put_u32(out, bank);
+                put_u32(out, isp);
+                put_i64(out, value);
+                put_i64(out, cost);
+            }
+            LedgerRecord::BankSell {
+                bank,
+                isp,
+                value,
+                credit,
+            } => {
+                out.push(TAG_BANK_SELL);
+                put_u32(out, bank);
+                put_u32(out, isp);
+                put_i64(out, value);
+                put_i64(out, credit);
+            }
+            LedgerRecord::SnapshotMarker { isp } => {
+                out.push(TAG_SNAPSHOT_MARKER);
+                put_u32(out, isp);
+            }
+            LedgerRecord::DailyReset { isp } => {
+                out.push(TAG_DAILY_RESET);
+                put_u32(out, isp);
+            }
+            LedgerRecord::LimitSet { isp, user, limit } => {
+                out.push(TAG_LIMIT_SET);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_u32(out, limit);
+            }
+            LedgerRecord::Grant { isp, user, amount } => {
+                out.push(TAG_GRANT);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_i64(out, amount);
+            }
+        }
+    }
+
+    /// The wire form as a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one record from exactly `bytes`; `None` on an unknown
+    /// tag, short read, or trailing garbage. The WAL layer treats a
+    /// `None` inside a checksummed frame as corruption, not a tear.
+    pub fn decode(bytes: &[u8]) -> Option<LedgerRecord> {
+        let (&tag, rest) = bytes.split_first()?;
+        let mut r = Reader { bytes: rest, at: 0 };
+        let rec = match tag {
+            TAG_CHARGE => LedgerRecord::Charge {
+                isp: r.u32()?,
+                user: r.u32()?,
+            },
+            TAG_DEPOSIT => LedgerRecord::Deposit {
+                isp: r.u32()?,
+                user: r.u32()?,
+            },
+            TAG_CREDIT_DELTA => LedgerRecord::CreditDelta {
+                isp: r.u32()?,
+                peer: r.u32()?,
+                delta: r.i64()?,
+            },
+            TAG_USER_BUY => LedgerRecord::UserBuy {
+                isp: r.u32()?,
+                user: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_USER_SELL => LedgerRecord::UserSell {
+                isp: r.u32()?,
+                user: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_POOL_BUY => LedgerRecord::PoolBuy {
+                isp: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_POOL_SELL => LedgerRecord::PoolSell {
+                isp: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_BANK_BUY => LedgerRecord::BankBuy {
+                bank: r.u32()?,
+                isp: r.u32()?,
+                value: r.i64()?,
+                cost: r.i64()?,
+            },
+            TAG_BANK_SELL => LedgerRecord::BankSell {
+                bank: r.u32()?,
+                isp: r.u32()?,
+                value: r.i64()?,
+                credit: r.i64()?,
+            },
+            TAG_SNAPSHOT_MARKER => LedgerRecord::SnapshotMarker { isp: r.u32()? },
+            TAG_DAILY_RESET => LedgerRecord::DailyReset { isp: r.u32()? },
+            TAG_LIMIT_SET => LedgerRecord::LimitSet {
+                isp: r.u32()?,
+                user: r.u32()?,
+                limit: r.u32()?,
+            },
+            TAG_GRANT => LedgerRecord::Grant {
+                isp: r.u32()?,
+                user: r.u32()?,
+                amount: r.i64()?,
+            },
+            _ => return None,
+        };
+        r.done().then_some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<LedgerRecord> {
+        vec![
+            LedgerRecord::Charge { isp: 0, user: 7 },
+            LedgerRecord::Deposit { isp: 2, user: 0 },
+            LedgerRecord::CreditDelta {
+                isp: 1,
+                peer: 2,
+                delta: -3,
+            },
+            LedgerRecord::UserBuy {
+                isp: 0,
+                user: 1,
+                amount: 100,
+            },
+            LedgerRecord::UserSell {
+                isp: 0,
+                user: 1,
+                amount: 40,
+            },
+            LedgerRecord::PoolBuy {
+                isp: 3,
+                amount: 4500,
+            },
+            LedgerRecord::PoolSell {
+                isp: 3,
+                amount: 4500,
+            },
+            LedgerRecord::BankBuy {
+                bank: 0,
+                isp: 3,
+                value: 4500,
+                cost: 450,
+            },
+            LedgerRecord::BankSell {
+                bank: 1,
+                isp: 3,
+                value: 4500,
+                credit: 450,
+            },
+            LedgerRecord::SnapshotMarker { isp: 9 },
+            LedgerRecord::DailyReset { isp: 9 },
+            LedgerRecord::LimitSet {
+                isp: 0,
+                user: 3,
+                limit: 5,
+            },
+            LedgerRecord::Grant {
+                isp: 0,
+                user: 3,
+                amount: i64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for rec in all_variants() {
+            let bytes = rec.encode();
+            assert_eq!(LedgerRecord::decode(&bytes), Some(rec), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_short_reads_are_rejected() {
+        for rec in all_variants() {
+            let mut bytes = rec.encode();
+            bytes.push(0);
+            assert_eq!(LedgerRecord::decode(&bytes), None, "trailing byte accepted");
+            bytes.pop();
+            bytes.pop();
+            assert_eq!(LedgerRecord::decode(&bytes), None, "short read accepted");
+        }
+        assert_eq!(LedgerRecord::decode(&[]), None);
+        assert_eq!(LedgerRecord::decode(&[0xFF, 1, 2, 3]), None, "unknown tag");
+    }
+}

@@ -1,0 +1,217 @@
+//! WAL framing: length- and CRC-guarded record envelopes, and the tail
+//! scan that recovery runs.
+//!
+//! Every payload is wrapped as
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! and frames are simply concatenated. A crash can leave the log with a
+//! *torn tail* — a final frame whose bytes only partially reached the
+//! device. [`scan`] walks frames from a starting offset and stops at the
+//! first header that runs past the end, length that fails the sanity
+//! cap, or payload whose CRC disagrees; everything before that point is
+//! the valid prefix, everything after is the tear. Because any bit flip
+//! in a header or payload fails the CRC (or the length check), a torn
+//! or corrupted tail is *detected and truncated*, never silently
+//! replayed into the books.
+
+/// Bytes of framing overhead per record: length + checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame's payload. Real records are tens of
+/// bytes; a "length" beyond this is garbage read from a torn header, so
+/// the scan treats it as a tear rather than attempting a huge read.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) — the same
+/// checksum gzip and PNG use, computed over the payload bytes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Appends one framed payload to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() as u32 <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// What a [`scan`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// The payload of every valid frame, in log order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte offset of each frame's header, parallel to `payloads` — the
+    /// truncation point if that frame must be rejected after all (e.g.
+    /// its payload fails record decoding).
+    pub offsets: Vec<u64>,
+    /// Offset just past the last valid frame — where the log should be
+    /// truncated to, and where new appends resume.
+    pub valid_len: u64,
+    /// Whether bytes past `valid_len` existed (a torn or corrupt tail).
+    pub torn: bool,
+}
+
+/// Walks frames in `bytes` starting at `from`, stopping at the first
+/// short, oversized, or checksum-failing frame.
+///
+/// A `from` beyond the end of `bytes` (possible when a checkpoint
+/// outlived WAL bytes a crash threw away) yields an empty, torn scan at
+/// `valid_len = from.min(len)`.
+pub fn scan(bytes: &[u8], from: u64) -> Scan {
+    let mut at = (from as usize).min(bytes.len());
+    let mut payloads = Vec::new();
+    let mut offsets = Vec::new();
+    while let Some(header) = bytes.get(at..at + FRAME_HEADER) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len > MAX_FRAME {
+            break;
+        }
+        let start = at + FRAME_HEADER;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        payloads.push(payload.to_vec());
+        offsets.push(at as u64);
+        at = start + len as usize;
+    }
+    Scan {
+        payloads,
+        offsets,
+        valid_len: at as u64,
+        torn: at < bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut log = Vec::new();
+        for p in payloads {
+            encode_frame(p, &mut log);
+        }
+        log
+    }
+
+    #[test]
+    fn scan_reads_back_what_was_framed() {
+        let log = log_of(&[b"one", b"", b"three"]);
+        let scan = scan(&log, 0);
+        assert_eq!(
+            scan.payloads,
+            vec![b"one".to_vec(), vec![], b"three".to_vec()]
+        );
+        assert_eq!(scan.valid_len, log.len() as u64);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn scan_honours_the_starting_offset() {
+        let head = log_of(&[b"checkpointed"]);
+        let mut log = head.clone();
+        encode_frame(b"tail", &mut log);
+        let s = scan(&log, head.len() as u64);
+        assert_eq!(s.payloads, vec![b"tail".to_vec()]);
+        assert!(!s.torn);
+        // Offset beyond the end: empty and torn-free length clamp.
+        let s = scan(&head, head.len() as u64 + 64);
+        assert!(s.payloads.is_empty());
+        assert_eq!(s.valid_len, head.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_possible_tear_point() {
+        let log = log_of(&[b"alpha", b"beta"]);
+        let first_len = (FRAME_HEADER + 5) as u64;
+        for cut in 0..log.len() {
+            let scan = scan(&log[..cut], 0);
+            // Valid length must be a frame boundary at or before the cut.
+            assert!(scan.valid_len <= cut as u64);
+            assert!(
+                [0, first_len].contains(&scan.valid_len),
+                "cut {cut}: valid_len {}",
+                scan.valid_len
+            );
+            assert_eq!(scan.torn, scan.valid_len < cut as u64);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_anywhere_stops_the_scan_before_that_frame() {
+        let log = log_of(&[b"alpha", b"beta", b"gamma"]);
+        for i in 0..log.len() {
+            let mut bad = log.clone();
+            bad[i] ^= 0x40;
+            let scan = scan(&bad, 0);
+            assert!(
+                scan.torn || scan.payloads.len() == 3,
+                "flip at {i} silently accepted a damaged log"
+            );
+            // No scanned payload may differ from the originals: damage
+            // must stop the scan, not alter a record.
+            for (p, orig) in scan
+                .payloads
+                .iter()
+                .zip([b"alpha".as_slice(), b"beta", b"gamma"])
+            {
+                assert_eq!(p, orig, "flip at {i} corrupted a replayed record");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_header_is_a_tear_not_an_allocation() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        log.extend_from_slice(&[0; 100]);
+        let scan = scan(&log, 0);
+        assert!(scan.payloads.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn);
+    }
+}

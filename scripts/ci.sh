@@ -19,7 +19,7 @@ echo "== cargo doc (first-party crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p zmail -p zmail-ap -p zmail-core -p zmail-bench -p zmail-crypto \
   -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines -p zmail-obs \
-  -p zmail-fault
+  -p zmail-fault -p zmail-store
 
 echo "== speclint (static analysis of the bundled AP specs)"
 cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
@@ -36,5 +36,10 @@ cargo test -q --release -p zmail --test fault_scenarios
 echo "== property suites (crypto envelopes/nonces, SMTP grammar)"
 cargo test -q --release -p zmail-crypto --test properties
 cargo test -q --release -p zmail-smtp --test properties
+
+echo "== durability (recovery round-trips, storage faults, E16 smoke)"
+cargo test -q --release -p zmail-store --test recovery_properties
+cargo test -q --release -p zmail-fault --test storage_faults
+cargo run --release -q -p zmail-bench --bin e16_durability -- --smoke > /dev/null
 
 echo "CI: all green"

@@ -70,6 +70,14 @@ pub enum Violation {
         /// Rounds completed in total.
         total: usize,
     },
+    /// Durable scenarios only: a crash-recovery reloaded books that
+    /// differed from the live pre-crash books, or the end-of-run store
+    /// replay failed to reproduce the deployment's books.
+    RecoveryDivergence {
+        /// ISP whose mid-run recovery diverged; `None` when the
+        /// end-of-run store replay itself was wrong.
+        isp: Option<u32>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -94,6 +102,15 @@ impl fmt::Display for Violation {
             ),
             Violation::HonestAccusation { accused, total } => {
                 write!(f, "{accused} of {total} billing rounds accused honest ISPs")
+            }
+            Violation::RecoveryDivergence { isp: Some(i) } => {
+                write!(
+                    f,
+                    "isp{i} recovered books diverged from its pre-crash books"
+                )
+            }
+            Violation::RecoveryDivergence { isp: None } => {
+                write!(f, "durable store replay did not reproduce the live books")
             }
         }
     }
@@ -139,6 +156,11 @@ pub struct Scenario {
     /// honest ISPs) — it exists to exercise failure reporting and the
     /// shrinker on demand.
     pub require_clean_consistency: bool,
+    /// Run with the durable ledger store: every mutation is journalled,
+    /// `Crash` windows restart their ISP *from recovery* (checkpoint +
+    /// WAL replay) instead of preserved memory, and the scenario checks
+    /// recovered books never diverge from the pre-crash ones.
+    pub durable: bool,
 }
 
 impl Scenario {
@@ -153,6 +175,7 @@ impl Scenario {
             plan: FaultPlan::none(),
             daily_billing: false,
             require_clean_consistency: false,
+            durable: false,
         }
     }
 
@@ -176,6 +199,14 @@ impl Scenario {
     #[must_use]
     pub fn with_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Turns on the durable ledger store (builder style); see
+    /// [`Scenario::durable`].
+    #[must_use]
+    pub fn with_durability(mut self) -> Self {
+        self.durable = true;
         self
     }
 
@@ -203,6 +234,9 @@ impl Scenario {
             .bank_retry(Some(SimDuration::from_mins(1)));
         if self.daily_billing {
             builder = builder.billing_period(SimDuration::from_days(1));
+        }
+        if self.durable {
+            builder = builder.durable();
         }
         let mut system = ZmailSystem::new(builder.build(), self.seed);
         let report = system.run_trace(&trace);
@@ -240,6 +274,18 @@ impl Scenario {
                 }
             }
         }
+        if self.durable {
+            for recovery in &report.recoveries {
+                if recovery.diverged {
+                    violations.push(Violation::RecoveryDivergence {
+                        isp: Some(recovery.isp.0),
+                    });
+                }
+            }
+            if system.verify_durable_books() != Some(true) {
+                violations.push(Violation::RecoveryDivergence { isp: None });
+            }
+        }
         if self.require_clean_consistency {
             let total = report.consistency_reports.len();
             let accused = report
@@ -267,11 +313,12 @@ impl Scenario {
         let _ = writeln!(out, "fault scenario FAILED (seed {})", self.seed);
         let _ = writeln!(
             out,
-            "  deployment: {} ISPs x {} users, {} days, daily billing {}",
+            "  deployment: {} ISPs x {} users, {} days, daily billing {}, durability {}",
             self.isps,
             self.users_per_isp,
             self.days,
             if self.daily_billing { "on" } else { "off" },
+            if self.durable { "on" } else { "off" },
         );
         let _ = writeln!(out, "  plan:\n{}", indent(&self.plan.to_string(), 4));
         let _ = writeln!(out, "  violations:");

@@ -10,10 +10,12 @@
 //! * [`smtp`] — the RFC 821 substrate Zmail deploys over;
 //! * [`sim`] — the discrete-event simulator and workload models;
 //! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
-//!   reorder, partitions, crashes, outages) with ddmin plan shrinking,
-//!   plus the [`fault_scenarios`] harness that runs the full system
-//!   under randomized plans and checks zero-sum, consistency, and
-//!   liveness invariants;
+//!   reorder, partitions, crashes, outages, torn storage) with ddmin
+//!   plan shrinking, plus the [`fault_scenarios`] harness that runs the
+//!   full system under randomized plans and checks zero-sum,
+//!   consistency, and liveness invariants;
+//! * [`store`] — the durable ledger engine: checksummed write-ahead log,
+//!   dual-slot checkpoints, crash-consistent recovery;
 //! * [`econ`] — spammer economics, adoption dynamics, the spam market;
 //! * [`baselines`] — SHRED, Vanquish, hashcash, challenge-response,
 //!   naive Bayes, black/whitelists, and plain SMTP.
@@ -53,5 +55,6 @@ pub use zmail_econ as econ;
 pub use zmail_fault as fault;
 pub use zmail_sim as sim;
 pub use zmail_smtp as smtp;
+pub use zmail_store as store;
 
 pub mod fault_scenarios;

@@ -3,7 +3,9 @@
 //! recoverable fault plan, and failures must reproduce and shrink
 //! deterministically.
 
-use zmail::fault::{ChannelFault, EndpointSel, Fault, FaultPlan, MsgClass, Partition, Window};
+use zmail::fault::{
+    ChannelFault, Crash, EndpointSel, Fault, FaultPlan, MsgClass, Partition, Window,
+};
 use zmail::fault_scenarios::{Scenario, Violation};
 use zmail::sim::{SimDuration, SimTime};
 
@@ -146,6 +148,72 @@ fn shrinker_finds_smaller_still_failing_plan() {
         assert!(
             candidate.run().is_ok(),
             "shrunk plan was not 1-minimal: clause {skip} is removable"
+        );
+    }
+}
+
+fn crash_plan(isp: u32) -> FaultPlan {
+    let day = SimDuration::from_days(1);
+    FaultPlan::none().with(Fault::Crash(Crash {
+        isp,
+        at: SimTime::ZERO + day,
+        restart_after: SimDuration::from_mins(45),
+    }))
+}
+
+#[test]
+fn durable_crash_recovery_keeps_every_invariant() {
+    // Mid-run crash with the durable store on: the ISP restarts from
+    // checkpoint + WAL replay, its recovered books match the pre-crash
+    // ones exactly, and the extended zero-sum audit still balances.
+    let scenario = Scenario::new(9).with_plan(crash_plan(1)).with_durability();
+    let outcome = scenario.run();
+    assert!(outcome.is_ok(), "{}", scenario.failure_report(&outcome));
+    assert_eq!(
+        outcome.report.recoveries.len(),
+        1,
+        "one crash, one recovery"
+    );
+    let recovery = &outcome.report.recoveries[0];
+    assert!(!recovery.diverged, "recovered books diverged");
+    assert!(
+        recovery.replayed > 0 || recovery.checkpoint_seq.is_some(),
+        "recovery should have replayed journalled state"
+    );
+}
+
+#[test]
+fn durable_crash_recovery_replays_byte_identically() {
+    let build = || Scenario::new(13).with_plan(crash_plan(0)).with_durability();
+    let a = build().run();
+    let b = build().run();
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(
+        format!("{:?}", a.report),
+        format!("{:?}", b.report),
+        "crash-recovery must be deterministic under a fixed plan + seed"
+    );
+}
+
+#[test]
+fn randomized_plans_hold_invariants_with_durability() {
+    // The randomized gate again, with every mutation journalled and
+    // every Crash clause restarting its ISP from real recovery.
+    for seed in SEEDS {
+        let scenario = Scenario::random(seed).with_durability();
+        let outcome = scenario.run();
+        assert!(outcome.is_ok(), "{}", scenario.failure_report(&outcome));
+        let crashes = scenario
+            .plan
+            .faults
+            .iter()
+            .filter(|f| matches!(f, Fault::Crash(_)))
+            .count();
+        assert_eq!(
+            outcome.report.recoveries.len(),
+            crashes,
+            "seed {seed}: every crash window must end in a store recovery"
         );
     }
 }
