@@ -10,10 +10,23 @@ use zmail_store::StoreConfig;
 /// journals every ledger mutation into a `zmail-store` WAL (one group
 /// commit per simulation event) and `Crash` fault windows restart ISPs
 /// from the real recovery path instead of preserved memory.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DurabilityConfig {
     /// WAL/checkpoint tuning passed through to the ledger store.
     pub store: StoreConfig,
+    /// Ledger shards: accounts are hashed across this many independent
+    /// WAL engines (see `zmail_store::shard`). 1 keeps the seed
+    /// behaviour — a single store with byte-identical WAL contents.
+    pub shards: u32,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            store: StoreConfig::default(),
+            shards: 1,
+        }
+    }
 }
 
 /// What a compliant ISP does with mail arriving from a non-compliant ISP.
@@ -209,6 +222,9 @@ impl ZmailConfig {
             !self.initial_balance.is_negative() && !self.initial_avail.is_negative(),
             "negative initial holdings"
         );
+        if let Some(durability) = &self.durability {
+            assert!(durability.shards >= 1, "need at least one ledger shard");
+        }
         self.faults.validate(self.isps);
     }
 }
@@ -326,6 +342,21 @@ impl ZmailConfigBuilder {
 
     /// Enables durable books with explicit tuning.
     pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = Some(durability);
+        self
+    }
+
+    /// Enables durable books sharded across `shards` independent WAL
+    /// engines (default tuning otherwise). Cross-shard value movement
+    /// uses the two-phase transfer protocol; the merged books stay
+    /// identical to a 1-shard run.
+    ///
+    /// # Panics
+    ///
+    /// Panics at `build` if `shards` is zero.
+    pub fn sharded(mut self, shards: u32) -> Self {
+        let mut durability = self.config.durability.unwrap_or_default();
+        durability.shards = shards;
         self.config.durability = Some(durability);
         self
     }

@@ -26,6 +26,8 @@
 //!   `--metrics` flag turns them on);
 //! * [`mailinglist`] — the §5 acknowledgment-refund mechanism for mailing
 //!   lists, including stale-subscriber pruning;
+//! * [`massive`] — population-scale runs (1M+ users) over the sharded
+//!   durable ledger with tick-parallel execution (experiment E17);
 //! * [`zombie`] — analysis of the §5 daily-limit defence against zombified
 //!   PCs;
 //! * [`spec`] — a literal Abstract-Protocol-notation encoding of the
@@ -64,6 +66,7 @@ pub mod ids;
 pub mod invariants;
 pub mod isp;
 pub mod mailinglist;
+pub mod massive;
 pub mod metrics;
 pub mod msg;
 pub mod multibank;
@@ -80,6 +83,7 @@ pub use ids::IspId;
 pub use invariants::AuditError;
 pub use isp::{Isp, SendError, SendOutcome};
 pub use mailinglist::{ListConfig, ListServer, PostReport};
+pub use massive::{run_massive, MassiveConfig, MassiveReport, MassiveWorld};
 pub use msg::{EmailMsg, NetMsg};
 pub use multibank::{FederatedRound, Federation};
 pub use system::{RecoveryEvent, RunReport, ZmailSystem};

@@ -60,6 +60,45 @@ pub trait World {
     }
 }
 
+/// A [`World`] whose event handling splits into a read-only *stage*
+/// phase and a serial *apply* phase, enabling parallel-within-tick
+/// execution that stays byte-identical to the serial order.
+///
+/// The contract: [`ParallelWorld::footprint`] must name (as opaque
+/// `u64` keys) every piece of state the event's stage phase reads *and*
+/// its apply phase writes. Within one tick the engine greedily selects
+/// a prefix-independent set — an event joins the parallel group only if
+/// its footprint is disjoint from the footprints of **all** events
+/// before it in FIFO order — so a parallel stage observes exactly the
+/// pre-tick state it would have observed serially. Conflicting events
+/// simply stage inline during the apply pass. Apply always runs
+/// serially in FIFO order, so results are identical at any thread
+/// count; the thread pool only accelerates staging.
+pub trait ParallelWorld: World {
+    /// What `stage` computes for `apply` to consume. `Send` so worker
+    /// threads can hand effects back.
+    type Effect: Send;
+
+    /// Appends the event's state-footprint keys to `keys`. Coarser keys
+    /// are always safe (they only shrink the parallel group); a missing
+    /// key is unsound.
+    fn footprint(&self, event: &Self::Event, keys: &mut Vec<u64>);
+
+    /// The parallelizable part: compute everything derivable from
+    /// immutable world state (digests, signature checks, routing).
+    fn stage(&self, now: SimTime, event: &Self::Event) -> Self::Effect;
+
+    /// The serial part: mutate the world with the staged effect,
+    /// possibly planting new events.
+    fn apply(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        effect: Self::Effect,
+        scheduler: &mut Scheduler<'_, Self::Event>,
+    );
+}
+
 /// The event loop: owns the queue and the clock, drives a [`World`].
 #[derive(Debug)]
 pub struct Simulation<W: World> {
@@ -151,6 +190,113 @@ impl<W: World> Simulation<W> {
             }
             None => false,
         }
+    }
+
+    /// Processes one whole tick (every event at the earliest pending
+    /// time), staging footprint-independent events on up to `threads`
+    /// worker threads and applying all of them serially in FIFO order.
+    /// Returns `false` when the queue is empty.
+    ///
+    /// With `threads <= 1` everything stages inline, but the tick is
+    /// still popped and applied through the same code path, so serial
+    /// and parallel runs perform the identical event sequence.
+    pub fn step_tick(&mut self, threads: usize) -> bool
+    where
+        W: ParallelWorld + Sync,
+        W::Event: Send + Sync,
+    {
+        let Some((time, events)) = self.queue.pop_tick() else {
+            return false;
+        };
+        debug_assert!(time >= self.now);
+        self.now = time;
+        let mut effects: Vec<Option<W::Effect>> = Vec::new();
+        effects.resize_with(events.len(), || None);
+        if threads > 1 && events.len() > 1 {
+            // Greedy prefix-independence: an event stages in parallel
+            // only if its footprint is disjoint from *every* earlier
+            // event's footprint this tick, so its stage provably reads
+            // pure pre-tick state.
+            let mut claimed = std::collections::HashSet::new();
+            let mut keys = Vec::new();
+            let mut independent = Vec::new();
+            for (i, event) in events.iter().enumerate() {
+                keys.clear();
+                self.world.footprint(event, &mut keys);
+                if keys.iter().all(|k| !claimed.contains(k)) {
+                    independent.push(i);
+                }
+                claimed.extend(keys.iter().copied());
+            }
+            if independent.len() > 1 {
+                let chunk = independent.len().div_ceil(threads);
+                let world = &self.world;
+                let events = &events;
+                let staged: Vec<Vec<(usize, W::Effect)>> = std::thread::scope(|scope| {
+                    let workers: Vec<_> = independent
+                        .chunks(chunk)
+                        .map(|ids| {
+                            scope.spawn(move || {
+                                ids.iter()
+                                    .map(|&i| (i, world.stage(time, &events[i])))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("stage worker panicked"))
+                        .collect()
+                });
+                for batch in staged {
+                    for (i, effect) in batch {
+                        effects[i] = Some(effect);
+                    }
+                }
+            }
+        }
+        for (i, event) in events.into_iter().enumerate() {
+            let effect = effects[i]
+                .take()
+                .unwrap_or_else(|| self.world.stage(time, &event));
+            let label_and_start = self.telemetry.as_ref().map(|tel| {
+                let label = W::event_label(&event);
+                (label, tel.on_event_start(time.as_millis(), label))
+            });
+            let mut scheduler = Scheduler {
+                now: time,
+                queue: &mut self.queue,
+            };
+            self.world.apply(time, event, effect, &mut scheduler);
+            self.processed += 1;
+            if let (Some(tel), Some((label, started))) = (self.telemetry.as_mut(), label_and_start)
+            {
+                tel.on_event_end(label, started, self.queue.len());
+            }
+        }
+        true
+    }
+
+    /// Runs tick-parallel until the queue is exhausted. `threads == 0`
+    /// means all available cores. Returns events handled.
+    pub fn run_parallel_to_completion(&mut self, threads: usize) -> u64
+    where
+        W: ParallelWorld + Sync,
+        W::Event: Send + Sync,
+    {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let before = self.processed;
+        let started = std::time::Instant::now();
+        while self.step_tick(threads) {}
+        let handled = self.processed - before;
+        if let Some(tel) = &self.telemetry {
+            tel.on_run_complete(handled, started.elapsed());
+        }
+        handled
     }
 
     /// Runs until the queue empties or virtual time would pass `until`;
@@ -295,6 +441,149 @@ mod tests {
         // Trace stamps are sim-clock milliseconds: 0s, 2s, 4s.
         let ts: Vec<u64> = tracer.drain().events.iter().map(|e| e.ts).collect();
         assert_eq!(ts, vec![0, 2000, 4000]);
+    }
+
+    /// A bank of cells: each event bumps one cell with a staged value
+    /// derived from the *pre-tick* cell contents, then chains a
+    /// follow-up event. Conflicting events in a tick (same cell) must
+    /// observe each other's writes in FIFO order; independent ones must
+    /// not care.
+    struct Cells {
+        cells: Vec<u64>,
+        hops: u32,
+        log: Vec<(u64, u64)>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Bump {
+        cell: usize,
+        salt: u64,
+        hop: u32,
+    }
+
+    impl World for Cells {
+        type Event = Bump;
+        fn handle(&mut self, now: SimTime, event: Bump, scheduler: &mut Scheduler<'_, Bump>) {
+            let effect = self.stage(now, &event);
+            self.apply(now, event, effect, scheduler);
+        }
+    }
+
+    impl ParallelWorld for Cells {
+        type Effect = u64;
+        fn footprint(&self, event: &Bump, keys: &mut Vec<u64>) {
+            keys.push(event.cell as u64);
+        }
+        fn stage(&self, _now: SimTime, event: &Bump) -> u64 {
+            // Reads the cell it will write: any missed conflict would
+            // surface as a wrong value, not just a reordering.
+            self.cells[event.cell]
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(event.salt)
+        }
+        fn apply(
+            &mut self,
+            _now: SimTime,
+            event: Bump,
+            effect: u64,
+            scheduler: &mut Scheduler<'_, Bump>,
+        ) {
+            self.cells[event.cell] = effect;
+            self.log.push((event.cell as u64, effect));
+            if event.hop < self.hops {
+                scheduler.after(
+                    SimDuration::from_secs(1),
+                    Bump {
+                        cell: (event.cell + 1) % self.cells.len(),
+                        salt: event.salt ^ effect,
+                        hop: event.hop + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn cells_run(threads: usize) -> (Vec<u64>, Vec<(u64, u64)>, u64) {
+        let mut sim = Simulation::new(Cells {
+            cells: vec![1; 5],
+            hops: 6,
+            log: Vec::new(),
+        });
+        // Deliberate conflicts: 12 events over 5 cells per tick.
+        for i in 0..12u64 {
+            sim.schedule(
+                SimTime::ZERO,
+                Bump {
+                    cell: (i % 5) as usize,
+                    salt: i,
+                    hop: 0,
+                },
+            );
+        }
+        let handled = sim.run_parallel_to_completion(threads);
+        let world = sim.into_world();
+        (world.cells, world.log, handled)
+    }
+
+    #[test]
+    fn parallel_ticks_are_byte_identical_at_any_thread_count() {
+        // Serial reference through the plain step() path.
+        let mut sim = Simulation::new(Cells {
+            cells: vec![1; 5],
+            hops: 6,
+            log: Vec::new(),
+        });
+        for i in 0..12u64 {
+            sim.schedule(
+                SimTime::ZERO,
+                Bump {
+                    cell: (i % 5) as usize,
+                    salt: i,
+                    hop: 0,
+                },
+            );
+        }
+        let serial_handled = sim.run_to_completion();
+        let reference = sim.into_world();
+        for threads in [1, 2, 4, 8, 0] {
+            let (cells, log, handled) = cells_run(threads);
+            assert_eq!(handled, serial_handled, "threads={threads}");
+            assert_eq!(cells, reference.cells, "threads={threads}");
+            assert_eq!(log, reference.log, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn step_tick_consumes_exactly_one_timestamp() {
+        let mut sim = Simulation::new(Cells {
+            cells: vec![1; 3],
+            hops: 0,
+            log: Vec::new(),
+        });
+        for i in 0..3 {
+            sim.schedule(
+                SimTime::ZERO,
+                Bump {
+                    cell: i,
+                    salt: i as u64,
+                    hop: 0,
+                },
+            );
+        }
+        sim.schedule(
+            SimTime::ZERO + SimDuration::from_secs(9),
+            Bump {
+                cell: 0,
+                salt: 99,
+                hop: 0,
+            },
+        );
+        assert!(sim.step_tick(4));
+        assert_eq!(sim.processed(), 3, "later tick must not be touched");
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert!(sim.step_tick(4));
+        assert_eq!(sim.processed(), 4);
+        assert!(!sim.step_tick(4));
     }
 
     #[test]

@@ -68,6 +68,20 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
+    /// Removes *every* event scheduled at the earliest pending time —
+    /// one tick's ready set — in FIFO order. The parallel-within-tick
+    /// engine partitions this batch by footprint; popping the whole tick
+    /// keeps the batch identical to what serial `pop` calls would see.
+    pub fn pop_tick(&mut self) -> Option<(SimTime, Vec<E>)> {
+        let time = self.peek_time()?;
+        let mut events = Vec::new();
+        while self.peek_time() == Some(time) {
+            let Reverse((_, _, OrdIgnore(event))) = self.heap.pop().expect("peeked");
+            events.push(event);
+        }
+        Some((time, events))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -127,6 +141,18 @@ mod tests {
         q.schedule(t(3), ());
         assert_eq!(q.peek_time(), Some(t(3)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_tick_takes_exactly_one_timestamp_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "b");
+        q.schedule(t(2), "a1");
+        q.schedule(t(2), "a2");
+        q.schedule(t(2), "a3");
+        assert_eq!(q.pop_tick(), Some((t(2), vec!["a1", "a2", "a3"])));
+        assert_eq!(q.pop_tick(), Some((t(5), vec!["b"])));
+        assert_eq!(q.pop_tick(), None);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod telemetry;
 pub mod workload;
 
 pub use clock::{SimDuration, SimTime};
-pub use engine::{Scheduler, Simulation, World};
+pub use engine::{ParallelWorld, Scheduler, Simulation, World};
 pub use event::EventQueue;
 pub use rng::Sampler;
 pub use stats::{Histogram, Quantiles, Summary, Table, TimeSeries};

@@ -128,7 +128,12 @@ fn server_survives_faulty_transport() {
             client.send_line(".").unwrap();
         }
         for _ in 0..50 {
-            client.send_line("QUIT").unwrap();
+            // The server drops its endpoint at the first QUIT it parses;
+            // a send racing past that point fails with `BrokenPipe`,
+            // which is the success signal, not a failure.
+            if client.send_line("QUIT").is_err() {
+                break;
+            }
         }
         let injected = client.dropped + client.duplicated + client.garbled;
         assert!(

@@ -139,6 +139,22 @@ impl Books {
             LedgerRecord::Grant { isp, user, amount } => {
                 self.isps[isp as usize].users[user as usize].balance += amount;
             }
+            LedgerRecord::UserCounterBuy { isp, user, amount } => {
+                let u = &mut self.isps[isp as usize].users[user as usize];
+                u.account -= amount;
+                u.balance += amount;
+            }
+            LedgerRecord::UserCounterSell { isp, user, amount } => {
+                let u = &mut self.isps[isp as usize].users[user as usize];
+                u.balance -= amount;
+                u.account += amount;
+            }
+            // The prepare carries both legs but only the debit touches
+            // this shard's books; the credit lands on the destination via
+            // its own XferApply record.
+            LedgerRecord::XferPrepare { debit, .. } => self.apply(&debit.record()),
+            LedgerRecord::XferApply { leg, .. } => self.apply(&leg.record()),
+            LedgerRecord::XferRelease { .. } => {}
         }
     }
 

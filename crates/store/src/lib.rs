@@ -58,6 +58,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod metrics;
 pub mod record;
+pub mod shard;
 pub mod storage;
 pub mod wal;
 
@@ -65,5 +66,8 @@ pub use books::{BankBooks, Books, IspBooks, UserBooks};
 pub use checkpoint::Checkpoint;
 pub use engine::{LedgerStore, RecoveryReport, StoreConfig, WAL};
 pub use metrics::StoreMetrics;
-pub use record::LedgerRecord;
+pub use record::{LedgerRecord, XferKind, XferLeg};
+pub use shard::{
+    stable_account_hash, ShardMap, ShardMetrics, ShardRecoveryReport, ShardedLedgerStore,
+};
 pub use storage::{FileStorage, MemStorage, Storage};

@@ -128,6 +128,159 @@ pub enum LedgerRecord {
         /// E-pennies granted.
         amount: i64,
     },
+    /// User-side half of a counter purchase whose pool lives on another
+    /// shard: account −amount, balance +amount. The pool-side half is a
+    /// [`LedgerRecord::PoolSell`] journaled on the pool-owner shard.
+    UserCounterBuy {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// E-pennies purchased.
+        amount: i64,
+    },
+    /// User-side half of a counter sale whose pool lives on another
+    /// shard: balance −amount, account +amount. The pool-side half is a
+    /// [`LedgerRecord::PoolBuy`] on the pool-owner shard.
+    UserCounterSell {
+        /// ISP holding the account.
+        isp: u32,
+        /// User index within the ISP.
+        user: u32,
+        /// E-pennies sold.
+        amount: i64,
+    },
+    /// First phase of a cross-shard transfer, journaled on the *source*
+    /// shard: applies the debit leg locally and durably records the
+    /// credit leg owed to shard `dst`. Recovery treats a prepare without
+    /// a matching [`LedgerRecord::XferRelease`] as in-doubt and rolls it
+    /// forward (appending the [`LedgerRecord::XferApply`] if the
+    /// destination never got it), so a crash between the phases lands on
+    /// fully-applied, never a half-transfer.
+    XferPrepare {
+        /// Transfer id, unique across the sharded deployment.
+        xid: u64,
+        /// Destination shard owing the credit leg.
+        dst: u32,
+        /// Debit leg, applied on the source shard by this record.
+        debit: XferLeg,
+        /// Credit leg the destination shard must apply.
+        credit: XferLeg,
+    },
+    /// Second phase of a cross-shard transfer, journaled on the
+    /// *destination* shard: applies the credit leg.
+    XferApply {
+        /// Transfer id matching the prepare.
+        xid: u64,
+        /// The credit leg being applied.
+        leg: XferLeg,
+    },
+    /// Completion marker on the *source* shard: the credit leg reached
+    /// the destination's journal. A books no-op; it only closes the
+    /// in-doubt window recovery scans for.
+    XferRelease {
+        /// Transfer id matching the prepare.
+        xid: u64,
+    },
+}
+
+/// The mutation kinds a cross-shard transfer leg can carry. Each maps
+/// onto exactly one non-transfer [`LedgerRecord`] variant; keeping the
+/// legs to this closed set (rather than nesting arbitrary records) keeps
+/// records `Copy` and rules out recursive transfers by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XferKind {
+    /// [`LedgerRecord::Charge`]: balance −1, `sent_today` +1.
+    Charge,
+    /// [`LedgerRecord::Deposit`]: balance +1.
+    Deposit,
+    /// [`LedgerRecord::PoolBuy`]: pool +amount.
+    PoolBuy,
+    /// [`LedgerRecord::PoolSell`]: pool −amount.
+    PoolSell,
+    /// [`LedgerRecord::UserCounterBuy`]: account −amount, balance +amount.
+    CounterBuy,
+    /// [`LedgerRecord::UserCounterSell`]: balance −amount, account +amount.
+    CounterSell,
+    /// [`LedgerRecord::Grant`]: balance +amount.
+    Grant,
+}
+
+/// One leg of a cross-shard transfer: a book mutation expressed in the
+/// *owning shard's* index space (user indices are shard-local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XferLeg {
+    /// Which mutation this leg performs.
+    pub kind: XferKind,
+    /// ISP the mutation targets.
+    pub isp: u32,
+    /// User index within the owning shard's slice of the ISP (ignored by
+    /// pool-only kinds).
+    pub user: u32,
+    /// E-pennies moved (ignored by the unit-value `Charge`/`Deposit`).
+    pub amount: i64,
+}
+
+impl XferLeg {
+    /// The equivalent standalone record, applied when this leg lands.
+    pub fn record(&self) -> LedgerRecord {
+        let XferLeg {
+            kind,
+            isp,
+            user,
+            amount,
+        } = *self;
+        match kind {
+            XferKind::Charge => LedgerRecord::Charge { isp, user },
+            XferKind::Deposit => LedgerRecord::Deposit { isp, user },
+            XferKind::PoolBuy => LedgerRecord::PoolBuy { isp, amount },
+            XferKind::PoolSell => LedgerRecord::PoolSell { isp, amount },
+            XferKind::CounterBuy => LedgerRecord::UserCounterBuy { isp, user, amount },
+            XferKind::CounterSell => LedgerRecord::UserCounterSell { isp, user, amount },
+            XferKind::Grant => LedgerRecord::Grant { isp, user, amount },
+        }
+    }
+
+    fn kind_tag(kind: XferKind) -> u8 {
+        match kind {
+            XferKind::Charge => 0,
+            XferKind::Deposit => 1,
+            XferKind::PoolBuy => 2,
+            XferKind::PoolSell => 3,
+            XferKind::CounterBuy => 4,
+            XferKind::CounterSell => 5,
+            XferKind::Grant => 6,
+        }
+    }
+
+    fn kind_from(tag: u8) -> Option<XferKind> {
+        Some(match tag {
+            0 => XferKind::Charge,
+            1 => XferKind::Deposit,
+            2 => XferKind::PoolBuy,
+            3 => XferKind::PoolSell,
+            4 => XferKind::CounterBuy,
+            5 => XferKind::CounterSell,
+            6 => XferKind::Grant,
+            _ => return None,
+        })
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(Self::kind_tag(self.kind));
+        put_u32(out, self.isp);
+        put_u32(out, self.user);
+        put_i64(out, self.amount);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<XferLeg> {
+        Some(XferLeg {
+            kind: Self::kind_from(r.u8()?)?,
+            isp: r.u32()?,
+            user: r.u32()?,
+            amount: r.i64()?,
+        })
+    }
 }
 
 const TAG_CHARGE: u8 = 1;
@@ -143,8 +296,17 @@ const TAG_SNAPSHOT_MARKER: u8 = 10;
 const TAG_DAILY_RESET: u8 = 11;
 const TAG_LIMIT_SET: u8 = 12;
 const TAG_GRANT: u8 = 13;
+const TAG_USER_COUNTER_BUY: u8 = 14;
+const TAG_USER_COUNTER_SELL: u8 = 15;
+const TAG_XFER_PREPARE: u8 = 16;
+const TAG_XFER_APPLY: u8 = 17;
+const TAG_XFER_RELEASE: u8 = 18;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -158,6 +320,19 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
     fn u32(&mut self) -> Option<u32> {
         let end = self.at.checked_add(4)?;
         let v = u32::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
@@ -263,6 +438,39 @@ impl LedgerRecord {
                 put_u32(out, user);
                 put_i64(out, amount);
             }
+            LedgerRecord::UserCounterBuy { isp, user, amount } => {
+                out.push(TAG_USER_COUNTER_BUY);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_i64(out, amount);
+            }
+            LedgerRecord::UserCounterSell { isp, user, amount } => {
+                out.push(TAG_USER_COUNTER_SELL);
+                put_u32(out, isp);
+                put_u32(out, user);
+                put_i64(out, amount);
+            }
+            LedgerRecord::XferPrepare {
+                xid,
+                dst,
+                debit,
+                credit,
+            } => {
+                out.push(TAG_XFER_PREPARE);
+                put_u64(out, xid);
+                put_u32(out, dst);
+                debit.encode_into(out);
+                credit.encode_into(out);
+            }
+            LedgerRecord::XferApply { xid, leg } => {
+                out.push(TAG_XFER_APPLY);
+                put_u64(out, xid);
+                leg.encode_into(out);
+            }
+            LedgerRecord::XferRelease { xid } => {
+                out.push(TAG_XFER_RELEASE);
+                put_u64(out, xid);
+            }
         }
     }
 
@@ -335,6 +543,27 @@ impl LedgerRecord {
                 user: r.u32()?,
                 amount: r.i64()?,
             },
+            TAG_USER_COUNTER_BUY => LedgerRecord::UserCounterBuy {
+                isp: r.u32()?,
+                user: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_USER_COUNTER_SELL => LedgerRecord::UserCounterSell {
+                isp: r.u32()?,
+                user: r.u32()?,
+                amount: r.i64()?,
+            },
+            TAG_XFER_PREPARE => LedgerRecord::XferPrepare {
+                xid: r.u64()?,
+                dst: r.u32()?,
+                debit: XferLeg::decode(&mut r)?,
+                credit: XferLeg::decode(&mut r)?,
+            },
+            TAG_XFER_APPLY => LedgerRecord::XferApply {
+                xid: r.u64()?,
+                leg: XferLeg::decode(&mut r)?,
+            },
+            TAG_XFER_RELEASE => LedgerRecord::XferRelease { xid: r.u64()? },
             _ => return None,
         };
         r.done().then_some(rec)
@@ -396,6 +625,42 @@ mod tests {
                 user: 3,
                 amount: i64::MAX,
             },
+            LedgerRecord::UserCounterBuy {
+                isp: 1,
+                user: 4,
+                amount: 250,
+            },
+            LedgerRecord::UserCounterSell {
+                isp: 1,
+                user: 4,
+                amount: 250,
+            },
+            LedgerRecord::XferPrepare {
+                xid: u64::MAX,
+                dst: 7,
+                debit: XferLeg {
+                    kind: XferKind::Charge,
+                    isp: 0,
+                    user: 2,
+                    amount: 0,
+                },
+                credit: XferLeg {
+                    kind: XferKind::Deposit,
+                    isp: 5,
+                    user: 9,
+                    amount: 0,
+                },
+            },
+            LedgerRecord::XferApply {
+                xid: 42,
+                leg: XferLeg {
+                    kind: XferKind::PoolBuy,
+                    isp: 3,
+                    user: 0,
+                    amount: 77,
+                },
+            },
+            LedgerRecord::XferRelease { xid: 42 },
         ]
     }
 

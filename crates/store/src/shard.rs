@@ -1,0 +1,920 @@
+//! The sharded ledger engine: N independent WALs, one economy.
+//!
+//! A single [`LedgerStore`] serializes every book
+//! mutation through one WAL, which caps a deployment at whatever one
+//! log can sustain. [`ShardedLedgerStore`] splits the books across N
+//! engine instances — each with its own WAL, group commit, and
+//! checkpoint slots — while keeping the paper's zero-sum audit exact:
+//!
+//! * [`ShardMap`] assigns every user account to a shard by a **stable,
+//!   seed-independent hash** ([`stable_account_hash`], FNV-1a over the
+//!   account id's little-endian bytes — never `DefaultHasher`, whose
+//!   `RandomState` would scramble shard assignment between runs). Each
+//!   ISP's pool/credit array and each bank's books get a single owner
+//!   shard the same way.
+//! * Records touching one account route to that account's shard, with
+//!   user indices rewritten into the shard-local index space.
+//! * Mutations spanning two shards (a counter purchase whose pool lives
+//!   elsewhere) become **two-phase transfers**: an
+//!   [`XferPrepare`](LedgerRecord::XferPrepare) on the source shard
+//!   applies the debit leg and durably records the credit leg owed —
+//!   the shard-local outbox entry — then an
+//!   [`XferApply`](LedgerRecord::XferApply) lands the credit on the
+//!   destination and an [`XferRelease`](LedgerRecord::XferRelease)
+//!   closes the entry. The prepare is force-committed before the apply
+//!   is journaled, so no ordering of per-shard crashes can surface a
+//!   credit without its debit.
+//! * Recovery scans every shard's full WAL for unreleased prepares and
+//!   **rolls them forward**: if the destination never journaled the
+//!   apply, it is appended now; either way the release is. A crash
+//!   between the phases therefore lands on fully-applied (or, when the
+//!   prepare itself was torn, fully-reverted) — never a half-transfer,
+//!   so conservation drift is exactly 0. The engine never truncates a
+//!   WAL at checkpoint time, which is what makes the full scan sound.
+//!
+//! With one shard the map is the identity, every record routes
+//! unchanged to shard 0, and the WAL bytes are identical to an
+//! unsharded [`LedgerStore`] — sharding is a pure
+//! refinement, which the equivalence property tests pin down.
+//!
+//! Telemetry lands in the global `zmail-obs` registry under `shard.*`
+//! ([`ShardMetrics`]).
+
+use crate::books::{BankBooks, Books, IspBooks, UserBooks};
+use crate::engine::{LedgerStore, RecoveryReport, StoreConfig, WAL};
+use crate::record::{LedgerRecord, XferKind, XferLeg};
+use crate::storage::Storage;
+use crate::wal;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+use std::time::Instant;
+use zmail_obs::{Counter, Histogram};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable, seed-independent hash of a user account id. FNV-1a over a
+/// domain tag plus the id's fixed little-endian encoding: the same
+/// `(isp, user)` hashes identically on every run, platform, and build,
+/// so shard assignment — and therefore every report derived from it —
+/// is reproducible.
+pub fn stable_account_hash(isp: u32, user: u32) -> u64 {
+    let mut bytes = [0u8; 9];
+    bytes[0] = 0x01;
+    bytes[1..5].copy_from_slice(&isp.to_le_bytes());
+    bytes[5..9].copy_from_slice(&user.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Stable hash assigning an ISP's pool (and credit array) an owner
+/// shard; a distinct domain tag keeps pools from colliding with user 0.
+pub fn stable_pool_hash(isp: u32) -> u64 {
+    let mut bytes = [0u8; 5];
+    bytes[0] = 0x02;
+    bytes[1..5].copy_from_slice(&isp.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Stable hash assigning a bank's books an owner shard.
+pub fn stable_bank_hash(bank: u32) -> u64 {
+    let mut bytes = [0u8; 5];
+    bytes[0] = 0x03;
+    bytes[1..5].copy_from_slice(&bank.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// The deployment's account-to-shard assignment, fixed at open time
+/// from the bootstrap books' shape.
+///
+/// Every shard's [`Books`] keeps the global ISP and bank indices (so
+/// records need no ISP rewriting) but holds only the *users it owns*,
+/// reindexed densely in ascending global order. Pool/credit state lives
+/// only on the pool-owner shard; bank books only on the bank-owner.
+/// [`ShardMap::split`] and [`ShardMap::merge`] convert between the
+/// global books and the per-shard slices and are exact inverses, which
+/// the round-trip proptest pins down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+    /// `user_shard[isp][user]` — owning shard of a global account.
+    user_shard: Vec<Vec<u32>>,
+    /// `user_local[isp][user]` — the account's index inside the owning
+    /// shard's slice of that ISP.
+    user_local: Vec<Vec<u32>>,
+    /// `owned[shard][isp]` — global user indices the shard holds, in
+    /// ascending order (the shard-local index space).
+    owned: Vec<Vec<Vec<u32>>>,
+    /// Owner shard of each ISP's pool and credit array.
+    pool_shard: Vec<u32>,
+    /// Owner shard of each bank's books.
+    bank_shard: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Builds the assignment for `shards` shards over the deployment
+    /// shape in `template` (user counts per ISP, bank count).
+    pub fn new(shards: u32, template: &Books) -> ShardMap {
+        let shards = shards.max(1);
+        let isps = template.isps.len();
+        let mut user_shard = Vec::with_capacity(isps);
+        let mut user_local = Vec::with_capacity(isps);
+        let mut owned = vec![vec![Vec::new(); isps]; shards as usize];
+        for (i, isp) in template.isps.iter().enumerate() {
+            let mut shard_of = Vec::with_capacity(isp.users.len());
+            let mut local_of = Vec::with_capacity(isp.users.len());
+            for u in 0..isp.users.len() as u32 {
+                let s = (stable_account_hash(i as u32, u) % u64::from(shards)) as u32;
+                shard_of.push(s);
+                local_of.push(owned[s as usize][i].len() as u32);
+                owned[s as usize][i].push(u);
+            }
+            user_shard.push(shard_of);
+            user_local.push(local_of);
+        }
+        let pool_shard = (0..isps as u32)
+            .map(|i| (stable_pool_hash(i) % u64::from(shards)) as u32)
+            .collect();
+        let bank_shard = (0..template.banks.len() as u32)
+            .map(|b| (stable_bank_hash(b) % u64::from(shards)) as u32)
+            .collect();
+        ShardMap {
+            shards,
+            user_shard,
+            user_local,
+            owned,
+            pool_shard,
+            bank_shard,
+        }
+    }
+
+    /// Number of shards in the assignment.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Owning shard of a global user account.
+    pub fn user_shard(&self, isp: u32, user: u32) -> u32 {
+        self.user_shard[isp as usize][user as usize]
+    }
+
+    /// Shard-local index of a global user account.
+    pub fn user_local(&self, isp: u32, user: u32) -> u32 {
+        self.user_local[isp as usize][user as usize]
+    }
+
+    /// Owner shard of an ISP's pool and credit array.
+    pub fn pool_shard(&self, isp: u32) -> u32 {
+        self.pool_shard[isp as usize]
+    }
+
+    /// Owner shard of a bank's books.
+    pub fn bank_shard(&self, bank: u32) -> u32 {
+        self.bank_shard[bank as usize]
+    }
+
+    /// Splits global books into the N per-shard slices.
+    pub fn split(&self, books: &Books) -> Vec<Books> {
+        (0..self.shards as usize)
+            .map(|s| Books {
+                isps: books
+                    .isps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, isp)| {
+                        let pool = self.pool_shard[i] as usize == s;
+                        IspBooks {
+                            users: self.owned[s][i]
+                                .iter()
+                                .map(|&g| isp.users[g as usize])
+                                .collect(),
+                            avail: if pool { isp.avail } else { 0 },
+                            credit: if pool { isp.credit.clone() } else { Vec::new() },
+                        }
+                    })
+                    .collect(),
+                banks: books
+                    .banks
+                    .iter()
+                    .enumerate()
+                    .map(|(b, bank)| {
+                        if self.bank_shard[b] as usize == s {
+                            bank.clone()
+                        } else {
+                            BankBooks::default()
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Merges N per-shard slices back into global books; the exact
+    /// inverse of [`ShardMap::split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match this map's shape.
+    pub fn merge(&self, parts: &[Books]) -> Books {
+        self.merge_refs(&parts.iter().collect::<Vec<_>>())
+    }
+
+    /// [`ShardMap::merge`] over borrowed slices (avoids cloning each
+    /// shard's books just to merge them).
+    pub fn merge_refs(&self, parts: &[&Books]) -> Books {
+        assert_eq!(parts.len(), self.shards as usize, "shard count mismatch");
+        let mut isps: Vec<IspBooks> = self
+            .user_shard
+            .iter()
+            .enumerate()
+            .map(|(i, users)| {
+                let owner = parts[self.pool_shard[i] as usize];
+                IspBooks {
+                    users: vec![UserBooks::default(); users.len()],
+                    avail: owner.isps[i].avail,
+                    credit: owner.isps[i].credit.clone(),
+                }
+            })
+            .collect();
+        for (s, part) in parts.iter().enumerate() {
+            for (i, globals) in self.owned[s].iter().enumerate() {
+                for (local, &global) in globals.iter().enumerate() {
+                    isps[i].users[global as usize] = part.isps[i].users[local];
+                }
+            }
+        }
+        let banks = self
+            .bank_shard
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| parts[s as usize].banks[b].clone())
+            .collect();
+        Books { isps, banks }
+    }
+}
+
+/// Aggregate of one sharded recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardRecoveryReport {
+    /// Per-shard engine recovery reports, in shard order.
+    pub shards: Vec<RecoveryReport>,
+    /// In-doubt transfers rolled forward with a fresh credit apply (the
+    /// destination had not journaled the apply before the crash).
+    pub resolved_forward: u64,
+    /// In-doubt transfers closed with only a release (the credit had
+    /// already landed durably on the destination).
+    pub resolved_acked: u64,
+}
+
+impl ShardRecoveryReport {
+    /// Total WAL records replayed across shards.
+    pub fn replayed_records(&self) -> u64 {
+        self.shards.iter().map(|r| r.replayed_records).sum()
+    }
+
+    /// Highest checkpoint sequence recovered on any shard.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        self.shards.iter().filter_map(|r| r.checkpoint_seq).max()
+    }
+
+    /// Shards whose WAL carried a torn or corrupt tail.
+    pub fn torn_tails(&self) -> u32 {
+        self.shards.iter().filter(|r| r.torn_tail).count() as u32
+    }
+}
+
+/// What one shard's full WAL scan says about two-phase transfers.
+#[derive(Debug, Default)]
+struct XferScan {
+    /// Unreleased prepares journaled here: xid → (dst shard, credit leg).
+    prepared: BTreeMap<u64, (u32, XferLeg)>,
+    /// Applies journaled here.
+    applied: BTreeSet<u64>,
+    /// Highest xid seen in any transfer record.
+    max_xid: Option<u64>,
+}
+
+fn scan_xfers(wal_bytes: &[u8], valid_len: u64) -> XferScan {
+    let mut out = XferScan::default();
+    let bounded = &wal_bytes[..valid_len.min(wal_bytes.len() as u64) as usize];
+    let scan = wal::scan(bounded, 0);
+    for payload in &scan.payloads {
+        let Some(rec) = LedgerRecord::decode(payload) else {
+            // Checksum-valid frame holding garbage: recovery cuts the
+            // WAL here, so nothing after it can be trusted either.
+            break;
+        };
+        match rec {
+            LedgerRecord::XferPrepare {
+                xid, dst, credit, ..
+            } => {
+                out.prepared.insert(xid, (dst, credit));
+                out.max_xid = Some(out.max_xid.map_or(xid, |m| m.max(xid)));
+            }
+            LedgerRecord::XferApply { xid, .. } => {
+                out.applied.insert(xid);
+                out.max_xid = Some(out.max_xid.map_or(xid, |m| m.max(xid)));
+            }
+            LedgerRecord::XferRelease { xid } => {
+                out.prepared.remove(&xid);
+                out.max_xid = Some(out.max_xid.map_or(xid, |m| m.max(xid)));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// N independent ledger engines presenting one exactly-conserved economy.
+#[derive(Debug)]
+pub struct ShardedLedgerStore<S: Storage> {
+    map: ShardMap,
+    stores: Vec<LedgerStore<S>>,
+    next_xid: u64,
+}
+
+impl<S: Storage> ShardedLedgerStore<S> {
+    /// Opens one engine per backend (shard count = `storages.len()`),
+    /// runs per-shard recovery, then resolves in-doubt cross-shard
+    /// transfers by rolling them forward. `bootstrap` is the global
+    /// deployment books, split across shards by the [`ShardMap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `storages` is empty.
+    pub fn open(
+        storages: Vec<S>,
+        config: StoreConfig,
+        bootstrap: Books,
+    ) -> (Self, ShardRecoveryReport) {
+        assert!(!storages.is_empty(), "at least one shard required");
+        let map = ShardMap::new(storages.len() as u32, &bootstrap);
+        let parts = map.split(&bootstrap);
+        let mut stores = Vec::with_capacity(storages.len());
+        let mut reports = Vec::with_capacity(storages.len());
+        for (storage, part) in storages.into_iter().zip(parts) {
+            let (store, report) = LedgerStore::open(storage, config, part);
+            stores.push(store);
+            reports.push(report);
+        }
+        let mut sharded = ShardedLedgerStore {
+            map,
+            stores,
+            next_xid: 0,
+        };
+        let mut report = ShardRecoveryReport {
+            shards: reports,
+            resolved_forward: 0,
+            resolved_acked: 0,
+        };
+        sharded.resolve_in_doubt(&mut report);
+        let m = ShardMetrics::get();
+        m.resolved_forward.add(report.resolved_forward);
+        m.resolved_acked.add(report.resolved_acked);
+        (sharded, report)
+    }
+
+    /// Scans every shard's WAL for unreleased prepares and completes
+    /// them through the normal append path: the credit is applied on the
+    /// destination unless its apply already survived, and the release is
+    /// journaled on the source. Ascending-xid order keeps resolution
+    /// deterministic.
+    fn resolve_in_doubt(&mut self, report: &mut ShardRecoveryReport) {
+        let mut in_doubt: BTreeMap<u64, (usize, u32, XferLeg)> = BTreeMap::new();
+        let mut applied: BTreeSet<u64> = BTreeSet::new();
+        for (s, store) in self.stores.iter().enumerate() {
+            let scan = scan_xfers(&store.storage().read(WAL), store.wal_len());
+            for (xid, (dst, credit)) in scan.prepared {
+                in_doubt.insert(xid, (s, dst, credit));
+            }
+            applied.extend(scan.applied);
+            if let Some(max) = scan.max_xid {
+                self.next_xid = self.next_xid.max(max + 1);
+            }
+        }
+        for (xid, (src, dst, credit)) in in_doubt {
+            if applied.contains(&xid) {
+                report.resolved_acked += 1;
+            } else {
+                self.stores[dst as usize].append(&LedgerRecord::XferApply { xid, leg: credit });
+                report.resolved_forward += 1;
+            }
+            self.stores[src].append(&LedgerRecord::XferRelease { xid });
+        }
+        if report.resolved_forward + report.resolved_acked > 0 {
+            self.commit_all();
+        }
+    }
+
+    /// Routes one global-index record to its shard(s). Single-account
+    /// records are rewritten into the owning shard's local index space;
+    /// a counter buy/sell whose user and pool live on different shards
+    /// becomes a two-phase transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the internal transfer variants (`UserCounter*`,
+    /// `Xfer*`) — those are emitted by the engine, never routed into it.
+    pub fn append(&mut self, rec: &LedgerRecord) {
+        match *rec {
+            LedgerRecord::Charge { isp, user } => {
+                let s = self.map.user_shard(isp, user);
+                let user = self.map.user_local(isp, user);
+                self.stores[s as usize].append(&LedgerRecord::Charge { isp, user });
+            }
+            LedgerRecord::Deposit { isp, user } => {
+                let s = self.map.user_shard(isp, user);
+                let user = self.map.user_local(isp, user);
+                self.stores[s as usize].append(&LedgerRecord::Deposit { isp, user });
+            }
+            LedgerRecord::Grant { isp, user, amount } => {
+                let s = self.map.user_shard(isp, user);
+                let user = self.map.user_local(isp, user);
+                self.stores[s as usize].append(&LedgerRecord::Grant { isp, user, amount });
+            }
+            LedgerRecord::LimitSet { isp, user, limit } => {
+                let s = self.map.user_shard(isp, user);
+                let user = self.map.user_local(isp, user);
+                self.stores[s as usize].append(&LedgerRecord::LimitSet { isp, user, limit });
+            }
+            LedgerRecord::CreditDelta { isp, .. }
+            | LedgerRecord::SnapshotMarker { isp }
+            | LedgerRecord::PoolBuy { isp, .. }
+            | LedgerRecord::PoolSell { isp, .. } => {
+                self.stores[self.map.pool_shard(isp) as usize].append(rec);
+            }
+            LedgerRecord::BankBuy { bank, .. } | LedgerRecord::BankSell { bank, .. } => {
+                self.stores[self.map.bank_shard(bank) as usize].append(rec);
+            }
+            LedgerRecord::DailyReset { isp } => {
+                // Every shard holding users of this ISP resets its slice;
+                // a user-less ISP still journals the marker on its pool
+                // owner so the record never silently disappears.
+                let mut any = false;
+                for s in 0..self.stores.len() {
+                    if !self.map.owned[s][isp as usize].is_empty() {
+                        self.stores[s].append(rec);
+                        any = true;
+                    }
+                }
+                if !any {
+                    self.stores[self.map.pool_shard(isp) as usize].append(rec);
+                }
+            }
+            LedgerRecord::UserBuy { isp, user, amount } => {
+                // Pool pays out (debit), user account buys in (credit).
+                self.transfer(
+                    XferLeg {
+                        kind: XferKind::PoolSell,
+                        isp,
+                        user: 0,
+                        amount,
+                    },
+                    XferLeg {
+                        kind: XferKind::CounterBuy,
+                        isp,
+                        user,
+                        amount,
+                    },
+                );
+            }
+            LedgerRecord::UserSell { isp, user, amount } => {
+                self.transfer(
+                    XferLeg {
+                        kind: XferKind::CounterSell,
+                        isp,
+                        user,
+                        amount,
+                    },
+                    XferLeg {
+                        kind: XferKind::PoolBuy,
+                        isp,
+                        user: 0,
+                        amount,
+                    },
+                );
+            }
+            LedgerRecord::UserCounterBuy { .. }
+            | LedgerRecord::UserCounterSell { .. }
+            | LedgerRecord::XferPrepare { .. }
+            | LedgerRecord::XferApply { .. }
+            | LedgerRecord::XferRelease { .. } => {
+                panic!("internal shard record cannot be routed: {rec:?}")
+            }
+        }
+    }
+
+    /// Moves value between two book locations, given as legs in
+    /// *global* index space. Same shard: two plain appends. Different
+    /// shards: the two-phase prepare/apply/release protocol, with the
+    /// prepare force-committed before the credit leaves the source.
+    pub fn transfer(&mut self, debit: XferLeg, credit: XferLeg) {
+        let (src, debit) = self.localize(debit);
+        let (dst, credit) = self.localize(credit);
+        let m = ShardMetrics::get();
+        m.xfers.inc();
+        if src == dst {
+            m.same_shard.inc();
+            if let (XferKind::PoolSell, XferKind::CounterBuy) = (debit.kind, credit.kind) {
+                // Collapse back into the single-record form so a 1-shard
+                // deployment journals byte-identical WALs to the
+                // unsharded engine.
+                self.stores[src].append(&LedgerRecord::UserBuy {
+                    isp: credit.isp,
+                    user: credit.user,
+                    amount: credit.amount,
+                });
+            } else if let (XferKind::CounterSell, XferKind::PoolBuy) = (debit.kind, credit.kind) {
+                self.stores[src].append(&LedgerRecord::UserSell {
+                    isp: debit.isp,
+                    user: debit.user,
+                    amount: debit.amount,
+                });
+            } else {
+                self.stores[src].append(&debit.record());
+                self.stores[src].append(&credit.record());
+            }
+            return;
+        }
+        let start = Instant::now();
+        m.cross_shard.inc();
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.stores[src].append(&LedgerRecord::XferPrepare {
+            xid,
+            dst: dst as u32,
+            debit,
+            credit,
+        });
+        // The outbox entry must be durable before the credit exists
+        // anywhere: recovery rolls unreleased prepares forward, and an
+        // apply without a durable prepare would be a half-transfer.
+        self.stores[src].commit();
+        self.stores[dst].append(&LedgerRecord::XferApply { xid, leg: credit });
+        self.stores[src].append(&LedgerRecord::XferRelease { xid });
+        m.xfer_micros.record_duration(start.elapsed());
+    }
+
+    /// Resolves a global-index leg to (owning shard, shard-local leg).
+    fn localize(&self, leg: XferLeg) -> (usize, XferLeg) {
+        match leg.kind {
+            XferKind::PoolBuy | XferKind::PoolSell => (self.map.pool_shard(leg.isp) as usize, leg),
+            XferKind::Charge
+            | XferKind::Deposit
+            | XferKind::CounterBuy
+            | XferKind::CounterSell
+            | XferKind::Grant => {
+                let s = self.map.user_shard(leg.isp, leg.user);
+                let user = self.map.user_local(leg.isp, leg.user);
+                (s as usize, XferLeg { user, ..leg })
+            }
+        }
+    }
+
+    /// Group-commits every shard (in shard order).
+    pub fn commit_all(&mut self) {
+        for store in &mut self.stores {
+            store.commit();
+        }
+        ShardMetrics::get().commits.inc();
+    }
+
+    /// Forces a checkpoint on every shard.
+    pub fn checkpoint_all(&mut self) {
+        for store in &mut self.stores {
+            store.checkpoint();
+        }
+    }
+
+    /// The merged global books, reassembled from the live shards.
+    pub fn books(&self) -> Books {
+        let parts: Vec<&Books> = self.stores.iter().map(|s| s.books()).collect();
+        self.map.merge_refs(&parts)
+    }
+
+    /// Live books of one user account, read from its owning shard.
+    pub fn user(&self, isp: u32, user: u32) -> UserBooks {
+        let s = self.map.user_shard(isp, user) as usize;
+        let local = self.map.user_local(isp, user) as usize;
+        self.stores[s].books().isps[isp as usize].users[local]
+    }
+
+    /// What a restart *right now* would reconstruct, without mutating
+    /// anything: per-shard engine recovery plus the in-doubt transfer
+    /// resolution applied to the recovered images, merged back to
+    /// global books. Pure over the backends' bytes.
+    pub fn simulate_recovery(&self) -> (Books, ShardRecoveryReport) {
+        let mut parts = Vec::with_capacity(self.stores.len());
+        let mut report = ShardRecoveryReport::default();
+        let mut in_doubt: BTreeMap<u64, (usize, u32, XferLeg)> = BTreeMap::new();
+        let mut applied: BTreeSet<u64> = BTreeSet::new();
+        for (s, store) in self.stores.iter().enumerate() {
+            let (books, shard_report) = store.simulate_recovery();
+            let scan = scan_xfers(&store.storage().read(WAL), shard_report.wal_bytes);
+            for (xid, (dst, credit)) in scan.prepared {
+                in_doubt.insert(xid, (s, dst, credit));
+            }
+            applied.extend(scan.applied);
+            parts.push(books);
+            report.shards.push(shard_report);
+        }
+        for (xid, (_, dst, credit)) in in_doubt {
+            if applied.contains(&xid) {
+                report.resolved_acked += 1;
+            } else {
+                parts[dst as usize].apply(&credit.record());
+                report.resolved_forward += 1;
+            }
+        }
+        (self.map.merge(&parts), report)
+    }
+
+    /// The account-to-shard assignment.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Read access to one shard's engine.
+    pub fn shard(&self, i: usize) -> &LedgerStore<S> {
+        &self.stores[i]
+    }
+
+    /// Mutable access to one shard's engine (fault injection hooks).
+    pub fn shard_mut(&mut self, i: usize) -> &mut LedgerStore<S> {
+        &mut self.stores[i]
+    }
+
+    /// Total records appended across shards.
+    pub fn records_appended(&self) -> u64 {
+        self.stores.iter().map(|s| s.records_appended()).sum()
+    }
+
+    /// Total valid WAL bytes across shards.
+    pub fn wal_len(&self) -> u64 {
+        self.stores.iter().map(|s| s.wal_len()).sum()
+    }
+
+    /// Consumes the store, returning the backends in shard order.
+    pub fn into_storages(self) -> Vec<S> {
+        self.stores.into_iter().map(|s| s.into_storage()).collect()
+    }
+}
+
+/// Handle set for the `shard` layer, registered once against
+/// [`zmail_obs::global()`].
+#[derive(Debug)]
+pub struct ShardMetrics {
+    /// Transfers routed, same- or cross-shard (`shard.xfers`).
+    pub xfers: Counter,
+    /// Transfers whose legs shared a shard (`shard.same_shard`).
+    pub same_shard: Counter,
+    /// Two-phase cross-shard transfers (`shard.cross_shard`).
+    pub cross_shard: Counter,
+    /// End-to-end cross-shard transfer latency in µs, prepare commit
+    /// included (`shard.xfer_micros`).
+    pub xfer_micros: Histogram,
+    /// `commit_all` rounds (`shard.commits`).
+    pub commits: Counter,
+    /// In-doubt transfers rolled forward at recovery
+    /// (`shard.resolved_forward`).
+    pub resolved_forward: Counter,
+    /// In-doubt transfers already applied, closed with a release
+    /// (`shard.resolved_acked`).
+    pub resolved_acked: Counter,
+}
+
+impl ShardMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static ShardMetrics {
+        static METRICS: OnceLock<ShardMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            ShardMetrics {
+                xfers: r.counter("shard.xfers"),
+                same_shard: r.counter("shard.same_shard"),
+                cross_shard: r.counter("shard.cross_shard"),
+                xfer_micros: r.histogram("shard.xfer_micros"),
+                commits: r.counter("shard.commits"),
+                resolved_forward: r.counter("shard.resolved_forward"),
+                resolved_acked: r.counter("shard.resolved_acked"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn bootstrap(isps: u32, users: u32) -> Books {
+        Books {
+            isps: (0..isps)
+                .map(|_| IspBooks {
+                    users: vec![
+                        UserBooks {
+                            account: 1_000,
+                            balance: 100,
+                            sent_today: 0,
+                            limit: 100,
+                        };
+                        users as usize
+                    ],
+                    avail: 5_000,
+                    credit: vec![0; isps as usize],
+                })
+                .collect(),
+            banks: vec![BankBooks {
+                accounts: vec![1_000_000; isps as usize],
+                issued: 0,
+            }],
+        }
+    }
+
+    fn storages(n: usize) -> Vec<MemStorage> {
+        (0..n).map(|_| MemStorage::new()).collect()
+    }
+
+    #[test]
+    fn account_hash_is_stable_across_calls_and_distinct_by_domain() {
+        assert_eq!(
+            stable_account_hash(3, 41),
+            stable_account_hash(3, 41),
+            "hash must be a pure function of the id"
+        );
+        assert_ne!(stable_account_hash(0, 0), stable_pool_hash(0));
+        assert_ne!(stable_pool_hash(0), stable_bank_hash(0));
+        // FNV-1a of the 9-byte account encoding, fixed forever: a change
+        // here silently reshards every deployment.
+        assert_eq!(
+            stable_account_hash(0, 0),
+            fnv1a(&[1, 0, 0, 0, 0, 0, 0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn split_merge_round_trips() {
+        let books = bootstrap(3, 7);
+        for shards in [1, 2, 3, 8] {
+            let map = ShardMap::new(shards, &books);
+            let parts = map.split(&books);
+            assert_eq!(parts.len(), shards as usize);
+            assert_eq!(map.merge(&parts), books, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn one_shard_wal_is_byte_identical_to_the_unsharded_engine() {
+        let records = vec![
+            LedgerRecord::Charge { isp: 0, user: 1 },
+            LedgerRecord::Deposit { isp: 1, user: 0 },
+            LedgerRecord::UserBuy {
+                isp: 0,
+                user: 1,
+                amount: 25,
+            },
+            LedgerRecord::UserSell {
+                isp: 1,
+                user: 2,
+                amount: 5,
+            },
+            LedgerRecord::DailyReset { isp: 0 },
+            LedgerRecord::SnapshotMarker { isp: 1 },
+            LedgerRecord::BankBuy {
+                bank: 0,
+                isp: 0,
+                value: 100,
+                cost: 10,
+            },
+        ];
+        let (mut plain, _) =
+            LedgerStore::open(MemStorage::new(), StoreConfig::default(), bootstrap(2, 3));
+        let (mut sharded, _) =
+            ShardedLedgerStore::open(storages(1), StoreConfig::default(), bootstrap(2, 3));
+        for rec in &records {
+            plain.append(rec);
+            sharded.append(rec);
+        }
+        plain.commit();
+        sharded.commit_all();
+        assert_eq!(sharded.books(), plain.books().clone());
+        assert_eq!(
+            sharded.shard(0).storage().read(WAL),
+            plain.storage().read(WAL),
+            "1-shard WAL must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn sharded_books_match_unsharded_for_any_shard_count() {
+        let records = vec![
+            LedgerRecord::Charge { isp: 0, user: 0 },
+            LedgerRecord::Charge { isp: 2, user: 4 },
+            LedgerRecord::Deposit { isp: 1, user: 3 },
+            LedgerRecord::UserBuy {
+                isp: 2,
+                user: 1,
+                amount: 40,
+            },
+            LedgerRecord::UserSell {
+                isp: 0,
+                user: 2,
+                amount: 15,
+            },
+            LedgerRecord::CreditDelta {
+                isp: 1,
+                peer: 2,
+                delta: 3,
+            },
+            LedgerRecord::DailyReset { isp: 2 },
+            LedgerRecord::LimitSet {
+                isp: 1,
+                user: 1,
+                limit: 9,
+            },
+            LedgerRecord::Grant {
+                isp: 0,
+                user: 4,
+                amount: 7,
+            },
+        ];
+        let mut reference = bootstrap(3, 5);
+        for rec in &records {
+            reference.apply(rec);
+        }
+        for shards in [1usize, 2, 4, 16] {
+            let (mut sharded, _) =
+                ShardedLedgerStore::open(storages(shards), StoreConfig::default(), bootstrap(3, 5));
+            for rec in &records {
+                sharded.append(rec);
+            }
+            sharded.commit_all();
+            assert_eq!(sharded.books(), reference, "{shards} shards");
+            let (recovered, _) = sharded.simulate_recovery();
+            assert_eq!(recovered, reference, "{shards} shards recovered");
+        }
+    }
+
+    #[test]
+    fn cross_shard_transfer_conserves_and_recovers() {
+        let boot = bootstrap(4, 6);
+        let total = boot.epennies_found();
+        let (mut sharded, _) = ShardedLedgerStore::open(storages(4), StoreConfig::default(), boot);
+        for user in 0..6u32 {
+            sharded.append(&LedgerRecord::UserBuy {
+                isp: user % 4,
+                user,
+                amount: 10,
+            });
+        }
+        sharded.commit_all();
+        assert_eq!(sharded.books().epennies_found(), total);
+        let (recovered, report) = sharded.simulate_recovery();
+        assert_eq!(recovered, sharded.books());
+        assert_eq!(
+            report.resolved_forward, 0,
+            "completed transfers need no help"
+        );
+        // Reopen from the raw backends: same books, no drift.
+        let backends = sharded.into_storages();
+        let (reopened, _) =
+            ShardedLedgerStore::open(backends, StoreConfig::default(), bootstrap(4, 6));
+        assert_eq!(reopened.books().epennies_found(), total);
+    }
+
+    #[test]
+    fn xids_continue_after_reopen() {
+        let (mut sharded, _) =
+            ShardedLedgerStore::open(storages(4), StoreConfig::default(), bootstrap(4, 8));
+        for user in 0..8u32 {
+            sharded.append(&LedgerRecord::UserBuy {
+                isp: 0,
+                user,
+                amount: 1,
+            });
+        }
+        sharded.commit_all();
+        let first_gen = sharded.next_xid;
+        let backends = sharded.into_storages();
+        let (reopened, _) =
+            ShardedLedgerStore::open(backends, StoreConfig::default(), bootstrap(4, 8));
+        assert_eq!(
+            reopened.next_xid, first_gen,
+            "xid allocator must resume past every durable transfer"
+        );
+    }
+}

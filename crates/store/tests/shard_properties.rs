@@ -1,0 +1,219 @@
+//! Sharding properties: splitting books across shards and merging them
+//! back must be lossless for *any* book shape and shard count, and a
+//! sharded engine fed any record stream must agree — books, audit, and
+//! recovery — with the plain single-engine fold of the same stream.
+
+use proptest::prelude::*;
+use zmail_store::{
+    BankBooks, Books, IspBooks, LedgerRecord, MemStorage, ShardMap, ShardedLedgerStore,
+    StoreConfig, UserBooks,
+};
+
+const ISPS: u32 = 3;
+const USERS: u32 = 4;
+
+fn bootstrap() -> Books {
+    Books {
+        isps: (0..ISPS)
+            .map(|_| IspBooks {
+                users: vec![
+                    UserBooks {
+                        account: 1_000,
+                        balance: 100,
+                        sent_today: 0,
+                        limit: 100,
+                    };
+                    USERS as usize
+                ],
+                avail: 5_000,
+                credit: vec![0; ISPS as usize],
+            })
+            .collect(),
+        banks: vec![BankBooks {
+            accounts: vec![1_000_000; ISPS as usize],
+            issued: 0,
+        }],
+    }
+}
+
+/// Arbitrary ragged deployments: ISPs with differing user counts,
+/// including empty ISPs and bookless corner cases.
+fn books_strategy() -> impl Strategy<Value = Books> {
+    (0usize..4).prop_flat_map(|nisps| {
+        let user = (-500i64..500, -500i64..500, 0u32..50, 0u32..50).prop_map(
+            |(account, balance, sent_today, limit)| UserBooks {
+                account,
+                balance,
+                sent_today,
+                limit,
+            },
+        );
+        let isp = (
+            proptest::collection::vec(user, 0..5),
+            -1_000i64..1_000,
+            proptest::collection::vec(-50i64..50, nisps..nisps + 1),
+        )
+            .prop_map(|(users, avail, credit)| IspBooks {
+                users,
+                avail,
+                credit,
+            });
+        let bank = (
+            proptest::collection::vec(-100i64..10_000, nisps..nisps + 1),
+            0i64..1_000_000,
+        )
+            .prop_map(|(accounts, issued)| BankBooks { accounts, issued });
+        (
+            proptest::collection::vec(isp, nisps..nisps + 1),
+            proptest::collection::vec(bank, 0..3),
+        )
+            .prop_map(|(isps, banks)| Books { isps, banks })
+    })
+}
+
+/// The public (routable) record alphabet over the fixed 3×4 deployment;
+/// the internal transfer variants are engine-emitted, never routed.
+fn record_from(kind: u32, a: u32, b: u32, amt: i64) -> LedgerRecord {
+    let isp = a % ISPS;
+    let user = b % USERS;
+    let peer = b % ISPS;
+    let amount = amt.rem_euclid(500);
+    match kind % 13 {
+        0 => LedgerRecord::Charge { isp, user },
+        1 => LedgerRecord::Deposit { isp, user },
+        2 => LedgerRecord::CreditDelta {
+            isp,
+            peer,
+            delta: amt.rem_euclid(7) - 3,
+        },
+        3 => LedgerRecord::UserBuy { isp, user, amount },
+        4 => LedgerRecord::UserSell { isp, user, amount },
+        5 => LedgerRecord::PoolBuy { isp, amount },
+        6 => LedgerRecord::PoolSell { isp, amount },
+        7 => LedgerRecord::BankBuy {
+            bank: 0,
+            isp,
+            value: amount,
+            cost: amount / 10,
+        },
+        8 => LedgerRecord::BankSell {
+            bank: 0,
+            isp,
+            value: amount,
+            credit: amount / 10,
+        },
+        9 => LedgerRecord::SnapshotMarker { isp },
+        10 => LedgerRecord::DailyReset { isp },
+        11 => LedgerRecord::LimitSet {
+            isp,
+            user,
+            limit: (amt.rem_euclid(200)) as u32,
+        },
+        _ => LedgerRecord::Grant { isp, user, amount },
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, i64)>> {
+    proptest::collection::vec((0u32..13, 0u32..8, 0u32..8, -1000i64..1000), 0..40)
+}
+
+fn open_sharded(shards: u32) -> ShardedLedgerStore<MemStorage> {
+    let storages = (0..shards).map(|_| MemStorage::new()).collect();
+    let (store, _) = ShardedLedgerStore::open(storages, StoreConfig::default(), bootstrap());
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite: split → merge is the identity on any books at any
+    /// shard count, and splitting loses no e-pennies — the parts' found
+    /// supplies sum to the whole's.
+    #[test]
+    fn split_merge_round_trips_any_books(books in books_strategy(), shards in 1u32..17) {
+        let map = ShardMap::new(shards, &books);
+        let parts = map.split(&books);
+        prop_assert_eq!(parts.len(), shards as usize);
+        let total: i64 = parts.iter().map(Books::epennies_found).sum();
+        prop_assert_eq!(total, books.epennies_found());
+        prop_assert_eq!(map.merge(&parts), books);
+    }
+
+    /// Every account lands on exactly one shard, at a local index that
+    /// round-trips back to its global one.
+    #[test]
+    fn shard_assignment_is_a_bijection(books in books_strategy(), shards in 1u32..17) {
+        let map = ShardMap::new(shards, &books);
+        let parts = map.split(&books);
+        for (i, isp) in books.isps.iter().enumerate() {
+            let mut seen = vec![0usize; shards as usize];
+            for u in 0..isp.users.len() as u32 {
+                let s = map.user_shard(i as u32, u);
+                let local = map.user_local(i as u32, u) as usize;
+                prop_assert!(s < shards);
+                prop_assert_eq!(&parts[s as usize].isps[i].users[local], &isp.users[u as usize]);
+                seen[s as usize] += 1;
+            }
+            let placed: usize = seen.iter().sum();
+            prop_assert_eq!(placed, isp.users.len());
+        }
+    }
+
+    /// A sharded engine and a plain fold of the same stream agree on the
+    /// merged books, the e-penny supply, and what recovery reconstructs
+    /// — at every shard count.
+    #[test]
+    fn sharded_stream_matches_plain_fold(ops in op_strategy(), shards in 1u32..9) {
+        let mut expected = bootstrap();
+        let mut sharded = open_sharded(shards);
+        for &(k, a, b, amt) in &ops {
+            let rec = record_from(k, a, b, amt);
+            expected.apply(&rec);
+            sharded.append(&rec);
+        }
+        sharded.commit_all();
+        prop_assert_eq!(&sharded.books(), &expected);
+        prop_assert_eq!(sharded.books().epennies_found(), expected.epennies_found());
+        let (recovered, report) = sharded.simulate_recovery();
+        prop_assert_eq!(&recovered, &expected);
+        prop_assert!(report.torn_tails() == 0);
+    }
+
+    /// Commit-per-record: crash (= recover) after every single append
+    /// still reproduces the exact fold prefix, in-doubt transfers and
+    /// all.
+    #[test]
+    fn sharded_recovery_matches_replay_at_every_prefix(
+        ops in proptest::collection::vec((0u32..13, 0u32..8, 0u32..8, -1000i64..1000), 0..20),
+        shards in 2u32..6,
+    ) {
+        let mut expected = bootstrap();
+        let mut sharded = open_sharded(shards);
+        for &(k, a, b, amt) in &ops {
+            let rec = record_from(k, a, b, amt);
+            expected.apply(&rec);
+            sharded.append(&rec);
+            sharded.commit_all();
+            let (recovered, _) = sharded.simulate_recovery();
+            prop_assert_eq!(&recovered, &expected);
+        }
+    }
+
+    /// A cold reopen over the surviving backends equals the live books:
+    /// the on-disk representation alone carries the whole state,
+    /// including outbox entries for cross-shard transfers.
+    #[test]
+    fn sharded_reopen_reproduces_live_books(ops in op_strategy(), shards in 1u32..9) {
+        let mut sharded = open_sharded(shards);
+        for &(k, a, b, amt) in &ops {
+            sharded.append(&record_from(k, a, b, amt));
+        }
+        sharded.commit_all();
+        let live = sharded.books();
+        let (reopened, report) =
+            ShardedLedgerStore::open(sharded.into_storages(), StoreConfig::default(), bootstrap());
+        prop_assert_eq!(reopened.books(), live);
+        // Everything was committed, so nothing was in doubt.
+        prop_assert_eq!(report.resolved_forward, 0);
+    }
+}

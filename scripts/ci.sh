@@ -42,4 +42,12 @@ cargo test -q --release -p zmail-store --test recovery_properties
 cargo test -q --release -p zmail-fault --test storage_faults
 cargo run --release -q -p zmail-bench --bin e16_durability -- --smoke > /dev/null
 
+echo "== sharding (split/merge properties, 2PC crash faults, E17 smoke)"
+cargo test -q --release -p zmail-store --test shard_properties
+cargo test -q --release -p zmail-fault --test shard_crashes
+cargo run --release -q -p zmail-bench --bin e17_million_users -- --smoke > /dev/null
+
+echo "== parallel equivalence (serial vs threaded E17 runs byte-identical)"
+cargo run --release -q -p zmail-bench --bin e17_million_users -- --equivalence > /dev/null
+
 echo "CI: all green"

@@ -7,8 +7,9 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] /
 //!   [`prop_oneof!`];
 //! * strategies for integer/float ranges, `any::<T>()`, [`strategy::Just`],
-//!   tuples, `collection::vec`, and a regex-lite interpretation of `&str`
-//!   patterns (char classes, escapes, `{m,n}` quantifiers);
+//!   tuples, `collection::vec`, the `prop_map` / `prop_flat_map`
+//!   combinators, and a regex-lite interpretation of `&str` patterns
+//!   (char classes, escapes, `{m,n}` quantifiers);
 //! * a deterministic [`test_runner::TestRunner`]-style loop: each case is
 //!   seeded from the test name and case index, so failures are reproducible.
 //!

@@ -15,6 +15,64 @@ pub trait Strategy {
 
     /// Draws one value from `rng`.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+
+    /// Derives a second strategy from each generated value and draws
+    /// from it — for shapes where one dimension constrains another
+    /// (e.g. a matrix whose row length is itself generated).
+    fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, map }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.map)(self.source.generate(rng)).generate(rng)
+    }
 }
 
 impl<V> Strategy for Box<dyn Strategy<Value = V>> {
@@ -280,6 +338,23 @@ mod tests {
             let j = Just(42u16).generate(&mut rng);
             assert_eq!(j, 42);
             let _any: u8 = any::<u8>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::seed_from_u64(14);
+        for _ in 0..200 {
+            let doubled = (0u32..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(doubled < 20 && doubled % 2 == 0);
+            // A ragged matrix: row length drawn first, rows sized to it.
+            let rows = (1usize..5)
+                .prop_flat_map(|w| {
+                    crate::collection::vec(crate::collection::vec(0u8..9, w..w + 1), 0..4)
+                })
+                .generate(&mut rng);
+            let widths: Vec<usize> = rows.iter().map(Vec::len).collect();
+            assert!(widths.windows(2).all(|p| p[0] == p[1]));
         }
     }
 
