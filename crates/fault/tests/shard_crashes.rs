@@ -217,3 +217,21 @@ fn mixed_workload_crash_conserves_every_penny() {
     let (resim, _) = recovered.simulate_recovery();
     assert_eq!(resim, recovered.books());
 }
+
+#[test]
+fn repro_release_durable_before_apply() {
+    let mut store = open(2);
+    let (from, to) = cross_shard_pair(&store);
+    transfer(&mut store, from, to);
+    // Persist the source's release; the destination's apply dies.
+    let src = store.map().user_shard(from.0, from.1) as usize;
+    store.shard_mut(src).commit();
+    let (recovered, report) = crash_and_reopen(store);
+    assert_eq!(
+        recovered.books().epennies_found(),
+        bootstrap().epennies_found(),
+        "supply drift: forward={} acked={}",
+        report.resolved_forward,
+        report.resolved_acked
+    );
+}
