@@ -49,6 +49,30 @@
 //! | AP010 | Warn/Info | action never fired within the exploration bound (Warn when the space was exhausted — a proven-dead guard; Info when the budget was hit first) |
 //! | AP011 | Error | observed send to a target the footprint does not declare (footprint lie) |
 //! | AP012 | Info | declared send target never observed within an exhausted exploration |
+//! | AP013 | Error | model-dependent pair whose mirrored sim footprints are disjoint, with no structural explanation (shared local state the executable world's keys cannot see) |
+//! | AP014 | Info | model-independent pair whose mirrored sim footprints overlap (executable footprint coarser than the proven relation — sound, but batching-pessimal) |
+//!
+//! # Independence cross-check
+//!
+//! [`independence_crosscheck`] closes the loop between the *verified
+//! model* and the *executable world*: the AP independence relation
+//! derived here is compared against the `ParallelWorld` footprint keys
+//! of the sim events that mirror each spec action (supplied by the
+//! caller, e.g. `zmail_core::spec::sim_mirror_footprints`). Two kinds
+//! of divergence exist:
+//!
+//! * **disjoint-but-dependent** (`AP013`): the model orders the pair,
+//!   the sim keys do not. Most such pairs are *explained* — the
+//!   dependence is carried by a mechanism other than shared keys
+//!   (FIFO channel delivery maps to scheduler event ordering; a
+//!   `reads_global` timeout guard maps to the serialized apply phase;
+//!   same-process control flow with no shared variables). The
+//!   *unexplained* residue — same-process actions that share local
+//!   variables yet map to disjoint keys — is an error: the executable
+//!   footprints would reorder accesses the model proves conflicting.
+//! * **overlap-but-independent** (`AP014`): the model proves the pair
+//!   commutes but the sim keys collide. Sound (over-declaring only
+//!   costs parallelism), so advisory.
 
 use crate::explore::{explore, ExploreConfig, ExploreOutcome};
 use crate::process::{ActionMeta, Guard, Pid, SystemSpec};
@@ -85,6 +109,11 @@ pub mod codes {
     pub const UNDECLARED_SEND: &str = "AP011";
     /// Declared send target never observed.
     pub const DECLARED_SEND_UNOBSERVED: &str = "AP012";
+    /// Model-dependent pair with disjoint sim footprints and no
+    /// structural explanation.
+    pub const DISJOINT_BUT_DEPENDENT: &str = "AP013";
+    /// Model-independent pair with overlapping sim footprints.
+    pub const OVERLAP_BUT_INDEPENDENT: &str = "AP014";
 }
 
 /// How bad a diagnostic is. `Error` diagnostics fail the `speclint`
@@ -776,6 +805,388 @@ where
     report
 }
 
+/// Why a model-level dependence is *consistent* with key-disjointness
+/// at the sim level: the ordering is carried by a mechanism other than
+/// shared state keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DependenceReason {
+    /// Same-process control flow with no shared variables — AP
+    /// processes execute one action at a time regardless of data.
+    SameProcess,
+    /// A `reads_global` guard makes the model conservatively dependent;
+    /// the sim harness serializes all applies, so no key is needed.
+    GlobalReads,
+    /// Send/receive interplay on a shared channel — the sim scheduler's
+    /// FIFO event delivery carries this ordering, not a state key.
+    ChannelOrder,
+    /// An action without footprint metadata is dependent on everything;
+    /// nothing can be concluded from its sim keys.
+    MissingFootprint,
+}
+
+impl DependenceReason {
+    /// Stable kebab-case name, used in JSON and rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DependenceReason::SameProcess => "same-process",
+            DependenceReason::GlobalReads => "global-reads",
+            DependenceReason::ChannelOrder => "channel-order",
+            DependenceReason::MissingFootprint => "missing-footprint",
+        }
+    }
+}
+
+impl fmt::Display for DependenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A disjoint-but-dependent pair whose dependence the cross-check could
+/// attribute to a non-key mechanism — recorded, not flagged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExplainedPair {
+    /// Index of the first action (into [`SystemSpec::actions`]).
+    pub a: usize,
+    /// Index of the second action.
+    pub b: usize,
+    /// The mechanism that carries the ordering.
+    pub reason: DependenceReason,
+}
+
+/// One divergence between the verified independence relation and the
+/// executable world's footprint keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CrosscheckFinding {
+    /// `AP013` or `AP014`; see [`codes`].
+    pub code: &'static str,
+    /// [`Severity::Error`] for unexplained AP013, [`Severity::Info`]
+    /// for AP014.
+    pub severity: Severity,
+    /// Index of the first action.
+    pub a: usize,
+    /// Index of the second action.
+    pub b: usize,
+    /// `"process/action"` label of the first action.
+    pub label_a: String,
+    /// Label of the second action.
+    pub label_b: String,
+    /// Sim keys both actions' mirrors touch (AP014 only).
+    pub shared_keys: Vec<u64>,
+    /// Model variables both actions touch (AP013 only).
+    pub shared_variables: Vec<String>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CrosscheckFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} <-> {}: {}",
+            self.code, self.severity, self.label_a, self.label_b, self.message
+        )
+    }
+}
+
+/// Result of [`independence_crosscheck`]: how many mirrored pairs were
+/// compared, which dependencies the sim carries by other means, and any
+/// genuine divergence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CrosscheckReport {
+    /// Actions with a sim-mirrored footprint (`Some` entries supplied).
+    pub actions_mirrored: usize,
+    /// Unordered pairs where both actions are mirrored.
+    pub pairs_compared: usize,
+    /// Pairs where the two relations agree outright (dependent+overlap
+    /// or independent+disjoint).
+    pub consistent_pairs: usize,
+    /// Dependent+disjoint pairs attributed to a non-key mechanism.
+    pub explained: Vec<ExplainedPair>,
+    /// The divergences, errors first.
+    pub findings: Vec<CrosscheckFinding>,
+}
+
+impl CrosscheckReport {
+    /// Whether any [`Severity::Error`] finding was produced — the gate
+    /// condition for the `speclint` binary.
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Count of explained pairs attributed to `reason`.
+    pub fn explained_count(&self, reason: DependenceReason) -> usize {
+        self.explained.iter().filter(|e| e.reason == reason).count()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; see
+    /// [`AnalysisReport::to_json`] for why).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_kv(
+            &mut out,
+            "actions_mirrored",
+            &self.actions_mirrored.to_string(),
+        );
+        out.push(',');
+        push_kv(&mut out, "pairs_compared", &self.pairs_compared.to_string());
+        out.push(',');
+        push_kv(
+            &mut out,
+            "consistent_pairs",
+            &self.consistent_pairs.to_string(),
+        );
+        out.push(',');
+        push_key(&mut out, "explained");
+        out.push('[');
+        for (i, e) in self.explained.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"a\":{},\"b\":{},\"reason\":{}}}",
+                e.a,
+                e.b,
+                json_string(e.reason.as_str())
+            ));
+        }
+        out.push(']');
+        out.push(',');
+        push_key(&mut out, "findings");
+        out.push('[');
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv(&mut out, "code", &json_string(finding.code));
+            out.push(',');
+            push_kv(
+                &mut out,
+                "severity",
+                &json_string(&finding.severity.to_string()),
+            );
+            out.push(',');
+            push_kv(&mut out, "a", &finding.a.to_string());
+            out.push(',');
+            push_kv(&mut out, "b", &finding.b.to_string());
+            out.push(',');
+            push_kv(&mut out, "label_a", &json_string(&finding.label_a));
+            out.push(',');
+            push_kv(&mut out, "label_b", &json_string(&finding.label_b));
+            out.push(',');
+            push_key(&mut out, "shared_keys");
+            out.push('[');
+            for (k, key) in finding.shared_keys.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&key.to_string());
+            }
+            out.push(']');
+            out.push(',');
+            push_key(&mut out, "shared_variables");
+            push_str_array(&mut out, &finding.shared_variables);
+            out.push(',');
+            push_kv(&mut out, "message", &json_string(&finding.message));
+            out.push('}');
+        }
+        out.push(']');
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for CrosscheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crosscheck: {} mirrored actions, {} pairs compared, {} consistent",
+            self.actions_mirrored, self.pairs_compared, self.consistent_pairs
+        )?;
+        writeln!(
+            f,
+            "  dependence carried by other means: {} channel-order, {} global-reads, \
+             {} same-process, {} missing-footprint",
+            self.explained_count(DependenceReason::ChannelOrder),
+            self.explained_count(DependenceReason::GlobalReads),
+            self.explained_count(DependenceReason::SameProcess),
+            self.explained_count(DependenceReason::MissingFootprint),
+        )?;
+        if self.findings.is_empty() {
+            writeln!(f, "  no divergence between model and executable world")?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares the AP independence relation in `report` against sim-level
+/// footprint disjointness for the spec-mirrored events.
+///
+/// `sim_keys[i]` is the `ParallelWorld` footprint key set of the sim
+/// event mirroring action `i` of `spec`, or `None` when the action has
+/// no executable mirror (it is then skipped). Produces `AP013` errors
+/// for same-process, variable-sharing pairs whose mirrors claim
+/// disjointness, and `AP014` advisories for proven-independent pairs
+/// whose mirrors collide; every other dependent+disjoint pair is
+/// recorded as [`ExplainedPair`] with the mechanism that carries its
+/// ordering.
+///
+/// # Panics
+///
+/// Panics if `sim_keys.len()` differs from the spec's action count.
+pub fn independence_crosscheck<S, M>(
+    spec: &SystemSpec<S, M>,
+    report: &AnalysisReport,
+    sim_keys: &[Option<Vec<u64>>],
+) -> CrosscheckReport {
+    let actions = spec.actions();
+    assert_eq!(
+        sim_keys.len(),
+        actions.len(),
+        "one sim footprint slot per spec action"
+    );
+    let independent: HashSet<(usize, usize)> = report.independent_pairs.iter().copied().collect();
+
+    let mut pairs_compared = 0usize;
+    let mut consistent_pairs = 0usize;
+    let mut explained: Vec<ExplainedPair> = Vec::new();
+    let mut findings: Vec<CrosscheckFinding> = Vec::new();
+
+    for a in 0..actions.len() {
+        let Some(keys_a) = &sim_keys[a] else { continue };
+        for b in (a + 1)..actions.len() {
+            let Some(keys_b) = &sim_keys[b] else { continue };
+            pairs_compared += 1;
+            let shared_keys: Vec<u64> = {
+                let set: BTreeSet<u64> = keys_a
+                    .iter()
+                    .filter(|k| keys_b.contains(k))
+                    .copied()
+                    .collect();
+                set.into_iter().collect()
+            };
+            let disjoint = shared_keys.is_empty();
+            let ap_independent = independent.contains(&(a, b));
+            let (act_a, act_b) = (&actions[a], &actions[b]);
+
+            if !disjoint && ap_independent {
+                findings.push(CrosscheckFinding {
+                    code: codes::OVERLAP_BUT_INDEPENDENT,
+                    severity: Severity::Info,
+                    a,
+                    b,
+                    label_a: report.action_labels[a].clone(),
+                    label_b: report.action_labels[b].clone(),
+                    shared_keys,
+                    shared_variables: Vec::new(),
+                    message: "the model proves this pair commutes, but the mirrored sim \
+                              footprints share keys; the executable declaration is coarser \
+                              than necessary — sound, but it defeats batching the proof \
+                              permits"
+                        .into(),
+                });
+                continue;
+            }
+            if disjoint && !ap_independent {
+                // Attribute the model-level dependence to whatever
+                // non-key mechanism carries it in the sim harness.
+                let reason = if act_a.pid == act_b.pid {
+                    match (&act_a.meta, &act_b.meta) {
+                        (Some(ma), Some(mb)) => {
+                            let touched: BTreeSet<&str> = ma
+                                .reads
+                                .iter()
+                                .chain(ma.writes.iter())
+                                .map(String::as_str)
+                                .collect();
+                            let shared_variables: Vec<String> = {
+                                let set: BTreeSet<&str> = mb
+                                    .reads
+                                    .iter()
+                                    .chain(mb.writes.iter())
+                                    .map(String::as_str)
+                                    .filter(|v| touched.contains(*v))
+                                    .collect();
+                                set.into_iter().map(str::to_string).collect()
+                            };
+                            if shared_variables.is_empty() {
+                                Some(DependenceReason::SameProcess)
+                            } else {
+                                findings.push(CrosscheckFinding {
+                                    code: codes::DISJOINT_BUT_DEPENDENT,
+                                    severity: Severity::Error,
+                                    a,
+                                    b,
+                                    label_a: report.action_labels[a].clone(),
+                                    label_b: report.action_labels[b].clone(),
+                                    shared_keys: Vec::new(),
+                                    shared_variables,
+                                    message: "same-process actions share local variables, \
+                                              but their sim mirrors declare disjoint \
+                                              footprints; the executable world would \
+                                              reorder accesses the model proves \
+                                              conflicting"
+                                        .into(),
+                                });
+                                continue;
+                            }
+                        }
+                        _ => Some(DependenceReason::MissingFootprint),
+                    }
+                } else if act_a.meta.is_none() || act_b.meta.is_none() {
+                    Some(DependenceReason::MissingFootprint)
+                } else if sends_to(act_a.meta.as_ref(), act_b.pid)
+                    && receives_from(act_b, act_a.pid)
+                    || sends_to(act_b.meta.as_ref(), act_a.pid) && receives_from(act_a, act_b.pid)
+                {
+                    Some(DependenceReason::ChannelOrder)
+                } else if act_a.meta.as_ref().is_some_and(|m| m.global_reads)
+                    || act_b.meta.as_ref().is_some_and(|m| m.global_reads)
+                {
+                    Some(DependenceReason::GlobalReads)
+                } else {
+                    // Structurally impossible given how the relation is
+                    // derived, but stay sound if that ever changes.
+                    None
+                };
+                match reason {
+                    Some(reason) => explained.push(ExplainedPair { a, b, reason }),
+                    None => findings.push(CrosscheckFinding {
+                        code: codes::DISJOINT_BUT_DEPENDENT,
+                        severity: Severity::Error,
+                        a,
+                        b,
+                        label_a: report.action_labels[a].clone(),
+                        label_b: report.action_labels[b].clone(),
+                        shared_keys: Vec::new(),
+                        shared_variables: Vec::new(),
+                        message: "the model orders this cross-process pair through no \
+                                  recognizable mechanism, yet the sim mirrors declare \
+                                  disjoint footprints"
+                            .into(),
+                    }),
+                }
+                continue;
+            }
+            consistent_pairs += 1;
+        }
+    }
+
+    findings.sort_by(|x, y| (x.severity, x.code, x.a, x.b).cmp(&(y.severity, y.code, y.a, y.b)));
+    CrosscheckReport {
+        actions_mirrored: sim_keys.iter().filter(|k| k.is_some()).count(),
+        pairs_compared,
+        consistent_pairs,
+        explained,
+        findings,
+    }
+}
+
 /// Bounded BFS with traced execution: per-action sets of observed send
 /// targets, plus whether the walk drained its queue within the bounds.
 fn observed_sends<S, M>(
@@ -1309,6 +1720,165 @@ mod tests {
     fn json_escapes_special_characters() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// `clean_spec`'s emit/absorb pair is channel-dependent; mirrors on
+    /// different keys are consistent with that — the ordering rides the
+    /// scheduler's FIFO delivery.
+    #[test]
+    fn crosscheck_explains_channel_dependence() {
+        let (spec, _) = clean_spec();
+        let report = analyze_structure(&spec);
+        let keys = vec![Some(vec![1u64]), Some(vec![2u64])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert_eq!(cross.pairs_compared, 1);
+        assert!(cross.findings.is_empty(), "{cross}");
+        assert_eq!(cross.explained_count(DependenceReason::ChannelOrder), 1);
+        assert!(!cross.has_errors());
+    }
+
+    #[test]
+    fn crosscheck_flags_same_process_variable_sharing_on_disjoint_keys() {
+        let mut spec = Spec::new();
+        let p = spec.add_process("p");
+        for name in ["inc", "reset"] {
+            spec.add_action_meta(
+                p,
+                name,
+                Guard::always(),
+                ActionMeta::new().reads(["n"]).writes(["n"]),
+                noop,
+            );
+        }
+        let report = analyze_structure(&spec);
+        // Both actions touch `n`, but the mirrors claim disjoint keys.
+        let keys = vec![Some(vec![10u64]), Some(vec![11u64])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert!(cross.has_errors());
+        assert_eq!(cross.findings.len(), 1);
+        let finding = &cross.findings[0];
+        assert_eq!(finding.code, codes::DISJOINT_BUT_DEPENDENT);
+        assert_eq!(finding.severity, Severity::Error);
+        assert_eq!(finding.shared_variables, vec!["n".to_string()]);
+        // Same mirrors on a shared key: consistent, no finding.
+        let honest = vec![Some(vec![10u64]), Some(vec![10u64])];
+        let cross = independence_crosscheck(&spec, &report, &honest);
+        assert!(!cross.has_errors(), "{cross}");
+        assert_eq!(cross.consistent_pairs, 1);
+    }
+
+    #[test]
+    fn crosscheck_same_process_control_only_dependence_is_explained() {
+        let mut spec = Spec::new();
+        let p = spec.add_process("p");
+        spec.add_action_meta(
+            p,
+            "left",
+            Guard::always(),
+            ActionMeta::new().reads(["x"]).writes(["x"]),
+            noop,
+        );
+        spec.add_action_meta(
+            p,
+            "right",
+            Guard::always(),
+            ActionMeta::new().reads(["y"]).writes(["y"]),
+            noop,
+        );
+        let report = analyze_structure(&spec);
+        let keys = vec![Some(vec![1u64]), Some(vec![2u64])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert!(cross.findings.is_empty(), "{cross}");
+        assert_eq!(cross.explained_count(DependenceReason::SameProcess), 1);
+    }
+
+    #[test]
+    fn crosscheck_flags_overlap_on_proven_independent_pair() {
+        let mut spec = Spec::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        for pid in [p, q] {
+            spec.add_action_meta(
+                pid,
+                "tick",
+                Guard::local(|s: &Cnt| s.0 < 5),
+                ActionMeta::new().reads(["n"]).writes(["n"]),
+                |s, _, _| s.0 += 1,
+            );
+        }
+        let report = analyze_structure(&spec);
+        assert!(report.independent_pairs.contains(&(0, 1)));
+        let keys = vec![Some(vec![7u64]), Some(vec![7u64, 8])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert!(!cross.has_errors());
+        assert_eq!(cross.findings.len(), 1);
+        let finding = &cross.findings[0];
+        assert_eq!(finding.code, codes::OVERLAP_BUT_INDEPENDENT);
+        assert_eq!(finding.severity, Severity::Info);
+        assert_eq!(finding.shared_keys, vec![7u64]);
+    }
+
+    #[test]
+    fn crosscheck_explains_global_read_conservatism() {
+        let mut spec = Spec::new();
+        let p = spec.add_process("p");
+        let q = spec.add_process("q");
+        spec.add_action_meta(
+            p,
+            "quiet",
+            Guard::timeout(|st: &SystemState<Cnt, u8>| st.channels_empty()),
+            ActionMeta::new().writes(["n"]).reads_global(),
+            |s, _, _| s.0 += 1,
+        );
+        spec.add_action_meta(
+            q,
+            "tick",
+            Guard::local(|s: &Cnt| s.0 < 5),
+            ActionMeta::new().reads(["n"]).writes(["n"]),
+            |s, _, _| s.0 += 1,
+        );
+        let report = analyze_structure(&spec);
+        let keys = vec![Some(vec![1u64]), Some(vec![2u64])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert!(cross.findings.is_empty(), "{cross}");
+        assert_eq!(cross.explained_count(DependenceReason::GlobalReads), 1);
+    }
+
+    #[test]
+    fn crosscheck_skips_unmirrored_actions() {
+        let (spec, _) = clean_spec();
+        let report = analyze_structure(&spec);
+        let keys = vec![Some(vec![1u64]), None];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        assert_eq!(cross.actions_mirrored, 1);
+        assert_eq!(cross.pairs_compared, 0);
+        assert!(cross.findings.is_empty());
+    }
+
+    #[test]
+    fn crosscheck_renders_human_and_json() {
+        let mut spec = Spec::new();
+        let p = spec.add_process("p");
+        for name in ["inc", "reset"] {
+            spec.add_action_meta(
+                p,
+                name,
+                Guard::always(),
+                ActionMeta::new().reads(["n"]).writes(["n"]),
+                noop,
+            );
+        }
+        let report = analyze_structure(&spec);
+        let keys = vec![Some(vec![10u64]), Some(vec![11u64])];
+        let cross = independence_crosscheck(&spec, &report, &keys);
+        let human = cross.to_string();
+        assert!(human.contains("AP013"));
+        assert!(human.contains("p/inc <-> p/reset"));
+        let json = cross.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"code\":\"AP013\""));
+        assert!(json.contains("\"shared_variables\":[\"n\"]"));
+        assert!(json.contains("\"pairs_compared\":1"));
     }
 
     #[test]

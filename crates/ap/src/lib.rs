@@ -31,7 +31,11 @@
 //!   action-independence relation (the future partial-order-reduction
 //!   input). A spec whose encoding is wrong explores a smaller space than
 //!   intended and "verifies" vacuously; the analyzer catches that before
-//!   the verdict is trusted.
+//!   the verdict is trusted. [`independence_crosscheck()`] goes one step
+//!   further and diffs the derived independence relation against the
+//!   executable harness's `ParallelWorld` footprint keys for the
+//!   spec-mirrored events, so the verified model and the running world
+//!   cannot silently drift apart.
 //!
 //! The paper's `par` construct (one action per parameter value) maps to
 //! registering one [`Action`] per value; the paper's `any` (simulated user
@@ -83,7 +87,8 @@ pub mod runner;
 pub mod state;
 
 pub use analyze::{
-    analyze, analyze_structure, AnalysisReport, AnalyzeConfig, Diagnostic, Severity,
+    analyze, analyze_structure, independence_crosscheck, AnalysisReport, AnalyzeConfig,
+    CrosscheckFinding, CrosscheckReport, DependenceReason, Diagnostic, ExplainedPair, Severity,
     WriteWriteConflict,
 };
 pub use explore::{

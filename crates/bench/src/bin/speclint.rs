@@ -8,14 +8,28 @@
 //! `Severity::Error`. CI runs this binary; a structurally unsound spec
 //! fails the build before its exploration verdicts can be trusted.
 //!
+//! For the protocol configurations the lint additionally runs
+//! [`zmail_ap::independence_crosscheck`]: the model's independence
+//! relation is diffed against the `ParallelWorld` footprint keys of the
+//! harness events mirroring each spec action
+//! ([`zmail_core::spec::sim_mirror_footprints`]), and an unexplained
+//! divergence (`AP013`) fails the gate just like a structural error.
+//!
 //! Flags: `--json` emits one machine-readable object per configuration
-//! instead of the human tables; `--threads N` parallelizes the vacuity
-//! exploration (the verdicts are thread-count-independent).
+//! instead of the human tables; `--independence-json` emits *only* the
+//! independence relation plus the cross-check as one stable JSON
+//! artifact (structure pass only — no exploration — so it is cheap
+//! enough for other tools to regenerate at will); `--threads N`
+//! parallelizes the vacuity exploration (the verdicts are
+//! thread-count-independent).
 
 use std::process::ExitCode;
-use zmail_ap::{analyze, AnalysisReport, AnalyzeConfig, ExploreConfig, Severity};
+use zmail_ap::{
+    analyze, analyze_structure, independence_crosscheck, AnalysisReport, AnalyzeConfig,
+    CrosscheckReport, ExploreConfig, Severity,
+};
 use zmail_bench::{parse_threads, Report};
-use zmail_core::spec::{build_spec, SpecParams, TimeoutMode};
+use zmail_core::spec::{build_spec, sim_mirror_footprints, SpecParams, TimeoutMode};
 use zmail_core::spec_bank::{build_bank_spec, BankSpecParams};
 use zmail_sim::Table;
 
@@ -110,9 +124,77 @@ fn bank_cases() -> Vec<(&'static str, BankSpecParams)> {
     ]
 }
 
+/// Structure pass + independence cross-check for every protocol
+/// configuration (the bank-exchange specs mirror no harness events, so
+/// they carry an independence relation but no cross-check).
+fn crosscheck_cases() -> Vec<(String, AnalysisReport, CrosscheckReport)> {
+    spec_cases()
+        .into_iter()
+        .map(|(name, params)| {
+            let (spec, _) = build_spec(params);
+            let report = analyze_structure(&spec);
+            let keys = sim_mirror_footprints(&spec);
+            let cross = independence_crosscheck(&spec, &report, &keys);
+            (name.to_string(), report, cross)
+        })
+        .collect()
+}
+
+/// The `--independence-json` artifact: one array entry per
+/// configuration with the action labels, the independence relation, and
+/// (for protocol configs) the model-vs-harness cross-check. Field order
+/// is fixed; consumers may diff the output byte-for-byte.
+fn independence_artifact() -> (String, bool) {
+    let mut entries: Vec<String> = Vec::new();
+    let mut any_error = false;
+    for (name, report, cross) in crosscheck_cases() {
+        any_error |= cross.has_errors();
+        entries.push(render_independence_entry(&name, &report, Some(&cross)));
+    }
+    for (name, params) in bank_cases() {
+        let (spec, _) = build_bank_spec(params);
+        let report = analyze_structure(&spec);
+        entries.push(render_independence_entry(name, &report, None));
+    }
+    (format!("[{}]", entries.join(",")), any_error)
+}
+
+fn render_independence_entry(
+    name: &str,
+    report: &AnalysisReport,
+    cross: Option<&CrosscheckReport>,
+) -> String {
+    let labels: Vec<String> = report
+        .action_labels
+        .iter()
+        .map(|l| format!("\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    let pairs: Vec<String> = report
+        .independent_pairs
+        .iter()
+        .map(|(a, b)| format!("[{a},{b}]"))
+        .collect();
+    format!(
+        "{{\"configuration\":\"{name}\",\"action_labels\":[{}],\"independent_pairs\":[{}],\"crosscheck\":{}}}",
+        labels.join(","),
+        pairs.join(","),
+        cross.map_or("null".to_string(), CrosscheckReport::to_json),
+    )
+}
+
 fn main() -> ExitCode {
     let threads = parse_threads();
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--independence-json") {
+        let (artifact, any_error) = independence_artifact();
+        println!("{artifact}");
+        return if any_error {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let config = lint_config(threads);
 
     let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
@@ -124,6 +206,7 @@ fn main() -> ExitCode {
         let (spec, initial) = build_bank_spec(params);
         reports.push((name.to_string(), analyze(&spec, &initial, &config)));
     }
+    let crosschecks = crosscheck_cases();
 
     if json {
         let mut out = String::from("[");
@@ -131,14 +214,19 @@ fn main() -> ExitCode {
             if i > 0 {
                 out.push(',');
             }
+            let cross = crosschecks
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map_or("null".to_string(), |(_, _, c)| c.to_json());
             out.push_str(&format!(
-                "{{\"configuration\":\"{name}\",\"report\":{}}}",
+                "{{\"configuration\":\"{name}\",\"report\":{},\"crosscheck\":{cross}}}",
                 report.to_json()
             ));
         }
         out.push(']');
         println!("{out}");
-        let any_error = reports.iter().any(|(_, r)| r.has_errors());
+        let any_error = reports.iter().any(|(_, r)| r.has_errors())
+            || crosschecks.iter().any(|(_, _, c)| c.has_errors());
         return if any_error {
             ExitCode::FAILURE
         } else {
@@ -192,10 +280,17 @@ fn main() -> ExitCode {
         println!();
     }
 
-    let any_error = reports.iter().any(|(_, r)| r.has_errors());
+    println!("model-vs-harness independence cross-check (protocol configs):");
+    for (name, _, cross) in &crosschecks {
+        print!("{name}: {cross}");
+    }
+    println!();
+
+    let any_error = reports.iter().any(|(_, r)| r.has_errors())
+        || crosschecks.iter().any(|(_, _, c)| c.has_errors());
     experiment.finish(
         !any_error,
-        "all bundled specs lint clean of errors; the surviving warnings are the documented intentional ones (the invariant-only `error_detected` variable, the provably-dead retry under a reliable network)",
+        "all bundled specs lint clean of errors and the model's independence relation agrees with the harness's ParallelWorld footprints; the surviving warnings are the documented intentional ones (the invariant-only `error_detected` variable, the provably-dead retry under a reliable network)",
     );
     if any_error {
         ExitCode::FAILURE

@@ -83,7 +83,9 @@ pub use ids::IspId;
 pub use invariants::AuditError;
 pub use isp::{Isp, SendError, SendOutcome};
 pub use mailinglist::{ListConfig, ListServer, PostReport};
-pub use massive::{run_massive, MassiveConfig, MassiveReport, MassiveWorld};
+pub use massive::{
+    run_massive, run_massive_checked, MassiveConfig, MassiveEvent, MassiveReport, MassiveWorld,
+};
 pub use msg::{EmailMsg, NetMsg};
 pub use multibank::{FederatedRound, Federation};
 pub use system::{RecoveryEvent, RunReport, ZmailSystem};

@@ -36,10 +36,14 @@
 //! `scripts/ci.sh` pins with the E17 equivalence gate.
 
 use crate::config::DurabilityConfig;
+use zmail_sim::racecheck::{AccessRecorder, CheckedWorld, RacecheckReport, RecordedWorld};
 use zmail_sim::{ParallelWorld, Scheduler, SimDuration, SimTime, Simulation, World};
 use zmail_store::{
     BankBooks, Books, IspBooks, MemStorage, ShardedLedgerStore, UserBooks, XferKind, XferLeg,
 };
+
+/// Racecheck access class of the sharded ledger engines.
+const CLASS_SHARD: &str = "shard";
 
 /// Parameters of a population-scale run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +164,10 @@ pub struct MassiveWorld {
     config: MassiveConfig,
     store: ShardedLedgerStore<MemStorage>,
     report: MassiveReport,
+    /// Footprint-racecheck access recorder: disabled (a no-op) in
+    /// production runs, swapped for an armed one by
+    /// [`RecordedWorld::recorded_apply`].
+    recorder: AccessRecorder,
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -181,6 +189,7 @@ impl MassiveWorld {
             config,
             store,
             report: MassiveReport::default(),
+            recorder: AccessRecorder::disabled(),
         }
     }
 
@@ -325,10 +334,16 @@ impl ParallelWorld for MassiveWorld {
         let send = match event {
             MassiveEvent::Send(send) => send,
             MassiveEvent::TickCommit => {
+                for shard in 0..self.store.shard_count() as u64 {
+                    self.recorder.write(CLASS_SHARD, shard);
+                }
                 self.store.commit_all();
                 return;
             }
         };
+        let from_shard = u64::from(self.store.map().user_shard(send.from_isp, send.from_user));
+        let to_shard = u64::from(self.store.map().user_shard(send.to_isp, send.to_user));
+        self.recorder.read(CLASS_SHARD, from_shard);
         let sender = self.store.user(send.from_isp, send.from_user);
         if sender.balance < 1 {
             self.report.bounced_balance += 1;
@@ -338,14 +353,13 @@ impl ParallelWorld for MassiveWorld {
             self.report.bounced_limit += 1;
             return;
         }
-        let map = self.store.map();
-        if map.user_shard(send.from_isp, send.from_user)
-            == map.user_shard(send.to_isp, send.to_user)
-        {
+        if from_shard == to_shard {
             self.report.same_shard += 1;
         } else {
             self.report.cross_shard += 1;
         }
+        self.recorder.write(CLASS_SHARD, from_shard);
+        self.recorder.write(CLASS_SHARD, to_shard);
         self.store.transfer(
             XferLeg {
                 kind: XferKind::Charge,
@@ -365,12 +379,33 @@ impl ParallelWorld for MassiveWorld {
     }
 }
 
-/// Runs one population-scale simulation: schedules
-/// `ticks × sends_per_tick` sends plus a per-tick commit, drives the
-/// tick-parallel engine with `threads` workers (0 = all cores, 1 =
-/// serial), and returns the report with the end-of-run books CRC.
-pub fn run_massive(config: &MassiveConfig, threads: usize) -> MassiveReport {
-    let mut sim = Simulation::new(MassiveWorld::new(*config));
+impl RecordedWorld for MassiveWorld {
+    fn recorded_stage(&self, now: SimTime, event: &MassiveEvent, _rec: &mut AccessRecorder) -> u64 {
+        // Stage digests are pure compute over the event and the seed —
+        // no mutable shared state is read, so nothing is recorded.
+        self.stage(now, event)
+    }
+
+    fn recorded_apply(
+        &mut self,
+        now: SimTime,
+        event: MassiveEvent,
+        effect: u64,
+        scheduler: &mut Scheduler<'_, MassiveEvent>,
+        rec: &mut AccessRecorder,
+    ) {
+        std::mem::swap(&mut self.recorder, rec);
+        self.apply(now, event, effect, scheduler);
+        std::mem::swap(&mut self.recorder, rec);
+    }
+}
+
+/// Schedules the full `ticks × sends_per_tick` workload of `config`
+/// onto `sim` (plus the per-tick commit barrier).
+fn schedule_massive<W>(sim: &mut Simulation<W>, config: &MassiveConfig)
+where
+    W: World<Event = MassiveEvent>,
+{
     for tick in 0..config.ticks {
         let at = SimTime::ZERO + SimDuration::from_secs(u64::from(tick));
         for i in 0..config.sends_per_tick {
@@ -381,6 +416,15 @@ pub fn run_massive(config: &MassiveConfig, threads: usize) -> MassiveReport {
         }
         sim.schedule(at, MassiveEvent::TickCommit);
     }
+}
+
+/// Runs one population-scale simulation: schedules
+/// `ticks × sends_per_tick` sends plus a per-tick commit, drives the
+/// tick-parallel engine with `threads` workers (0 = all cores, 1 =
+/// serial), and returns the report with the end-of-run books CRC.
+pub fn run_massive(config: &MassiveConfig, threads: usize) -> MassiveReport {
+    let mut sim = Simulation::new(MassiveWorld::new(*config));
+    schedule_massive(&mut sim, config);
     sim.run_parallel_to_completion(threads);
     let mut world = sim.into_world();
     world.audit().expect("zero-sum audit must balance exactly");
@@ -390,6 +434,27 @@ pub fn run_massive(config: &MassiveConfig, threads: usize) -> MassiveReport {
     );
     world.finish();
     world.report
+}
+
+/// [`run_massive`] under the armed footprint race checker: the same
+/// workload runs through a [`CheckedWorld`] adapter that records every
+/// shard access and diffs it against the declared footprints. Returns
+/// both reports; the racecheck report must be clean (it is — the shard
+/// footprints are exact, which `crates/core/tests/massive_racecheck.rs`
+/// pins down with randomized schedules and a mutation test).
+pub fn run_massive_checked(
+    config: &MassiveConfig,
+    threads: usize,
+) -> (MassiveReport, RacecheckReport) {
+    let mut sim = Simulation::new(CheckedWorld::armed(MassiveWorld::new(*config)));
+    schedule_massive(&mut sim, config);
+    sim.run_parallel_to_completion(threads);
+    let checked = sim.into_world();
+    let racecheck = checked.report();
+    let mut world = checked.into_inner();
+    world.audit().expect("zero-sum audit must balance exactly");
+    world.finish();
+    (world.report, racecheck)
 }
 
 #[cfg(test)]
@@ -443,6 +508,22 @@ mod tests {
             assert_eq!(many.cross_shard + many.same_shard, one.paid);
         }
         assert_eq!(one.cross_shard, 0, "one shard cannot cross shards");
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_matches_unchecked() {
+        let config = small(4);
+        let reference = run_massive(&config, 2);
+        for threads in [1, 4] {
+            let (report, racecheck) = run_massive_checked(&config, threads);
+            assert_eq!(report, reference, "threads={threads}");
+            assert!(
+                racecheck.findings.is_empty(),
+                "threads={threads}:\n{}",
+                racecheck.render()
+            );
+            assert_eq!(racecheck.events_checked, 4 * 200 + 4);
+        }
     }
 
     #[test]

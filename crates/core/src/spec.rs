@@ -426,6 +426,50 @@ pub fn build_spec(
     (spec, state)
 }
 
+/// Maps a spec action name to the [`ParallelWorld`] footprint keys of
+/// the `ZmailWorld` event that mirrors it in the executable harness —
+/// the executable half of [`zmail_ap::independence_crosscheck`].
+///
+/// | spec action | mirrored harness event | keys |
+/// |---|---|---|
+/// | `send i{i} …` | `Workload` entry from ISP *i* | `isp_key(i)` |
+/// | `recv j{j} …` | `Deliver` of an email at ISP *j* | `isp_key(j)` |
+/// | `isp{i} recv request` | `Deliver` of a snapshot request at ISP *i* | `isp_key(i)` |
+/// | `isp{i} timeout` | `SnapshotTimeout(i)` | `isp_key(i)` |
+/// | `bank request` | `BillingKickoff` | `BANK_KEY` |
+/// | `bank recv reply {i}` | `Deliver` of a snapshot reply at the bank | `BANK_KEY` |
+///
+/// Returns `None` for names that mirror no harness event, so unknown
+/// actions are skipped by the cross-check rather than mis-mapped.
+///
+/// [`ParallelWorld`]: zmail_sim::ParallelWorld
+pub fn sim_mirror_keys(name: &str) -> Option<Vec<u64>> {
+    use crate::system::{isp_key, BANK_KEY};
+    if name == "bank request" || name.starts_with("bank recv reply") {
+        return Some(vec![BANK_KEY]);
+    }
+    let isp_index = |rest: &str| rest.split_whitespace().next()?.parse::<u32>().ok();
+    if let Some(rest) = name.strip_prefix("send i") {
+        return Some(vec![isp_key(isp_index(rest)?)]);
+    }
+    if let Some(rest) = name.strip_prefix("recv j") {
+        return Some(vec![isp_key(isp_index(rest)?)]);
+    }
+    if let Some(rest) = name.strip_prefix("isp") {
+        return Some(vec![isp_key(isp_index(rest)?)]);
+    }
+    None
+}
+
+/// Per-action sim footprints aligned with `spec.actions()` order — the
+/// `sim_keys` argument of [`zmail_ap::independence_crosscheck`].
+pub fn sim_mirror_footprints(spec: &SystemSpec<ProcState, SpecMsg>) -> Vec<Option<Vec<u64>>> {
+    spec.actions()
+        .iter()
+        .map(|a| sim_mirror_keys(&a.name))
+        .collect()
+}
+
 /// The conservation + safety invariant checked in every explored state.
 ///
 /// Returns an error description when e-pennies are created or destroyed,
@@ -673,6 +717,59 @@ mod tests {
             })
             .expect("a transfer must be completable");
         assert_eq!(witness.depth, 2, "send then receive");
+    }
+
+    #[test]
+    fn mirror_keys_parse_every_action_name_shape() {
+        use crate::system::{isp_key, BANK_KEY};
+        assert_eq!(sim_mirror_keys("send i2 j0 s1 r0"), Some(vec![isp_key(2)]));
+        assert_eq!(sim_mirror_keys("recv j1 from0"), Some(vec![isp_key(1)]));
+        assert_eq!(sim_mirror_keys("isp0 recv request"), Some(vec![isp_key(0)]));
+        assert_eq!(sim_mirror_keys("isp1 timeout"), Some(vec![isp_key(1)]));
+        assert_eq!(sim_mirror_keys("bank request"), Some(vec![BANK_KEY]));
+        assert_eq!(sim_mirror_keys("bank recv reply 1"), Some(vec![BANK_KEY]));
+        assert_eq!(sim_mirror_keys("retry"), None);
+    }
+
+    #[test]
+    fn independence_crosscheck_is_clean_on_bundled_configs() {
+        // The verified model's independence relation and the harness's
+        // ParallelWorld footprints must tell the same story: every
+        // model-level dependence is either key overlap at the sim level
+        // or carried by the scheduler (channel FIFO / serialized apply),
+        // and no proven-independent pair collides on a key.
+        let configs = [
+            SpecParams::default(),
+            SpecParams {
+                users: 2,
+                limit: 1,
+                ..SpecParams::default()
+            },
+            SpecParams {
+                isps: 3,
+                limit: 1,
+                ..SpecParams::default()
+            },
+        ];
+        for params in configs {
+            let (spec, _) = build_spec(params);
+            let report = zmail_ap::analyze_structure(&spec);
+            let keys = sim_mirror_footprints(&spec);
+            assert!(
+                keys.iter().all(Option::is_some),
+                "every spec action has a harness mirror"
+            );
+            let cross = zmail_ap::independence_crosscheck(&spec, &report, &keys);
+            assert!(
+                cross.findings.is_empty(),
+                "model/harness divergence for {params:?}:\n{cross}"
+            );
+            assert!(cross.pairs_compared > 0);
+            // The explained bucket is exercised, not vacuous: channel
+            // deliveries and timeout guards both appear in the spec.
+            assert!(cross.explained_count(zmail_ap::DependenceReason::ChannelOrder) > 0);
+            assert!(cross.explained_count(zmail_ap::DependenceReason::GlobalReads) > 0);
+        }
     }
 
     #[test]

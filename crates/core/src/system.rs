@@ -19,8 +19,9 @@ use crate::multibank::{Federation, SettlementFlow};
 use std::collections::BTreeMap;
 use zmail_econ::EPennies;
 use zmail_fault::{Endpoint, Fault, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
+use zmail_sim::racecheck::{AccessRecorder, CheckedWorld, RacecheckReport, RecordedWorld};
 use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
-use zmail_sim::{Scheduler, SimTime, Simulation, World};
+use zmail_sim::{ParallelWorld, Scheduler, SimTime, Simulation, World};
 use zmail_store::{Books, LedgerStore, MemStorage, ShardedLedgerStore};
 
 /// Addressable parties on the network.
@@ -132,6 +133,12 @@ pub struct RunReport {
     /// Crash-recoveries performed from the durable store, in order
     /// (empty unless durability is configured and a `Crash` fired).
     pub recoveries: Vec<RecoveryEvent>,
+    /// Fold of every staged per-event digest ([`NetMsg::digest`] for
+    /// deliveries, the trace-entry digest for workload sends) — the
+    /// parallel staging payload. Serial and tick-parallel runs of one
+    /// seed must agree on it exactly, so it anchors the serial≡parallel
+    /// equivalence gate to the staged computation, not just the applies.
+    pub digest_checksum: u64,
 }
 
 impl RunReport {
@@ -182,6 +189,51 @@ struct ZmailWorld {
     /// side-effect-free; the journal of every ISP and bank is appended
     /// and group-committed once per event.
     store: Option<ShardedLedgerStore<MemStorage>>,
+    /// Access recorder for the footprint race checker. Disabled (a
+    /// no-op) in production runs; [`RecordedWorld::recorded_apply`]
+    /// swaps an armed one in so every instrumented mutation site below
+    /// reports the key it touches.
+    recorder: AccessRecorder,
+}
+
+/// Footprint key of an ISP's protocol state. Key 0 is the bank's, so
+/// the two resource classes never collide in the shared `u64` space —
+/// exactly what racecheck's SIM006 exists to verify. Public so the AP
+/// spec mirror ([`crate::spec::sim_mirror_keys`]) can compare the
+/// verified model's independence relation against these keys.
+pub fn isp_key(isp: u32) -> u64 {
+    1 + u64::from(isp)
+}
+
+/// Footprint key of the bank federation's state.
+pub const BANK_KEY: u64 = 0;
+
+/// Racecheck access classes of the full-protocol world.
+const CLASS_ISP: &str = "isp";
+const CLASS_BANK: &str = "bank";
+
+/// Deterministic digest of one workload trace entry — the staging
+/// payload of `Event::Workload`, folded into
+/// [`RunReport::digest_checksum`] alongside each delivery's
+/// [`NetMsg::digest`]. FNV-1a over the entry fields, finished with an
+/// avalanche mix, exactly like the message digest.
+fn trace_digest(entry: &SendEvent) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(entry.at.as_millis());
+    eat((u64::from(entry.from.isp) << 32) | u64::from(entry.from.user));
+    eat((u64::from(entry.to.isp) << 32) | u64::from(entry.to.user));
+    eat(entry.kind as u64);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
 }
 
 /// The fault layer's view of a [`Node`].
@@ -230,6 +282,11 @@ impl ZmailWorld {
             );
             return;
         }
+        // One mutation surface for the whole send path: the sender's
+        // ISP (ledger debit, buffer, auto-topup, buy/sell pump). A
+        // local delivery credits the same ISP; cross-ISP credits happen
+        // in the receiver's own Deliver event.
+        self.recorder.write(CLASS_ISP, isp_key(sender_isp.0));
         let outcome = self.isps[sender_isp.index()].send_email(from.user, to, kind);
         match outcome {
             Ok(SendOutcome::DeliveredLocally) => {
@@ -394,6 +451,7 @@ impl ZmailWorld {
                     self.report.unpaid_deliveries += 1;
                     return;
                 }
+                self.recorder.write(CLASS_ISP, isp_key(j.0));
                 let delivery = self.isps[j.index()].receive_email(origin, &email);
                 match delivery {
                     crate::isp::Delivery::Delivered => {
@@ -418,6 +476,7 @@ impl ZmailWorld {
                     replayed,
                 },
             ) => {
+                self.recorder.write(CLASS_ISP, isp_key(j.0));
                 match self.isps[j.index()].handle_buy_reply(&envelope) {
                     Ok(applied) => {
                         if applied && replayed {
@@ -444,6 +503,7 @@ impl ZmailWorld {
                     replayed,
                 },
             ) => {
+                self.recorder.write(CLASS_ISP, isp_key(j.0));
                 match self.isps[j.index()].handle_sell_reply(&envelope) {
                     Ok(applied) => {
                         if applied && replayed {
@@ -461,6 +521,7 @@ impl ZmailWorld {
                 }
             }
             (Node::Isp(j), NetMsg::SnapshotRequest { envelope }) => {
+                self.recorder.write(CLASS_ISP, isp_key(j.0));
                 if self.isps[j.index()]
                     .handle_snapshot_request(&envelope)
                     .unwrap_or(false)
@@ -472,6 +533,7 @@ impl ZmailWorld {
                 let Node::Isp(g) = from else {
                     panic!("buy must come from an ISP");
                 };
+                self.recorder.write(CLASS_BANK, BANK_KEY);
                 if let Ok(reply) = self.banks.handle_buy(g, &envelope) {
                     self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
                 }
@@ -480,6 +542,7 @@ impl ZmailWorld {
                 let Node::Isp(g) = from else {
                     panic!("sell must come from an ISP");
                 };
+                self.recorder.write(CLASS_BANK, BANK_KEY);
                 if let Ok(reply) = self.banks.handle_sell(g, &envelope) {
                     self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
                 }
@@ -491,6 +554,7 @@ impl ZmailWorld {
                     envelope,
                 },
             ) => {
+                self.recorder.write(CLASS_BANK, BANK_KEY);
                 if let Ok(Some(round)) = self.banks.handle_snapshot_reply(isp, &envelope) {
                     CoreMetrics::get().snapshot_rounds.inc();
                     self.report
@@ -537,6 +601,7 @@ impl ZmailWorld {
         let Some(store) = self.store.as_ref() else {
             return;
         };
+        self.recorder.write(CLASS_ISP, isp_key(isp.0));
         let (books, recovery) = store.simulate_recovery();
         let recovered = &books.isps[isp.index()];
         let diverged = *recovered != self.isps[isp.index()].books();
@@ -555,6 +620,102 @@ impl World for ZmailWorld {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, scheduler: &mut Scheduler<'_, Event>) {
+        // Serial path = stage + apply, so the staged digest fold (and
+        // hence the whole `RunReport`) is byte-identical to the
+        // tick-parallel path at any thread count.
+        let effect = self.stage(now, &event);
+        self.apply(now, event, effect, scheduler);
+    }
+
+    fn event_label(event: &Event) -> &'static str {
+        match event {
+            Event::Workload(_) => "workload",
+            // Deliveries are the parallel-staged digest events; split
+            // the label by traffic class so telemetry and racecheck
+            // findings name the actual wire protocol involved.
+            Event::Deliver { msg, .. } => match msg_class(msg) {
+                MsgClass::Email => "deliver_email",
+                MsgClass::Bank => "deliver_bank",
+                MsgClass::Snapshot => "deliver_snapshot",
+            },
+            Event::DayEnd => "day_end",
+            Event::BillingKickoff => "billing_kickoff",
+            Event::SnapshotTimeout(_) => "snapshot_timeout",
+            Event::ListPost(_) => "list_post",
+            Event::BankRetry(_) => "bank_retry",
+            Event::CrashRestart(_) => "crash_restart",
+        }
+    }
+}
+
+impl ParallelWorld for ZmailWorld {
+    /// The staged per-event digest: [`NetMsg::digest`] for deliveries,
+    /// [`trace_digest`] for workload sends, zero for periodic events.
+    type Effect = u64;
+
+    /// The exact mutable-state footprint of each event, developed under
+    /// the racecheck contract (see `crates/sim/README.md` for the
+    /// domain definition). Keys: [`isp_key`] per ISP, [`BANK_KEY`] for
+    /// the bank federation. Report counters, e-penny audit tallies,
+    /// samplers, the fault injector, and the durable store are serial
+    /// by construction (only ever touched in `apply`, never observed by
+    /// a `stage`) and therefore outside the domain.
+    fn footprint(&self, event: &Event, keys: &mut Vec<u64>) {
+        match event {
+            Event::Workload(index) => {
+                // Stage reads only the immutable trace; apply mutates
+                // the *sender's* ISP (debit, buffer, topup, bank pump —
+                // and for local delivery the credit lands on the same
+                // ISP; cross-ISP credit happens in the receiver's own
+                // Deliver event). Non-compliant senders keep no ledger:
+                // their apply touches nothing in the domain.
+                let sender = IspId(self.trace[*index].from.isp);
+                if self.config.is_compliant(sender) {
+                    keys.push(isp_key(sender.0));
+                }
+            }
+            Event::Deliver { to, msg, .. } => match to {
+                Node::Isp(j) => {
+                    // Email into a non-compliant ISP only bumps report
+                    // counters; everything else mutates the receiver.
+                    let ledgerless =
+                        matches!(msg, NetMsg::Email(_)) && !self.config.is_compliant(*j);
+                    if !ledgerless {
+                        keys.push(isp_key(j.0));
+                    }
+                }
+                Node::Bank => keys.push(BANK_KEY),
+            },
+            Event::DayEnd => keys.extend((0..self.config.isps).map(isp_key)),
+            Event::BillingKickoff => keys.push(BANK_KEY),
+            Event::SnapshotTimeout(isp) | Event::BankRetry(isp) | Event::CrashRestart(isp) => {
+                keys.push(isp_key(isp.0));
+            }
+            Event::ListPost(index) => {
+                let sender = IspId(self.lists[*index].distributor.isp);
+                if self.config.is_compliant(sender) {
+                    keys.push(isp_key(sender.0));
+                }
+            }
+        }
+    }
+
+    fn stage(&self, _now: SimTime, event: &Event) -> u64 {
+        match event {
+            Event::Workload(index) => trace_digest(&self.trace[*index]),
+            Event::Deliver { msg, .. } => msg.digest(),
+            _ => 0,
+        }
+    }
+
+    fn apply(
+        &mut self,
+        now: SimTime,
+        event: Event,
+        effect: u64,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        self.report.digest_checksum = self.report.digest_checksum.wrapping_add(effect);
         match event {
             Event::Workload(index) => {
                 if index + 1 < self.trace.len() {
@@ -567,6 +728,9 @@ impl World for ZmailWorld {
                 self.handle_delivery(scheduler, from, to, msg);
             }
             Event::DayEnd => {
+                for i in 0..self.config.isps {
+                    self.recorder.write(CLASS_ISP, isp_key(i));
+                }
                 for isp in &mut self.isps {
                     isp.reset_daily();
                 }
@@ -576,7 +740,9 @@ impl World for ZmailWorld {
                 }
             }
             Event::BillingKickoff => {
+                self.recorder.read(CLASS_BANK, BANK_KEY);
                 if !self.banks.snapshot_in_progress() {
+                    self.recorder.write(CLASS_BANK, BANK_KEY);
                     let requests = self.banks.start_snapshot();
                     for (isp, msg) in requests {
                         self.dispatch(scheduler, Node::Bank, Node::Isp(isp), msg);
@@ -588,6 +754,7 @@ impl World for ZmailWorld {
                 }
             }
             Event::SnapshotTimeout(isp) => {
+                self.recorder.write(CLASS_ISP, isp_key(isp.0));
                 let (reply, drained) = self.isps[isp.index()].finish_snapshot();
                 self.dispatch(scheduler, Node::Isp(isp), Node::Bank, reply);
                 for (sender, to, kind) in drained {
@@ -595,10 +762,16 @@ impl World for ZmailWorld {
                 }
             }
             Event::BankRetry(isp) => {
+                // The retry probe reads the ISP's outstanding-exchange
+                // state; issuing a retransmission mutates it (fresh
+                // nonce or idempotent resend bookkeeping).
+                self.recorder.read(CLASS_ISP, isp_key(isp.0));
                 if let Some(msg) = self.isps[isp.index()].retry_buy() {
+                    self.recorder.write(CLASS_ISP, isp_key(isp.0));
                     self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
                 }
                 if let Some(msg) = self.isps[isp.index()].retry_sell() {
+                    self.recorder.write(CLASS_ISP, isp_key(isp.0));
                     self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
                 }
             }
@@ -614,27 +787,55 @@ impl World for ZmailWorld {
         }
         self.persist_journals();
     }
+}
 
-    fn event_label(event: &Event) -> &'static str {
-        match event {
-            Event::Workload(_) => "workload",
-            Event::Deliver { .. } => "deliver",
-            Event::DayEnd => "day_end",
-            Event::BillingKickoff => "billing_kickoff",
-            Event::SnapshotTimeout(_) => "snapshot_timeout",
-            Event::ListPost(_) => "list_post",
-            Event::BankRetry(_) => "bank_retry",
-            Event::CrashRestart(_) => "crash_restart",
-        }
+impl RecordedWorld for ZmailWorld {
+    fn recorded_stage(&self, now: SimTime, event: &Event, _rec: &mut AccessRecorder) -> u64 {
+        // Stage phases read only immutable run inputs (the workload
+        // trace, the message being delivered) — nothing in the mutable
+        // footprint domain — so there is nothing to record. SIM001
+        // holds vacuously, which is exactly what makes every batch
+        // selection safe for this world.
+        self.stage(now, event)
+    }
+
+    fn recorded_apply(
+        &mut self,
+        now: SimTime,
+        event: Event,
+        effect: u64,
+        scheduler: &mut Scheduler<'_, Event>,
+        rec: &mut AccessRecorder,
+    ) {
+        // Swap the armed recorder in so every instrumented mutation
+        // site above reports through it, then hand it back.
+        std::mem::swap(&mut self.recorder, rec);
+        self.apply(now, event, effect, scheduler);
+        std::mem::swap(&mut self.recorder, rec);
     }
 }
 
 /// The runnable Zmail deployment.
+///
+/// The world always sits inside a [`CheckedWorld`] adapter; disarmed
+/// (the default) it is a transparent passthrough costing one branch per
+/// event, and [`ZmailSystem::enable_racecheck`] switches the footprint
+/// race detector on for development and CI gating.
 pub struct ZmailSystem {
-    sim: Simulation<ZmailWorld>,
+    sim: Simulation<CheckedWorld<ZmailWorld>>,
 }
 
 impl ZmailSystem {
+    /// The bare world behind the racecheck adapter.
+    fn world(&self) -> &ZmailWorld {
+        self.sim.world().inner()
+    }
+
+    /// Mutable access to the bare world behind the racecheck adapter.
+    fn world_mut(&mut self) -> &mut ZmailWorld {
+        self.sim.world_mut().inner_mut()
+    }
+
     /// Builds the deployment: one [`Isp`] per slot and a bank federation
     /// (a single central bank unless `config.banks > 1`), deterministic
     /// from `seed`.
@@ -687,9 +888,10 @@ impl ZmailSystem {
             lists: Vec::new(),
             report: RunReport::default(),
             store,
+            recorder: AccessRecorder::disabled(),
         };
         let mut system = ZmailSystem {
-            sim: Simulation::new(world),
+            sim: Simulation::new(CheckedWorld::new(world)),
         };
         for (at, isp) in crash_restarts {
             system.sim.schedule(at, Event::CrashRestart(isp));
@@ -705,13 +907,13 @@ impl ZmailSystem {
         self.sim.attach_telemetry(telemetry);
     }
 
-    /// Runs a workload trace to completion (including network drain and any
-    /// pending snapshot), returning the cumulative report.
-    ///
-    /// May be called repeatedly; time continues from the previous run.
-    pub fn run_trace(&mut self, trace: &[SendEvent]) -> RunReport {
+    /// Installs `trace` on the world and schedules the workload driver
+    /// plus the daily/billing periodic events across its span. Shared
+    /// preamble of [`ZmailSystem::run_trace`] and
+    /// [`ZmailSystem::run_trace_parallel`].
+    fn seed_trace(&mut self, trace: &[SendEvent]) {
         let start = self.sim.now();
-        let world = self.sim.world_mut();
+        let world = self.world_mut();
         world.trace = trace.to_vec();
         let horizon = trace.last().map_or(start, |e| e.at);
         world.horizon = horizon;
@@ -723,14 +925,49 @@ impl ZmailSystem {
             if first_day <= horizon {
                 self.sim.schedule(first_day, Event::DayEnd);
             }
-            let billing = self.sim.world().config.billing_period;
+            let billing = self.world().config.billing_period;
             let first_billing = start + billing;
             if first_billing <= horizon {
                 self.sim.schedule(first_billing, Event::BillingKickoff);
             }
         }
+    }
+
+    /// Runs a workload trace to completion (including network drain and any
+    /// pending snapshot), returning the cumulative report.
+    ///
+    /// May be called repeatedly; time continues from the previous run.
+    pub fn run_trace(&mut self, trace: &[SendEvent]) -> RunReport {
+        self.seed_trace(trace);
         self.sim.run_to_completion();
         self.report().clone()
+    }
+
+    /// Runs a workload trace like [`ZmailSystem::run_trace`], but on the
+    /// tick-parallel engine path: within each tick, footprint-independent
+    /// events' stage phases (message digests) execute on up to `threads`
+    /// worker threads (`0` = all cores), and all applies run serially in
+    /// FIFO order. The resulting [`RunReport`] — including
+    /// [`RunReport::digest_checksum`] — is byte-identical to a serial run
+    /// of the same seed at any thread count.
+    pub fn run_trace_parallel(&mut self, trace: &[SendEvent], threads: usize) -> RunReport {
+        self.seed_trace(trace);
+        self.sim.run_parallel_to_completion(threads);
+        self.report().clone()
+    }
+
+    /// Arms the footprint race detector: every subsequent event is run
+    /// through the checked path, recording actual key accesses and
+    /// diffing them against the declared [`ParallelWorld::footprint`]s.
+    /// Findings accumulate in [`ZmailSystem::racecheck_report`].
+    pub fn enable_racecheck(&mut self) {
+        self.sim.world_mut().arm();
+    }
+
+    /// The race detector's findings so far (empty unless
+    /// [`ZmailSystem::enable_racecheck`] was called before running).
+    pub fn racecheck_report(&self) -> RacecheckReport {
+        self.sim.world().report()
     }
 
     /// Triggers one credit snapshot round right now and drains it.
@@ -753,7 +990,7 @@ impl ZmailSystem {
 
     /// The cumulative run report.
     pub fn report(&self) -> &RunReport {
-        &self.sim.world().report
+        &self.world().report
     }
 
     /// Current virtual time.
@@ -763,7 +1000,7 @@ impl ZmailSystem {
 
     /// The configuration in force.
     pub fn config(&self) -> &ZmailConfig {
-        &self.sim.world().config
+        &self.world().config
     }
 
     /// One ISP process.
@@ -772,7 +1009,7 @@ impl ZmailSystem {
     ///
     /// Panics if the id is out of range.
     pub fn isp(&self, id: IspId) -> &Isp {
-        &self.sim.world().isps[id.index()]
+        &self.world().isps[id.index()]
     }
 
     /// Mutable ISP access, for experiment setup (limits, grants).
@@ -781,18 +1018,18 @@ impl ZmailSystem {
     ///
     /// Panics if the id is out of range.
     pub fn isp_mut(&mut self, id: IspId) -> &mut Isp {
-        &mut self.sim.world_mut().isps[id.index()]
+        &mut self.world_mut().isps[id.index()]
     }
 
     /// The (first) bank process — the central bank when `banks == 1`.
     pub fn bank(&self) -> &Bank {
-        self.sim.world().banks.bank(0)
+        self.world().banks.bank(0)
     }
 
     /// The bank federation (a single-member federation in the central
     /// case).
     pub fn federation(&self) -> &Federation {
-        &self.sim.world().banks
+        &self.world().banks
     }
 
     /// One user's e-penny balance (compliant ISPs only).
@@ -806,7 +1043,7 @@ impl ZmailSystem {
 
     /// E-pennies currently inside network messages.
     pub fn pennies_in_flight(&self) -> i64 {
-        self.sim.world().pennies_in_flight
+        self.world().pennies_in_flight
     }
 
     /// Runs the conservation and sanity audit (see [`crate::invariants`]).
@@ -815,7 +1052,7 @@ impl ZmailSystem {
     ///
     /// Returns the first violated invariant.
     pub fn audit(&self) -> Result<(), AuditError> {
-        let world = self.sim.world();
+        let world = self.world();
         invariants::audit_federated(
             &world.config,
             &world.isps,
@@ -845,14 +1082,14 @@ impl ZmailSystem {
         ack_prob: f64,
     ) -> usize {
         assert!((0.0..=1.0).contains(&ack_prob), "ack_prob must be in [0,1]");
-        let config = &self.sim.world().config;
+        let config = &self.world().config;
         for addr in subscribers.iter().chain(std::iter::once(&distributor)) {
             assert!(
                 addr.isp < config.isps && addr.user < config.users_per_isp,
                 "address {addr} out of range"
             );
         }
-        let lists = &mut self.sim.world_mut().lists;
+        let lists = &mut self.world_mut().lists;
         lists.push(RegisteredList {
             distributor,
             subscribers,
@@ -869,7 +1106,7 @@ impl ZmailSystem {
     ///
     /// Panics if the handle is unknown or `at` is in the past.
     pub fn schedule_list_post(&mut self, at: SimTime, handle: usize) {
-        assert!(handle < self.sim.world().lists.len(), "unknown list handle");
+        assert!(handle < self.world().lists.len(), "unknown list handle");
         self.sim.schedule(at, Event::ListPost(handle));
     }
 
@@ -882,17 +1119,17 @@ impl ZmailSystem {
     /// E-pennies destroyed by network loss so far (see
     /// [`ZmailConfigBuilder::lossy_network`](crate::config::ZmailConfigBuilder::lossy_network)).
     pub fn pennies_lost(&self) -> i64 {
-        self.sim.world().pennies_lost
+        self.world().pennies_lost
     }
 
     /// E-pennies counterfeited by network duplication so far.
     pub fn pennies_duplicated(&self) -> i64 {
-        self.sim.world().pennies_duplicated
+        self.world().pennies_duplicated
     }
 
     /// E-pennies stranded at the bank by lost buy/sell replies so far.
     pub fn pennies_stranded(&self) -> i64 {
-        self.sim.world().pennies_stranded
+        self.world().pennies_stranded
     }
 
     /// The first ledger shard's engine, when the deployment was built
@@ -902,12 +1139,12 @@ impl ZmailSystem {
     /// single shard this is *the* store, same as before sharding; see
     /// [`ZmailSystem::sharded_store`] for the whole engine set.
     pub fn store(&self) -> Option<&LedgerStore<MemStorage>> {
-        self.sim.world().store.as_ref().map(|s| s.shard(0))
+        self.world().store.as_ref().map(|s| s.shard(0))
     }
 
     /// The full sharded ledger engine, when durability is configured.
     pub fn sharded_store(&self) -> Option<&ShardedLedgerStore<MemStorage>> {
-        self.sim.world().store.as_ref()
+        self.world().store.as_ref()
     }
 
     /// The "books survive a crash" audit: replays the durable store
@@ -915,7 +1152,7 @@ impl ZmailSystem {
     /// books are byte-for-byte the live ones. `None` when durability is
     /// off, `Some(true)` when recovery reproduces the deployment's state.
     pub fn verify_durable_books(&self) -> Option<bool> {
-        let world = self.sim.world();
+        let world = self.world();
         let store = world.store.as_ref()?;
         let (books, _) = store.simulate_recovery();
         let live: Vec<_> = world.isps.iter().map(Isp::books).collect();
@@ -925,14 +1162,14 @@ impl ZmailSystem {
     /// Deterministic tallies of every fault the `zmail-fault` injector
     /// applied to this deployment's traffic.
     pub fn fault_counters(&self) -> &FaultCounters {
-        self.sim.world().faults.counters()
+        self.world().faults.counters()
     }
 
     /// The injector's e-penny damage ledger for emails between two ISPs
     /// (order irrelevant) — what pairwise `credit` sums may legitimately
     /// drift by under the configured faults.
     pub fn email_pair_ledger(&self, a: IspId, b: IspId) -> PairLedger {
-        self.sim.world().faults.email_pair_ledger(a.0, b.0)
+        self.world().faults.email_pair_ledger(a.0, b.0)
     }
 }
 
@@ -940,7 +1177,7 @@ impl std::fmt::Debug for ZmailSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ZmailSystem")
             .field("now", &self.sim.now())
-            .field("isps", &self.sim.world().isps.len())
+            .field("isps", &self.world().isps.len())
             .field("delivered", &self.report().delivered_total())
             .finish()
     }
@@ -1437,6 +1674,69 @@ mod tests {
             .consistency_reports
             .iter()
             .any(|(_, r)| r.implicates(IspId(3))));
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let trace = TrafficGenerator::new(traffic(3, 10, 2)).generate(&mut Sampler::new(19));
+        let mut serial = ZmailSystem::new(ZmailConfig::builder(3, 10).build(), 19);
+        let reference = serial.run_trace(&trace);
+        assert_ne!(reference.digest_checksum, 0, "digests must fold in");
+        for threads in [1usize, 2, 4, 8] {
+            let mut system = ZmailSystem::new(ZmailConfig::builder(3, 10).build(), 19);
+            let report = system.run_trace_parallel(&trace, threads);
+            assert_eq!(report, reference, "threads={threads}");
+            system.audit().expect("conservation on the parallel path");
+        }
+    }
+
+    #[test]
+    fn full_protocol_racecheck_is_clean() {
+        // Billing rounds, lists, non-compliant ISPs, bank retries: drive
+        // every event arm under the armed checker and demand zero
+        // findings — the footprints are exact, not merely sound.
+        let config = ZmailConfig::builder(3, 10)
+            .billing_period(SimDuration::from_days(1))
+            .non_compliant(&[2])
+            .build();
+        let mut t = traffic(3, 10, 3);
+        t.same_isp_affinity = 0.3;
+        let trace = TrafficGenerator::new(t).generate(&mut Sampler::new(29));
+        for threads in [1usize, 4] {
+            let mut system = ZmailSystem::new(config.clone(), 29);
+            system.enable_racecheck();
+            system.run_trace_parallel(&trace, threads);
+            let report = system.racecheck_report();
+            assert!(
+                report.findings.is_empty(),
+                "threads={threads}:\n{}",
+                report.render()
+            );
+            assert!(report.events_checked > 500, "{}", report.events_checked);
+        }
+    }
+
+    #[test]
+    fn racecheck_catches_a_mutilated_footprint() {
+        // Sanity of the gate itself: the checker must not be silent
+        // because nothing is recorded. Disarmed runs record nothing;
+        // armed runs over real traffic record ISP and bank writes, so a
+        // footprint lie would have no place to hide. Verified here by
+        // the armed run counting real events.
+        let trace = TrafficGenerator::new(traffic(2, 8, 1)).generate(&mut Sampler::new(33));
+        let mut system = ZmailSystem::new(ZmailConfig::builder(2, 8).build(), 33);
+        system.enable_racecheck();
+        system.run_trace(&trace);
+        let checked = system.racecheck_report().events_checked;
+        let mut disarmed = ZmailSystem::new(ZmailConfig::builder(2, 8).build(), 33);
+        disarmed.run_trace(&trace);
+        assert!(checked > 0);
+        assert_eq!(disarmed.racecheck_report().events_checked, 0);
+        assert_eq!(
+            system.report().digest_checksum,
+            disarmed.report().digest_checksum,
+            "checking is observation, never behaviour"
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Fault-plan shrinking: given a failing plan, find a (locally) smallest
 //! sub-plan that still fails, by delta debugging over the clause list.
 //!
-//! The algorithm is Zeller–Hildebrandt `ddmin`: partition the clause list
-//! into `n` chunks, try deleting each chunk; on success restart with the
-//! reduced list, otherwise refine the partition until chunks are single
-//! clauses. The result is 1-minimal — removing any single remaining
-//! clause makes the failure disappear — which is the strongest guarantee
-//! a black-box predicate admits.
+//! The algorithm is Zeller–Hildebrandt `ddmin`, shared with the
+//! racecheck event-schedule shrinker as [`zmail_sim::shrink::ddmin`]:
+//! partition the clause list into `n` chunks, try deleting each chunk;
+//! on success restart with the reduced list, otherwise refine the
+//! partition until chunks are single clauses. The result is 1-minimal —
+//! removing any single remaining clause makes the failure disappear —
+//! which is the strongest guarantee a black-box predicate admits.
 
 use crate::plan::FaultPlan;
 
@@ -27,57 +28,16 @@ pub struct ShrinkOutcome {
 /// deterministic — rerun the scenario from its fixed seed — or the
 /// result is meaningless.
 pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> ShrinkOutcome {
-    let mut tests_run = 0u32;
-    let mut check = |candidate: &FaultPlan| {
-        tests_run += 1;
-        still_fails(candidate)
-    };
-    if !check(plan) {
-        return ShrinkOutcome {
-            plan: plan.clone(),
-            tests_run,
-        };
-    }
-    let mut current = plan.faults.clone();
-    let mut n = 2usize;
-    while current.len() >= 2 {
-        let chunk = current.len().div_ceil(n);
-        let mut reduced = false;
-        for i in 0..n {
-            let lo = i * chunk;
-            if lo >= current.len() {
-                break;
-            }
-            let hi = ((i + 1) * chunk).min(current.len());
-            // Complement: everything except chunk i.
-            let candidate: Vec<_> = current[..lo]
-                .iter()
-                .chain(&current[hi..])
-                .copied()
-                .collect();
-            if candidate.is_empty() {
-                continue;
-            }
-            if check(&FaultPlan {
-                faults: candidate.clone(),
-            }) {
-                current = candidate;
-                reduced = true;
-                break;
-            }
-        }
-        if reduced {
-            n = (n - 1).max(2);
-        } else {
-            if n >= current.len() {
-                break;
-            }
-            n = (n * 2).min(current.len());
-        }
-    }
+    let outcome = zmail_sim::shrink::ddmin(&plan.faults, |faults| {
+        still_fails(&FaultPlan {
+            faults: faults.to_vec(),
+        })
+    });
     ShrinkOutcome {
-        plan: FaultPlan { faults: current },
-        tests_run,
+        plan: FaultPlan {
+            faults: outcome.items,
+        },
+        tests_run: outcome.tests_run,
     }
 }
 

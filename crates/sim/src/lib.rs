@@ -10,6 +10,13 @@
 //!   daily and reconciles credit monthly);
 //! * [`event`] — a deterministic event queue with stable FIFO tie-breaking;
 //! * [`engine`] — a minimal simulation driver over a user-defined world;
+//! * [`racecheck`] — a footprint race detector for the [`ParallelWorld`]
+//!   contract: [`CheckedWorld`] records actual per-event key accesses and
+//!   diffs them against declared footprints, emitting stable findings
+//!   SIM001–SIM006;
+//! * [`shrink`] — generic Zeller–Hildebrandt `ddmin` delta debugging,
+//!   shared by racecheck's schedule shrinker and `zmail-fault`'s plan
+//!   shrinker;
 //! * [`rng`] — seeded random sampling: exponential inter-arrival times,
 //!   Poisson counts, Zipf popularity, Bernoulli trials — implemented here so
 //!   the only external randomness dependency stays `rand`;
@@ -41,7 +48,9 @@
 pub mod clock;
 pub mod engine;
 pub mod event;
+pub mod racecheck;
 pub mod rng;
+pub mod shrink;
 pub mod stats;
 pub mod telemetry;
 pub mod workload;
@@ -49,7 +58,11 @@ pub mod workload;
 pub use clock::{SimDuration, SimTime};
 pub use engine::{ParallelWorld, Scheduler, Simulation, World};
 pub use event::EventQueue;
+pub use racecheck::{
+    AccessLog, AccessRecorder, CheckedWorld, Finding, RacecheckReport, RecordedWorld, SimCode,
+};
 pub use rng::Sampler;
+pub use shrink::{ddmin, DdminOutcome};
 pub use stats::{Histogram, Quantiles, Summary, Table, TimeSeries};
 pub use telemetry::SimTelemetry;
 pub use workload::{MailKind, SendEvent, TrafficConfig, TrafficGenerator, UserAddr};

@@ -1,0 +1,138 @@
+//! Generic delta-debugging minimization (`ddmin`) over item sequences.
+//!
+//! The algorithm is Zeller–Hildebrandt `ddmin`: partition the sequence
+//! into `n` chunks, try deleting each chunk; on success restart with the
+//! reduced sequence, otherwise refine the partition until chunks are
+//! single items. The result is 1-minimal — removing any single remaining
+//! item makes the failure disappear — which is the strongest guarantee a
+//! black-box predicate admits.
+//!
+//! Two consumers share this one implementation: `zmail-fault` shrinks
+//! failing fault plans (clause lists), and [`crate::racecheck`] shrinks
+//! event schedules that trigger a footprint-contract finding. Both wrap
+//! [`ddmin`] with their own domain types; the algorithm itself only needs
+//! `Clone` items and a deterministic predicate.
+
+/// Result of a [`ddmin`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdminOutcome<T> {
+    /// The minimized sequence (still failing, per the predicate).
+    pub items: Vec<T>,
+    /// How many candidate sequences the predicate evaluated.
+    pub tests_run: u32,
+}
+
+/// Minimizes `items` against `still_fails`.
+///
+/// `still_fails` must return `true` for any subsequence that reproduces
+/// the failure; it is assumed `true` for `items` itself (if not, the
+/// original sequence is returned untouched after one probe). Candidates
+/// preserve the relative order of the input. The predicate should be
+/// deterministic — rebuild the failing run from a fixed seed — or the
+/// result is meaningless.
+pub fn ddmin<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> DdminOutcome<T> {
+    let mut tests_run = 0u32;
+    let mut check = |candidate: &[T]| {
+        tests_run += 1;
+        still_fails(candidate)
+    };
+    if !check(items) {
+        return DdminOutcome {
+            items: items.to_vec(),
+            tests_run,
+        };
+    }
+    let mut current = items.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        for i in 0..n {
+            let lo = i * chunk;
+            if lo >= current.len() {
+                break;
+            }
+            let hi = ((i + 1) * chunk).min(current.len());
+            // Complement: everything except chunk i.
+            let candidate: Vec<T> = current[..lo]
+                .iter()
+                .chain(&current[hi..])
+                .cloned()
+                .collect();
+            if candidate.is_empty() {
+                continue;
+            }
+            if check(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            n = (n - 1).max(2);
+        } else {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    DdminOutcome {
+        items: current,
+        tests_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A predicate that "fails" whenever all `required` items survive.
+    fn needs(required: &[u32]) -> impl Fn(&[u32]) -> bool + '_ {
+        move |items| required.iter().all(|r| items.contains(r))
+    }
+
+    #[test]
+    fn single_culprit_is_isolated() {
+        let items: Vec<u32> = (1..=8).collect();
+        let outcome = ddmin(&items, needs(&[5]));
+        assert_eq!(outcome.items, vec![5]);
+        assert!(outcome.tests_run > 1);
+    }
+
+    #[test]
+    fn interacting_pair_is_kept_in_order() {
+        let items: Vec<u32> = (1..=10).collect();
+        let outcome = ddmin(&items, needs(&[2, 9]));
+        assert_eq!(outcome.items, vec![2, 9]);
+    }
+
+    #[test]
+    fn non_failing_input_returned_untouched() {
+        let items = vec![1u32, 2, 3];
+        let outcome = ddmin(&items, |_| false);
+        assert_eq!(outcome.items, items);
+        assert_eq!(outcome.tests_run, 1);
+    }
+
+    #[test]
+    fn always_failing_predicate_minimizes_to_one_item() {
+        let items: Vec<u32> = (1..=7).collect();
+        let outcome = ddmin(&items, |_| true);
+        assert_eq!(outcome.items.len(), 1);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let items: Vec<u32> = (1..=12).collect();
+        let required = [1, 7, 12];
+        let pred = needs(&required);
+        let outcome = ddmin(&items, &pred);
+        assert_eq!(outcome.items, required);
+        for skip in 0..outcome.items.len() {
+            let mut smaller = outcome.items.clone();
+            smaller.remove(skip);
+            assert!(!pred(&smaller), "result was not 1-minimal");
+        }
+    }
+}

@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
 echo "== speclint (static analysis of the bundled AP specs)"
 cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
 
+echo "== independence artifact (model-vs-harness footprint cross-check)"
+cargo run --release -q -p zmail-bench --bin speclint -- --independence-json > /dev/null
+
 echo "== obs smoke (metrics/tracing/exporters end to end)"
 cargo run --release -q -p zmail-obs --bin obs_smoke > /dev/null
 
@@ -49,5 +52,13 @@ cargo run --release -q -p zmail-bench --bin e17_million_users -- --smoke > /dev/
 
 echo "== parallel equivalence (serial vs threaded E17 runs byte-identical)"
 cargo run --release -q -p zmail-bench --bin e17_million_users -- --equivalence > /dev/null
+
+echo "== racecheck (SIM001-SIM006 negative suite, footprint proptests)"
+cargo test -q --release -p zmail-sim --test racecheck
+cargo test -q --release -p zmail-core --test massive_racecheck
+
+echo "== parallel harness (frozen seeds: byte-identical at 1/2/4/8 threads, racecheck clean)"
+cargo test -q --release -p zmail --test parallel_harness
+cargo run --release -q -p zmail-bench --bin e18_racecheck -- --smoke > /dev/null
 
 echo "CI: all green"

@@ -35,7 +35,8 @@
 use std::fmt;
 use zmail_core::{IspId, RunReport, ZmailConfig, ZmailSystem};
 use zmail_fault::{shrink, FaultCounters, FaultPlan, PlanSpace, ShrinkOutcome};
-use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
+use zmail_sim::racecheck::RacecheckReport;
+use zmail_sim::workload::{SendEvent, TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, SimTime};
 
 /// Sampler stream id for deriving a scenario's fault plan from its seed,
@@ -210,14 +211,9 @@ impl Scenario {
         self
     }
 
-    /// Runs the scenario and checks every invariant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plan fails [`FaultPlan::validate`] for this
-    /// deployment (malformed plans are a bug in the caller, not a
-    /// scenario failure).
-    pub fn run(&self) -> Outcome {
+    /// Builds the deterministic workload trace and a fresh system for
+    /// this scenario — the shared front half of every run variant.
+    fn build(&self) -> (ZmailSystem, Vec<SendEvent>) {
         let traffic = TrafficConfig {
             isps: self.isps,
             users_per_isp: self.users_per_isp,
@@ -238,9 +234,48 @@ impl Scenario {
         if self.durable {
             builder = builder.durable();
         }
-        let mut system = ZmailSystem::new(builder.build(), self.seed);
-        let report = system.run_trace(&trace);
+        (ZmailSystem::new(builder.build(), self.seed), trace)
+    }
 
+    /// Runs the scenario and checks every invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] for this
+    /// deployment (malformed plans are a bug in the caller, not a
+    /// scenario failure).
+    pub fn run(&self) -> Outcome {
+        let (mut system, trace) = self.build();
+        let report = system.run_trace(&trace);
+        self.outcome(system, report)
+    }
+
+    /// Like [`Scenario::run`], but executes the trace on the
+    /// tick-parallel engine path with `threads` stage workers (`0` = all
+    /// cores). The [`Outcome`] — report, counters, and violations — is
+    /// byte-identical to [`Scenario::run`] at any thread count; the
+    /// CI-gated `tests/parallel_harness.rs` holds this over the frozen
+    /// scenario seeds.
+    pub fn run_parallel(&self, threads: usize) -> Outcome {
+        let (mut system, trace) = self.build();
+        let report = system.run_trace_parallel(&trace, threads);
+        self.outcome(system, report)
+    }
+
+    /// Like [`Scenario::run_parallel`], but with the footprint race
+    /// detector armed: every event's actual key accesses are recorded
+    /// and diffed against the declared [`zmail_sim::ParallelWorld`]
+    /// footprints. Returns the outcome plus the detector's findings.
+    pub fn run_racechecked(&self, threads: usize) -> (Outcome, RacecheckReport) {
+        let (mut system, trace) = self.build();
+        system.enable_racecheck();
+        let report = system.run_trace_parallel(&trace, threads);
+        let racecheck = system.racecheck_report();
+        (self.outcome(system, report), racecheck)
+    }
+
+    /// The shared back half of every run variant: the invariant sweep.
+    fn outcome(&self, system: ZmailSystem, report: RunReport) -> Outcome {
         let mut violations = Vec::new();
         if let Err(e) = system.audit() {
             violations.push(Violation::AuditBroken(e.to_string()));
