@@ -92,6 +92,7 @@ fn main() {
         payment: Some(1),
         is_ack: false,
         ack_to: None,
+        trace: None,
     }
     .stamp(&mut bare);
     let stamped_len = bare.wire_len();

@@ -1,0 +1,273 @@
+//! `zmail-trace` — the flight-recorder report tool.
+//!
+//! Runs the full protocol harness deterministically from a seed with
+//! the causal flight recorder attached, then renders the drained span
+//! log as a postmortem report: lifecycle totals, per-phase latency
+//! breakdown (p50/p99/p999 in sim-clock ms), and the slowest message
+//! lifecycles with their critical paths. Everything — workload, spans,
+//! report text, checksum — is a pure function of the flags, so two
+//! machines given the same invocation print the same bytes.
+//!
+//! ```text
+//! zmail_trace [--seed N] [--isps N] [--users N] [--days N]
+//!             [--sample N] [--top N] [--chrome PATH]
+//! ```
+//!
+//! `--sample N` keeps one lifecycle in `N` (head sampling by trace-id
+//! hash; 1 = trace everything). `--chrome PATH` additionally writes the
+//! span log as Chrome trace-event JSON — load it at `chrome://tracing`
+//! or <https://ui.perfetto.dev> to see the ISP→bank→WAL→delivery tree
+//! on a timeline.
+
+use zmail_core::{ZmailConfig, ZmailSystem};
+use zmail_econ::EPennies;
+use zmail_obs::{attribute, export, FlightRecorder, Registry, SpanLog, SpanStatus};
+use zmail_sim::workload::{TrafficConfig, TrafficGenerator};
+use zmail_sim::{Sampler, SimDuration, Table};
+
+/// Everything the tool needs to reproduce a run.
+#[derive(Debug, Clone, Copy)]
+struct Opts {
+    seed: u64,
+    isps: u32,
+    users: u32,
+    days: u64,
+    sample: u64,
+    top: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seed: 19,
+            isps: 3,
+            users: 10,
+            days: 2,
+            sample: 1,
+            top: 5,
+        }
+    }
+}
+
+/// Runs the harness under the recorder and returns the finalized log.
+fn record(opts: Opts) -> SpanLog {
+    let traffic = TrafficConfig {
+        isps: opts.isps,
+        users_per_isp: opts.users,
+        horizon: SimDuration::from_days(opts.days),
+        personal_per_user_day: 12.0,
+        ..TrafficConfig::default()
+    };
+    let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(opts.seed));
+    // Same configuration as E19: daily billing, bank retries, durable
+    // WAL, and low balances so bank round-trips appear on the traces.
+    let config = ZmailConfig::builder(opts.isps, opts.users)
+        .billing_period(SimDuration::from_days(1))
+        .bank_retry(Some(SimDuration::from_mins(1)))
+        .initial_balance(EPennies(20))
+        .avail_bounds(EPennies(100), EPennies(300), EPennies(150))
+        .durable()
+        .build();
+    let mut system = ZmailSystem::new(config, opts.seed);
+    let recorder = FlightRecorder::new(1 << 21);
+    recorder.set_sampling(opts.sample);
+    system.attach_flight_recorder(recorder.clone());
+    system.run_trace(&trace);
+    recorder.finalize(system.now().as_millis());
+    recorder.drain()
+}
+
+/// FNV-1a over the span stream's canonical rendering: a one-line
+/// fingerprint for "same plan + seed, same trace".
+fn stream_checksum(log: &SpanLog) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for s in &log.spans {
+        eat(&s.trace.0.to_le_bytes());
+        eat(&s.span.0.to_le_bytes());
+        eat(&s.parent.map_or(0, |p| p.0).to_le_bytes());
+        eat(s.phase.as_bytes());
+        eat(s.node.as_bytes());
+        eat(&s.start.to_le_bytes());
+        eat(&s.end.to_le_bytes());
+        eat(s.status.label().as_bytes());
+        eat(s.detail.as_bytes());
+    }
+    hash
+}
+
+/// Renders the whole report. Pure: identical logs yield identical text.
+fn render(opts: Opts, log: &SpanLog) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "zmail-trace: {} ISPs x {} users, {} days, seed {}, sampling 1/{}",
+        opts.isps, opts.users, opts.days, opts.seed, opts.sample
+    );
+    let traces = log.traces();
+    let crashed = log
+        .spans
+        .iter()
+        .filter(|s| s.status == SpanStatus::Crashed)
+        .count();
+    let _ = writeln!(
+        out,
+        "lifecycles: {}   spans: {}   crashed spans: {}   ring-dropped: {}",
+        traces.len(),
+        log.spans.len(),
+        crashed,
+        log.dropped
+    );
+    let _ = writeln!(out);
+
+    let registry = Registry::new();
+    registry.set_enabled(true);
+    attribute(log, &registry);
+    let snap = registry.snapshot();
+    let _ = writeln!(out, "phase breakdown (sim-clock ms):");
+    let mut table = Table::new(&["phase", "n", "p50", "p99", "p999", "max"]);
+    for (name, h) in &snap.histograms {
+        if let Some(phase) = name.strip_prefix("trace.phase.") {
+            table.row_owned(vec![
+                phase.to_string(),
+                h.count.to_string(),
+                h.p50().unwrap_or(0).to_string(),
+                h.p99().unwrap_or(0).to_string(),
+                h.p999().unwrap_or(0).to_string(),
+                h.max.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{table}");
+
+    let _ = writeln!(out, "top {} slowest lifecycles:", opts.top);
+    for summary in log.slowest_traces(opts.top) {
+        let path: Vec<String> = log
+            .critical_path(summary.trace)
+            .iter()
+            .map(|s| format!("{}@{}+{}ms", s.phase, s.node, s.duration()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:016x}  {:>6}ms  {:>2} spans{}  [{}]",
+            summary.trace,
+            summary.duration(),
+            summary.spans,
+            if summary.crashed { "  CRASHED" } else { "" },
+            summary.detail,
+        );
+        let _ = writeln!(out, "            critical path: {}", path.join(" -> "));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "span stream checksum: {:016x}", stream_checksum(log));
+    out
+}
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut chrome: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => opts.seed = take("--seed").parse().expect("--seed: integer"),
+            "--isps" => opts.isps = take("--isps").parse().expect("--isps: integer"),
+            "--users" => opts.users = take("--users").parse().expect("--users: integer"),
+            "--days" => opts.days = take("--days").parse().expect("--days: integer"),
+            "--sample" => {
+                opts.sample = take("--sample").parse().expect("--sample: integer");
+                assert!(opts.sample >= 1, "--sample must be >= 1");
+            }
+            "--top" => opts.top = take("--top").parse().expect("--top: integer"),
+            "--chrome" => chrome = Some(take("--chrome")),
+            "--help" | "-h" => {
+                println!(
+                    "zmail_trace [--seed N] [--isps N] [--users N] [--days N] \
+                     [--sample N] [--top N] [--chrome PATH]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    let log = record(opts);
+    log.validate().expect("recorder emitted a malformed trace");
+    print!("{}", render(opts, &log));
+    if let Some(path) = chrome {
+        std::fs::write(&path, export::chrome_trace(&log)).expect("writing chrome trace");
+        println!("chrome trace-event JSON written to {path} (load at chrome://tracing)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_opts() -> Opts {
+        Opts {
+            seed: 7,
+            isps: 2,
+            users: 4,
+            days: 1,
+            sample: 1,
+            top: 2,
+        }
+    }
+
+    /// The report is a pure function of the flags: fixed seed, fixed
+    /// bytes. The checksum line is the load-bearing assertion — it
+    /// fingerprints every field of every span — and the structural
+    /// checks keep the failure mode readable if it ever diverges.
+    #[test]
+    fn golden_report_for_fixed_seed() {
+        let opts = golden_opts();
+        let log = record(opts);
+        log.validate().expect("well-formed");
+        let report = render(opts, &log);
+        assert!(
+            report.starts_with("zmail-trace: 2 ISPs x 4 users, 1 days, seed 7, sampling 1/1\n"),
+            "header changed:\n{report}"
+        );
+        for phase in ["submit", "delivery", "wal_commit"] {
+            assert!(report.contains(phase), "missing phase {phase}:\n{report}");
+        }
+        assert!(report.contains("top 2 slowest lifecycles:"), "{report}");
+        assert!(report.contains("critical path: submit@"), "{report}");
+        // Golden: re-recording yields byte-identical text.
+        let again = render(opts, &record(opts));
+        assert_eq!(report, again, "report must be deterministic");
+        let line = report
+            .lines()
+            .rfind(|l| l.starts_with("span stream checksum: "))
+            .expect("checksum line");
+        assert_eq!(
+            line,
+            format!("span stream checksum: {:016x}", stream_checksum(&log))
+        );
+    }
+
+    /// The Chrome export carries every span as a complete-event with a
+    /// parent link, so the lifecycle tree survives the format hop.
+    #[test]
+    fn chrome_export_carries_the_lifecycle_tree() {
+        let log = record(golden_opts());
+        let json = export::chrome_trace(&log);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        for phase in ["submit", "delivery", "wal_commit"] {
+            assert!(
+                json.contains(&format!("\"name\":\"{phase}\"")),
+                "missing {phase}"
+            );
+        }
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), log.spans.len());
+    }
+}

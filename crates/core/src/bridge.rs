@@ -23,6 +23,7 @@ use crate::msg::NetMsg;
 use std::sync::{Arc, Mutex};
 use zmail_crypto::KeyPair;
 use zmail_econ::EPennies;
+use zmail_obs::{FlightRecorder, SpanStatus};
 use zmail_sim::workload::{MailKind, UserAddr};
 use zmail_smtp::{MailMessage, MailSink, ZmailHeaders};
 
@@ -44,6 +45,12 @@ struct GatewayState {
     isps: Vec<Isp>,
     mailboxes: Vec<Vec<MailMessage>>,
     stats: GatewayStats,
+    /// Causal flight recorder (disabled by default). Submissions are
+    /// stamped with a logical sequence number, not wall time, so the
+    /// span stream is deterministic for a fixed submission order.
+    flight: FlightRecorder,
+    /// Logical submission clock feeding span timestamps.
+    seq: u64,
 }
 
 impl GatewayState {
@@ -84,6 +91,8 @@ impl ZmailGateway {
                 isps,
                 mailboxes,
                 stats: GatewayStats::default(),
+                flight: FlightRecorder::disabled(1),
+                seq: 0,
             })),
         }
     }
@@ -122,6 +131,18 @@ impl ZmailGateway {
     pub fn address(addr: UserAddr) -> String {
         mailbox(addr)
     }
+
+    /// Installs a causal flight recorder: each accepted SMTP submission
+    /// mints a lifecycle root, and delivered copies carry the context in
+    /// their `X-Zmail-Trace` header. The caller keeps a clone to
+    /// `finalize` and `drain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn attach_flight_recorder(&self, recorder: FlightRecorder) {
+        self.inner.lock().expect("gateway lock").flight = recorder;
+    }
 }
 
 use rand::SeedableRng;
@@ -147,12 +168,26 @@ impl MailSink for ZmailGateway {
         }
         match parse_mailbox(message.from()) {
             Some(sender) if state.config.is_compliant(IspId(sender.isp)) => {
+                // One lifecycle root per accepted submission, stamped
+                // with the logical submission clock.
+                let ts = state.seq;
+                state.seq += 1;
+                let root = state.flight.begin_trace(ts, "submit", "gateway", "");
+                if let Some(ctx) = root {
+                    state
+                        .flight
+                        .annotate(ctx, &format!("{} x{}", message.from(), recipients.len()));
+                }
                 // Compliant sender: run the ledger per recipient.
                 for &to in &recipients {
                     let outcome = state.isps[sender.isp as usize]
                         .send_email(sender.user, to, MailKind::Personal)
                         .map_err(|e| {
                             state.stats.bounced += 1;
+                            if let Some(ctx) = root {
+                                state.flight.annotate(ctx, "bounced");
+                                state.flight.end_with(ts, ctx, SpanStatus::Dropped);
+                            }
                             e.to_string()
                         })?;
                     // The backbone delivers inter-ISP mail instantly.
@@ -163,16 +198,33 @@ impl MailSink for ZmailGateway {
                     {
                         state.isps[dest.index()].receive_email(IspId(sender.isp), &email);
                     }
+                    let delivery = root.and_then(|ctx| {
+                        state
+                            .flight
+                            .child(ts, ctx, "delivery", format!("isp{}", to.isp), "")
+                    });
                     let mut copy = message.clone();
-                    ZmailHeaders {
+                    let mut headers = ZmailHeaders {
                         payment: Some(1),
                         is_ack: false,
                         ack_to: None,
+                        trace: None,
+                    };
+                    // Delivered copies carry the hop's span context so
+                    // downstream software can link back to the trace.
+                    if let Some(d) = delivery {
+                        headers = headers.with_trace(d);
                     }
-                    .stamp(&mut copy);
+                    headers.stamp(&mut copy);
                     let slot = state.mailbox_index(to);
                     state.mailboxes[slot].push(copy);
                     state.stats.delivered_paid += 1;
+                    if let Some(d) = delivery {
+                        state.flight.end(ts, d);
+                    }
+                }
+                if let Some(ctx) = root {
+                    state.flight.end(ts, ctx);
                 }
                 Ok(())
             }
@@ -239,6 +291,36 @@ mod tests {
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].header("X-Zmail-Payment"), Some("1"));
         assert_eq!(gw.stats().delivered_paid, 1);
+    }
+
+    #[test]
+    fn delivered_mail_carries_a_linkable_trace_header() {
+        use zmail_smtp::ZmailHeaders;
+        let gw = gateway();
+        let recorder = FlightRecorder::new(256);
+        gw.attach_flight_recorder(recorder.clone());
+        let alice = UserAddr::new(0, 0);
+        let bob = UserAddr::new(1, 1);
+        submit(
+            &gw,
+            &ZmailGateway::address(alice),
+            &ZmailGateway::address(bob),
+        )
+        .unwrap();
+        recorder.finalize(1);
+        let log = recorder.drain();
+        log.validate().expect("gateway span log well-formed");
+        // The delivered copy's X-Zmail-Trace names a span in the log.
+        let inbox = gw.inbox(bob);
+        let headers = ZmailHeaders::extract(&inbox[0]);
+        let ctx = headers.trace.expect("trace header present");
+        let span = log
+            .spans
+            .iter()
+            .find(|s| s.trace == ctx.trace && s.span == ctx.span)
+            .expect("header links to a recorded span");
+        assert_eq!(span.phase, "delivery");
+        assert!(log.spans.iter().any(|s| s.phase == "submit"));
     }
 
     #[test]

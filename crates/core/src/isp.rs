@@ -656,6 +656,20 @@ impl Isp {
         self.ns2.is_some()
     }
 
+    /// The request id (nonce) of the outstanding buy exchange — the
+    /// value the bank's reply must echo to be applied. Exposed so the
+    /// flight recorder can link a `bank_rtt` span to the request it
+    /// measures.
+    pub fn buy_request_id(&self) -> Option<u64> {
+        self.ns1
+    }
+
+    /// The request id (nonce) of the outstanding sell exchange; see
+    /// [`Isp::buy_request_id`].
+    pub fn sell_request_id(&self) -> Option<u64> {
+        self.ns2
+    }
+
     /// Retransmits an outstanding buy and the same `buyvalue`. Returns
     /// `None` when nothing is outstanding.
     ///

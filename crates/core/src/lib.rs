@@ -84,7 +84,8 @@ pub use invariants::AuditError;
 pub use isp::{Isp, SendError, SendOutcome};
 pub use mailinglist::{ListConfig, ListServer, PostReport};
 pub use massive::{
-    run_massive, run_massive_checked, MassiveConfig, MassiveEvent, MassiveReport, MassiveWorld,
+    run_massive, run_massive_checked, run_massive_traced, MassiveConfig, MassiveEvent,
+    MassiveReport, MassiveWorld,
 };
 pub use msg::{EmailMsg, NetMsg};
 pub use multibank::{FederatedRound, Federation};

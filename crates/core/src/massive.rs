@@ -36,6 +36,7 @@
 //! `scripts/ci.sh` pins with the E17 equivalence gate.
 
 use crate::config::DurabilityConfig;
+use zmail_obs::{FlightRecorder, SpanStatus};
 use zmail_sim::racecheck::{AccessRecorder, CheckedWorld, RacecheckReport, RecordedWorld};
 use zmail_sim::{ParallelWorld, Scheduler, SimDuration, SimTime, Simulation, World};
 use zmail_store::{
@@ -168,6 +169,12 @@ pub struct MassiveWorld {
     /// production runs, swapped for an armed one by
     /// [`RecordedWorld::recorded_apply`].
     recorder: AccessRecorder,
+    /// Causal flight recorder (disabled by default): each send mints a
+    /// lifecycle root closed in the same apply — this world has no
+    /// multi-hop protocol, so a trace is a single annotated span. All
+    /// span mutation happens in `apply`, keeping the stream
+    /// byte-identical at any thread count.
+    flight: FlightRecorder,
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -190,7 +197,14 @@ impl MassiveWorld {
             store,
             report: MassiveReport::default(),
             recorder: AccessRecorder::disabled(),
+            flight: FlightRecorder::disabled(1),
         }
+    }
+
+    /// Installs a causal flight recorder; see the field docs for the
+    /// span shape at this scale.
+    pub fn attach_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.flight = recorder;
     }
 
     /// The deterministic send scheduled as event `i` of tick `tick`.
@@ -325,7 +339,7 @@ impl ParallelWorld for MassiveWorld {
 
     fn apply(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         event: MassiveEvent,
         effect: u64,
         _scheduler: &mut Scheduler<'_, MassiveEvent>,
@@ -341,16 +355,35 @@ impl ParallelWorld for MassiveWorld {
                 return;
             }
         };
+        let ms = now.as_millis();
+        let lifecycle = self.flight.begin_trace(ms, "submit", "massive", "");
+        if let Some(ctx) = lifecycle {
+            self.flight.annotate(
+                ctx,
+                &format!(
+                    "{}:{}->{}:{}",
+                    send.from_isp, send.from_user, send.to_isp, send.to_user
+                ),
+            );
+        }
         let from_shard = u64::from(self.store.map().user_shard(send.from_isp, send.from_user));
         let to_shard = u64::from(self.store.map().user_shard(send.to_isp, send.to_user));
         self.recorder.read(CLASS_SHARD, from_shard);
         let sender = self.store.user(send.from_isp, send.from_user);
         if sender.balance < 1 {
             self.report.bounced_balance += 1;
+            if let Some(ctx) = lifecycle {
+                self.flight.annotate(ctx, "bounced=balance");
+                self.flight.end_with(ms, ctx, SpanStatus::Dropped);
+            }
             return;
         }
         if sender.sent_today >= sender.limit {
             self.report.bounced_limit += 1;
+            if let Some(ctx) = lifecycle {
+                self.flight.annotate(ctx, "bounced=limit");
+                self.flight.end_with(ms, ctx, SpanStatus::Dropped);
+            }
             return;
         }
         if from_shard == to_shard {
@@ -376,6 +409,9 @@ impl ParallelWorld for MassiveWorld {
         );
         self.report.paid += 1;
         self.report.digest_checksum = self.report.digest_checksum.wrapping_add(effect);
+        if let Some(ctx) = lifecycle {
+            self.flight.end(ms, ctx);
+        }
     }
 }
 
@@ -432,6 +468,25 @@ pub fn run_massive(config: &MassiveConfig, threads: usize) -> MassiveReport {
         world.verify_recovery(),
         "recovered books must match live books"
     );
+    world.finish();
+    world.report
+}
+
+/// [`run_massive`] with a causal flight recorder attached — the E19
+/// recorder-overhead probe at population scale. The caller keeps a clone
+/// of `recorder` to `finalize` and `drain` after the run.
+pub fn run_massive_traced(
+    config: &MassiveConfig,
+    threads: usize,
+    recorder: FlightRecorder,
+) -> MassiveReport {
+    let mut world = MassiveWorld::new(*config);
+    world.attach_flight_recorder(recorder);
+    let mut sim = Simulation::new(world);
+    schedule_massive(&mut sim, config);
+    sim.run_parallel_to_completion(threads);
+    let mut world = sim.into_world();
+    world.audit().expect("zero-sum audit must balance exactly");
     world.finish();
     world.report
 }
@@ -523,6 +578,33 @@ mod tests {
                 racecheck.render()
             );
             assert_eq!(racecheck.events_checked, 4 * 200 + 4);
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_thread_independent() {
+        let config = small(4);
+        let reference = run_massive(&config, 1);
+        let record = |threads: usize| {
+            let recorder = FlightRecorder::new(1 << 16);
+            let report = run_massive_traced(&config, threads, recorder.clone());
+            recorder.finalize(u64::from(config.ticks) * 1000);
+            (report, recorder.drain())
+        };
+        let (serial_report, serial_log) = record(1);
+        assert_eq!(serial_report, reference, "recorder must not change the run");
+        serial_log.validate().expect("span log well-formed");
+        assert_eq!(
+            serial_log.traces().len() as u64,
+            u64::from(config.ticks) * u64::from(config.sends_per_tick)
+        );
+        for threads in [2, 8] {
+            let (report, log) = record(threads);
+            assert_eq!(report, reference, "threads={threads}");
+            assert_eq!(
+                serial_log.spans, log.spans,
+                "span stream diverged at {threads} threads"
+            );
         }
     }
 

@@ -16,9 +16,10 @@ use crate::isp::{Isp, SendError, SendOutcome};
 use crate::metrics::CoreMetrics;
 use crate::msg::{EmailMsg, NetMsg};
 use crate::multibank::{Federation, SettlementFlow};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use zmail_econ::EPennies;
 use zmail_fault::{Endpoint, Fault, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
+use zmail_obs::{FlightRecorder, SpanCtx, SpanStatus};
 use zmail_sim::racecheck::{AccessRecorder, CheckedWorld, RacecheckReport, RecordedWorld};
 use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
 use zmail_sim::{ParallelWorld, Scheduler, SimTime, Simulation, World};
@@ -39,7 +40,20 @@ enum Event {
     /// Process trace entry `index` and schedule the next one.
     Workload(usize),
     /// A network message arrives at `to`.
-    Deliver { from: Node, to: Node, msg: NetMsg },
+    Deliver {
+        from: Node,
+        to: Node,
+        msg: NetMsg,
+        /// Causal trace context riding with an email: the message's
+        /// lifecycle span and the open delivery span. `None` for bank
+        /// and snapshot traffic (their latency is measured by the
+        /// `bank_rtt` span keyed on the requesting ISP) and whenever
+        /// the flight recorder is off or the trace unsampled. Not part
+        /// of the wire content: excluded from [`NetMsg::digest`] by
+        /// construction, so traced and untraced runs share a
+        /// [`RunReport::digest_checksum`].
+        ctx: Option<EmailTrace>,
+    },
     /// End-of-day: reset every `sent` array.
     DayEnd,
     /// Billing period: the bank starts a credit snapshot.
@@ -53,6 +67,36 @@ enum Event {
     /// A crashed ISP comes back up and reloads its books from the
     /// durable store (scheduled only when durability is configured).
     CrashRestart(IspId),
+}
+
+/// Trace context carried on an in-flight email's `Deliver` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EmailTrace {
+    /// The span representing the whole message lifecycle (the `submit`
+    /// root, or an `ack` span for automatic acknowledgments).
+    lifecycle: SpanCtx,
+    /// The open `delivery` span covering the network hop.
+    delivery: SpanCtx,
+}
+
+/// Why [`ZmailWorld::process_send`] is running — determines how the
+/// send is stitched into the causal trace.
+#[derive(Debug, Clone, Copy)]
+enum SendCause {
+    /// A fresh submission (workload entry or list-post copy): mint a
+    /// new trace and open its `submit` root span.
+    Fresh,
+    /// A send drained from the snapshot-freeze buffer: continue the
+    /// original lifecycle span, whose `queue` wait just closed.
+    Resumed(Option<SpanCtx>),
+    /// An automatic §5 acknowledgment riding on a delivery: open an
+    /// `ack` child span under the originating message's lifecycle.
+    Ack(Option<SpanCtx>),
+}
+
+/// The flight-recorder node name of an ISP.
+fn isp_node(isp: u32) -> String {
+    format!("isp{isp}")
 }
 
 /// A mailing list wired into the protocol (§5): posts fan out as paid
@@ -194,6 +238,26 @@ struct ZmailWorld {
     /// swaps an armed one in so every instrumented mutation site below
     /// reports the key it touches.
     recorder: AccessRecorder,
+    /// Causal flight recorder (disabled by default — see
+    /// [`ZmailSystem::attach_flight_recorder`]). Every call into it
+    /// happens on the serial apply path, so span ids, sampling
+    /// decisions, and record order are byte-identical at any thread
+    /// count.
+    flight: FlightRecorder,
+    /// The lifecycle span of the message this apply is processing, if
+    /// any — the parent the WAL group-commit span attaches to.
+    apply_ctx: Option<SpanCtx>,
+    /// Lifecycle spans that terminated during this apply. Closed after
+    /// [`ZmailWorld::persist_journals`] so the `wal_commit` child can
+    /// still attach to an open parent.
+    pending_close: Vec<(SpanCtx, SpanStatus)>,
+    /// Per-ISP open `queue` spans, FIFO-aligned with the ISP's
+    /// snapshot-freeze buffer: one entry pushed per buffered send
+    /// (`None` when untraced), one popped per drained send.
+    queue_spans: Vec<VecDeque<Option<(SpanCtx, SpanCtx)>>>,
+    /// Per-ISP open `bank_rtt` spans: `[buy, sell]`, closed when the
+    /// matching reply is applied.
+    bank_spans: Vec<[Option<SpanCtx>; 2]>,
 }
 
 /// Footprint key of an ISP's protocol state. Key 0 is the bank's, so
@@ -264,7 +328,30 @@ impl ZmailWorld {
         from: UserAddr,
         to: UserAddr,
         kind: MailKind,
+        cause: SendCause,
     ) {
+        let now = scheduler.now().as_millis();
+        // The span standing for this send's whole lifecycle: a fresh
+        // `submit` root, the resumed root of a previously buffered
+        // send, or an `ack` child of the originating message.
+        let lifecycle = match cause {
+            SendCause::Fresh => {
+                let ctx = self
+                    .flight
+                    .begin_trace(now, "submit", isp_node(from.isp), "");
+                if let Some(ctx) = ctx {
+                    self.flight.annotate(ctx, &format!("{from}->{to} {kind:?}"));
+                }
+                ctx
+            }
+            SendCause::Resumed(ctx) => ctx,
+            SendCause::Ack(root) => {
+                root.and_then(|r| self.flight.child(now, r, "ack", isp_node(from.isp), ""))
+            }
+        };
+        if lifecycle.is_some() {
+            self.apply_ctx = lifecycle;
+        }
         let sender_isp = IspId(from.isp);
         if !self.config.is_compliant(sender_isp) {
             // Non-compliant ISPs run no ledger: mail goes out unpaid.
@@ -279,6 +366,7 @@ impl ZmailWorld {
                 Node::Isp(sender_isp),
                 Node::Isp(IspId(to.isp)),
                 msg,
+                lifecycle,
             );
             return;
         }
@@ -301,16 +389,39 @@ impl ZmailWorld {
                     kind,
                     paid: true,
                 };
-                self.maybe_acknowledge(scheduler, &email);
+                self.maybe_acknowledge(scheduler, &email, lifecycle);
+                if let Some(ctx) = lifecycle {
+                    self.flight.annotate(ctx, "local");
+                    self.pending_close.push((ctx, SpanStatus::Ok));
+                }
             }
             Ok(SendOutcome::Outbound { to: dest, msg }) => {
-                self.dispatch(scheduler, Node::Isp(sender_isp), Node::Isp(dest), msg);
+                self.dispatch(
+                    scheduler,
+                    Node::Isp(sender_isp),
+                    Node::Isp(dest),
+                    msg,
+                    lifecycle,
+                );
             }
             Ok(SendOutcome::Buffered) => {
                 self.report.buffered_sends += 1;
+                // One queue entry per buffered send — `None` when
+                // untraced — so drains stay FIFO-aligned with the ISP's
+                // own pending buffer.
+                let queued = lifecycle.and_then(|root| {
+                    self.flight
+                        .child(now, root, "queue", isp_node(sender_isp.0), "")
+                        .map(|q| (root, q))
+                });
+                self.queue_spans[sender_isp.index()].push_back(queued);
             }
             Err(SendError::InsufficientBalance) => {
                 self.report.bounced_balance += 1;
+                if let Some(ctx) = lifecycle {
+                    self.flight.annotate(ctx, "bounced=balance");
+                    self.pending_close.push((ctx, SpanStatus::Dropped));
+                }
             }
             Err(SendError::DailyLimitExceeded) => {
                 self.report.bounced_limit += 1;
@@ -318,6 +429,10 @@ impl ZmailWorld {
                     at: scheduler.now(),
                     user: from,
                 });
+                if let Some(ctx) = lifecycle {
+                    self.flight.annotate(ctx, "bounced=limit");
+                    self.pending_close.push((ctx, SpanStatus::Dropped));
+                }
             }
         }
         // Behavioural knob: users top up when running low.
@@ -325,23 +440,60 @@ impl ZmailWorld {
             let amount = self.config.topup_amount;
             self.isps[sender_isp.index()].auto_topup(from.user, threshold, amount);
         }
-        self.pump_bank_exchanges(scheduler, sender_isp);
+        self.pump_bank_exchanges(scheduler, sender_isp, lifecycle);
     }
 
-    /// Lets an ISP issue any pending buy/sell to the bank.
-    fn pump_bank_exchanges(&mut self, scheduler: &mut Scheduler<'_, Event>, isp: IspId) {
+    /// Lets an ISP issue any pending buy/sell to the bank. When the
+    /// triggering send is traced, the round trip gets a `bank_rtt`
+    /// span — request dispatch to reply applied — linked to the sealed
+    /// request's nonce (`req=<id>`) and parented under the send that
+    /// drained or filled the pool.
+    fn pump_bank_exchanges(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        isp: IspId,
+        lifecycle: Option<SpanCtx>,
+    ) {
+        let now = scheduler.now().as_millis();
         if let Some(msg) = self.isps[isp.index()].maybe_buy() {
-            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+            self.bank_spans[isp.index()][0] = lifecycle.and_then(|root| {
+                let req = self.isps[isp.index()].buy_request_id().unwrap_or(0);
+                self.flight.child(
+                    now,
+                    root,
+                    "bank_rtt",
+                    isp_node(isp.0),
+                    format!("req={req}; buy"),
+                )
+            });
+            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg, None);
         }
         if let Some(msg) = self.isps[isp.index()].maybe_sell() {
-            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+            self.bank_spans[isp.index()][1] = lifecycle.and_then(|root| {
+                let req = self.isps[isp.index()].sell_request_id().unwrap_or(0);
+                self.flight.child(
+                    now,
+                    root,
+                    "bank_rtt",
+                    isp_node(isp.0),
+                    format!("req={req}; sell"),
+                )
+            });
+            self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg, None);
         }
     }
 
     /// §5 acknowledgment: when a *paid list post* lands, the receiving
     /// ISP automatically returns the e-penny to the distributor with an
     /// `Ack` message — software-processed, never shown to the human.
-    fn maybe_acknowledge(&mut self, scheduler: &mut Scheduler<'_, Event>, email: &EmailMsg) {
+    /// `parent` is the delivered message's lifecycle span: the ack (and
+    /// everything it causes) traces as its child.
+    fn maybe_acknowledge(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        email: &EmailMsg,
+        parent: Option<SpanCtx>,
+    ) {
         if email.kind != MailKind::ListPost || !email.paid {
             return;
         }
@@ -350,7 +502,13 @@ impl ZmailWorld {
         };
         let ack_prob = self.lists[index].ack_prob;
         if self.net_faults.bernoulli(ack_prob) {
-            self.process_send(scheduler, email.to, email.from, MailKind::Ack);
+            self.process_send(
+                scheduler,
+                email.to,
+                email.from,
+                MailKind::Ack,
+                SendCause::Ack(parent),
+            );
         }
     }
 
@@ -363,6 +521,7 @@ impl ZmailWorld {
         from: Node,
         to: Node,
         msg: NetMsg,
+        lifecycle: Option<SpanCtx>,
     ) {
         // An ISP-originated exchange arms a retransmission check —
         // before the fault decision, because a lost *request* is exactly
@@ -383,31 +542,52 @@ impl ZmailWorld {
             pennies,
         );
         match verdict {
-            Verdict::Drop(_) => match class {
-                // A lost paid email destroys its e-penny: the sender was
-                // debited, the receiver is never credited.
-                MsgClass::Email => {
-                    self.report.emails_lost += 1;
-                    self.pennies_lost += pennies;
+            Verdict::Drop(_) => {
+                match class {
+                    // A lost paid email destroys its e-penny: the sender was
+                    // debited, the receiver is never credited.
+                    MsgClass::Email => {
+                        self.report.emails_lost += 1;
+                        self.pennies_lost += pennies;
+                    }
+                    // A lost exchange message strands value at the bank: a
+                    // lost grant was issued but never pooled (+audit), a lost
+                    // retirement is still pooled (−audit).
+                    MsgClass::Bank => {
+                        self.report.bank_messages_lost += 1;
+                        self.pennies_stranded += pennies;
+                    }
+                    // Snapshot traffic carries no value; losing it stalls the
+                    // billing round (there is no retry path in the paper).
+                    MsgClass::Snapshot => {
+                        self.report.snapshot_messages_lost += 1;
+                    }
                 }
-                // A lost exchange message strands value at the bank: a
-                // lost grant was issued but never pooled (+audit), a lost
-                // retirement is still pooled (−audit).
-                MsgClass::Bank => {
-                    self.report.bank_messages_lost += 1;
-                    self.pennies_stranded += pennies;
+                if let Some(ctx) = lifecycle {
+                    self.flight.annotate(ctx, "lost=network");
+                    self.pending_close.push((ctx, SpanStatus::Dropped));
                 }
-                // Snapshot traffic carries no value; losing it stalls the
-                // billing round (there is no retry path in the paper).
-                MsgClass::Snapshot => {
-                    self.report.snapshot_messages_lost += 1;
-                }
-            },
+            }
             Verdict::Deliver {
                 copies,
                 extra_delay,
             } => {
                 let latency = self.config.net_latency + extra_delay;
+                // One delivery span covers the whole wire hop (all copies
+                // share it; the first arrival closes it, later closes
+                // no-op), parented under the send's lifecycle span.
+                let ctx = lifecycle.and_then(|root| {
+                    let dest = match to {
+                        Node::Isp(j) => isp_node(j.0),
+                        Node::Bank => "bank".to_string(),
+                    };
+                    self.flight
+                        .child(scheduler.now().as_millis(), root, "delivery", dest, "")
+                        .map(|delivery| EmailTrace {
+                            lifecycle: root,
+                            delivery,
+                        })
+                });
                 // Extra copies go first, preserving the legacy
                 // duplicate-before-original arrival order under the
                 // queue's FIFO tie-breaking.
@@ -422,12 +602,13 @@ impl ZmailWorld {
                             from,
                             to,
                             msg: msg.clone(),
+                            ctx,
                         },
                     );
                 }
                 self.pennies_in_flight += pennies;
                 self.report.network_messages += 1;
-                scheduler.after(latency, Event::Deliver { from, to, msg });
+                scheduler.after(latency, Event::Deliver { from, to, msg, ctx });
             }
         }
     }
@@ -438,17 +619,28 @@ impl ZmailWorld {
         from: Node,
         to: Node,
         msg: NetMsg,
+        ctx: Option<EmailTrace>,
     ) {
+        let now = scheduler.now().as_millis();
+        if let Some(t) = ctx {
+            // First arrival closes the wire-hop span; duplicate copies
+            // sharing it close as no-ops.
+            self.flight.end(now, t.delivery);
+        }
         self.pennies_in_flight -= msg.pennies_in_flight();
         match (to, msg) {
             (Node::Isp(j), NetMsg::Email(email)) => {
                 let Node::Isp(origin) = from else {
                     panic!("email from the bank is not part of the protocol");
                 };
+                let lifecycle = ctx.map(|t| t.lifecycle);
                 if !self.config.is_compliant(j) {
                     // Non-compliant receivers keep no ledger; mail lands.
                     *self.report.delivered_by_kind.entry(email.kind).or_default() += 1;
                     self.report.unpaid_deliveries += 1;
+                    if let Some(root) = lifecycle {
+                        self.pending_close.push((root, SpanStatus::Ok));
+                    }
                     return;
                 }
                 self.recorder.write(CLASS_ISP, isp_key(j.0));
@@ -461,10 +653,20 @@ impl ZmailWorld {
                         } else {
                             self.report.unpaid_deliveries += 1;
                         }
-                        self.maybe_acknowledge(scheduler, &email);
+                        if lifecycle.is_some() {
+                            self.apply_ctx = lifecycle;
+                        }
+                        self.maybe_acknowledge(scheduler, &email, lifecycle);
+                        if let Some(root) = lifecycle {
+                            self.pending_close.push((root, SpanStatus::Ok));
+                        }
                     }
                     _ => {
                         *self.report.dropped_by_kind.entry(email.kind).or_default() += 1;
+                        if let Some(root) = lifecycle {
+                            self.flight.annotate(root, "dropped=filter");
+                            self.pending_close.push((root, SpanStatus::Dropped));
+                        }
                     }
                 }
             }
@@ -479,6 +681,12 @@ impl ZmailWorld {
                 self.recorder.write(CLASS_ISP, isp_key(j.0));
                 match self.isps[j.index()].handle_buy_reply(&envelope) {
                     Ok(applied) => {
+                        if applied {
+                            // Reply accepted: the buy round trip is over.
+                            if let Some(c) = self.bank_spans[j.index()][0].take() {
+                                self.flight.end(now, c);
+                            }
+                        }
                         if applied && replayed {
                             // The grant this cached reply carries was
                             // stranded when the original reply was lost;
@@ -506,6 +714,11 @@ impl ZmailWorld {
                 self.recorder.write(CLASS_ISP, isp_key(j.0));
                 match self.isps[j.index()].handle_sell_reply(&envelope) {
                     Ok(applied) => {
+                        if applied {
+                            if let Some(c) = self.bank_spans[j.index()][1].take() {
+                                self.flight.end(now, c);
+                            }
+                        }
                         if applied && replayed {
                             // The retirement was counted stranded when
                             // the original confirmation was lost; the
@@ -535,7 +748,7 @@ impl ZmailWorld {
                 };
                 self.recorder.write(CLASS_BANK, BANK_KEY);
                 if let Ok(reply) = self.banks.handle_buy(g, &envelope) {
-                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
+                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply, None);
                 }
             }
             (Node::Bank, NetMsg::Sell { envelope, .. }) => {
@@ -544,7 +757,7 @@ impl ZmailWorld {
                 };
                 self.recorder.write(CLASS_BANK, BANK_KEY);
                 if let Ok(reply) = self.banks.handle_sell(g, &envelope) {
-                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply);
+                    self.dispatch(scheduler, Node::Bank, Node::Isp(g), reply, None);
                 }
             }
             (
@@ -576,19 +789,50 @@ impl ZmailWorld {
     /// Appends every record the ISPs and banks journalled during this
     /// event to the durable store and group-commits — one commit per
     /// event, so recovered books always land on an event boundary.
-    fn persist_journals(&mut self) {
+    fn persist_journals(&mut self, now: SimTime) {
         let Some(store) = self.store.as_mut() else {
             return;
         };
+        let mut records = 0u64;
         for isp in &mut self.isps {
             for rec in isp.drain_journal() {
                 store.append(&rec);
+                records += 1;
             }
         }
         for rec in self.banks.drain_journals() {
             store.append(&rec);
+            records += 1;
         }
         store.commit_all();
+        // The group-commit attributes to whichever traced send this
+        // event worked on behalf of. Zero sim-duration by design: the
+        // sim clock does not advance inside an event; the wall cost of
+        // the fsync is covered by the store.* metrics.
+        if records > 0 {
+            if let Some(parent) = self.apply_ctx {
+                let ms = now.as_millis();
+                if let Some(w) = self.flight.child(
+                    ms,
+                    parent,
+                    "wal_commit",
+                    "wal",
+                    format!("records={records}"),
+                ) {
+                    self.flight.end(ms, w);
+                }
+            }
+        }
+    }
+
+    /// Closes lifecycle roots queued during this event — deferred past
+    /// [`ZmailWorld::persist_journals`] so the `wal_commit` child can
+    /// still attach to an open parent.
+    fn flush_lifecycle_closes(&mut self, now: SimTime) {
+        let ms = now.as_millis();
+        for (ctx, status) in std::mem::take(&mut self.pending_close) {
+            self.flight.end_with(ms, ctx, status);
+        }
     }
 
     /// Restarts a crashed ISP **from the durable store**: replays the
@@ -598,6 +842,12 @@ impl ZmailWorld {
     /// sends) stays as-is — the protocol's own retransmission machinery
     /// rebuilds it, exactly as after a warm restart.
     fn crash_restart(&mut self, now: SimTime, isp: IspId) {
+        // Truncate every span open on the crashed node: they close with
+        // `crashed` status rather than leaking. Stale entries left in
+        // `queue_spans`/`bank_spans` are harmless — operations on closed
+        // spans no-op, and children of closed parents are never minted.
+        self.flight
+            .close_node(now.as_millis(), &isp_node(isp.0), SpanStatus::Crashed);
         let Some(store) = self.store.as_ref() else {
             return;
         };
@@ -716,16 +966,23 @@ impl ParallelWorld for ZmailWorld {
         scheduler: &mut Scheduler<'_, Event>,
     ) {
         self.report.digest_checksum = self.report.digest_checksum.wrapping_add(effect);
+        self.apply_ctx = None;
         match event {
             Event::Workload(index) => {
                 if index + 1 < self.trace.len() {
                     scheduler.at(self.trace[index + 1].at, Event::Workload(index + 1));
                 }
                 let entry = self.trace[index];
-                self.process_send(scheduler, entry.from, entry.to, entry.kind);
+                self.process_send(
+                    scheduler,
+                    entry.from,
+                    entry.to,
+                    entry.kind,
+                    SendCause::Fresh,
+                );
             }
-            Event::Deliver { from, to, msg } => {
-                self.handle_delivery(scheduler, from, to, msg);
+            Event::Deliver { from, to, msg, ctx } => {
+                self.handle_delivery(scheduler, from, to, msg, ctx);
             }
             Event::DayEnd => {
                 for i in 0..self.config.isps {
@@ -745,7 +1002,7 @@ impl ParallelWorld for ZmailWorld {
                     self.recorder.write(CLASS_BANK, BANK_KEY);
                     let requests = self.banks.start_snapshot();
                     for (isp, msg) in requests {
-                        self.dispatch(scheduler, Node::Bank, Node::Isp(isp), msg);
+                        self.dispatch(scheduler, Node::Bank, Node::Isp(isp), msg, None);
                     }
                 }
                 let next = now + self.config.billing_period;
@@ -756,9 +1013,23 @@ impl ParallelWorld for ZmailWorld {
             Event::SnapshotTimeout(isp) => {
                 self.recorder.write(CLASS_ISP, isp_key(isp.0));
                 let (reply, drained) = self.isps[isp.index()].finish_snapshot();
-                self.dispatch(scheduler, Node::Isp(isp), Node::Bank, reply);
+                self.dispatch(scheduler, Node::Isp(isp), Node::Bank, reply, None);
                 for (sender, to, kind) in drained {
-                    self.process_send(scheduler, UserAddr::new(isp.0, sender), to, kind);
+                    // The ISP's pending buffer is FIFO and `queue_spans`
+                    // mirrors it entry-for-entry, so popping the front
+                    // recovers this send's queue span and lifecycle root.
+                    let entry = self.queue_spans[isp.index()].pop_front().flatten();
+                    let lifecycle = entry.map(|(root, q)| {
+                        self.flight.end(now.as_millis(), q);
+                        root
+                    });
+                    self.process_send(
+                        scheduler,
+                        UserAddr::new(isp.0, sender),
+                        to,
+                        kind,
+                        SendCause::Resumed(lifecycle),
+                    );
                 }
             }
             Event::BankRetry(isp) => {
@@ -768,24 +1039,37 @@ impl ParallelWorld for ZmailWorld {
                 self.recorder.read(CLASS_ISP, isp_key(isp.0));
                 if let Some(msg) = self.isps[isp.index()].retry_buy() {
                     self.recorder.write(CLASS_ISP, isp_key(isp.0));
-                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+                    if let Some(c) = self.bank_spans[isp.index()][0] {
+                        self.flight.annotate(c, "retry");
+                    }
+                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg, None);
                 }
                 if let Some(msg) = self.isps[isp.index()].retry_sell() {
                     self.recorder.write(CLASS_ISP, isp_key(isp.0));
-                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg);
+                    if let Some(c) = self.bank_spans[isp.index()][1] {
+                        self.flight.annotate(c, "retry");
+                    }
+                    self.dispatch(scheduler, Node::Isp(isp), Node::Bank, msg, None);
                 }
             }
             Event::ListPost(index) => {
                 let list = self.lists[index].clone();
                 for subscriber in list.subscribers {
-                    self.process_send(scheduler, list.distributor, subscriber, MailKind::ListPost);
+                    self.process_send(
+                        scheduler,
+                        list.distributor,
+                        subscriber,
+                        MailKind::ListPost,
+                        SendCause::Fresh,
+                    );
                 }
             }
             Event::CrashRestart(isp) => {
                 self.crash_restart(now, isp);
             }
         }
-        self.persist_journals();
+        self.persist_journals(now);
+        self.flush_lifecycle_closes(now);
     }
 }
 
@@ -873,6 +1157,7 @@ impl ZmailSystem {
             let (store, _) = ShardedLedgerStore::open(storages, durability.store, bootstrap);
             store
         });
+        let isp_count = config.isps as usize;
         let world = ZmailWorld {
             config,
             isps,
@@ -889,6 +1174,11 @@ impl ZmailSystem {
             report: RunReport::default(),
             store,
             recorder: AccessRecorder::disabled(),
+            flight: FlightRecorder::disabled(1),
+            apply_ctx: None,
+            pending_close: Vec::new(),
+            queue_spans: vec![VecDeque::new(); isp_count],
+            bank_spans: vec![[None, None]; isp_count],
         };
         let mut system = ZmailSystem {
             sim: Simulation::new(CheckedWorld::new(world)),
@@ -905,6 +1195,17 @@ impl ZmailSystem {
     /// so two runs of the same seed produce byte-identical trace streams.
     pub fn attach_telemetry(&mut self, telemetry: zmail_sim::SimTelemetry) {
         self.sim.attach_telemetry(telemetry);
+    }
+
+    /// Installs a causal flight recorder on the world. Every message
+    /// submission mints a [`zmail_obs::TraceId`] (sampled `1/N` by
+    /// trace-id hash); sampled lifecycles grow parent/child spans for
+    /// queue wait, bank round trips, WAL group-commits, wire hops, and
+    /// §5 acks, all stamped with the **sim clock** — the span stream is
+    /// a pure function of plan + seed at any thread count. The caller
+    /// keeps a clone to `finalize` and `drain` after the run.
+    pub fn attach_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.world_mut().flight = recorder;
     }
 
     /// Installs `trace` on the world and schedules the workload driver
@@ -1889,5 +2190,139 @@ mod tests {
         assert_eq!(system.store().map(|_| ()), None);
         assert_eq!(system.verify_durable_books(), None);
         system.audit().expect("warm restart conserves too");
+    }
+
+    /// Runs `traffic` with a fully-sampling flight recorder attached and
+    /// returns the drained span log plus the run report.
+    fn run_recorded(
+        config: ZmailConfig,
+        traffic: TrafficConfig,
+        seed: u64,
+        threads: usize,
+    ) -> (zmail_obs::SpanLog, RunReport) {
+        let trace = TrafficGenerator::new(traffic).generate(&mut Sampler::new(seed));
+        let mut system = ZmailSystem::new(config, seed);
+        let recorder = FlightRecorder::new(1 << 20);
+        system.attach_flight_recorder(recorder.clone());
+        let report = if threads <= 1 {
+            system.run_trace(&trace)
+        } else {
+            system.run_trace_parallel(&trace, threads)
+        };
+        recorder.finalize(system.now().as_millis());
+        (recorder.drain(), report)
+    }
+
+    #[test]
+    fn flight_recorder_captures_well_formed_lifecycles() {
+        // Low starting balances force auto-topups, which drain the pool
+        // below `minavail` and force bank buys — so the log exercises
+        // the bank_rtt phase too.
+        let config = ZmailConfig::builder(2, 10)
+            .billing_period(SimDuration::from_days(1))
+            .bank_retry(Some(SimDuration::from_mins(1)))
+            .initial_balance(EPennies(20))
+            .avail_bounds(EPennies(100), EPennies(300), EPennies(150))
+            .durable()
+            .build();
+        let (log, report) = run_recorded(config, traffic(2, 10, 2), 41, 1);
+        log.validate().expect("span log well-formed");
+        assert!(report.delivered_total() > 0);
+        let phases: std::collections::BTreeSet<&str> = log.spans.iter().map(|s| s.phase).collect();
+        for phase in ["submit", "delivery", "bank_rtt", "wal_commit"] {
+            assert!(phases.contains(phase), "missing phase {phase}: {phases:?}");
+        }
+        // Every cross-ISP paid delivery rides a submit root.
+        assert!(log.traces().len() as u64 >= report.delivered_total() / 2);
+    }
+
+    #[test]
+    fn flight_recorder_is_identical_across_thread_counts() {
+        let config = || {
+            ZmailConfig::builder(3, 10)
+                .billing_period(SimDuration::from_days(1))
+                .durable()
+                .build()
+        };
+        let (serial, base) = run_recorded(config(), traffic(3, 10, 2), 42, 1);
+        for threads in [2, 4, 8] {
+            let (parallel, report) = run_recorded(config(), traffic(3, 10, 2), 42, threads);
+            assert_eq!(base.digest_checksum, report.digest_checksum);
+            assert_eq!(
+                serial.spans, parallel.spans,
+                "span stream diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_recorder_does_not_change_the_run() {
+        let config = || ZmailConfig::builder(2, 10).durable().build();
+        let t = || traffic(2, 10, 1);
+        let trace = TrafficGenerator::new(t()).generate(&mut Sampler::new(43));
+        let mut bare = ZmailSystem::new(config(), 43);
+        let bare_report = bare.run_trace(&trace);
+        let (_, recorded_report) = run_recorded(config(), t(), 43, 1);
+        assert_eq!(bare_report.digest_checksum, recorded_report.digest_checksum);
+        assert_eq!(
+            bare_report.delivered_total(),
+            recorded_report.delivered_total()
+        );
+        assert_eq!(
+            bare_report.network_messages,
+            recorded_report.network_messages
+        );
+    }
+
+    #[test]
+    fn flight_recorder_sampling_mints_stable_trace_ids() {
+        let config = || ZmailConfig::builder(2, 10).build();
+        let t = || traffic(2, 10, 1);
+        let trace = TrafficGenerator::new(t()).generate(&mut Sampler::new(44));
+        let run_sampled = |every: u64| {
+            let mut system = ZmailSystem::new(config(), 44);
+            let recorder = FlightRecorder::new(1 << 20);
+            recorder.set_sampling(every);
+            system.attach_flight_recorder(recorder.clone());
+            system.run_trace(&trace);
+            recorder.finalize(system.now().as_millis());
+            (recorder.traces_minted(), recorder.drain())
+        };
+        let (minted_full, full) = run_sampled(1);
+        let (minted_eighth, eighth) = run_sampled(8);
+        // Ids are minted for every submission regardless of rate, so the
+        // sampled run records a subset of the full run's traces.
+        assert_eq!(minted_full, minted_eighth);
+        full.validate().expect("full log well-formed");
+        eighth.validate().expect("sampled log well-formed");
+        let full_ids: std::collections::BTreeSet<u64> = full.traces().keys().copied().collect();
+        for id in eighth.traces().keys() {
+            assert!(full_ids.contains(id), "sampled trace {id} not in full set");
+        }
+        assert!(eighth.traces().len() < full.traces().len());
+    }
+
+    #[test]
+    fn crash_truncates_open_spans_as_crashed() {
+        let crash = zmail_fault::Crash {
+            isp: 0,
+            at: SimTime::ZERO + SimDuration::from_hours(6),
+            restart_after: SimDuration::from_mins(30),
+        };
+        let config = ZmailConfig::builder(2, 8)
+            .faults(zmail_fault::FaultPlan::none().with(Fault::Crash(crash)))
+            .durable()
+            .build();
+        let (log, report) = run_recorded(config, traffic(2, 8, 1), 45, 1);
+        assert!(!report.recoveries.is_empty(), "crash must recover");
+        log.validate().expect("span log well-formed across crash");
+        assert_eq!(
+            log.spans
+                .iter()
+                .filter(|s| s.status == zmail_obs::SpanStatus::Crashed && s.node != "isp0")
+                .count(),
+            0,
+            "crashed status is confined to the crashed node"
+        );
     }
 }

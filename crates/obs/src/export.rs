@@ -7,6 +7,7 @@
 //! of its snapshot, so identical snapshots render to identical bytes.
 
 use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::span::SpanLog;
 use crate::trace::TraceLog;
 use std::fmt::Write as _;
 
@@ -62,12 +63,13 @@ pub fn human(snap: &Snapshot) -> String {
         }
         let _ = writeln!(
             out,
-            "  {name:<width$}  n={} mean={:.1} p50={} p90={} p99={} min={} max={}",
+            "  {name:<width$}  n={} mean={:.1} p50={} p90={} p99={} p999={} min={} max={}",
             h.count,
             h.mean(),
             h.p50().unwrap_or(0),
             h.p90().unwrap_or(0),
             h.p99().unwrap_or(0),
+            h.p999().unwrap_or(0),
             h.min,
             h.max,
         );
@@ -85,13 +87,14 @@ fn histogram_json(name: &str, h: &HistogramSnapshot) -> String {
     }
     buckets.push(']');
     let quantiles = if h.count == 0 {
-        String::from("\"p50\":null,\"p90\":null,\"p99\":null")
+        String::from("\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null")
     } else {
         format!(
-            "\"p50\":{},\"p90\":{},\"p99\":{}",
+            "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}",
             h.p50().unwrap_or(0),
             h.p90().unwrap_or(0),
-            h.p99().unwrap_or(0)
+            h.p99().unwrap_or(0),
+            h.p999().unwrap_or(0)
         )
     };
     format!(
@@ -179,6 +182,12 @@ pub fn prometheus(snap: &Snapshot) -> String {
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
+        if h.count > 0 {
+            // Precomputed tail quantile as an auxiliary series — scrape
+            // pipelines without recording rules still get the p999 the
+            // ROADMAP latency work reports on.
+            let _ = writeln!(out, "{n}_p999 {}", h.p999().unwrap_or(0));
+        }
     }
     out
 }
@@ -209,10 +218,89 @@ pub fn trace_json_lines(log: &TraceLog) -> String {
     out
 }
 
+/// Renders a [`SpanLog`] in the Chrome trace-event JSON format, loadable
+/// in `chrome://tracing` / Perfetto.
+///
+/// Each span becomes a complete (`"ph":"X"`) event: `ts`/`dur` are the
+/// span's sim-clock milliseconds scaled to microseconds (zero-length
+/// spans such as group commits are widened to 1µs so they stay
+/// clickable), `pid` maps the span's node (one "process" per ISP, bank,
+/// WAL — named via `"M"` metadata events), and `tid` is the trace id, so
+/// one message's lifecycle reads as one horizontal track. Span identity,
+/// parentage, status, and detail ride in `args`.
+///
+/// If the recorder's ring overflowed, a synthetic instant event
+/// (`"ph":"I"`) reports how many spans were lost instead of silently
+/// truncating the timeline.
+///
+/// Like every exporter here this is a pure function of its input:
+/// identical span logs render to identical bytes.
+pub fn chrome_trace(log: &SpanLog) -> String {
+    let mut nodes: Vec<&str> = log.spans.iter().map(|s| s.node.as_ref()).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let pid_of = |node: &str| nodes.binary_search(&node).map_or(0, |i| i + 1);
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for (i, node) in nodes.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                i + 1,
+                json_escape(node)
+            ),
+        );
+    }
+    for s in &log.spans {
+        let parent = s.parent.map_or(String::from("null"), |p| p.0.to_string());
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"zmail\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\"status\":\"{}\",\"detail\":\"{}\"}}}}",
+                json_escape(s.phase),
+                pid_of(s.node.as_ref()),
+                s.trace.0,
+                s.start * 1000,
+                (s.duration() * 1000).max(1),
+                s.trace.0,
+                s.span.0,
+                parent,
+                s.status.label(),
+                json_escape(&s.detail)
+            ),
+        );
+    }
+    if log.dropped > 0 {
+        let ts = log.spans.first().map_or(0, |s| s.start * 1000);
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"ring overflowed, {} spans lost\",\"cat\":\"zmail\",\"ph\":\"I\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":{ts}}}",
+                log.dropped
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::Registry;
+    use crate::span::FlightRecorder;
     use crate::trace::Tracer;
 
     fn sample_snapshot() -> Snapshot {
@@ -232,7 +320,7 @@ mod tests {
         let want = concat!(
             "  core.transfers.local  3\n",
             "  sim.queue_depth       -2\n",
-            "  smtp.parse_us         n=3 mean=6.3 p50=9 p90=9 p99=9 min=1 max=9\n",
+            "  smtp.parse_us         n=3 mean=6.3 p50=9 p90=9 p99=9 p999=9 min=1 max=9\n",
         );
         assert_eq!(got, want);
     }
@@ -248,7 +336,7 @@ mod tests {
         let want = "\
 {\"type\":\"counter\",\"name\":\"core.transfers.local\",\"value\":3}
 {\"type\":\"gauge\",\"name\":\"sim.queue_depth\",\"value\":-2}
-{\"type\":\"histogram\",\"name\":\"smtp.parse_us\",\"count\":3,\"sum\":19,\"min\":1,\"max\":9,\"p50\":9,\"p90\":9,\"p99\":9,\"buckets\":[[1,1],[9,2]]}
+{\"type\":\"histogram\",\"name\":\"smtp.parse_us\",\"count\":3,\"sum\":19,\"min\":1,\"max\":9,\"p50\":9,\"p90\":9,\"p99\":9,\"p999\":9,\"buckets\":[[1,1],[9,2]]}
 ";
         assert_eq!(got, want);
         // Every line must be minimally well-formed JSON.
@@ -276,6 +364,7 @@ smtp_parse_us_bucket{le=\"9\"} 3
 smtp_parse_us_bucket{le=\"+Inf\"} 3
 smtp_parse_us_sum 19
 smtp_parse_us_count 3
+smtp_parse_us_p999 9
 ";
         assert_eq!(got, want);
     }
@@ -307,6 +396,48 @@ smtp_parse_us_count 3
 {\"type\":\"trace_summary\",\"events\":3,\"dropped\":0}
 ";
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chrome_trace_golden() {
+        let r = FlightRecorder::new(16);
+        let root = r.begin_trace(2, "submit", "isp0", "to=1.3").unwrap();
+        let wal = r.child(2, root, "wal_commit", "wal", "records=2").unwrap();
+        r.end(2, wal);
+        let d = r.child(2, root, "delivery", "isp1", "").unwrap();
+        r.end(12, d);
+        r.end(12, root);
+        let got = chrome_trace(&r.drain());
+        let want = "\
+{\"traceEvents\":[
+{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"isp0\"}},
+{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"isp1\"}},
+{\"ph\":\"M\",\"pid\":3,\"name\":\"process_name\",\"args\":{\"name\":\"wal\"}},
+{\"name\":\"wal_commit\",\"cat\":\"zmail\",\"ph\":\"X\",\"pid\":3,\"tid\":0,\"ts\":2000,\"dur\":1,\"args\":{\"trace\":0,\"span\":1,\"parent\":0,\"status\":\"ok\",\"detail\":\"records=2\"}},
+{\"name\":\"delivery\",\"cat\":\"zmail\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":2000,\"dur\":10000,\"args\":{\"trace\":0,\"span\":2,\"parent\":0,\"status\":\"ok\",\"detail\":\"\"}},
+{\"name\":\"submit\",\"cat\":\"zmail\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":2000,\"dur\":10000,\"args\":{\"trace\":0,\"span\":0,\"parent\":null,\"status\":\"ok\",\"detail\":\"to=1.3\"}}
+]}
+";
+        assert_eq!(got, want);
+        // Structurally balanced JSON.
+        assert_eq!(got.matches('{').count(), got.matches('}').count());
+        assert_eq!(got.matches('[').count(), got.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_reports_overflow() {
+        let r = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            let ctx = r.begin_trace(i, "submit", "isp0", "").unwrap();
+            r.end(i, ctx);
+        }
+        let got = chrome_trace(&r.drain());
+        assert!(
+            got.contains(
+                "\"name\":\"ring overflowed, 3 spans lost\",\"cat\":\"zmail\",\"ph\":\"I\""
+            ),
+            "{got}"
+        );
     }
 
     #[test]

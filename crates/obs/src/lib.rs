@@ -15,10 +15,17 @@
 //!   buffer. Inside the simulation engine, events are stamped with the
 //!   sim clock, so traces are deterministic and byte-diffable across
 //!   runs; elsewhere a monotonic wall clock is used.
+//! - **Causal spans** ([`FlightRecorder`]): per-message lifecycle trees
+//!   — a [`TraceId`] minted at submission, parent/child [`SpanRecord`]s
+//!   for queue wait, bank round-trips, WAL group-commit, delivery, and
+//!   acks — with deterministic sequence ids, head-based `1/N` sampling,
+//!   and [`attribute`] folding finished traces into `trace.phase.*`
+//!   latency histograms.
 //! - **Exporters** ([`export::human`], [`export::json_lines`],
-//!   [`export::prometheus`], [`export::trace_json_lines`]): pure
-//!   renderings of snapshots and trace logs. Identical snapshots render
-//!   to identical bytes.
+//!   [`export::prometheus`], [`export::trace_json_lines`],
+//!   [`export::chrome_trace`]): pure renderings of snapshots, trace
+//!   logs, and span logs. Identical snapshots render to identical
+//!   bytes.
 //!
 //! The crate is deliberately dependency-free: it sits below every other
 //! crate in the workspace and must build offline.
@@ -51,9 +58,14 @@
 
 pub mod export;
 mod metrics;
+mod span;
 mod trace;
 
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, BUCKETS,
+};
+pub use span::{
+    attribute, FlightRecorder, SpanCtx, SpanId, SpanLog, SpanRecord, SpanStatus, TraceId,
+    TraceSummary,
 };
 pub use trace::{TraceEvent, TraceKind, TraceLog, Tracer};

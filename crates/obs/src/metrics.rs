@@ -258,6 +258,12 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile shorthand — the tail the ROADMAP's open-loop
+    /// latency work reports on.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
     /// Arithmetic mean, or 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -637,6 +643,40 @@ mod tests {
         assert!((860..=990).contains(&p99), "p99 = {p99}");
         assert_eq!(snap.max, 1000);
         assert_eq!(snap.sum, 500_500);
+    }
+
+    #[test]
+    fn p999_is_nearest_rank() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        // 999 small samples and one huge outlier: nearest-rank p999 is
+        // rank ceil(0.999 * 1000) = 999, i.e. still a small sample; the
+        // outlier only surfaces at p100.
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.p999(), Some(10));
+        assert_eq!(
+            snap.quantile(1.0),
+            Some(bucket_lower_bound(bucket_index(1_000_000)))
+        );
+
+        // With two outliers the 999th rank lands on the first of them.
+        let h2 = r.histogram("lat2");
+        for _ in 0..998 {
+            h2.record(10);
+        }
+        h2.record(1_000_000);
+        h2.record(1_000_000);
+        let snap2 = h2.snapshot();
+        assert_eq!(
+            snap2.p999(),
+            Some(bucket_lower_bound(bucket_index(1_000_000)))
+        );
+        // Empty histograms report no p999.
+        assert_eq!(HistogramSnapshot::default().p999(), None);
     }
 
     #[test]

@@ -231,6 +231,14 @@ impl Tracer {
         self.len() == 0
     }
 
+    /// Events lost to ring wraparound since the last drain. Exposed so
+    /// snapshots can report `trace.dropped` instead of silently
+    /// truncating.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.ring.lock().expect("tracer lock");
+        ring.written - ring.buf.len() as u64
+    }
+
     /// Copies out the retained events oldest-first and clears the ring.
     pub fn drain(&self) -> TraceLog {
         let mut ring = self.ring.lock().expect("tracer lock");
@@ -287,6 +295,18 @@ mod tests {
         let log = t.drain();
         assert_eq!(log.dropped, 0);
         assert_eq!(log.events.len(), 3);
+    }
+
+    #[test]
+    fn dropped_accessor_tracks_overwrites() {
+        let t = Tracer::new(4);
+        assert_eq!(t.dropped(), 0);
+        for i in 0..10u64 {
+            t.event(i, "e", String::new());
+        }
+        assert_eq!(t.dropped(), 6);
+        t.drain();
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]

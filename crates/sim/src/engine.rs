@@ -212,6 +212,7 @@ impl<W: World> Simulation<W> {
         self.now = time;
         let mut effects: Vec<Option<W::Effect>> = Vec::new();
         effects.resize_with(events.len(), || None);
+        let mut staged_parallel = 0usize;
         if threads > 1 && events.len() > 1 {
             // Greedy prefix-independence: an event stages in parallel
             // only if its footprint is disjoint from *every* earlier
@@ -223,23 +224,40 @@ impl<W: World> Simulation<W> {
             for (i, event) in events.iter().enumerate() {
                 keys.clear();
                 self.world.footprint(event, &mut keys);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    for &k in &keys {
+                        tel.on_footprint_key(k);
+                    }
+                }
                 if keys.iter().all(|k| !claimed.contains(k)) {
                     independent.push(i);
                 }
                 claimed.extend(keys.iter().copied());
             }
             if independent.len() > 1 {
+                staged_parallel = independent.len();
                 let chunk = independent.len().div_ceil(threads);
                 let world = &self.world;
                 let events = &events;
-                let staged: Vec<Vec<(usize, W::Effect)>> = std::thread::scope(|scope| {
+                let timing = self
+                    .telemetry
+                    .as_ref()
+                    .is_some_and(|tel| tel.is_profiling());
+                // Per worker: its staged (index, effect) batch plus its
+                // wall-clock occupancy in µs (0 when not profiling).
+                type StagedBatches<E> = Vec<(Vec<(usize, E)>, u64)>;
+                let staged: StagedBatches<W::Effect> = std::thread::scope(|scope| {
                     let workers: Vec<_> = independent
                         .chunks(chunk)
                         .map(|ids| {
                             scope.spawn(move || {
-                                ids.iter()
+                                let started = timing.then(std::time::Instant::now);
+                                let batch: Vec<(usize, W::Effect)> = ids
+                                    .iter()
                                     .map(|&i| (i, world.stage(time, &events[i])))
-                                    .collect()
+                                    .collect();
+                                let micros = started.map_or(0, |s| s.elapsed().as_micros() as u64);
+                                (batch, micros)
                             })
                         })
                         .collect();
@@ -248,13 +266,26 @@ impl<W: World> Simulation<W> {
                         .map(|w| w.join().expect("stage worker panicked"))
                         .collect()
                 });
-                for batch in staged {
+                for (batch, micros) in staged {
+                    if let Some(tel) = &self.telemetry {
+                        if timing {
+                            tel.on_stage_worker(micros);
+                        }
+                    }
                     for (i, effect) in batch {
                         effects[i] = Some(effect);
                     }
                 }
             }
         }
+        let apply_started = self
+            .telemetry
+            .as_ref()
+            .filter(|tel| tel.is_profiling())
+            .map(|tel| {
+                tel.on_tick(effects.len(), staged_parallel);
+                std::time::Instant::now()
+            });
         for (i, event) in events.into_iter().enumerate() {
             let effect = effects[i]
                 .take()
@@ -273,6 +304,9 @@ impl<W: World> Simulation<W> {
             {
                 tel.on_event_end(label, started, self.queue.len());
             }
+        }
+        if let (Some(tel), Some(started)) = (&self.telemetry, apply_started) {
+            tel.on_apply_pass(started.elapsed().as_micros() as u64);
         }
         true
     }
@@ -551,6 +585,66 @@ mod tests {
             assert_eq!(cells, reference.cells, "threads={threads}");
             assert_eq!(log, reference.log, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn tick_profiler_records_batches_and_heat() {
+        use crate::telemetry::SimTelemetry;
+        use zmail_obs::Registry;
+
+        let registry = Registry::new();
+        let mut sim = Simulation::new(Cells {
+            cells: vec![1; 5],
+            hops: 6,
+            log: Vec::new(),
+        });
+        sim.attach_telemetry(SimTelemetry::new(&registry));
+        for i in 0..12u64 {
+            sim.schedule(
+                SimTime::ZERO,
+                Bump {
+                    cell: (i % 5) as usize,
+                    salt: i,
+                    hop: 0,
+                },
+            );
+        }
+        let handled = sim.run_parallel_to_completion(4);
+        let snap = registry.snapshot();
+        // Every event either staged in parallel or inline.
+        assert_eq!(
+            snap.counters["sim.tick.staged_parallel"] + snap.counters["sim.tick.staged_inline"],
+            handled
+        );
+        // 12 events over 5 cells: 5 stage in parallel the first tick.
+        assert!(snap.counters["sim.tick.staged_parallel"] >= 5);
+        let batches = &snap.histograms["sim.tick.batch"];
+        assert_eq!(batches.max, 12);
+        // Each of the 5 cells is its own footprint key and gets heat.
+        for cell in 0..5 {
+            assert!(snap.counters[&format!("sim.shard.heat.{cell}")] > 0);
+        }
+        assert!(snap.histograms["sim.tick.stage_worker_us"].count > 0);
+        assert!(snap.histograms["sim.tick.apply_us"].count > 0);
+    }
+
+    #[test]
+    fn snapshots_surface_trace_ring_overflow() {
+        use crate::telemetry::SimTelemetry;
+        use zmail_obs::{Registry, Tracer};
+
+        let registry = Registry::new();
+        let tracer = Tracer::new(2); // tiny ring: guaranteed overflow
+        let mut sim = Simulation::new(BellTower {
+            rings: Vec::new(),
+            period: SimDuration::from_secs(1),
+            limit: 10,
+        });
+        sim.attach_telemetry(SimTelemetry::with_tracer(&registry, tracer));
+        sim.schedule(SimTime::ZERO, Ring);
+        sim.run_to_completion();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["trace.dropped"], 8);
     }
 
     #[test]

@@ -11,17 +11,38 @@
 //!   type (histogram), where `<label>` comes from
 //!   [`World::event_label`](crate::World::event_label).
 //!
+//! The tick-parallel path adds a profiler over the same registry:
+//!
+//! * `sim.tick.batch` — events per tick (histogram);
+//! * `sim.tick.staged_parallel` / `sim.tick.staged_inline` — how many
+//!   events the greedy prefix-independence selection sent to worker
+//!   threads versus staged inline during apply (counters);
+//! * `sim.tick.stage_worker_us` — per-worker wall-clock stage occupancy
+//!   (histogram; one sample per worker per tick);
+//! * `sim.tick.apply_us` — wall time of the serial apply pass per tick
+//!   (histogram);
+//! * `sim.shard.heat.<key>` — how often each footprint key appeared in
+//!   a tick's conflict analysis (counters; the first
+//!   [`HEAT_KEY_CAP`] distinct keys get their own series, the rest pool
+//!   into `sim.shard.heat.other`).
+//!
 //! Optionally, each event is also written to a [`Tracer`] stamped with
 //! the **sim clock** (integer milliseconds), not the wall clock. Because
 //! virtual time is a pure function of the workload, two runs of the same
 //! seed yield byte-identical trace streams — the deterministic-trace
 //! guarantee the guard test in `crates/bench/tests/determinism.rs`
-//! asserts. Wall-clock latency histograms are kept out of the trace for
-//! the same reason.
+//! asserts. Wall-clock latency histograms (and the profiler series
+//! above) are kept out of the trace for the same reason. Snapshots also
+//! carry `trace.dropped` — events lost to ring wraparound — so exports
+//! never silently truncate.
 
 use std::collections::HashMap;
 use std::time::Instant;
 use zmail_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+
+/// Distinct footprint keys that get their own `sim.shard.heat.<key>`
+/// series before further keys pool into `sim.shard.heat.other`.
+pub const HEAT_KEY_CAP: usize = 64;
 
 /// Telemetry sink for one [`Simulation`](crate::Simulation).
 #[derive(Debug)]
@@ -33,6 +54,15 @@ pub struct SimTelemetry {
     /// Lazily created `sim.handle_us.<label>` histograms. Labels are
     /// `&'static str` so lookups never allocate.
     handle_us: HashMap<&'static str, Histogram>,
+    tick_batch: Histogram,
+    staged_parallel: Counter,
+    staged_inline: Counter,
+    stage_worker_us: Histogram,
+    apply_us: Histogram,
+    /// Lazily created per-footprint-key heat counters, capped at
+    /// [`HEAT_KEY_CAP`] distinct keys.
+    heat: HashMap<u64, Counter>,
+    heat_other: Counter,
     tracer: Option<Tracer>,
 }
 
@@ -46,6 +76,13 @@ impl SimTelemetry {
             queue_depth: registry.gauge("sim.queue_depth"),
             events_per_sec: registry.gauge("sim.events_per_sec"),
             handle_us: HashMap::new(),
+            tick_batch: registry.histogram("sim.tick.batch"),
+            staged_parallel: registry.counter("sim.tick.staged_parallel"),
+            staged_inline: registry.counter("sim.tick.staged_inline"),
+            stage_worker_us: registry.histogram("sim.tick.stage_worker_us"),
+            apply_us: registry.histogram("sim.tick.apply_us"),
+            heat: HashMap::new(),
+            heat_other: registry.counter("sim.shard.heat.other"),
             tracer: None,
         }
     }
@@ -61,6 +98,13 @@ impl SimTelemetry {
     /// The tracer, if one is attached.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Whether the registry is live — gates the wall-clock profiler
+    /// timings so a disabled sink costs nothing on the tick path.
+    #[inline]
+    pub(crate) fn is_profiling(&self) -> bool {
+        self.registry.is_enabled()
     }
 
     /// Called by the engine just before an event handler runs. Returns
@@ -93,12 +137,59 @@ impl SimTelemetry {
         }
     }
 
+    /// Called by the engine once per tick on the tick-parallel path with
+    /// the batch size and how many events staged on worker threads.
+    #[inline]
+    pub(crate) fn on_tick(&self, batch: usize, parallel: usize) {
+        self.tick_batch.record(batch as u64);
+        self.staged_parallel.add(parallel as u64);
+        self.staged_inline.add((batch - parallel) as u64);
+    }
+
+    /// Called once per worker thread per tick with its wall-clock stage
+    /// occupancy in microseconds.
+    #[inline]
+    pub(crate) fn on_stage_worker(&self, micros: u64) {
+        self.stage_worker_us.record(micros);
+    }
+
+    /// Called once per tick with the wall time of the serial apply pass.
+    #[inline]
+    pub(crate) fn on_apply_pass(&self, micros: u64) {
+        self.apply_us.record(micros);
+    }
+
+    /// Called for every footprint key the tick's conflict analysis saw;
+    /// feeds the `sim.shard.heat.*` counters so hot shards stand out.
+    #[inline]
+    pub(crate) fn on_footprint_key(&mut self, key: u64) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        if let Some(c) = self.heat.get(&key) {
+            c.inc();
+        } else if self.heat.len() < HEAT_KEY_CAP {
+            let c = self.registry.counter(&format!("sim.shard.heat.{key}"));
+            c.inc();
+            self.heat.insert(key, c);
+        } else {
+            self.heat_other.inc();
+        }
+    }
+
     /// Called by the engine at the end of a full run with the events
-    /// handled and the wall time taken.
+    /// handled and the wall time taken. Also publishes the tracer's
+    /// ring-overflow count so snapshots report `trace.dropped` instead
+    /// of silently truncating.
     pub(crate) fn on_run_complete(&self, handled: u64, wall: std::time::Duration) {
         let secs = wall.as_secs_f64();
         if secs > 0.0 {
             self.events_per_sec.set((handled as f64 / secs) as i64);
+        }
+        if let Some(tracer) = &self.tracer {
+            self.registry
+                .gauge("trace.dropped")
+                .set(tracer.dropped() as i64);
         }
     }
 }

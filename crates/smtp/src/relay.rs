@@ -75,6 +75,7 @@ mod tests {
             payment: Some(1),
             is_ack: false,
             ack_to: Some("list@l.example".into()),
+            trace: None,
         }
         .stamp(&mut message);
 

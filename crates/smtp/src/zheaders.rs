@@ -9,9 +9,14 @@
 //! * `X-Zmail-Kind` — `normal` or `ack` (§5's automatic mailing-list
 //!   acknowledgment, processed by software rather than delivered to a
 //!   human inbox);
-//! * `X-Zmail-Ack-To` — where an acknowledgment should be returned.
+//! * `X-Zmail-Ack-To` — where an acknowledgment should be returned;
+//! * `X-Zmail-Trace` — the causal span context (`<trace>-<span>` in
+//!   hex, [`SpanCtx::wire`] format) linking the wire message back to
+//!   the flight recorder's lifecycle tree. Relays forward it untouched,
+//!   so a trace spans every compliant hop end-to-end.
 
 use crate::message::MailMessage;
+use zmail_obs::SpanCtx;
 
 /// Header carrying the e-penny payment amount.
 pub const HEADER_PAYMENT: &str = "X-Zmail-Payment";
@@ -19,6 +24,8 @@ pub const HEADER_PAYMENT: &str = "X-Zmail-Payment";
 pub const HEADER_KIND: &str = "X-Zmail-Kind";
 /// Header naming the address acknowledgments should return the e-penny to.
 pub const HEADER_ACK_TO: &str = "X-Zmail-Ack-To";
+/// Header carrying the causal trace/span context across SMTP hops.
+pub const HEADER_TRACE: &str = "X-Zmail-Trace";
 
 /// Parsed view of a message's Zmail headers.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -29,6 +36,9 @@ pub struct ZmailHeaders {
     pub is_ack: bool,
     /// Where an acknowledgment should be sent, if requested.
     pub ack_to: Option<String>,
+    /// Causal span context propagated from the submitting hop (`None`
+    /// when the lifecycle is unsampled or the header was mangled).
+    pub trace: Option<SpanCtx>,
 }
 
 impl ZmailHeaders {
@@ -47,21 +57,27 @@ impl ZmailHeaders {
                 .header(HEADER_KIND)
                 .is_some_and(|v| v.eq_ignore_ascii_case("ack")),
             ack_to: message.header(HEADER_ACK_TO).map(str::to_string),
+            trace: message.header(HEADER_TRACE).and_then(SpanCtx::parse),
         }
     }
 
     /// Stamps these headers onto a message, replacing earlier copies so a
-    /// malicious sender cannot pre-load a forged payment stamp.
+    /// malicious sender cannot pre-load a forged payment stamp (or graft
+    /// its mail onto someone else's trace).
     pub fn stamp(&self, message: &mut MailMessage) {
         message.remove_header(HEADER_PAYMENT);
         message.remove_header(HEADER_KIND);
         message.remove_header(HEADER_ACK_TO);
+        message.remove_header(HEADER_TRACE);
         if let Some(amount) = self.payment {
             message.add_header(HEADER_PAYMENT, amount.to_string());
         }
         message.add_header(HEADER_KIND, if self.is_ack { "ack" } else { "normal" });
         if let Some(ack_to) = &self.ack_to {
             message.add_header(HEADER_ACK_TO, ack_to.clone());
+        }
+        if let Some(ctx) = self.trace {
+            message.add_header(HEADER_TRACE, ctx.wire());
         }
     }
 
@@ -72,6 +88,7 @@ impl ZmailHeaders {
             payment: Some(payment),
             is_ack: false,
             ack_to: Some(ack_to.into()),
+            trace: None,
         }
     }
 
@@ -82,7 +99,14 @@ impl ZmailHeaders {
             payment: Some(payment),
             is_ack: true,
             ack_to: None,
+            trace: None,
         }
+    }
+
+    /// Attaches a causal span context (builder-style).
+    pub fn with_trace(mut self, ctx: SpanCtx) -> ZmailHeaders {
+        self.trace = Some(ctx);
+        self
     }
 }
 
@@ -123,6 +147,7 @@ mod tests {
             payment: Some(1),
             is_ack: false,
             ack_to: None,
+            trace: None,
         }
         .stamp(&mut m);
         assert_eq!(ZmailHeaders::extract(&m).payment, Some(1));
@@ -141,6 +166,39 @@ mod tests {
         assert_eq!(h.payment, None);
         assert!(!h.is_ack);
         assert_eq!(h.ack_to, None);
+    }
+
+    #[test]
+    fn trace_context_roundtrips_over_the_wire() {
+        use zmail_obs::{SpanId, TraceId};
+        let ctx = SpanCtx {
+            trace: TraceId(0xDEAD_BEEF),
+            span: SpanId(42),
+        };
+        let mut m = blank();
+        ZmailHeaders::paid_with_ack(1, "list@l")
+            .with_trace(ctx)
+            .stamp(&mut m);
+        assert_eq!(m.header(HEADER_TRACE), Some(ctx.wire().as_str()));
+        let back = ZmailHeaders::extract(&m);
+        assert_eq!(back.trace, Some(ctx));
+        // And through a full DATA serialization.
+        let data = m.to_data();
+        let payload = data.strip_suffix(".\r\n").unwrap();
+        let wire = MailMessage::from_data(m.from(), m.recipients().to_vec(), payload).unwrap();
+        assert_eq!(ZmailHeaders::extract(&wire).trace, Some(ctx));
+    }
+
+    #[test]
+    fn stamp_replaces_forged_trace_and_mangled_trace_is_absent() {
+        let mut m = MailMessage::builder("spammer@x", "victim@y")
+            .header(HEADER_TRACE, "not-a-trace")
+            .body("x\r\n")
+            .build();
+        assert_eq!(ZmailHeaders::extract(&m).trace, None);
+        ZmailHeaders::ack(1).stamp(&mut m);
+        // Untraced stamp removes the forged header entirely.
+        assert_eq!(m.header(HEADER_TRACE), None);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   destination and an [`XferRelease`](LedgerRecord::XferRelease)
 //!   closes the entry. The prepare is force-committed before the apply
 //!   is journaled, so no ordering of per-shard crashes can surface a
-//!   credit without its debit.
+//!   credit without its debit — and the release is **deferred**: it is
+//!   only journaled (then committed) by `commit_all` after every
+//!   shard's group commit has made the pending applies durable, so no
+//!   crash can surface a released prepare whose credit was lost.
 //! * Recovery scans every shard's full WAL for unreleased prepares and
 //!   **rolls them forward**: if the destination never journaled the
 //!   apply, it is appended now; either way the release is. A crash
@@ -339,6 +342,14 @@ pub struct ShardedLedgerStore<S: Storage> {
     map: ShardMap,
     stores: Vec<LedgerStore<S>>,
     next_xid: u64,
+    /// Releases owed but not yet journaled: `(source shard, xid)` pairs
+    /// whose destination apply has not been committed yet. A release
+    /// must never be durable before its apply — a durable release with
+    /// a lost apply makes recovery skip the prepare and strand the
+    /// credit — so the release is only appended (and then committed)
+    /// inside [`Self::commit_all`], after every shard's group commit
+    /// has made the pending applies durable.
+    pending_releases: Vec<(usize, u64)>,
 }
 
 impl<S: Storage> ShardedLedgerStore<S> {
@@ -369,6 +380,7 @@ impl<S: Storage> ShardedLedgerStore<S> {
             map,
             stores,
             next_xid: 0,
+            pending_releases: Vec::new(),
         };
         let mut report = ShardRecoveryReport {
             shards: reports,
@@ -400,13 +412,22 @@ impl<S: Storage> ShardedLedgerStore<S> {
                 self.next_xid = self.next_xid.max(max + 1);
             }
         }
-        for (xid, (src, dst, credit)) in in_doubt {
+        // Same durability order as the live path: make every replayed
+        // apply durable first, then journal the releases, so a crash
+        // mid-resolution can never leave a released prepare whose apply
+        // was lost.
+        for (&xid, &(_, dst, credit)) in &in_doubt {
             if applied.contains(&xid) {
                 report.resolved_acked += 1;
             } else {
                 self.stores[dst as usize].append(&LedgerRecord::XferApply { xid, leg: credit });
                 report.resolved_forward += 1;
             }
+        }
+        if report.resolved_forward > 0 {
+            self.commit_all();
+        }
+        for (&xid, &(src, _, _)) in &in_doubt {
             self.stores[src].append(&LedgerRecord::XferRelease { xid });
         }
         if report.resolved_forward + report.resolved_acked > 0 {
@@ -559,7 +580,14 @@ impl<S: Storage> ShardedLedgerStore<S> {
         // apply without a durable prepare would be a half-transfer.
         self.stores[src].commit();
         self.stores[dst].append(&LedgerRecord::XferApply { xid, leg: credit });
-        self.stores[src].append(&LedgerRecord::XferRelease { xid });
+        // The release is *deferred*: journaling it now would let a later
+        // source group commit make it durable while the destination's
+        // apply is still volatile, and recovery would then skip the
+        // released prepare and strand the credit. `commit_all` appends
+        // it once every shard's applies are durable. (A release that
+        // never lands is safe — the unreleased prepare resolves as
+        // `resolved_acked` on the next open.)
+        self.pending_releases.push((src, xid));
         m.xfer_micros.record_duration(start.elapsed());
     }
 
@@ -579,10 +607,26 @@ impl<S: Storage> ShardedLedgerStore<S> {
         }
     }
 
-    /// Group-commits every shard (in shard order).
+    /// Group-commits every shard (in shard order), then journals and
+    /// commits any deferred cross-shard releases. The two-step order is
+    /// the durability invariant of the transfer protocol: the first
+    /// pass makes every pending `XferApply` durable, so the releases
+    /// appended (and committed) after it can never outlive a lost
+    /// apply.
     pub fn commit_all(&mut self) {
         for store in &mut self.stores {
             store.commit();
+        }
+        if !self.pending_releases.is_empty() {
+            let pending = std::mem::take(&mut self.pending_releases);
+            let mut touched = BTreeSet::new();
+            for (src, xid) in pending {
+                self.stores[src].append(&LedgerRecord::XferRelease { xid });
+                touched.insert(src);
+            }
+            for src in touched {
+                self.stores[src].commit();
+            }
         }
         ShardMetrics::get().commits.inc();
     }

@@ -61,4 +61,9 @@ echo "== parallel harness (frozen seeds: byte-identical at 1/2/4/8 threads, race
 cargo test -q --release -p zmail --test parallel_harness
 cargo run --release -q -p zmail-bench --bin e18_racecheck -- --smoke > /dev/null
 
+echo "== flight recorder (trace determinism, zmail-trace golden, E19 smoke)"
+cargo test -q --release -p zmail-core --lib flight_recorder
+cargo test -q --release -p zmail-bench --bin zmail_trace
+cargo run --release -q -p zmail-bench --bin e19_tracing -- --smoke > /dev/null
+
 echo "CI: all green"

@@ -35,6 +35,7 @@
 use std::fmt;
 use zmail_core::{IspId, RunReport, ZmailConfig, ZmailSystem};
 use zmail_fault::{shrink, FaultCounters, FaultPlan, PlanSpace, ShrinkOutcome};
+use zmail_obs::{FlightRecorder, SpanLog};
 use zmail_sim::racecheck::RacecheckReport;
 use zmail_sim::workload::{SendEvent, TrafficConfig, TrafficGenerator};
 use zmail_sim::{Sampler, SimDuration, SimTime};
@@ -260,6 +261,38 @@ impl Scenario {
         let (mut system, trace) = self.build();
         let report = system.run_trace_parallel(&trace, threads);
         self.outcome(system, report)
+    }
+
+    /// Like [`Scenario::run`], but with `recorder` attached as the
+    /// system's causal flight recorder: every sampled message lifecycle
+    /// — submission, queueing, bank round-trips, WAL commits, delivery,
+    /// acks — is traced as a span tree, and crash windows truncate their
+    /// ISP's open spans as [`zmail_obs::SpanStatus::Crashed`]. Returns
+    /// the outcome plus the finalized span log. The recorder only
+    /// observes: the [`Outcome`] is byte-identical to [`Scenario::run`].
+    pub fn run_traced(&self, recorder: FlightRecorder) -> (Outcome, SpanLog) {
+        let (mut system, trace) = self.build();
+        system.attach_flight_recorder(recorder.clone());
+        let report = system.run_trace(&trace);
+        recorder.finalize(system.now().as_millis());
+        (self.outcome(system, report), recorder.drain())
+    }
+
+    /// [`Scenario::run_traced`] on the tick-parallel engine path with
+    /// `threads` stage workers. The recorder mutates only on the serial
+    /// apply path, so the span log — like the outcome — is byte-identical
+    /// to [`Scenario::run_traced`] at any thread count; the CI-gated
+    /// `tests/parallel_harness.rs` holds this over frozen seeds.
+    pub fn run_traced_parallel(
+        &self,
+        threads: usize,
+        recorder: FlightRecorder,
+    ) -> (Outcome, SpanLog) {
+        let (mut system, trace) = self.build();
+        system.attach_flight_recorder(recorder.clone());
+        let report = system.run_trace_parallel(&trace, threads);
+        recorder.finalize(system.now().as_millis());
+        (self.outcome(system, report), recorder.drain())
     }
 
     /// Like [`Scenario::run_parallel`], but with the footprint race

@@ -6,6 +6,8 @@
 //!   lists, zombie limits, the SMTP bridge, and the machine-checked
 //!   formal spec);
 //! * [`ap`] — the Abstract Protocol notation engine;
+//! * [`obs`] — metrics and the causal flight recorder (span traces,
+//!   latency attribution, Chrome trace export);
 //! * [`crypto`] — the simulation-grade `NNC`/`NCR`/`DCR` substrate;
 //! * [`smtp`] — the RFC 821 substrate Zmail deploys over;
 //! * [`sim`] — the discrete-event simulator and workload models;
@@ -53,6 +55,7 @@ pub use zmail_core as core;
 pub use zmail_crypto as crypto;
 pub use zmail_econ as econ;
 pub use zmail_fault as fault;
+pub use zmail_obs as obs;
 pub use zmail_sim as sim;
 pub use zmail_smtp as smtp;
 pub use zmail_store as store;

@@ -6,6 +6,7 @@
 //! drop, duplicate, delay, and crash their way through the run.
 
 use zmail::fault_scenarios::Scenario;
+use zmail::obs::{attribute, FlightRecorder, Registry};
 
 /// The same frozen seeds as `tests/fault_scenarios.rs`: bounded
 /// runtime, reproducible coverage. Chosen arbitrarily, then frozen.
@@ -34,6 +35,49 @@ fn parallel_outcomes_are_byte_identical_across_thread_counts() {
         // The staged digest work actually happened: a run with traffic
         // never folds to the zero checksum.
         assert_ne!(reference.report.digest_checksum, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn trace_streams_are_byte_identical_across_thread_counts() {
+    // The flight-recorder contract from the same angle: with full
+    // sampling, the span stream and the folded `trace.phase.*` latency
+    // metrics are pure functions of plan + seed, whatever the thread
+    // count — and whatever the fault plan does to the run.
+    let phase_metrics = |log: &zmail::obs::SpanLog| {
+        let registry = Registry::new();
+        registry.set_enabled(true);
+        attribute(log, &registry);
+        registry.snapshot()
+    };
+    for seed in [2u64, 42, 1337] {
+        let scenario = Scenario::random(seed).with_durability();
+        let (reference, ref_log) = scenario.run_traced(FlightRecorder::new(1 << 20));
+        ref_log
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: malformed serial trace: {e}"));
+        assert!(
+            !ref_log.spans.is_empty(),
+            "seed {seed}: no spans recorded — the gate is vacuous"
+        );
+        let ref_snapshot = phase_metrics(&ref_log);
+        for threads in [1usize, 2, 4, 8] {
+            let (outcome, log) =
+                scenario.run_traced_parallel(threads, FlightRecorder::new(1 << 20));
+            assert_eq!(
+                outcome.report, reference.report,
+                "seed {seed}: traced RunReport diverged at {threads} threads"
+            );
+            assert_eq!(
+                log, ref_log,
+                "seed {seed}: span stream diverged at {threads} threads"
+            );
+            assert_eq!(
+                phase_metrics(&log),
+                ref_snapshot,
+                "seed {seed}: trace.phase.* metrics diverged at {threads} threads"
+            );
+        }
     }
 }
 

@@ -346,6 +346,65 @@ proptest! {
     }
 
     // ---------------------------------------------------------------
+    // flight recorder: random fault scenarios emit well-formed traces
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn random_fault_scenarios_emit_well_formed_traces(
+        seed in 0u64..24,
+        durable in any::<bool>(),
+        force_crash in any::<bool>(),
+    ) {
+        use zmail::fault::{Crash, Fault};
+        use zmail::fault_scenarios::Scenario;
+        use zmail::obs::{FlightRecorder, SpanStatus};
+        use zmail::sim::{SimDuration, SimTime};
+
+        let mut scenario = Scenario::random(seed);
+        if durable {
+            scenario = scenario.with_durability();
+        }
+        if force_crash {
+            // Guarantee the crash/restart path gets exercised even when
+            // the seed-derived plan drew no crash clause.
+            scenario.plan = scenario.plan.clone().with(Fault::Crash(Crash {
+                isp: (seed % u64::from(scenario.isps)) as u32,
+                at: SimTime::ZERO + SimDuration::from_hours(20),
+                restart_after: SimDuration::from_hours(3),
+            }));
+        }
+        let recorder = FlightRecorder::new(1 << 20);
+        let (outcome, log) = scenario.run_traced(recorder.clone());
+
+        // The recorder observes the run without altering it.
+        let bare = scenario.run();
+        prop_assert_eq!(outcome.report.digest_checksum, bare.report.digest_checksum);
+        prop_assert_eq!(outcome.report.delivered_total(), bare.report.delivered_total());
+        prop_assert_eq!(outcome.violations, bare.violations);
+
+        // Every emitted trace is structurally well-formed whatever was
+        // injected: one root per trace, parents outlive children,
+        // intervals nest, ids resolve.
+        if let Err(e) = log.validate() {
+            prop_assert!(false, "malformed trace under plan {}: {e}", scenario.plan);
+        }
+        prop_assert_eq!(log.dropped, 0);
+        // Finalize left nothing open: crashed spans were *closed* as
+        // crashed (truncated at the crash instant), never leaked.
+        prop_assert_eq!(recorder.open_spans(), 0);
+        let planned_crash = scenario.plan.faults.iter().any(|f| matches!(f, Fault::Crash(_)));
+        for span in &log.spans {
+            if span.status == SpanStatus::Crashed {
+                prop_assert!(
+                    planned_crash,
+                    "span on {} closed crashed but the plan has no crash clause",
+                    span.node
+                );
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
     // protocol conservation under random workloads
     // ---------------------------------------------------------------
 
