@@ -45,6 +45,7 @@ fn bootstrap() -> Books {
                 ],
                 avail: 50_000,
                 credit: vec![0; ISPS as usize],
+                nonces: Vec::new(),
             })
             .collect(),
         banks: vec![BankBooks {

@@ -78,6 +78,22 @@ impl CheatMode {
     }
 }
 
+/// A deliberately weakened attestation verifier, for the adversary
+/// campaigns' *self-test*: disable exactly one defense, rerun the attack
+/// campaign, and assert the audits now flag what the defense was
+/// silently absorbing. Never set in production configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestWeakness {
+    /// Receivers skip the signature check: any attestation-shaped bytes
+    /// pass, so forged payment claims mint e-pennies.
+    SkipSignatureCheck,
+    /// Receivers skip the seen-nonce check: replayed acks refund twice.
+    SkipReplayCheck,
+    /// Receivers skip the field-binding check: a signature lifted from
+    /// one message validates another (cut-and-paste forgery).
+    SkipBindingCheck,
+}
+
 /// Full parameterization of a Zmail deployment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZmailConfig {
@@ -141,6 +157,17 @@ pub struct ZmailConfig {
     /// and crash windows restart ISPs from recovery (`None` keeps the
     /// seed behaviour: in-memory books, warm restarts).
     pub durability: Option<DurabilityConfig>,
+    /// When true, every paid cross-ISP email carries a signed payment
+    /// [`Attestation`](zmail_crypto::Attestation) (the SMTP mapping's
+    /// `X-Zmail-Sig`), receivers verify signature, field binding, and
+    /// nonce freshness before crediting, and accepted nonces are
+    /// journaled durably. Off by default: legacy runs stay byte-identical.
+    pub attestations: bool,
+    /// Deliberately disables one attestation defense (see
+    /// [`AttestWeakness`]) so the adversary campaigns can prove the
+    /// audits catch what the defense normally absorbs. `None` in every
+    /// real deployment.
+    pub attest_weakness: Option<AttestWeakness>,
 }
 
 impl ZmailConfig {
@@ -173,6 +200,8 @@ impl ZmailConfig {
                 idempotent_bank_ids: false,
                 banks: 1,
                 durability: None,
+                attestations: false,
+                attest_weakness: None,
             },
         }
     }
@@ -225,6 +254,10 @@ impl ZmailConfig {
         if let Some(durability) = &self.durability {
             assert!(durability.shards >= 1, "need at least one ledger shard");
         }
+        assert!(
+            self.attest_weakness.is_none() || self.attestations,
+            "attest_weakness requires attestations"
+        );
         self.faults.validate(self.isps);
     }
 }
@@ -400,6 +433,23 @@ impl ZmailConfigBuilder {
         self.config.minavail = min;
         self.config.maxavail = max;
         self.config.initial_avail = initial;
+        self
+    }
+
+    /// Enables signed payment/ack attestations: outbound paid mail is
+    /// signed by the origin ISP, receivers verify before crediting, and
+    /// accepted nonces are recorded (durably, when durability is on) so
+    /// refunds are single-use.
+    pub fn attestations(mut self) -> Self {
+        self.config.attestations = true;
+        self
+    }
+
+    /// Disables one attestation defense for the campaign self-test (see
+    /// [`AttestWeakness`]). Implies nothing else; `build` panics unless
+    /// attestations are enabled too.
+    pub fn attest_weakness(mut self, weakness: AttestWeakness) -> Self {
+        self.config.attest_weakness = Some(weakness);
         self
     }
 

@@ -17,16 +17,18 @@
 //!   buffered and flushed when the quiescence timeout expires, exactly as
 //!   §4.4 describes.
 
-use crate::config::{CheatMode, NonCompliantPolicy, ZmailConfig};
+use crate::config::{AttestWeakness, CheatMode, NonCompliantPolicy, ZmailConfig};
 use crate::ids::IspId;
 use crate::metrics::CoreMetrics;
 use crate::msg::{decode_value_nonce, encode_credit, encode_value_nonce, EmailMsg, NetMsg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
-use zmail_crypto::{open_with_public, seal_for_public, CryptoError, Nnc, Nonce, PublicKey};
+use zmail_crypto::{
+    open_with_public, seal_for_public, Attestation, CryptoError, Nnc, Nonce, PrivateKey, PublicKey,
+};
 use zmail_econ::{EPennies, RealPennies};
 use zmail_sim::workload::{MailKind, UserAddr};
 use zmail_store::{IspBooks, LedgerRecord, UserBooks};
@@ -82,6 +84,34 @@ pub enum SendOutcome {
     Buffered,
 }
 
+/// Why an attestation-checking receiver refused a paid message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefusalCause {
+    /// Paid mail arrived without any attestation — the signature was
+    /// stripped in transit (or the origin never signed).
+    MissingAttestation,
+    /// The attestation's signature does not verify under the origin
+    /// ISP's key: a forgery.
+    BadSignature,
+    /// The signature verifies but the signed fields do not match this
+    /// message — a signature cut from some other message.
+    FieldMismatch,
+    /// The attestation's nonce was already accepted once: a replay
+    /// (refund-farming when the message is an ack).
+    ReplayedNonce,
+}
+
+impl fmt::Display for RefusalCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefusalCause::MissingAttestation => write!(f, "missing attestation"),
+            RefusalCause::BadSignature => write!(f, "bad signature"),
+            RefusalCause::FieldMismatch => write!(f, "field mismatch"),
+            RefusalCause::ReplayedNonce => write!(f, "replayed nonce"),
+        }
+    }
+}
+
 /// What happened to a received message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Delivery {
@@ -91,6 +121,9 @@ pub enum Delivery {
     DiscardedByPolicy,
     /// Dropped by the policy's spam filter.
     FilteredOut,
+    /// Refused by attestation verification: no credit moved, the message
+    /// never reached a mailbox, and the cause attributes the attack.
+    Refused(RefusalCause),
 }
 
 /// Counters the experiments read.
@@ -126,6 +159,9 @@ pub struct IspStats {
     pub idempotent_retries: u64,
     /// Replayed or mismatched bank replies ignored.
     pub stale_replies: u64,
+    /// Paid messages refused by attestation verification (missing,
+    /// forged, mis-bound, or replayed signatures).
+    pub refused_attestations: u64,
 }
 
 /// A send intent queued while the ISP is frozen.
@@ -184,6 +220,26 @@ pub struct Isp {
     idempotent: bool,
     journal_enabled: bool,
     journal: Vec<LedgerRecord>,
+    /// Attestation nonces already accepted by this ISP — the durable
+    /// replay-refusal set (checkpointed via [`IspBooks::nonces`], so a
+    /// crash/restart cannot be farmed for double refunds).
+    nonces_seen: BTreeSet<u64>,
+    /// This ISP's attestation signing key, installed by the harness when
+    /// `ZmailConfig::attestations` is on. `None` = legacy unsigned mode.
+    attest_key: Option<PrivateKey>,
+    /// Peer ISPs' attestation verification keys, indexed by ISP id.
+    peer_keys: Vec<Option<PublicKey>>,
+    /// Monotone counter minting globally-unique attestation nonces
+    /// (`id << 48 | seq`), so two origins can never collide in a
+    /// receiver's seen-set.
+    attest_seq: u64,
+    /// The original payment nonce the next outbound `Ack` refunds, set
+    /// by the harness just before the ack send (§5 refund binding).
+    refund_ctx: Option<u64>,
+    /// Whether this deployment runs signed attestations at all.
+    attest_on: bool,
+    /// The campaign self-test's deliberately disabled defense, if any.
+    attest_weakness: Option<AttestWeakness>,
 }
 
 impl Isp {
@@ -231,6 +287,13 @@ impl Isp {
             idempotent: config.idempotent_bank_ids,
             journal_enabled: config.durability.is_some(),
             journal: Vec::new(),
+            nonces_seen: BTreeSet::new(),
+            attest_key: None,
+            peer_keys: Vec::new(),
+            attest_seq: 0,
+            refund_ctx: None,
+            attest_on: config.attestations,
+            attest_weakness: config.attest_weakness,
         }
     }
 
@@ -263,6 +326,7 @@ impl Isp {
                 .collect(),
             avail: self.avail.0,
             credit: self.credit.clone(),
+            nonces: self.nonces_seen.iter().copied().collect(),
         }
     }
 
@@ -284,6 +348,7 @@ impl Isp {
         }
         self.avail = EPennies(books.avail);
         self.credit = books.credit.clone();
+        self.nonces_seen = books.nonces.iter().copied().collect();
     }
 
     /// This ISP's id.
@@ -350,6 +415,103 @@ impl Isp {
         &self.stats
     }
 
+    // ------------------------------------------------------------------
+    // Payment attestations (X-Zmail-Sig on the SMTP mapping)
+    // ------------------------------------------------------------------
+
+    /// Installs the attestation key material: this ISP's signing key and
+    /// the verification keys of every ISP (indexed by id). Called once by
+    /// the harness when `ZmailConfig::attestations` is on.
+    pub fn install_attestation_keys(&mut self, key: PrivateKey, peers: Vec<PublicKey>) {
+        self.attest_key = Some(key);
+        self.peer_keys = peers.into_iter().map(Some).collect();
+    }
+
+    /// Arms the §5 refund binding: the next outbound send signs its
+    /// attestation with `refund_of` pointing at the payment nonce being
+    /// refunded. Consumed (and reset) by that send, whatever its fate.
+    pub fn set_refund_ctx(&mut self, nonce: Option<u64>) {
+        self.refund_ctx = nonce;
+    }
+
+    /// Mints the next attestation nonce: the ISP id in the top bits, a
+    /// monotone sequence below, so two origins can never collide in a
+    /// receiver's durable seen-set.
+    fn next_attest_nonce(&mut self) -> u64 {
+        self.attest_seq += 1;
+        (u64::from(self.id.0) << 48) | self.attest_seq
+    }
+
+    /// Signs a payment attestation for an outbound paid message, or
+    /// `None` when attestations are off.
+    fn attest(&mut self, sender: u32, to: UserAddr, refund_of: Option<u64>) -> Option<Attestation> {
+        let key = self.attest_key?;
+        let nonce = self.next_attest_nonce();
+        Some(Attestation::sign(
+            &key, self.id.0, sender, to.isp, to.user, 1, nonce, refund_of,
+        ))
+    }
+
+    /// The colluding-ring hook: signs a **valid** attestation for a paid
+    /// message this ISP never debited or booked — counterfeit value with
+    /// a genuine signature, which only the §4.4 credit audit (and the
+    /// conservation auditor) can catch. Returns `None` when attestations
+    /// are off.
+    pub fn sign_counterfeit(&mut self, sender: u32, to: UserAddr) -> Option<EmailMsg> {
+        let attestation = self.attest(sender, to, None)?;
+        Some(EmailMsg {
+            from: UserAddr::new(self.id.0, sender),
+            to,
+            kind: MailKind::Spam,
+            paid: true,
+            attestation: Some(attestation),
+        })
+    }
+
+    /// Verifies a paid message's attestation: presence, signature under
+    /// the origin ISP's key, field binding, and nonce freshness, in that
+    /// order (each skipped only under the matching configured
+    /// [`AttestWeakness`]). On success the nonce is recorded — durably,
+    /// via the journal — so it can never be accepted twice.
+    fn verify_attestation(
+        &mut self,
+        from_isp: IspId,
+        email: &EmailMsg,
+    ) -> Result<(), RefusalCause> {
+        let Some(att) = &email.attestation else {
+            return Err(RefusalCause::MissingAttestation);
+        };
+        let skip = |w: AttestWeakness| self.attest_weakness == Some(w);
+        if !skip(AttestWeakness::SkipSignatureCheck) {
+            let key = self.peer_keys.get(from_isp.index()).copied().flatten();
+            match key {
+                Some(key) if att.verify(&key).is_ok() => {}
+                _ => return Err(RefusalCause::BadSignature),
+            }
+        }
+        if !skip(AttestWeakness::SkipBindingCheck) {
+            let bound = att.origin_isp == from_isp.0
+                && att.origin_user == email.from.user
+                && att.dest_isp == email.to.isp
+                && att.dest_user == email.to.user
+                && att.amount == 1
+                && (email.kind == MailKind::Ack) == att.refund_of.is_some();
+            if !bound {
+                return Err(RefusalCause::FieldMismatch);
+            }
+        }
+        if !skip(AttestWeakness::SkipReplayCheck) && self.nonces_seen.contains(&att.nonce) {
+            return Err(RefusalCause::ReplayedNonce);
+        }
+        if self.nonces_seen.insert(att.nonce) {
+            self.journal(LedgerRecord::NonceSeen {
+                isp: self.id.0,
+                nonce: att.nonce,
+            });
+        }
+        Ok(())
+    }
+
     /// Number of sends waiting for the freeze to lift.
     pub fn pending_sends(&self) -> usize {
         self.pending.len()
@@ -378,6 +540,10 @@ impl Isp {
         kind: MailKind,
     ) -> Result<SendOutcome, SendError> {
         assert!((sender as usize) < self.users.len(), "sender out of range");
+        // Whatever this send turns out to be, it consumes any armed §5
+        // refund binding: a buffered or refused ack must not leak its
+        // refund pointer onto an unrelated later send.
+        let refund_of = self.refund_ctx.take();
         if !self.cansend {
             self.pending.push_back(PendingSend { sender, to, kind });
             self.stats.buffered_sends += 1;
@@ -402,6 +568,7 @@ impl Isp {
             self.book_credit(dest);
             self.stats.sent_paid += 1;
             CoreMetrics::get().transfers_remote.inc();
+            let attestation = self.attest(sender, to, refund_of);
             Ok(SendOutcome::Outbound {
                 to: dest,
                 msg: NetMsg::Email(EmailMsg {
@@ -409,6 +576,7 @@ impl Isp {
                     to,
                     kind,
                     paid: true,
+                    attestation,
                 }),
             })
         } else {
@@ -422,6 +590,7 @@ impl Isp {
                     to,
                     kind,
                     paid: false,
+                    attestation: None,
                 }),
             })
         }
@@ -490,6 +659,12 @@ impl Isp {
             "unknown recipient"
         );
         if self.compliant[from_isp.index()] && email.paid {
+            if self.attest_on {
+                if let Err(cause) = self.verify_attestation(from_isp, email) {
+                    self.stats.refused_attestations += 1;
+                    return Delivery::Refused(cause);
+                }
+            }
             self.users[email.to.user as usize].balance += EPennies::ONE;
             self.credit[from_isp.index()] -= 1;
             self.journal(LedgerRecord::Deposit {
@@ -1004,6 +1179,7 @@ mod tests {
                 to: addr(1, 1),
                 kind: MailKind::Spam,
                 paid: false,
+                attestation: None,
             };
             let balance_before = isp.user(1).balance;
             let delivery = isp.receive_email(IspId(0), &email);
@@ -1032,6 +1208,7 @@ mod tests {
             to: addr(1, 0),
             kind: MailKind::Spam,
             paid: false,
+            attestation: None,
         };
         let ham = EmailMsg {
             kind: MailKind::Personal,

@@ -77,11 +77,12 @@ pub mod zombie;
 
 pub use bank::{Bank, ConsistencyReport};
 pub use config::{
-    CheatMode, DurabilityConfig, NonCompliantPolicy, ZmailConfig, ZmailConfigBuilder,
+    AttestWeakness, CheatMode, DurabilityConfig, NonCompliantPolicy, ZmailConfig,
+    ZmailConfigBuilder,
 };
 pub use ids::IspId;
 pub use invariants::AuditError;
-pub use isp::{Isp, SendError, SendOutcome};
+pub use isp::{Delivery, Isp, RefusalCause, SendError, SendOutcome};
 pub use mailinglist::{ListConfig, ListServer, PostReport};
 pub use massive::{
     run_massive, run_massive_checked, run_massive_traced, MassiveConfig, MassiveEvent,

@@ -115,6 +115,7 @@ impl MassiveConfig {
                     ],
                     avail: 0,
                     credit: Vec::new(),
+                    nonces: Vec::new(),
                 })
                 .collect(),
             banks: Vec::<BankBooks>::new(),

@@ -9,7 +9,7 @@
 //! e-pennies in flight without breaking the encryption it is auditing.
 
 use crate::ids::IspId;
-use zmail_crypto::SealedEnvelope;
+use zmail_crypto::{Attestation, SealedEnvelope};
 use zmail_sim::workload::{MailKind, UserAddr};
 
 /// One email message travelling between ISPs.
@@ -24,6 +24,11 @@ pub struct EmailMsg {
     /// Whether one e-penny travels with the message (true exactly when the
     /// sending ISP is compliant and debited the sender).
     pub paid: bool,
+    /// Detached payment attestation (`X-Zmail-Sig` on the SMTP mapping):
+    /// the origin ISP's signature over the payment-relevant fields, with
+    /// a single-use nonce. `None` in legacy unsigned deployments — and
+    /// exactly what a signature-stripping adversary leaves behind.
+    pub attestation: Option<Attestation>,
 }
 
 impl EmailMsg {
@@ -133,6 +138,12 @@ impl NetMsg {
                 eat(&email.to.isp.to_le_bytes());
                 eat(&email.to.user.to_le_bytes());
                 eat(&[email.kind as u8, u8::from(email.paid)]);
+                // Unsigned mail folds nothing extra, so legacy digests
+                // (and hence `RunReport::digest_checksum`) are unchanged
+                // when attestations are off.
+                if let Some(att) = &email.attestation {
+                    eat(&att.encode());
+                }
             }
             NetMsg::Buy { envelope, audit } | NetMsg::Sell { envelope, audit } => {
                 eat(&envelope.to_bytes());
@@ -258,6 +269,7 @@ mod tests {
             to: UserAddr::new(1, 0),
             kind: MailKind::Personal,
             paid: true,
+            attestation: None,
         };
         let unpaid = EmailMsg {
             paid: false,
@@ -274,6 +286,7 @@ mod tests {
             to: UserAddr::new(1, 0),
             kind: MailKind::Personal,
             paid: true,
+            attestation: None,
         });
         assert_eq!(email.label(), "email");
     }

@@ -12,17 +12,23 @@ use crate::bank::{Bank, ConsistencyReport};
 use crate::config::ZmailConfig;
 use crate::ids::IspId;
 use crate::invariants::{self, AuditError};
-use crate::isp::{Isp, SendError, SendOutcome};
+use crate::isp::{Delivery, Isp, RefusalCause, SendError, SendOutcome};
 use crate::metrics::CoreMetrics;
 use crate::msg::{EmailMsg, NetMsg};
 use crate::multibank::{Federation, SettlementFlow};
-use std::collections::{BTreeMap, VecDeque};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use zmail_crypto::{Attestation, KeyPair, PrivateKey, PublicKey};
 use zmail_econ::EPennies;
-use zmail_fault::{Endpoint, Fault, FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict};
+use zmail_fault::{
+    AdversaryCounters, AdversaryFault, AdversaryMetrics, AttackClass, Endpoint, Fault,
+    FaultCounters, FaultInjector, MsgClass, PairLedger, Verdict,
+};
 use zmail_obs::{FlightRecorder, SpanCtx, SpanStatus};
 use zmail_sim::racecheck::{AccessRecorder, CheckedWorld, RacecheckReport, RecordedWorld};
 use zmail_sim::workload::{MailKind, SendEvent, UserAddr};
-use zmail_sim::{ParallelWorld, Scheduler, SimTime, Simulation, World};
+use zmail_sim::{ParallelWorld, Scheduler, SimDuration, SimTime, Simulation, World};
 use zmail_store::{Books, LedgerStore, MemStorage, ShardedLedgerStore};
 
 /// Addressable parties on the network.
@@ -174,6 +180,10 @@ pub struct RunReport {
     pub settlements: Vec<(SimTime, Vec<SettlementFlow>)>,
     /// Total messages put on the inter-party network.
     pub network_messages: u64,
+    /// Paid deliveries refused by attestation verification (missing,
+    /// forged, mis-bound, or replayed signatures) — nonzero only under
+    /// adversary clauses or attestation-aware duplication faults.
+    pub refused_deliveries: u64,
     /// Crash-recoveries performed from the durable store, in order
     /// (empty unless durability is configured and a `Crash` fired).
     pub recoveries: Vec<RecoveryEvent>,
@@ -258,6 +268,70 @@ struct ZmailWorld {
     /// Per-ISP open `bank_rtt` spans: `[buy, sell]`, closed when the
     /// matching reply is applied.
     bank_spans: Vec<[Option<SpanCtx>; 2]>,
+    /// The adversary interpreter for `Fault::Adversary` clauses.
+    /// `None` when the plan carries none — the tap then costs one
+    /// branch per dispatch and draws nothing, keeping legacy runs
+    /// byte-identical.
+    adversary: Option<AdversaryEngine>,
+    /// Attestation-layer corrections to the §4.4 pair-sum prediction,
+    /// keyed by unordered ISP pair: +1 per refused *real* payment
+    /// (stripped or a duplicate caught by the nonce set — the sender
+    /// was debited, the receiver never credited), −1 per accepted
+    /// counterfeit (credited, never debited). Always maintained (empty
+    /// when attestations are off, since only attestation verification
+    /// refuses deliveries); the scenario harness folds it into the
+    /// injector's pair-ledger prediction.
+    attest_pair_drift: BTreeMap<(u32, u32), i64>,
+}
+
+/// Canonical unordered-pair key for §4.4 drift bookkeeping.
+fn pair_key(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Interprets the plan's [`AdversaryFault`] clauses on the serial apply
+/// path. Adversaries act *above* the channel layer — on message content
+/// and ledger claims, not on delivery — so they live here rather than in
+/// the [`FaultInjector`]. The engine taps every outbound email dispatch
+/// of an attacker ISP, rolls its own dedicated sampler (zero draws when
+/// no clause is configured), and injects counterfeit traffic straight
+/// onto the delivery queue so channel-fault accounting never mixes with
+/// attack accounting.
+struct AdversaryEngine {
+    clauses: Vec<AdversaryFault>,
+    sampler: zmail_sim::Sampler,
+    counters: AdversaryCounters,
+    /// Counterfeits in flight, keyed by `(receiving ISP, attestation
+    /// nonce)` — consulted at delivery time to attribute acceptances
+    /// and refusals to their attack class. Replayed acks are *not*
+    /// entered here: their nonce also rides the legitimate copy, and
+    /// the per-receiver nonce set refuses whichever arrives second.
+    injected: BTreeMap<(u32, u64), AttackClass>,
+    /// Nonces whose ack the adversary replayed, keyed like `injected`.
+    /// Consumed by the first `ReplayedNonce` refusal at that receiver,
+    /// attributing it to the attack (`replays_refused`) rather than to
+    /// a network duplication.
+    replayed: BTreeSet<(u32, u64)>,
+    /// Every ISP's signing key — a colluding ring shares key material,
+    /// and the simulation simply holds all of it (mutating another
+    /// ISP's state from inside a tap would also violate the declared
+    /// racecheck footprint). Empty when attestations are off: the
+    /// injection classes then have nothing to sign and stay idle.
+    keys: Vec<PrivateKey>,
+    /// The forger's own key: *not* in any ISP's directory, so its
+    /// attestations are exactly "well-formed but signed by nobody".
+    forger: PrivateKey,
+    /// A legitimate attestation captured off the zombie host's outbound
+    /// wire, with the ISP it was originally destined for — replayed
+    /// cross-destination with rotating sender identities.
+    stolen: Option<(Attestation, u32)>,
+    /// Monotone injection counter: rotates counterfeit identities and
+    /// mints collision-free nonces in the attacker's reserved ranges.
+    seq: u64,
 }
 
 /// Footprint key of an ISP's protocol state. Key 0 is the bank's, so
@@ -360,6 +434,7 @@ impl ZmailWorld {
                 to,
                 kind,
                 paid: false,
+                attestation: None,
             });
             self.dispatch(
                 scheduler,
@@ -388,6 +463,11 @@ impl ZmailWorld {
                     to,
                     kind,
                     paid: true,
+                    // A local delivery never leaves the ISP, so no
+                    // attestation is minted; the §5 refund path below
+                    // still works because the ack rides on `refund_ctx`
+                    // only for attested inter-ISP posts.
+                    attestation: None,
                 };
                 self.maybe_acknowledge(scheduler, &email, lifecycle);
                 if let Some(ctx) = lifecycle {
@@ -502,6 +582,16 @@ impl ZmailWorld {
         };
         let ack_prob = self.lists[index].ack_prob;
         if self.net_faults.bernoulli(ack_prob) {
+            // Arm the acking ISP's refund context with the delivered
+            // post's attestation nonce: the ack it is about to send
+            // gets signed with `refund_of = Some(nonce)`, which the
+            // distributor's ISP verifies (and replay-checks) before
+            // returning the e-penny.
+            let acker = IspId(email.to.isp);
+            if self.config.attestations && self.config.is_compliant(acker) {
+                let refund = email.attestation.as_ref().map(|a| a.nonce);
+                self.isps[acker.index()].set_refund_ctx(refund);
+            }
             self.process_send(
                 scheduler,
                 email.to,
@@ -520,9 +610,19 @@ impl ZmailWorld {
         scheduler: &mut Scheduler<'_, Event>,
         from: Node,
         to: Node,
-        msg: NetMsg,
+        mut msg: NetMsg,
         lifecycle: Option<SpanCtx>,
     ) {
+        // The adversary's wire tap: an attacker ISP may mutate its own
+        // outbound email (strip the signature), capture it (replay,
+        // identity theft), or ride the send to inject counterfeits.
+        // Runs before the channel-fault verdict — the adversary acts at
+        // the origin, the network acts on the wire.
+        if self.adversary.is_some() {
+            if let (Node::Isp(origin), NetMsg::Email(email)) = (from, &mut msg) {
+                self.adversary_tap(scheduler, origin, email);
+            }
+        }
         // An ISP-originated exchange arms a retransmission check —
         // before the fault decision, because a lost *request* is exactly
         // the case retransmission must cover.
@@ -613,6 +713,299 @@ impl ZmailWorld {
         }
     }
 
+    /// The adversary's wire tap: run on every outbound email dispatch,
+    /// before the channel-fault verdict. Every active clause owned by
+    /// the sending ISP gets a chance to act on (or ride on) this send.
+    fn adversary_tap(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        origin: IspId,
+        email: &mut EmailMsg,
+    ) {
+        // Take/put-back so clause handling can call `&mut self` helpers
+        // while holding the engine.
+        let Some(mut engine) = self.adversary.take() else {
+            return;
+        };
+        let now = scheduler.now();
+        let latency = self.config.net_latency;
+        for idx in 0..engine.clauses.len() {
+            let c = engine.clauses[idx];
+            if c.isp != origin.0 || !c.active(now) {
+                continue;
+            }
+            match c.class {
+                // Relay malware drops the `X-Zmail-Sig` header from
+                // paid outbound mail. The receiver refuses the unsigned
+                // payment claim; the already-debited e-penny is gone
+                // (accounted at refusal time).
+                AttackClass::Strip => {
+                    if email.paid && email.attestation.is_some() && engine.sampler.bernoulli(c.p) {
+                        email.attestation = None;
+                        engine.counters.stripped += 1;
+                        AdversaryMetrics::get().stripped.inc();
+                    }
+                }
+                // Refund farming: capture an outbound §5 ack and replay
+                // a byte-identical copy, hoping for a second refund.
+                // Accounted like a network duplication — one debit, two
+                // credit claims — which the receiver's nonce set must
+                // collapse back to one.
+                AttackClass::ReplayAck => {
+                    if email.kind == MailKind::Ack
+                        && email.paid
+                        && email.attestation.is_some()
+                        && engine.sampler.bernoulli(c.p)
+                    {
+                        engine.counters.replays += 1;
+                        AdversaryMetrics::get().replays.inc();
+                        self.pennies_duplicated += 1;
+                        let copy = email.clone();
+                        if let Some(att) = &copy.attestation {
+                            engine.replayed.insert((copy.to.isp, att.nonce));
+                        }
+                        // The replay trails the original so the nonce
+                        // set refuses the copy, not the real refund.
+                        self.inject(
+                            scheduler,
+                            origin,
+                            IspId(copy.to.isp),
+                            copy,
+                            latency + latency,
+                        );
+                    }
+                }
+                // Header forgery: a counterfeit paid claim signed with
+                // a key no directory knows. Fields are correctly bound
+                // — only the signature check can catch it.
+                AttackClass::Forge => {
+                    if engine.sampler.bernoulli(c.p) {
+                        engine.seq += 1;
+                        let start = (c.isp + 1 + engine.seq as u32) % self.config.isps.max(1);
+                        let Some(dest) = self.pick_dest(&[c.isp], start) else {
+                            continue;
+                        };
+                        let user = engine.seq as u32 % self.config.users_per_isp.max(1);
+                        let nonce = (u64::from(c.isp) << 48) | (1 << 47) | engine.seq;
+                        let att = Attestation::sign(
+                            &engine.forger,
+                            c.isp,
+                            user,
+                            dest,
+                            user,
+                            1,
+                            nonce,
+                            None,
+                        );
+                        let msg = EmailMsg {
+                            from: UserAddr::new(c.isp, user),
+                            to: UserAddr::new(dest, user),
+                            kind: MailKind::Spam,
+                            paid: true,
+                            attestation: Some(att),
+                        };
+                        engine.injected.insert((dest, nonce), AttackClass::Forge);
+                        engine.counters.forged += 1;
+                        AdversaryMetrics::get().forged.inc();
+                        self.inject(scheduler, origin, IspId(dest), msg, latency);
+                    }
+                }
+                // Colluding ring: the attacker signs with its *real*
+                // key a payment it never debited, addressed to its
+                // accomplice. Verification passes by construction —
+                // only the conservation audit and the §4.4 pair check
+                // can convict the pair.
+                AttackClass::Ring => {
+                    if engine.sampler.bernoulli(c.p) {
+                        let Some(key) = engine.keys.get(c.isp as usize).copied() else {
+                            continue;
+                        };
+                        engine.seq += 1;
+                        let user = engine.seq as u32 % self.config.users_per_isp.max(1);
+                        let nonce = (u64::from(c.isp) << 48) | (1 << 46) | engine.seq;
+                        let att = Attestation::sign(
+                            &key,
+                            c.isp,
+                            user,
+                            c.accomplice,
+                            user,
+                            1,
+                            nonce,
+                            None,
+                        );
+                        let msg = EmailMsg {
+                            from: UserAddr::new(c.isp, user),
+                            to: UserAddr::new(c.accomplice, user),
+                            kind: MailKind::Spam,
+                            paid: true,
+                            attestation: Some(att),
+                        };
+                        engine
+                            .injected
+                            .insert((c.accomplice, nonce), AttackClass::Ring);
+                        engine.counters.ring_counterfeits += 1;
+                        AdversaryMetrics::get().ring_counterfeits.inc();
+                        self.inject(scheduler, origin, IspId(c.accomplice), msg, latency);
+                    }
+                }
+                // Zombie botnet: steal the first legitimate attestation
+                // seen on the host's wire, then spray copies to *other*
+                // ISPs under rotating sender identities. Per-receiver
+                // nonce sets don't catch a cross-destination replay —
+                // the field-binding check must.
+                AttackClass::RotatingZombie => {
+                    if engine.stolen.is_none() {
+                        if let Some(att) = email.attestation {
+                            engine.stolen = Some((att, email.to.isp));
+                        }
+                    }
+                    if engine.sampler.bernoulli(c.p) {
+                        let Some((att, orig_dest)) = engine.stolen else {
+                            continue;
+                        };
+                        engine.seq += 1;
+                        let start = (c.isp + 1 + engine.seq as u32) % self.config.isps.max(1);
+                        let Some(dest) = self.pick_dest(&[c.isp, orig_dest], start) else {
+                            continue;
+                        };
+                        let user = engine.seq as u32 % self.config.users_per_isp.max(1);
+                        let msg = EmailMsg {
+                            from: UserAddr::new(c.isp, user),
+                            to: UserAddr::new(dest, user),
+                            kind: MailKind::VirusSpam,
+                            paid: true,
+                            attestation: Some(att),
+                        };
+                        engine
+                            .injected
+                            .insert((dest, att.nonce), AttackClass::RotatingZombie);
+                        engine.counters.zombie_sends += 1;
+                        AdversaryMetrics::get().zombie_sends.inc();
+                        self.inject(scheduler, origin, IspId(dest), msg, latency);
+                    }
+                }
+            }
+        }
+        self.adversary = Some(engine);
+    }
+
+    /// Puts an adversary-crafted email straight onto the delivery
+    /// queue: no channel-fault verdict (the adversary controls its own
+    /// wire) and no trace context (counterfeits have no legitimate
+    /// lifecycle).
+    fn inject(
+        &mut self,
+        scheduler: &mut Scheduler<'_, Event>,
+        from: IspId,
+        to: IspId,
+        email: EmailMsg,
+        latency: SimDuration,
+    ) {
+        self.pennies_in_flight += email.pennies_in_flight();
+        self.report.network_messages += 1;
+        scheduler.after(
+            latency,
+            Event::Deliver {
+                from: Node::Isp(from),
+                to: Node::Isp(to),
+                msg: NetMsg::Email(email),
+                ctx: None,
+            },
+        );
+    }
+
+    /// First compliant ISP scanning cyclically from `start`, excluding
+    /// `exclude` — the counterfeit target chooser (deterministic, no
+    /// sampler draw).
+    fn pick_dest(&self, exclude: &[u32], start: u32) -> Option<u32> {
+        let n = self.config.isps;
+        (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&d| !exclude.contains(&d) && self.config.is_compliant(IspId(d)))
+    }
+
+    /// Attributes a refused delivery to its cause and settles the
+    /// e-penny books. Counterfeit refusals carry no real value (nothing
+    /// was debited — `inject` put a phantom penny in flight and the
+    /// generic in-flight decrement already removed it). Refusals of
+    /// *real* payments destroy the debited e-penny: missing-attestation
+    /// (stripped) and replayed-nonce (the duplicate copy of a paid
+    /// message, adversarial or network-duplicated) both count it lost —
+    /// cancelling any duplication credit in the conservation equation —
+    /// and shift the §4.4 pair-sum prediction by +1 (the sender was
+    /// debited, this receiver credit never happened).
+    fn refused_accounting(
+        &mut self,
+        origin: IspId,
+        j: IspId,
+        email: &EmailMsg,
+        cause: RefusalCause,
+    ) {
+        let injected = match (self.adversary.as_mut(), email.attestation.as_ref()) {
+            (Some(engine), Some(att)) => engine.injected.remove(&(j.0, att.nonce)),
+            _ => None,
+        };
+        match injected {
+            Some(AttackClass::Forge) => {
+                if let Some(engine) = self.adversary.as_mut() {
+                    engine.counters.forged_refused += 1;
+                }
+            }
+            Some(AttackClass::RotatingZombie) => {
+                if let Some(engine) = self.adversary.as_mut() {
+                    engine.counters.zombie_refused += 1;
+                }
+            }
+            Some(_) => {}
+            None => match cause {
+                RefusalCause::MissingAttestation => {
+                    self.pennies_lost += 1;
+                    *self
+                        .attest_pair_drift
+                        .entry(pair_key(origin.0, j.0))
+                        .or_insert(0) += 1;
+                    if let Some(engine) = self.adversary.as_mut() {
+                        engine.counters.stripped_refused += 1;
+                    }
+                }
+                RefusalCause::ReplayedNonce => {
+                    self.pennies_lost += 1;
+                    // An adversarial ack replay leaves the pair sum
+                    // alone (the original copy settled the payment);
+                    // a *network* duplicate caught here cancels the
+                    // injector's predicted −1 duplication drift.
+                    let adversarial = email.attestation.as_ref().is_some_and(|att| {
+                        self.adversary
+                            .as_mut()
+                            .is_some_and(|e| e.replayed.remove(&(j.0, att.nonce)))
+                    });
+                    if adversarial {
+                        if let Some(engine) = self.adversary.as_mut() {
+                            engine.counters.replays_refused += 1;
+                        }
+                    } else {
+                        *self
+                            .attest_pair_drift
+                            .entry(pair_key(origin.0, j.0))
+                            .or_insert(0) += 1;
+                    }
+                }
+                RefusalCause::FieldMismatch => {
+                    // A re-targeted zombie copy whose `injected` entry
+                    // was already consumed by an earlier copy to the
+                    // same receiver (same stolen nonce, same key).
+                    if let Some(engine) = self.adversary.as_mut() {
+                        let nonce = email.attestation.as_ref().map(|a| a.nonce);
+                        if nonce.is_some() && engine.stolen.map(|(a, _)| a.nonce) == nonce {
+                            engine.counters.zombie_refused += 1;
+                        }
+                    }
+                }
+                RefusalCause::BadSignature => {}
+            },
+        }
+    }
+
     fn handle_delivery(
         &mut self,
         scheduler: &mut Scheduler<'_, Event>,
@@ -646,7 +1039,25 @@ impl ZmailWorld {
                 self.recorder.write(CLASS_ISP, isp_key(j.0));
                 let delivery = self.isps[j.index()].receive_email(origin, &email);
                 match delivery {
-                    crate::isp::Delivery::Delivered => {
+                    Delivery::Delivered => {
+                        // A counterfeit that *landed* shifted value: the
+                        // receiver credited a payment the sender never
+                        // made. Record the expected §4.4 pair-sum drift
+                        // so the consistency audit (not this harness)
+                        // is what convicts the pair.
+                        if let (Some(engine), Some(att)) =
+                            (self.adversary.as_mut(), email.attestation.as_ref())
+                        {
+                            if let Some(class) = engine.injected.remove(&(j.0, att.nonce)) {
+                                if class == AttackClass::Ring {
+                                    engine.counters.ring_accepted += 1;
+                                }
+                                *self
+                                    .attest_pair_drift
+                                    .entry(pair_key(att.origin_isp, j.0))
+                                    .or_insert(0) -= 1;
+                            }
+                        }
                         *self.report.delivered_by_kind.entry(email.kind).or_default() += 1;
                         if email.paid {
                             self.report.paid_deliveries += 1;
@@ -659,6 +1070,16 @@ impl ZmailWorld {
                         self.maybe_acknowledge(scheduler, &email, lifecycle);
                         if let Some(root) = lifecycle {
                             self.pending_close.push((root, SpanStatus::Ok));
+                        }
+                    }
+                    Delivery::Refused(cause) => {
+                        self.report.refused_deliveries += 1;
+                        *self.report.dropped_by_kind.entry(email.kind).or_default() += 1;
+                        AdversaryMetrics::get().refusals.inc();
+                        self.refused_accounting(origin, j, &email, cause);
+                        if let Some(root) = lifecycle {
+                            self.flight.annotate(root, &format!("refused={cause}"));
+                            self.pending_close.push((root, SpanStatus::Dropped));
                         }
                     }
                     _ => {
@@ -1126,7 +1547,7 @@ impl ZmailSystem {
     pub fn new(config: ZmailConfig, seed: u64) -> Self {
         config.validate();
         let banks = Federation::new(&config, config.banks, seed);
-        let isps: Vec<Isp> = (0..config.isps)
+        let mut isps: Vec<Isp> = (0..config.isps)
             .map(|i| {
                 Isp::new(
                     IspId(i),
@@ -1136,6 +1557,51 @@ impl ZmailSystem {
                 )
             })
             .collect();
+        // With attestations on, mint one signing keypair per ISP and
+        // publish every public key to every ISP (the paper's bank-run
+        // key directory, modelled as pre-distributed). Deterministic
+        // from the run seed, independent of every other stream.
+        let mut attest_keys: Vec<PrivateKey> = Vec::new();
+        if config.attestations {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xA77E_5EED);
+            let pairs: Vec<KeyPair> = (0..config.isps)
+                .map(|_| KeyPair::generate(&mut rng))
+                .collect();
+            let publics: Vec<PublicKey> = pairs.iter().map(|p| *p.public()).collect();
+            attest_keys = pairs.iter().map(|p| *p.private()).collect();
+            for (isp, pair) in isps.iter_mut().zip(&pairs) {
+                isp.install_attestation_keys(*pair.private(), publics.clone());
+            }
+        }
+        // Partition the plan: adversary clauses are interpreted by the
+        // world's own engine; everything else goes to the channel-level
+        // injector (which treats unknown-to-it clauses as inert anyway,
+        // but a clean split keeps the accounting honest).
+        let adversary_clauses: Vec<AdversaryFault> = config
+            .faults
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Adversary(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        let adversary = if adversary_clauses.is_empty() {
+            None
+        } else {
+            let mut forger_rng = SmallRng::seed_from_u64(seed ^ 0xF06E_F06E);
+            Some(AdversaryEngine {
+                clauses: adversary_clauses,
+                sampler: zmail_sim::Sampler::new(seed ^ 0xAD5E_ED00),
+                counters: AdversaryCounters::default(),
+                injected: BTreeMap::new(),
+                replayed: BTreeSet::new(),
+                keys: attest_keys,
+                forger: *KeyPair::generate(&mut forger_rng).private(),
+                stolen: None,
+                seq: 0,
+            })
+        };
         let faults = FaultInjector::new(config.faults.clone(), config.net_latency);
         // With durability on, open the ledger store over the bootstrap
         // books and arm a recovery restart at the close of every crash
@@ -1179,6 +1645,8 @@ impl ZmailSystem {
             pending_close: Vec::new(),
             queue_spans: vec![VecDeque::new(); isp_count],
             bank_spans: vec![[None, None]; isp_count],
+            adversary,
+            attest_pair_drift: BTreeMap::new(),
         };
         let mut system = ZmailSystem {
             sim: Simulation::new(CheckedWorld::new(world)),
@@ -1471,6 +1939,43 @@ impl ZmailSystem {
     /// drift by under the configured faults.
     pub fn email_pair_ledger(&self, a: IspId, b: IspId) -> PairLedger {
         self.world().faults.email_pair_ledger(a.0, b.0)
+    }
+
+    /// The adversary engine's deterministic tallies: attacks attempted
+    /// and attacks refused, by class. All zeros when the plan carries
+    /// no [`Fault::Adversary`] clause.
+    pub fn adversary_counters(&self) -> AdversaryCounters {
+        self.world()
+            .adversary
+            .as_ref()
+            .map(|e| e.counters)
+            .unwrap_or_default()
+    }
+
+    /// Attestation-layer correction to the §4.4 pair-sum prediction
+    /// (`credit_a[b] + credit_b[a]`) for the unordered pair `{a, b}`:
+    /// +1 per refused real payment (stripped signature, or a duplicate
+    /// copy the nonce set caught), −1 per accepted counterfeit. The
+    /// scenario harness adds this to the injector's pair-ledger
+    /// prediction so attested runs audit cleanly — and the
+    /// billing-round consistency check must implicate exactly the
+    /// pairs a counterfeit shifted.
+    pub fn adversary_pair_drift(&self, a: IspId, b: IspId) -> i64 {
+        self.world()
+            .attest_pair_drift
+            .get(&pair_key(a.0, b.0))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every ISP pair with a nonzero attestation-layer §4.4 correction.
+    pub fn adversary_pair_drifts(&self) -> Vec<(IspId, IspId, i64)> {
+        self.world()
+            .attest_pair_drift
+            .iter()
+            .filter(|(_, &d)| d != 0)
+            .map(|(&(a, b), &d)| (IspId(a), IspId(b), d))
+            .collect()
     }
 }
 

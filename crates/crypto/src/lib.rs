@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod cipher;
 pub mod envelope;
 pub mod keys;
 pub mod nonce;
 pub mod rsa;
 
+pub use attest::{sign_digest, verify_digest, Attestation, ATTESTATION_WIRE_LEN};
 pub use cipher::KeystreamCipher;
 pub use envelope::{
     open_with_private, open_with_public, seal_for_public, seal_with_private, SealedEnvelope,

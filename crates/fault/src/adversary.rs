@@ -1,0 +1,319 @@
+//! Adversarial actors as first-class fault-plan clauses.
+//!
+//! Channel faults model an *unlucky* network; an [`AdversaryFault`]
+//! models a *malicious* one. Each clause names an attack class
+//! ([`AttackClass`]), the ISP mounting it, an activity window, and an
+//! intensity — and, like every other clause, is purely declarative: the
+//! protocol engine (in `zmail-core`) interprets the clause on its serial
+//! apply path, drawing randomness only from a dedicated caller-owned
+//! sampler, so an adversarial scenario replays byte-identically from its
+//! seed and `ddmin` can shrink a plan of mixed channel + adversary
+//! clauses to a 1-minimal reproducer.
+//!
+//! The attack classes, and what the signed-attestation machinery plus
+//! the paper's §4.4 audits are expected to do to each:
+//!
+//! | class | action | caught by |
+//! |---|---|---|
+//! | [`Forge`](AttackClass::Forge) | fabricates a payment attestation on unpaid mail | signature check (wrong key) |
+//! | [`Strip`](AttackClass::Strip) | strips the attestation off paid mail in flight | missing-attestation refusal |
+//! | [`ReplayAck`](AttackClass::ReplayAck) | re-delivers captured paid acks to farm §5 refunds | durable nonce set (replay refusal) |
+//! | [`Ring`](AttackClass::Ring) | colluding ISPs mint validly-signed counterfeits | §4.4 credit-snapshot pair accusation |
+//! | [`RotatingZombie`](AttackClass::RotatingZombie) | botnet floods forged mail from rotating senders | per-message signature refusal |
+//!
+//! [`AdversaryCounters`] is the deterministic tally the engine keeps
+//! (attempts and refusals per class), and [`AdversaryMetrics`] mirrors
+//! it into the global `zmail-obs` registry as `adversary.*` counters.
+
+use crate::plan::Window;
+use std::fmt;
+use std::sync::OnceLock;
+use zmail_obs::Counter;
+use zmail_sim::Sampler;
+use zmail_sim::SimTime;
+
+/// The attack classes an [`AdversaryFault`] can mount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// A relay fabricates a payment attestation on unpaid mail from the
+    /// attacker ISP, hoping the receiver credits it.
+    Forge,
+    /// A relay strips the attestation off paid mail leaving the attacker
+    /// ISP, so the receiver cannot verify payment.
+    Strip,
+    /// A refund farmer captures paid acknowledgments leaving the
+    /// attacker ISP and re-delivers them, trying to collect the §5
+    /// refund more than once.
+    ReplayAck,
+    /// The attacker ISP and an accomplice collude: the attacker signs
+    /// *valid* attestations for payments it never debited, the
+    /// accomplice vouches by accepting them. Signatures cannot stop
+    /// this — the §4.4 credit snapshots must.
+    Ring,
+    /// A zombie botnet at the attacker ISP floods forged-attestation
+    /// mail from rotating sender identities.
+    RotatingZombie,
+}
+
+/// Every attack class, in a fixed order (campaign sweeps iterate this).
+pub const ALL_ATTACK_CLASSES: [AttackClass; 5] = [
+    AttackClass::Forge,
+    AttackClass::Strip,
+    AttackClass::ReplayAck,
+    AttackClass::Ring,
+    AttackClass::RotatingZombie,
+];
+
+impl fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackClass::Forge => write!(f, "forge"),
+            AttackClass::Strip => write!(f, "strip"),
+            AttackClass::ReplayAck => write!(f, "replay-ack"),
+            AttackClass::Ring => write!(f, "ring"),
+            AttackClass::RotatingZombie => write!(f, "rotating-zombie"),
+        }
+    }
+}
+
+/// One adversarial clause: who attacks, how, when, and how hard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryFault {
+    /// The attack mounted.
+    pub class: AttackClass,
+    /// The attacking ISP (the forger's relay, the replay farmer's
+    /// vantage point, the ring's signer, the botnet's host).
+    pub isp: u32,
+    /// The colluding receiver for [`AttackClass::Ring`]; ignored by
+    /// every other class.
+    pub accomplice: u32,
+    /// Probability the attack fires on an eligible message or send
+    /// opportunity inside the window.
+    pub p: f64,
+    /// When the adversary is active.
+    pub window: Window,
+}
+
+impl AdversaryFault {
+    /// Whether the clause is active at `now`.
+    pub fn active(&self, now: SimTime) -> bool {
+        self.window.contains(now)
+    }
+}
+
+impl fmt::Display for AdversaryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "adversary {} by isp{}", self.class, self.isp)?;
+        if self.class == AttackClass::Ring {
+            write!(f, " with isp{}", self.accomplice)?;
+        }
+        write!(f, " p={} during {}", self.p, self.window)
+    }
+}
+
+/// Deterministic tallies of everything the adversary engine did and
+/// everything the defenses refused. Kept by the protocol engine (not
+/// the injector — adversaries act above the wire, on message content
+/// and ledger state) and exposed through the scenario harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdversaryCounters {
+    /// Forged attestations attached to unpaid mail.
+    pub forged: u64,
+    /// Forged attestations refused by the receiver's signature check.
+    pub forged_refused: u64,
+    /// Attestations stripped off paid mail in flight.
+    pub stripped: u64,
+    /// Stripped messages refused for the missing attestation.
+    pub stripped_refused: u64,
+    /// Captured paid acks re-delivered by the replay farmer.
+    pub replays: u64,
+    /// Replayed acks refused by the durable nonce set.
+    pub replays_refused: u64,
+    /// Validly-signed counterfeits minted by a colluding ring.
+    pub ring_counterfeits: u64,
+    /// Counterfeit deposits the accomplice accepted (each one is a
+    /// minted e-penny the §4.4 snapshots must attribute to the pair).
+    pub ring_accepted: u64,
+    /// Forged sends injected by the rotating-identity botnet.
+    pub zombie_sends: u64,
+    /// Botnet sends refused by the receiver's signature check.
+    pub zombie_refused: u64,
+}
+
+impl AdversaryCounters {
+    /// Total attack attempts across every class.
+    pub fn attempts(&self) -> u64 {
+        self.forged + self.stripped + self.replays + self.ring_counterfeits + self.zombie_sends
+    }
+
+    /// Total attempts refused outright by the attestation checks (ring
+    /// counterfeits are *accepted* by design and caught by the audits
+    /// instead, so they are not counted here).
+    pub fn refusals(&self) -> u64 {
+        self.forged_refused + self.stripped_refused + self.replays_refused + self.zombie_refused
+    }
+}
+
+/// `adversary.*` counter handles against the global `zmail-obs`
+/// registry, mirroring [`AdversaryCounters`] for telemetry.
+#[derive(Debug)]
+pub struct AdversaryMetrics {
+    /// Forged attestations attached (`adversary.forged`).
+    pub forged: Counter,
+    /// Attestations stripped in flight (`adversary.stripped`).
+    pub stripped: Counter,
+    /// Paid acks re-delivered (`adversary.replays`).
+    pub replays: Counter,
+    /// Ring counterfeits minted (`adversary.ring.counterfeits`).
+    pub ring_counterfeits: Counter,
+    /// Botnet sends injected (`adversary.zombie.sends`).
+    pub zombie_sends: Counter,
+    /// Attacks refused by the attestation checks
+    /// (`adversary.refusals`).
+    pub refusals: Counter,
+}
+
+impl AdversaryMetrics {
+    /// The process-wide handle set, created on first use against the
+    /// global registry.
+    pub fn get() -> &'static AdversaryMetrics {
+        static METRICS: OnceLock<AdversaryMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = zmail_obs::global();
+            AdversaryMetrics {
+                forged: r.counter("adversary.forged"),
+                stripped: r.counter("adversary.stripped"),
+                replays: r.counter("adversary.replays"),
+                ring_counterfeits: r.counter("adversary.ring.counterfeits"),
+                zombie_sends: r.counter("adversary.zombie.sends"),
+                refusals: r.counter("adversary.refusals"),
+            }
+        })
+    }
+}
+
+/// Draws a randomized adversarial clause of the given `class`,
+/// deterministically from `sampler`: attacker (and accomplice, for
+/// rings) chosen uniformly, window bounded to close by `0.95 * horizon`
+/// (the same liveness headroom as [`crate::FaultPlan::random`]), and a
+/// firing probability high enough that the attack actually happens.
+///
+/// This is a separate generator rather than a new arm in
+/// [`crate::FaultPlan::random`] because that stream is frozen by the
+/// scenario-replay tests; adversarial campaigns derive their plans from
+/// their own sampler stream.
+///
+/// # Panics
+///
+/// Panics if `isps < 2` (every attack needs a victim on another ISP) or
+/// the horizon is shorter than 100ms.
+pub fn random_adversary(
+    sampler: &mut Sampler,
+    class: AttackClass,
+    isps: u32,
+    horizon: SimTime,
+) -> AdversaryFault {
+    assert!(isps >= 2, "adversarial clauses need at least two ISPs");
+    let horizon_ms = horizon.as_millis();
+    assert!(horizon_ms >= 100, "horizon too short to schedule a window");
+    let start = sampler.uniform_range(0, horizon_ms * 5 / 10);
+    let max_len = (horizon_ms * 95 / 100 - start).max(2);
+    let len = sampler.uniform_range(max_len / 2 + 1, max_len);
+    let isp = sampler.uniform_range(0, u64::from(isps)) as u32;
+    let accomplice = if class == AttackClass::Ring {
+        let mut b = sampler.uniform_range(0, u64::from(isps)) as u32;
+        if b == isp {
+            b = (b + 1) % isps;
+        }
+        b
+    } else {
+        0
+    };
+    AdversaryFault {
+        class,
+        isp,
+        accomplice,
+        p: 0.3 + sampler.uniform() * 0.7,
+        window: Window::new(
+            SimTime::from_millis(start),
+            SimTime::from_millis(start + len),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmail_sim::SimDuration;
+
+    #[test]
+    fn display_names_the_attack_and_the_pair() {
+        let w = Window::new(SimTime::ZERO, SimTime::from_millis(10));
+        let ring = AdversaryFault {
+            class: AttackClass::Ring,
+            isp: 1,
+            accomplice: 2,
+            p: 0.5,
+            window: w,
+        };
+        let s = ring.to_string();
+        assert!(s.contains("ring"), "{s}");
+        assert!(s.contains("isp1"), "{s}");
+        assert!(s.contains("isp2"), "{s}");
+        let strip = AdversaryFault {
+            class: AttackClass::Strip,
+            isp: 0,
+            accomplice: 0,
+            p: 1.0,
+            window: w,
+        };
+        assert!(!strip.to_string().contains("with"), "{strip}");
+    }
+
+    #[test]
+    fn random_adversaries_are_deterministic_and_in_range() {
+        let horizon = SimTime::ZERO + SimDuration::from_days(2);
+        for class in ALL_ATTACK_CLASSES {
+            for seed in 0..30u64 {
+                let a = random_adversary(&mut Sampler::new(seed), class, 3, horizon);
+                let b = random_adversary(&mut Sampler::new(seed), class, 3, horizon);
+                assert_eq!(a, b, "seed {seed} must regenerate the same clause");
+                assert!(a.isp < 3);
+                assert!((0.0..=1.0).contains(&a.p) && a.p >= 0.3);
+                assert!(a.window.from < a.window.until);
+                assert!(a.window.until < horizon, "window must close before the end");
+                if class == AttackClass::Ring {
+                    assert!(a.accomplice < 3 && a.accomplice != a.isp);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_attempts_and_refusals_add_up() {
+        let c = AdversaryCounters {
+            forged: 3,
+            forged_refused: 3,
+            stripped: 2,
+            stripped_refused: 2,
+            replays: 5,
+            replays_refused: 5,
+            ring_counterfeits: 7,
+            ring_accepted: 7,
+            zombie_sends: 11,
+            zombie_refused: 11,
+        };
+        assert_eq!(c.attempts(), 3 + 2 + 5 + 7 + 11);
+        assert_eq!(c.refusals(), 3 + 2 + 5 + 11);
+    }
+
+    #[test]
+    fn metrics_handles_are_registered_once() {
+        let a = AdversaryMetrics::get();
+        let b = AdversaryMetrics::get();
+        assert!(std::ptr::eq(a, b));
+        let snap = zmail_obs::global().snapshot();
+        assert!(snap.counters.contains_key("adversary.forged"));
+        assert!(snap.counters.contains_key("adversary.refusals"));
+    }
+}

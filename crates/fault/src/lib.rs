@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod inject;
 pub mod line;
 pub mod metrics;
@@ -59,6 +60,10 @@ pub mod plan;
 pub mod shrink;
 pub mod storage;
 
+pub use adversary::{
+    random_adversary, AdversaryCounters, AdversaryFault, AdversaryMetrics, AttackClass,
+    ALL_ATTACK_CLASSES,
+};
 pub use inject::{DropCause, FaultCounters, FaultInjector, PairLedger, Verdict};
 pub use line::{LineFaults, LineVerdict};
 pub use metrics::FaultMetrics;

@@ -8,6 +8,7 @@
 //! and consume no randomness at all, which keeps them freely composable
 //! with probabilistic clauses without perturbing the random stream.
 
+use crate::adversary::{AdversaryFault, AttackClass};
 use std::fmt;
 use zmail_sim::{Sampler, SimDuration, SimTime};
 
@@ -266,13 +267,22 @@ pub enum Fault {
     Crash(Crash),
     /// A scheduled bank outage.
     BankOutage(BankOutage),
+    /// An adversarial actor (see [`crate::adversary`]). Interpreted by
+    /// the protocol engine above the wire, not by the injector: the
+    /// injector treats it as inert, and it consumes randomness only
+    /// from the engine's dedicated adversary sampler.
+    Adversary(AdversaryFault),
 }
 
 impl Fault {
     /// The activity window of a structural (non-probabilistic) clause.
+    ///
+    /// Adversary clauses are windowed but *not* structural: the injector
+    /// neither drops traffic for them nor tracks their lifecycle, so
+    /// they return `None` here.
     pub fn structural_window(&self) -> Option<Window> {
         match self {
-            Fault::Channel(_) => None,
+            Fault::Channel(_) | Fault::Adversary(_) => None,
             Fault::Partition(p) => Some(p.window),
             Fault::Crash(c) => Some(c.window()),
             Fault::BankOutage(o) => Some(o.window),
@@ -287,6 +297,7 @@ impl fmt::Display for Fault {
             Fault::Partition(p) => write!(f, "partition {} | {} during {}", p.a, p.b, p.window),
             Fault::Crash(c) => write!(f, "crash isp{} during {}", c.isp, c.window()),
             Fault::BankOutage(o) => write!(f, "bank outage during {}", o.window),
+            Fault::Adversary(a) => a.fmt(f),
         }
     }
 }
@@ -405,8 +416,44 @@ impl FaultPlan {
                     assert!(c.restart_after > SimDuration::ZERO, "zero-length crash");
                 }
                 Fault::BankOutage(o) => window(o.window),
+                Fault::Adversary(a) => {
+                    prob(a.p, "adversary p");
+                    assert!(
+                        a.isp < isps,
+                        "adversary names isp{} but only {isps} exist",
+                        a.isp
+                    );
+                    if a.class == AttackClass::Ring {
+                        assert!(
+                            a.accomplice < isps,
+                            "ring accomplice isp{} but only {isps} exist",
+                            a.accomplice
+                        );
+                        assert!(
+                            a.accomplice != a.isp,
+                            "a ring needs two distinct colluding ISPs"
+                        );
+                    }
+                    window(a.window);
+                }
             }
         }
+    }
+
+    /// A plan carrying one randomized adversarial clause of `class`,
+    /// drawn deterministically from `sampler` (see
+    /// [`crate::adversary::random_adversary`]). Kept separate from
+    /// [`FaultPlan::random`], whose sampling stream is frozen by the
+    /// scenario-replay tests.
+    pub fn adversarial(sampler: &mut Sampler, class: AttackClass, space: &PlanSpace) -> Self {
+        let plan = FaultPlan::none().with(Fault::Adversary(crate::adversary::random_adversary(
+            sampler,
+            class,
+            space.isps,
+            space.horizon,
+        )));
+        plan.validate(space.isps);
+        plan
     }
 
     /// Draws a random plan from `space`, deterministically from `sampler`.

@@ -41,6 +41,7 @@ fn bootstrap() -> Books {
                 ],
                 avail: 5_000,
                 credit: vec![0; ISPS as usize],
+                nonces: Vec::new(),
             })
             .collect(),
         banks: Vec::new(),

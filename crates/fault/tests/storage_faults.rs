@@ -24,6 +24,7 @@ fn bootstrap() -> Books {
             ],
             avail: 5_000,
             credit: vec![0],
+            nonces: Vec::new(),
         }],
         banks: Vec::new(),
     }

@@ -61,7 +61,11 @@ pub use relay::RelaySink;
 pub use reply::{Reply, ReplyCode};
 pub use server::{CollectSink, MailSink, SmtpServer};
 pub use transport::{Connection, FaultyConnection, MemoryTransport, TcpConnection, TcpMailServer};
-pub use zheaders::{ZmailHeaders, HEADER_ACK_TO, HEADER_KIND, HEADER_PAYMENT};
+pub use zheaders::{
+    canonical_digest, extract_ack_signature, extract_signature, stamp_ack_signature,
+    stamp_signature, strip_signatures, ZmailHeaders, HEADER_ACK_SIG, HEADER_ACK_TO, HEADER_KIND,
+    HEADER_PAYMENT, HEADER_SIG, HEADER_TRACE,
+};
 
 use std::error::Error;
 use std::fmt;

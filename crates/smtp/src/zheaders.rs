@@ -13,9 +13,17 @@
 //! * `X-Zmail-Trace` — the causal span context (`<trace>-<span>` in
 //!   hex, [`SpanCtx::wire`] format) linking the wire message back to
 //!   the flight recorder's lifecycle tree. Relays forward it untouched,
-//!   so a trace spans every compliant hop end-to-end.
+//!   so a trace spans every compliant hop end-to-end;
+//! * `X-Zmail-Sig` / `X-Zmail-Ack-Sig` — a detached, hex-encoded
+//!   [`Attestation`] signing the payment (resp. ack-refund) fields.
+//!   The signature covers [`canonical_digest`]-stable fields only, so
+//!   it survives everything a relay may legitimately rewrite: header
+//!   reordering, case changes, value re-folding, and added `Received`
+//!   or `X-Zmail-Trace` lines. Any mutation of a *payment* field flips
+//!   the canonical digest and breaks the binding.
 
 use crate::message::MailMessage;
+use zmail_crypto::Attestation;
 use zmail_obs::SpanCtx;
 
 /// Header carrying the e-penny payment amount.
@@ -26,6 +34,124 @@ pub const HEADER_KIND: &str = "X-Zmail-Kind";
 pub const HEADER_ACK_TO: &str = "X-Zmail-Ack-To";
 /// Header carrying the causal trace/span context across SMTP hops.
 pub const HEADER_TRACE: &str = "X-Zmail-Trace";
+/// Header carrying the origin ISP's detached payment attestation.
+pub const HEADER_SIG: &str = "X-Zmail-Sig";
+/// Header carrying the detached attestation of an ack refund.
+pub const HEADER_ACK_SIG: &str = "X-Zmail-Ack-Sig";
+
+/// FNV-1a offset basis (same constants as `zmail_crypto::attest`).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fold(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// SplitMix64 finalizer so a single-bit field change flips the digest.
+fn avalanche(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Feeds one address in relaxed form: trimmed, ASCII-lowercased,
+/// terminated so adjacent fields cannot collide.
+fn fold_addr(hash: &mut u64, addr: &str) {
+    for b in addr.trim().bytes() {
+        fold(hash, &[b.to_ascii_lowercase()]);
+    }
+    fold(hash, &[0]);
+}
+
+/// DKIM-`bh`-style canonical digest over the *stable payment fields* of
+/// a message — the part of the wire form an attestation binds to.
+///
+/// Covered, in relaxed (trimmed, lowercased, order-normalized) form:
+/// the envelope sender, the sorted recipient set, the extracted
+/// `X-Zmail-Payment` / `X-Zmail-Kind` / `X-Zmail-Ack-To` values, and
+/// the body with line endings normalized and trailing blank lines
+/// stripped. Deliberately *not* covered: header order and case, the
+/// `X-Zmail-Trace` span, `Received` trace lines, the signature headers
+/// themselves, and any other header a relay may add — so the digest is
+/// invariant under legitimate relay rewriting but flips on any
+/// payment-field mutation.
+pub fn canonical_digest(message: &MailMessage) -> u64 {
+    let z = ZmailHeaders::extract(message);
+    let mut h = FNV_OFFSET;
+    fold(&mut h, b"zmail-canon-v1");
+    fold_addr(&mut h, message.from());
+    let mut rcpt: Vec<String> = message
+        .recipients()
+        .iter()
+        .map(|r| r.trim().to_ascii_lowercase())
+        .collect();
+    rcpt.sort();
+    for r in &rcpt {
+        fold_addr(&mut h, r);
+    }
+    match z.payment {
+        None => fold(&mut h, &[0]),
+        Some(p) => {
+            fold(&mut h, &[1]);
+            fold(&mut h, &p.to_le_bytes());
+        }
+    }
+    fold(&mut h, &[u8::from(z.is_ack)]);
+    match &z.ack_to {
+        None => fold(&mut h, &[0]),
+        Some(to) => {
+            fold(&mut h, &[1]);
+            fold_addr(&mut h, to);
+        }
+    }
+    // Body: CRLF → LF, then drop trailing blank lines (relays may
+    // re-terminate the final line).
+    let body = message.body().replace("\r\n", "\n");
+    fold(&mut h, body.trim_end_matches('\n').as_bytes());
+    avalanche(h)
+}
+
+/// Stamps `att` as the message's payment signature, replacing any
+/// earlier (possibly forged) copy.
+pub fn stamp_signature(message: &mut MailMessage, att: &Attestation) {
+    message.remove_header(HEADER_SIG);
+    message.add_header(HEADER_SIG, att.to_hex());
+}
+
+/// Stamps `att` as the message's ack-refund signature, replacing any
+/// earlier copy.
+pub fn stamp_ack_signature(message: &mut MailMessage, att: &Attestation) {
+    message.remove_header(HEADER_ACK_SIG);
+    message.add_header(HEADER_ACK_SIG, att.to_hex());
+}
+
+/// Extracts the payment attestation, if a well-formed one is present.
+///
+/// Lenient like [`ZmailHeaders::extract`]: a mangled or truncated
+/// header extracts as `None` rather than an error — the verification
+/// layer treats missing and malformed identically (refuse the payment),
+/// and the parser never panics on attacker-controlled header bytes.
+pub fn extract_signature(message: &MailMessage) -> Option<Attestation> {
+    message.header(HEADER_SIG).and_then(Attestation::from_hex)
+}
+
+/// Extracts the ack-refund attestation, if a well-formed one is present.
+pub fn extract_ack_signature(message: &MailMessage) -> Option<Attestation> {
+    message
+        .header(HEADER_ACK_SIG)
+        .and_then(Attestation::from_hex)
+}
+
+/// Removes both signature headers (the signature-stripper attack's
+/// primitive, also used by tests); returns how many headers were shed.
+pub fn strip_signatures(message: &mut MailMessage) -> usize {
+    message.remove_header(HEADER_SIG) + message.remove_header(HEADER_ACK_SIG)
+}
 
 /// Parsed view of a message's Zmail headers.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -208,6 +334,85 @@ mod tests {
             .body("x\r\n")
             .build();
         assert_eq!(ZmailHeaders::extract(&m).payment, None);
+    }
+
+    fn keypair() -> zmail_crypto::KeyPair {
+        use rand::SeedableRng;
+        zmail_crypto::KeyPair::generate(&mut rand::rngs::SmallRng::seed_from_u64(7))
+    }
+
+    fn attested() -> (MailMessage, Attestation, zmail_crypto::KeyPair) {
+        let kp = keypair();
+        let mut m = blank();
+        ZmailHeaders::paid_with_ack(1, "list@l").stamp(&mut m);
+        let att = Attestation::sign(kp.private(), 0, 1, 1, 2, 1, 99, None);
+        stamp_signature(&mut m, &att);
+        (m, att, kp)
+    }
+
+    #[test]
+    fn signature_stamp_extract_roundtrips_and_replaces_forgeries() {
+        let (mut m, att, kp) = attested();
+        assert_eq!(extract_signature(&m), Some(att));
+        assert_eq!(extract_signature(&m).unwrap().verify(kp.public()), Ok(()));
+        // A second stamp replaces, never accumulates.
+        let att2 = Attestation::sign(kp.private(), 0, 1, 1, 2, 1, 100, None);
+        stamp_signature(&mut m, &att2);
+        assert_eq!(extract_signature(&m), Some(att2));
+        let count = m
+            .headers()
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(HEADER_SIG))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn ack_signature_is_a_separate_header() {
+        let (mut m, att, kp) = attested();
+        let ack = Attestation::sign(kp.private(), 1, 2, 0, 1, 1, 200, Some(att.nonce));
+        stamp_ack_signature(&mut m, &ack);
+        assert_eq!(extract_signature(&m), Some(att));
+        assert_eq!(extract_ack_signature(&m), Some(ack));
+    }
+
+    #[test]
+    fn strip_signatures_removes_both_and_counts() {
+        let (mut m, att, kp) = attested();
+        let ack = Attestation::sign(kp.private(), 1, 2, 0, 1, 1, 201, Some(att.nonce));
+        stamp_ack_signature(&mut m, &ack);
+        assert_eq!(strip_signatures(&mut m), 2);
+        assert_eq!(extract_signature(&m), None);
+        assert_eq!(extract_ack_signature(&m), None);
+        assert_eq!(strip_signatures(&mut m), 0);
+    }
+
+    #[test]
+    fn mangled_signature_extracts_as_absent() {
+        let mut m = blank();
+        m.add_header(HEADER_SIG, "not hex at all");
+        assert_eq!(extract_signature(&m), None);
+    }
+
+    #[test]
+    fn canonical_digest_ignores_relay_rewriting_but_not_payment_fields() {
+        let (m, _, _) = attested();
+        let base = canonical_digest(&m);
+        // Added trace headers and signature stripping leave it alone.
+        let mut relayed = m.clone();
+        relayed.add_header("Received", "from relay.example by mx.example");
+        relayed.add_header(HEADER_TRACE, "deadbeef-2a");
+        strip_signatures(&mut relayed);
+        assert_eq!(canonical_digest(&relayed), base);
+        // Any payment-field mutation flips it.
+        let mut forged = m.clone();
+        forged.remove_header(HEADER_PAYMENT);
+        forged.add_header(HEADER_PAYMENT, "2");
+        assert_ne!(canonical_digest(&forged), base);
+        let mut redirected = m;
+        redirected.remove_header(HEADER_ACK_TO);
+        redirected.add_header(HEADER_ACK_TO, "attacker@evil");
+        assert_ne!(canonical_digest(&redirected), base);
     }
 
     #[test]

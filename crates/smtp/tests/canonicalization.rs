@@ -1,0 +1,211 @@
+//! Property tests for the attestation canonicalization layer
+//! (`zmail_smtp::zheaders::canonical_digest`).
+//!
+//! The signed digest must behave like DKIM's `bh`: *invariant* under
+//! everything a legitimate relay rewrites — header order, header-name
+//! case, value re-folding (whitespace padding), added `Received` /
+//! `X-Zmail-Trace` lines, CRLF/LF body normalization — and *sensitive*
+//! to every payment field an attacker might touch. And because the
+//! signature header is attacker-controlled wire bytes, its parser must
+//! never panic, whatever arrives.
+
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+use zmail_crypto::{Attestation, ATTESTATION_WIRE_LEN};
+use zmail_smtp::{
+    canonical_digest, extract_ack_signature, extract_signature, MailMessage, ZmailHeaders,
+    HEADER_ACK_SIG, HEADER_ACK_TO, HEADER_PAYMENT, HEADER_SIG,
+};
+
+/// Deterministic Fisher–Yates driven by a SplitMix64 stream, so a
+/// proptest-chosen `u64` seed picks an arbitrary header permutation.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+fn base_message(
+    from: &str,
+    to: &str,
+    payment: i64,
+    is_ack: bool,
+    ack_to: Option<&str>,
+    body: &str,
+) -> MailMessage {
+    let mut m = MailMessage::builder(from, to).body(body).build();
+    ZmailHeaders {
+        payment: Some(payment),
+        is_ack,
+        ack_to: ack_to.map(str::to_string),
+        trace: None,
+    }
+    .stamp(&mut m);
+    m
+}
+
+/// Rebuilds `m` with its header list permuted by `seed`.
+fn with_shuffled_headers(m: &MailMessage, seed: u64) -> MailMessage {
+    let mut headers: Vec<(String, String)> = m.headers().to_vec();
+    shuffle(&mut headers, seed);
+    let mut rebuilt = MailMessage::builder(m.from(), m.recipients()[0].clone()).body(m.body());
+    for r in &m.recipients()[1..] {
+        rebuilt = rebuilt.also_to(r.clone());
+    }
+    let mut out = rebuilt.build();
+    for (name, value) in headers {
+        out.add_header(name, value);
+    }
+    out
+}
+
+proptest! {
+    /// Relay rewriting — reordered headers, upper-cased header names,
+    /// whitespace-padded payment values, added trace lines, CRLF
+    /// re-termination — never moves the canonical digest.
+    #[test]
+    fn digest_invariant_under_relay_rewriting(
+        payment in 1i64..1000,
+        is_ack in any::<bool>(),
+        with_ack_to in any::<bool>(),
+        seed in any::<u64>(),
+        hops in 0usize..4,
+        body in "[ -~]{0,64}",
+    ) {
+        let m = base_message(
+            "alice@a.example",
+            "bob@b.example",
+            payment,
+            is_ack,
+            with_ack_to.then_some("list@l.example"),
+            &body,
+        );
+        let base = canonical_digest(&m);
+
+        let mut relayed = with_shuffled_headers(&m, seed);
+        // Each hop prepends trace material and re-cases what it touches.
+        for hop in 0..hops {
+            relayed.add_header("Received", format!("from relay{hop} by mx{hop}"));
+            relayed.add_header("X-ZMAIL-TRACE", format!("{hop:08x}-1"));
+        }
+        // Re-fold the payment value: same number, new whitespace.
+        let padded = format!("  {payment}\t");
+        relayed.remove_header(HEADER_PAYMENT);
+        relayed.add_header("X-ZMAIL-PAYMENT", padded);
+        // Re-terminate the body the way a relay that rewrites line
+        // endings would.
+        let crlf_body = format!("{}\r\n", relayed.body().replace('\n', "\r\n"));
+        let rebuilt = {
+            let mut r = MailMessage::builder(relayed.from(), relayed.recipients()[0].clone())
+                .body(crlf_body);
+            for rcpt in &relayed.recipients()[1..] {
+                r = r.also_to(rcpt.clone());
+            }
+            let mut r = r.build();
+            for (n, v) in relayed.headers() {
+                r.add_header(n.clone(), v.clone());
+            }
+            r
+        };
+        prop_assert_eq!(canonical_digest(&rebuilt), base);
+    }
+
+    /// Every payment-field mutation an attacker can make flips the
+    /// digest, so a signature over it stops verifying.
+    #[test]
+    fn digest_flips_on_any_payment_field_mutation(
+        payment in 1i64..1000,
+        delta in 1i64..50,
+        body in "[ -~]{1,64}",
+    ) {
+        let m = base_message(
+            "alice@a.example",
+            "bob@b.example",
+            payment,
+            false,
+            Some("list@l.example"),
+            &body,
+        );
+        let base = canonical_digest(&m);
+
+        let mut inflated = m.clone();
+        inflated.remove_header(HEADER_PAYMENT);
+        inflated.add_header(HEADER_PAYMENT, (payment + delta).to_string());
+        prop_assert!(canonical_digest(&inflated) != base);
+
+        let mut kind_flipped = m.clone();
+        kind_flipped.remove_header("X-Zmail-Kind");
+        kind_flipped.add_header("X-Zmail-Kind", "ack");
+        prop_assert!(canonical_digest(&kind_flipped) != base);
+
+        let mut redirected = m.clone();
+        redirected.remove_header(HEADER_ACK_TO);
+        redirected.add_header(HEADER_ACK_TO, "attacker@evil.example");
+        prop_assert!(canonical_digest(&redirected) != base);
+
+        let resent = base_message(
+            "mallory@m.example",
+            "bob@b.example",
+            payment,
+            false,
+            Some("list@l.example"),
+            &body,
+        );
+        prop_assert!(canonical_digest(&resent) != base);
+
+        let rerouted = base_message(
+            "alice@a.example",
+            "carol@c.example",
+            payment,
+            false,
+            Some("list@l.example"),
+            &body,
+        );
+        prop_assert!(canonical_digest(&rerouted) != base);
+    }
+
+    /// The attestation parsers never panic on arbitrary header bytes —
+    /// a malformed signature extracts as absent, exactly like a missing
+    /// one.
+    #[test]
+    fn signature_parsers_survive_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(Attestation::from_hex(&text).is_none() || text.trim().len() == 2 * ATTESTATION_WIRE_LEN);
+        let mut m = MailMessage::builder("a@x", "b@y").body("hi\r\n").build();
+        m.add_header(HEADER_SIG, text.clone());
+        m.add_header(HEADER_ACK_SIG, text);
+        let _ = extract_signature(&m);
+        let _ = extract_ack_signature(&m);
+        let _ = canonical_digest(&m);
+    }
+
+    /// Hex that *is* a valid attestation round-trips bit-exactly even
+    /// after surviving a header stamp/extract cycle.
+    #[test]
+    fn valid_signatures_roundtrip_through_headers(
+        origin_isp in 0u32..8, origin_user in 0u32..64,
+        dest_isp in 0u32..8, dest_user in 0u32..64,
+        nonce in any::<u64>(), refund_some in any::<bool>(), refund_nonce in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let kp = zmail_crypto::KeyPair::generate(
+            &mut rand::rngs::SmallRng::seed_from_u64(key_seed));
+        let att = Attestation::sign(
+            kp.private(), origin_isp, origin_user, dest_isp, dest_user, 1, nonce, refund_some.then_some(refund_nonce));
+        let mut m = MailMessage::builder("a@x", "b@y").body("hi\r\n").build();
+        zmail_smtp::stamp_signature(&mut m, &att);
+        prop_assert_eq!(extract_signature(&m), Some(att));
+        prop_assert!(extract_signature(&m).unwrap().verify(kp.public()).is_ok());
+    }
+}

@@ -40,6 +40,10 @@ pub struct IspBooks {
     pub avail: i64,
     /// Per-peer credit counters (§4.4), indexed by ISP id.
     pub credit: Vec<i64>,
+    /// Accepted attestation nonces, sorted ascending. Durable so a
+    /// replayed signed payment (or ack refund) is still refused after a
+    /// crash-restart — the replay farmer's easiest window.
+    pub nonces: Vec<u64>,
 }
 
 /// Durable per-bank state.
@@ -155,6 +159,12 @@ impl Books {
             LedgerRecord::XferPrepare { debit, .. } => self.apply(&debit.record()),
             LedgerRecord::XferApply { leg, .. } => self.apply(&leg.record()),
             LedgerRecord::XferRelease { .. } => {}
+            LedgerRecord::NonceSeen { isp, nonce } => {
+                let nonces = &mut self.isps[isp as usize].nonces;
+                if let Err(at) = nonces.binary_search(&nonce) {
+                    nonces.insert(at, nonce);
+                }
+            }
         }
     }
 
@@ -175,6 +185,10 @@ impl Books {
             out.extend_from_slice(&(isp.credit.len() as u32).to_le_bytes());
             for c in &isp.credit {
                 out.extend_from_slice(&c.to_le_bytes());
+            }
+            out.extend_from_slice(&(isp.nonces.len() as u32).to_le_bytes());
+            for n in &isp.nonces {
+                out.extend_from_slice(&n.to_le_bytes());
             }
         }
         out.extend_from_slice(&(self.banks.len() as u32).to_le_bytes());
@@ -211,10 +225,16 @@ impl Books {
             for _ in 0..credit_count {
                 credit.push(r.i64()?);
             }
+            let nonce_count = r.count()?;
+            let mut nonces = Vec::with_capacity(nonce_count);
+            for _ in 0..nonce_count {
+                nonces.push(r.u64()?);
+            }
             isps.push(IspBooks {
                 users,
                 avail,
                 credit,
+                nonces,
             });
         }
         let bank_count = r.count()?;
@@ -263,6 +283,13 @@ impl<'a> Cursor<'a> {
         Some(v)
     }
 
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
     /// A length prefix, bounded by the bytes that could possibly remain
     /// so corrupt counts cannot trigger huge allocations.
     fn count(&mut self) -> Option<usize> {
@@ -295,11 +322,13 @@ mod tests {
                     ],
                     avail: 5_000,
                     credit: vec![0, -4],
+                    nonces: vec![3, 17, 0xDEAD_BEEF],
                 },
                 IspBooks {
                     users: vec![UserBooks::default()],
                     avail: 4_300,
                     credit: vec![4, 0],
+                    nonces: Vec::new(),
                 },
             ],
             banks: vec![BankBooks {
@@ -335,6 +364,20 @@ mod tests {
         let mut bytes = u32::MAX.to_le_bytes().to_vec();
         bytes.extend_from_slice(&[0; 16]);
         assert_eq!(Books::decode(&bytes), None);
+    }
+
+    #[test]
+    fn nonce_seen_inserts_sorted_and_dedupes() {
+        let mut books = sample();
+        let before = books.epennies_found();
+        for nonce in [9, 1, 9, 0xDEAD_BEEF] {
+            books.apply(&LedgerRecord::NonceSeen { isp: 0, nonce });
+        }
+        assert_eq!(books.isps[0].nonces, vec![1, 3, 9, 17, 0xDEAD_BEEF]);
+        // Nonce bookkeeping never moves pennies.
+        assert_eq!(books.epennies_found(), before);
+        let bytes = books.encode();
+        assert_eq!(Books::decode(&bytes), Some(books));
     }
 
     #[test]

@@ -312,6 +312,7 @@ mod tests {
                 ],
                 avail: 5_000,
                 credit: vec![0],
+                nonces: Vec::new(),
             }],
             banks: vec![BankBooks {
                 accounts: vec![1_000_000],

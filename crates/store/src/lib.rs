@@ -39,6 +39,7 @@
 //!         users: Vec::new(),
 //!         avail: 5_000,
 //!         credit: vec![0],
+//!         nonces: Vec::new(),
 //!     }],
 //!     banks: Vec::new(),
 //! };

@@ -182,6 +182,16 @@ pub enum LedgerRecord {
         /// Transfer id matching the prepare.
         xid: u64,
     },
+    /// An attestation nonce was accepted at this ISP. The accepted set
+    /// is what makes every signed payment — and therefore every §5 ack
+    /// refund — single-use: replaying the attestation after a crash
+    /// must still be refused, so the set is durable, not session state.
+    NonceSeen {
+        /// ISP that accepted the nonce.
+        isp: u32,
+        /// The attestation nonce.
+        nonce: u64,
+    },
 }
 
 /// The mutation kinds a cross-shard transfer leg can carry. Each maps
@@ -301,6 +311,7 @@ const TAG_USER_COUNTER_SELL: u8 = 15;
 const TAG_XFER_PREPARE: u8 = 16;
 const TAG_XFER_APPLY: u8 = 17;
 const TAG_XFER_RELEASE: u8 = 18;
+const TAG_NONCE_SEEN: u8 = 19;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -471,6 +482,11 @@ impl LedgerRecord {
                 out.push(TAG_XFER_RELEASE);
                 put_u64(out, xid);
             }
+            LedgerRecord::NonceSeen { isp, nonce } => {
+                out.push(TAG_NONCE_SEEN);
+                put_u32(out, isp);
+                put_u64(out, nonce);
+            }
         }
     }
 
@@ -564,6 +580,10 @@ impl LedgerRecord {
                 leg: XferLeg::decode(&mut r)?,
             },
             TAG_XFER_RELEASE => LedgerRecord::XferRelease { xid: r.u64()? },
+            TAG_NONCE_SEEN => LedgerRecord::NonceSeen {
+                isp: r.u32()?,
+                nonce: r.u64()?,
+            },
             _ => return None,
         };
         r.done().then_some(rec)
@@ -661,6 +681,10 @@ mod tests {
                 },
             },
             LedgerRecord::XferRelease { xid: 42 },
+            LedgerRecord::NonceSeen {
+                isp: 2,
+                nonce: u64::MAX,
+            },
         ]
     }
 

@@ -201,6 +201,7 @@ impl ShardMap {
                                 .collect(),
                             avail: if pool { isp.avail } else { 0 },
                             credit: if pool { isp.credit.clone() } else { Vec::new() },
+                            nonces: if pool { isp.nonces.clone() } else { Vec::new() },
                         }
                     })
                     .collect(),
@@ -244,6 +245,7 @@ impl ShardMap {
                     users: vec![UserBooks::default(); users.len()],
                     avail: owner.isps[i].avail,
                     credit: owner.isps[i].credit.clone(),
+                    nonces: owner.isps[i].nonces.clone(),
                 }
             })
             .collect();
@@ -468,6 +470,7 @@ impl<S: Storage> ShardedLedgerStore<S> {
             }
             LedgerRecord::CreditDelta { isp, .. }
             | LedgerRecord::SnapshotMarker { isp }
+            | LedgerRecord::NonceSeen { isp, .. }
             | LedgerRecord::PoolBuy { isp, .. }
             | LedgerRecord::PoolSell { isp, .. } => {
                 self.stores[self.map.pool_shard(isp) as usize].append(rec);
@@ -780,6 +783,7 @@ mod tests {
                     ],
                     avail: 5_000,
                     credit: vec![0; isps as usize],
+                    nonces: Vec::new(),
                 })
                 .collect(),
             banks: vec![BankBooks {

@@ -29,6 +29,7 @@ fn bootstrap() -> Books {
                 ],
                 avail: 5_000,
                 credit: vec![0; ISPS as usize],
+                nonces: Vec::new(),
             })
             .collect(),
         banks: vec![BankBooks {

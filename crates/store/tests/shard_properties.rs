@@ -27,6 +27,7 @@ fn bootstrap() -> Books {
                 ],
                 avail: 5_000,
                 credit: vec![0; ISPS as usize],
+                nonces: Vec::new(),
             })
             .collect(),
         banks: vec![BankBooks {
@@ -52,11 +53,17 @@ fn books_strategy() -> impl Strategy<Value = Books> {
             proptest::collection::vec(user, 0..5),
             -1_000i64..1_000,
             proptest::collection::vec(-50i64..50, nisps..nisps + 1),
+            proptest::collection::vec(0u64..1_000, 0..4),
         )
-            .prop_map(|(users, avail, credit)| IspBooks {
-                users,
-                avail,
-                credit,
+            .prop_map(|(users, avail, credit, mut nonces)| {
+                nonces.sort_unstable();
+                nonces.dedup();
+                IspBooks {
+                    users,
+                    avail,
+                    credit,
+                    nonces,
+                }
             });
         let bank = (
             proptest::collection::vec(-100i64..10_000, nisps..nisps + 1),

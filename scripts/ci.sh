@@ -66,4 +66,18 @@ cargo test -q --release -p zmail-core --lib flight_recorder
 cargo test -q --release -p zmail-bench --bin zmail_trace
 cargo run --release -q -p zmail-bench --bin e19_tracing -- --smoke > /dev/null
 
+echo "== attestations (canonical header form, attack-class regressions, refund replay)"
+cargo test -q --release -p zmail-smtp --test canonicalization
+cargo test -q --release -p zmail --test adversary_regression
+cargo test -q --release -p zmail --test refund_replay
+
+echo "== adversary campaign smoke (every attack class held, weakened verifiers convicted)"
+cargo run --release -q -p zmail-bench --bin e20_adversary -- --smoke > /dev/null
+
+echo "== adversary docs present"
+grep -q "^## Adversarial model" README.md
+grep -q "AttackClass" crates/fault/README.md
+grep -q "adversary\." crates/obs/README.md
+grep -q "^| E20 " EXPERIMENTS.md
+
 echo "CI: all green"

@@ -33,11 +33,13 @@
 //! ```
 
 use std::fmt;
-use zmail_core::{IspId, RunReport, ZmailConfig, ZmailSystem};
-use zmail_fault::{shrink, FaultCounters, FaultPlan, PlanSpace, ShrinkOutcome};
+use zmail_core::{AttestWeakness, IspId, RunReport, ZmailConfig, ZmailSystem};
+use zmail_fault::{
+    shrink, AdversaryCounters, AttackClass, FaultCounters, FaultPlan, PlanSpace, ShrinkOutcome,
+};
 use zmail_obs::{FlightRecorder, SpanLog};
 use zmail_sim::racecheck::RacecheckReport;
-use zmail_sim::workload::{SendEvent, TrafficConfig, TrafficGenerator};
+use zmail_sim::workload::{SendEvent, TrafficConfig, TrafficGenerator, UserAddr};
 use zmail_sim::{Sampler, SimDuration, SimTime};
 
 /// Sampler stream id for deriving a scenario's fault plan from its seed,
@@ -125,6 +127,9 @@ pub struct Outcome {
     pub report: RunReport,
     /// The injector's own deterministic tallies.
     pub counters: FaultCounters,
+    /// The adversary engine's tallies (all zero without adversary
+    /// clauses): attacks attempted and attacks refused, by class.
+    pub adversary: AdversaryCounters,
     /// Every invariant breach, in check order. Empty means the run held.
     pub violations: Vec<Violation>,
 }
@@ -163,6 +168,20 @@ pub struct Scenario {
     /// WAL replay) instead of preserved memory, and the scenario checks
     /// recovered books never diverge from the pre-crash ones.
     pub durable: bool,
+    /// Run with signed payment/ack attestations: every paid inter-ISP
+    /// message carries an `X-Zmail-Sig` attestation which the receiver
+    /// verifies (signature, field binding, nonce freshness) before
+    /// crediting. Required for adversary clauses to have teeth.
+    pub attestations: bool,
+    /// Deliberately weaken one attestation check (self-test knob): the
+    /// campaign harness injects these to prove the audits catch a
+    /// broken verifier, and the shrinker minimizes the escape.
+    pub attest_weakness: Option<AttestWeakness>,
+    /// Register a §5 mailing list distributed from this ISP (user 0),
+    /// with every other ISP's users 0 and 1 subscribed at
+    /// `ack_prob = 1.0`, posting every 4 simulated hours. This is the
+    /// ack/refund traffic the replay-farming adversary preys on.
+    pub mailing_list: Option<u32>,
 }
 
 impl Scenario {
@@ -178,6 +197,9 @@ impl Scenario {
             daily_billing: false,
             require_clean_consistency: false,
             durable: false,
+            attestations: false,
+            attest_weakness: None,
+            mailing_list: None,
         }
     }
 
@@ -212,6 +234,66 @@ impl Scenario {
         self
     }
 
+    /// Turns on signed payment/ack attestations (builder style); see
+    /// [`Scenario::attestations`].
+    #[must_use]
+    pub fn with_attestations(mut self) -> Self {
+        self.attestations = true;
+        self
+    }
+
+    /// Weakens one attestation check (builder style) — the self-test
+    /// knob of the adversary campaigns; see [`Scenario::attest_weakness`].
+    #[must_use]
+    pub fn with_attest_weakness(mut self, weakness: AttestWeakness) -> Self {
+        self.attestations = true;
+        self.attest_weakness = Some(weakness);
+        self
+    }
+
+    /// An adversarial scenario: attestations on, and the plan holding a
+    /// single seed-derived [`zmail_fault::AdversaryFault`] clause of
+    /// `class`. Same seed + class, same run, byte for byte. Class-aware
+    /// wiring gives each attack its prey: replay farmers get a mailing
+    /// list distributed from an ISP the attacker acks to, and colluding
+    /// rings run under daily billing so the §4.4 consistency rounds can
+    /// attribute the counterfeits to the pair.
+    pub fn adversarial(seed: u64, class: AttackClass) -> Self {
+        let mut scenario = Scenario::new(seed).with_attestations();
+        let mut sampler = Sampler::new(seed).derive(PLAN_STREAM ^ (class as u64 + 1));
+        scenario.plan = FaultPlan::adversarial(
+            &mut sampler,
+            class,
+            &PlanSpace {
+                isps: scenario.isps,
+                horizon: SimTime::ZERO + SimDuration::from_days(scenario.days),
+                max_faults: 1,
+            },
+        );
+        let attacker = scenario
+            .plan
+            .faults
+            .iter()
+            .find_map(|f| match f {
+                zmail_fault::Fault::Adversary(a) => Some(a.isp),
+                _ => None,
+            })
+            .expect("adversarial plan carries an adversary clause");
+        match class {
+            // The attacker must *send* acks for the tap to capture:
+            // distribute the list from a different ISP, so the
+            // attacker's subscribed users ack cross-ISP.
+            AttackClass::ReplayAck => {
+                scenario.mailing_list = Some((attacker + 1) % scenario.isps);
+            }
+            AttackClass::Ring => {
+                scenario.daily_billing = true;
+            }
+            _ => {}
+        }
+        scenario
+    }
+
     /// Builds the deterministic workload trace and a fresh system for
     /// this scenario — the shared front half of every run variant.
     fn build(&self) -> (ZmailSystem, Vec<SendEvent>) {
@@ -235,7 +317,28 @@ impl Scenario {
         if self.durable {
             builder = builder.durable();
         }
-        (ZmailSystem::new(builder.build(), self.seed), trace)
+        if self.attestations {
+            builder = builder.attestations();
+        }
+        if let Some(weakness) = self.attest_weakness {
+            builder = builder.attest_weakness(weakness);
+        }
+        let mut system = ZmailSystem::new(builder.build(), self.seed);
+        if let Some(distributor) = self.mailing_list {
+            let subscribers: Vec<_> = (0..self.isps)
+                .filter(|&i| i != distributor)
+                .flat_map(|i| [UserAddr::new(i, 0), UserAddr::new(i, 1)])
+                .collect();
+            let handle =
+                system.register_mailing_list(UserAddr::new(distributor, 0), subscribers, 1.0);
+            let mut at = SimTime::ZERO + SimDuration::from_hours(1);
+            let end = SimTime::ZERO + SimDuration::from_days(self.days);
+            while at < end {
+                system.schedule_list_post(at, handle);
+                at += SimDuration::from_hours(4);
+            }
+        }
+        (system, trace)
     }
 
     /// Runs the scenario and checks every invariant.
@@ -328,7 +431,12 @@ impl Scenario {
             for a in 0..self.isps {
                 for b in (a + 1)..self.isps {
                     let ledger = system.email_pair_ledger(IspId(a), IspId(b));
-                    let expected = ledger.lost_pennies - ledger.duplicated_pennies;
+                    // Channel damage plus adversary damage: stripped
+                    // payments refused (+1 each) and counterfeits
+                    // accepted (−1 each) shift the pair sum exactly
+                    // like lost and duplicated e-pennies do.
+                    let expected = ledger.lost_pennies - ledger.duplicated_pennies
+                        + system.adversary_pair_drift(IspId(a), IspId(b));
                     let actual = system.isp(IspId(a)).credit(IspId(b))
                         + system.isp(IspId(b)).credit(IspId(a));
                     if actual != expected {
@@ -367,6 +475,7 @@ impl Scenario {
         }
         Outcome {
             counters: *system.fault_counters(),
+            adversary: system.adversary_counters(),
             report,
             violations,
         }
@@ -393,13 +502,43 @@ impl Scenario {
         for v in &outcome.violations {
             let _ = writeln!(out, "    - {v}");
         }
-        let _ = write!(
-            out,
-            "  reproduce with: zmail::fault_scenarios::Scenario::random({})\
-             .run() — or rebuild this exact Scenario; all randomness \
-             derives from the seed",
-            self.seed
-        );
+        // The repro line must name the *actual* plan: a scenario built
+        // with `with_plan` (adversary campaigns in particular) is not
+        // reproduced by `Scenario::random(seed)`, whose plan is drawn
+        // from the seed's own stream.
+        let seed_plan = Scenario::random(self.seed).plan;
+        if self.plan == seed_plan && !self.attestations {
+            let _ = write!(
+                out,
+                "  reproduce with: zmail::fault_scenarios::Scenario::random({})\
+                 .run() — all randomness derives from the seed",
+                self.seed
+            );
+        } else {
+            let clauses = self
+                .plan
+                .faults
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            let _ = write!(
+                out,
+                "  reproduce with: zmail::fault_scenarios::Scenario::new({seed})\
+                 {attest}{weakness}.with_plan(<{clauses}>).run() — all \
+                 randomness derives from the seed",
+                seed = self.seed,
+                attest = if self.attestations {
+                    ".with_attestations()"
+                } else {
+                    ""
+                },
+                weakness = match self.attest_weakness {
+                    Some(w) => format!(".with_attest_weakness({w:?})"),
+                    None => String::new(),
+                },
+            );
+        }
         out
     }
 

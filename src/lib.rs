@@ -60,4 +60,5 @@ pub use zmail_sim as sim;
 pub use zmail_smtp as smtp;
 pub use zmail_store as store;
 
+pub mod adversary_campaigns;
 pub mod fault_scenarios;
