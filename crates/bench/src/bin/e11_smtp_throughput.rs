@@ -5,6 +5,12 @@
 //! hardly find any difference." We measure real submissions over loopback
 //! TCP with and without the Zmail ledger in the path, plus the wire
 //! overhead of the `X-Zmail-*` headers.
+//!
+//! This is a **closed-loop** measurement: the client waits for every
+//! reply, so the offered rate equals the achieved rate by construction
+//! and the server can never be overloaded. That is the right shape for
+//! the §1.3 overhead question asked here; for behavior *past* capacity
+//! (offered > achieved, shedding, CO-safe tails) see `e21_open_loop`.
 
 use std::time::Instant;
 use zmail_bench::{fmt, pct, Report};
@@ -97,9 +103,16 @@ fn main() {
     .stamp(&mut bare);
     let stamped_len = bare.wire_len();
 
-    let mut table = Table::new(&["configuration", "msgs/sec", "relative", "wire bytes/msg"]);
+    let mut table = Table::new(&[
+        "configuration",
+        "offered/s",
+        "achieved/s",
+        "relative",
+        "wire bytes/msg",
+    ]);
     table.row_owned(vec![
         "plain SMTP".into(),
+        fmt(plain_rate),
         fmt(plain_rate),
         "100%".into(),
         bare_len.to_string(),
@@ -107,10 +120,16 @@ fn main() {
     table.row_owned(vec![
         "zmail ledger".into(),
         fmt(zmail_rate),
+        fmt(zmail_rate),
         pct(zmail_rate / plain_rate),
         stamped_len.to_string(),
     ]);
     println!("{table}");
+    println!(
+        "closed loop: the client waits for each reply, so offered == achieved by \
+         construction and overload cannot occur; e21_open_loop sweeps offered load \
+         past capacity with an open-loop generator"
+    );
 
     if experiment.metrics_enabled() {
         zmail_obs::global()

@@ -1,0 +1,248 @@
+//! E21 — open-loop overload: throughput vs offered load with graceful
+//! shedding (§1.3, §4.1 at production load).
+//!
+//! E11 measures the Zmail ledger closed-loop: the client waits for each
+//! reply, so the server can never be offered more than it sustains and
+//! overload is invisible by construction. This experiment drives the
+//! same full stack — `ThreadedServer` accept loop, bounded admission
+//! queue, group-committed durable spool, e-penny ledger — with the
+//! `zmail-load` *open-loop* generator at fixed multiples of the
+//! measured closed-loop capacity, and checks the overload story:
+//!
+//! * throughput rises with offered load until capacity, then plateaus;
+//! * the surplus is shed with well-formed transient replies (`452` from
+//!   the admission queue, `421` from the accept gate) — every
+//!   connection gets an answer, none wedge;
+//! * submission latency is recorded coordinated-omission-safe (from the
+//!   *scheduled* send instant), so the tail honestly shows queueing;
+//! * conservation: every `250`-acked message is in the server-side sink
+//!   exactly once — acked means durable, shed means absent.
+//!
+//! `--smoke` shrinks the sweep for CI; `--metrics` dumps the registry.
+
+use std::time::Duration;
+use zmail_bench::{fmt, Report};
+use zmail_core::bridge::ZmailGateway;
+use zmail_core::{AdmissionConfig, BackpressureSink, ZmailConfig};
+use zmail_econ::EPennies;
+use zmail_load::{run, LoadReport, SeqAuditSink, WorkloadSpec};
+use zmail_sim::Table;
+use zmail_smtp::{Client, MailMessage, TcpConnection, ThreadedConfig, ThreadedServer};
+use zmail_store::MemStorage;
+
+/// Sender/recipient population per ISP.
+const USERS: u32 = 100;
+
+/// The server-side stack under test, torn down between sweep points so
+/// every run gets a fresh conservation ledger and spam budget.
+struct Stack {
+    server: ThreadedServer,
+    sink: BackpressureSink<SeqAuditSink<ZmailGateway>>,
+}
+
+impl Stack {
+    /// `workers` must cover every concurrent generator connection:
+    /// sessions are persistent, so a worker is held for the lifetime of
+    /// its connection, not per message.
+    fn start(workers: usize, queue_depth: usize) -> Stack {
+        let gateway = ZmailGateway::new(
+            ZmailConfig::builder(2, USERS)
+                .limit(10_000_000)
+                .initial_balance(EPennies(10_000_000))
+                .build(),
+            21,
+        );
+        let sink = BackpressureSink::start(
+            SeqAuditSink::new(gateway),
+            Box::new(MemStorage::new()),
+            AdmissionConfig {
+                queue_depth,
+                batch: 64,
+            },
+        );
+        let server = ThreadedServer::start(
+            "mx.zmail.example",
+            sink.clone(),
+            ThreadedConfig {
+                workers,
+                queue_depth: 64,
+                max_connections: 512,
+                read_timeout: Duration::from_secs(30),
+                write_timeout: Duration::from_secs(30),
+            },
+        )
+        .expect("bind loopback");
+        Stack { server, sink }
+    }
+
+    fn stop(mut self) {
+        self.server.stop();
+        self.sink.shutdown();
+    }
+}
+
+/// Closed-loop capacity anchor: one session, E11-style, messages/sec.
+fn measure_capacity(messages: u32) -> f64 {
+    let stack = Stack::start(2, 256);
+    let conn = TcpConnection::connect(stack.server.addr()).expect("connect");
+    let mut client = Client::connect(conn, "cal.example").expect("greeting");
+    let start = std::time::Instant::now();
+    for k in 0..messages {
+        let msg = MailMessage::builder(
+            format!("u{}@isp0.example", k % USERS),
+            format!("u{}@isp1.example", k % USERS),
+        )
+        .header("Subject", format!("cal {k}"))
+        .body("a short representative body line\r\n")
+        .build();
+        client.send(&msg).expect("calibration send");
+    }
+    let rate = f64::from(messages) / start.elapsed().as_secs_f64();
+    client.quit().expect("quit");
+    stack.stop();
+    rate
+}
+
+/// One sweep point: a fresh stack, an open-loop run at
+/// `multiple × capacity`, and the conservation audit. Returns the
+/// generator's report plus the server-side admission counters.
+fn sweep_point(
+    multiple: f64,
+    capacity: f64,
+    duration_ms: u64,
+    queue_depth: usize,
+) -> (LoadReport, zmail_core::AdmissionStats) {
+    // One connection per worker thread: a worker's send blocks on the
+    // reply, so in-flight concurrency equals the worker count. Overload
+    // only fills the admission queue when that concurrency exceeds its
+    // depth — exactly the many-connections shape production overload has.
+    let spec = WorkloadSpec {
+        name: format!("e21-x{multiple}"),
+        seed: 0xE21,
+        rate_per_sec: multiple * capacity,
+        duration_ms,
+        workers: 2 * queue_depth,
+        connections_per_worker: 1,
+        senders: USERS,
+        recipients: USERS,
+        sender_template: "u{}@isp0.example".into(),
+        recipient_template: "u{}@isp1.example".into(),
+        ..WorkloadSpec::default()
+    };
+    let stack = Stack::start(spec.total_connections() + 2, queue_depth);
+    let report = run(&spec, stack.server.addr());
+
+    // Liveness: the server answered every single attempt — accepted,
+    // shed, or bounced, but never silence, never a wedged connection.
+    assert_eq!(
+        report.no_reply, 0,
+        "x{multiple}: {} attempts got no SMTP reply",
+        report.no_reply
+    );
+    assert_eq!(report.attempted, report.offered);
+
+    // Conservation: the generator's 250-acked seq list and the sink's
+    // committed seq list are identical — acked exactly once, shed never.
+    let delivered = stack.sink.inner().seqs();
+    assert_eq!(
+        delivered, report.acked_seqs,
+        "x{multiple}: acked/delivered sets diverge"
+    );
+    let admission = stack.sink.stats();
+    assert_eq!(
+        admission.shed, report.shed_452,
+        "x{multiple}: shed accounting"
+    );
+    stack.stop();
+    (report, admission)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let experiment = Report::new(
+        "E21: open-loop overload — throughput vs offered load, CO-safe tails",
+        "the threaded front door + bounded admission queue saturates at ledger capacity and sheds the surplus with well-formed 452/421s, conserving every acked message",
+    );
+
+    let (cal_messages, duration_ms, queue_depth, multiples): (u32, u64, usize, &[f64]) = if smoke {
+        (300, 400, 6, &[0.5, 2.0])
+    } else {
+        (2_000, 1_500, 8, &[0.5, 1.0, 2.0, 4.0])
+    };
+
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host parallelism: {parallelism} hardware thread(s) — on a single-core host \
+         generator, acceptor, workers, and drainer time-slice one CPU, so absolute \
+         rates are conservative and overload goodput degrades more than it would \
+         on real hardware; the sweep *shape* is what the experiment pins down"
+    );
+    let capacity = measure_capacity(cal_messages);
+    println!(
+        "closed-loop capacity anchor: {} msgs/sec (1 connection)\n",
+        fmt(capacity)
+    );
+
+    let reports: Vec<(f64, LoadReport, zmail_core::AdmissionStats)> = multiples
+        .iter()
+        .map(|&m| {
+            let (r, a) = sweep_point(m, capacity, duration_ms, queue_depth);
+            (m, r, a)
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "offered",
+        "offered/s",
+        "achieved/s",
+        "accepted",
+        "shed 452",
+        "shed 421",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+    ]);
+    for (m, r, _) in &reports {
+        table.row_owned(vec![
+            format!("{m}x"),
+            fmt(r.offered_rate()),
+            fmt(r.accepted_rate()),
+            r.accepted.to_string(),
+            r.shed_452.to_string(),
+            r.shed_421.to_string(),
+            r.latency_us.p50().unwrap_or(0).to_string(),
+            r.latency_us.p99().unwrap_or(0).to_string(),
+            r.latency_us.p999().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("{table}");
+    for (m, r, a) in &reports {
+        println!(
+            "x{m}: server load.shed.queue_full={} (delivered {} durable, {} batches); client load.shed.reply_452={} load.shed.reply_421={}",
+            a.shed, a.delivered, a.batches, r.shed_452, r.shed_421,
+        );
+    }
+
+    // The sweep is monotone in offered load, crosses measured capacity,
+    // and the overloaded points either shed or visibly lag the offer.
+    let offered_monotone = reports
+        .windows(2)
+        .all(|w| w[1].1.offered_rate() > w[0].1.offered_rate());
+    let crosses_capacity = reports.iter().any(|(_, r, _)| r.offered_rate() > capacity);
+    let overload_visible = reports
+        .iter()
+        .filter(|(m, _, _)| *m > 1.0)
+        .all(|(_, r, _)| r.shed() > 0 || r.accepted_rate() < 0.95 * r.offered_rate());
+    // Below capacity, acceptance dominates: a bounded queue in front of
+    // many connections sheds a marginal burst tail even at half load —
+    // that is queueing theory, not a liveness failure.
+    let underload_clean = reports
+        .iter()
+        .filter(|(m, _, _)| *m <= 0.5)
+        .all(|(_, r, _)| r.shed() as f64 <= 0.02 * r.offered as f64);
+
+    experiment.finish(
+        offered_monotone && crosses_capacity && overload_visible && underload_clean,
+        "offered load swept monotonically past measured capacity; under load acceptance dominates (shed <2%), over load the surplus sheds with transient SMTP replies while every acked message is durable exactly once",
+    );
+}

@@ -25,7 +25,7 @@ use zmail_crypto::KeyPair;
 use zmail_econ::EPennies;
 use zmail_obs::{FlightRecorder, SpanStatus};
 use zmail_sim::workload::{MailKind, UserAddr};
-use zmail_smtp::{MailMessage, MailSink, ZmailHeaders};
+use zmail_smtp::{MailMessage, MailSink, SinkError, ZmailHeaders};
 
 /// Counters exposed by the gateway.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -156,7 +156,7 @@ impl MailSink for ZmailGateway {
         }
     }
 
-    fn deliver(&self, message: MailMessage) -> Result<(), String> {
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError> {
         let mut state = self.inner.lock().expect("gateway lock");
         let recipients: Vec<UserAddr> = message
             .recipients()

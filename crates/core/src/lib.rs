@@ -33,7 +33,11 @@
 //! * [`spec`] — a literal Abstract-Protocol-notation encoding of the
 //!   paper's formal specification, machine-checked with `zmail-ap`;
 //! * [`bridge`] — Zmail as a [`zmail_smtp`] `MailSink`: the deployment
-//!   story over unmodified SMTP.
+//!   story over unmodified SMTP;
+//! * [`backpressure`] — a bounded admission queue with a group-committed
+//!   durable spool in front of any `MailSink`, so overload is shed with
+//!   transient SMTP replies instead of unbounded queueing (experiment
+//!   E21).
 //!
 //! # Example
 //!
@@ -59,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backpressure;
 pub mod bank;
 pub mod bridge;
 pub mod config;
@@ -75,6 +80,7 @@ pub mod spec_bank;
 pub mod system;
 pub mod zombie;
 
+pub use backpressure::{AdmissionConfig, AdmissionStats, BackpressureSink};
 pub use bank::{Bank, ConsistencyReport};
 pub use config::{
     AttestWeakness, CheatMode, DurabilityConfig, NonCompliantPolicy, ZmailConfig,

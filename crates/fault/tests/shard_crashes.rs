@@ -4,11 +4,13 @@
 //! the e-penny supply must not drift by a single penny.
 //!
 //! The protocol under test (see `zmail_store::shard`): the source shard
-//! force-commits an `XferPrepare` (its durable outbox entry), then the
-//! destination journals `XferApply` and the source `XferRelease`, both
-//! riding later group commits. Recovery scans every shard's WAL for
-//! unreleased prepares and rolls them forward — unless the apply
-//! already survived, in which case it only releases (no double credit).
+//! journals an `XferPrepare` (its outbox entry) which rides the next
+//! group commit; the destination's `XferApply` and the source's
+//! `XferRelease` are deferred into the batched outbox and flushed —
+//! prepares durable first, then applies, then releases — by
+//! `commit_all`. Recovery scans every shard's WAL for unreleased
+//! prepares and rolls them forward — unless the apply already survived,
+//! in which case it only releases (no double credit).
 
 use zmail_fault::FaultyStorage;
 use zmail_store::{
@@ -119,8 +121,11 @@ fn crash_between_prepare_and_apply_rolls_forward() {
     let mut store = open(2);
     let (from, to) = cross_shard_pair(&store);
     transfer(&mut store, from, to);
-    // The prepare was force-committed; the apply and release are still
-    // volatile. The crash lands exactly in the in-doubt window.
+    // Persist the prepare with the source's group commit; the apply is
+    // still only a pending-outbox entry and the release does not exist
+    // yet. The crash lands exactly in the in-doubt window.
+    let src = store.map().user_shard(from.0, from.1) as usize;
+    store.shard_mut(src).commit();
     let (recovered, report) = crash_and_reopen(store);
     assert_eq!(report.resolved_forward, 1, "the outbox entry must replay");
     assert_eq!(report.resolved_acked, 0);
@@ -142,8 +147,16 @@ fn durable_apply_with_lost_release_is_acked_not_double_credited() {
     let mut store = open(2);
     let (from, to) = cross_shard_pair(&store);
     transfer(&mut store, from, to);
-    // Persist the destination's apply; the source's release (appended
-    // after its force-committed prepare) dies with the crash.
+    // Drive the outbox safety flush with a books-no-op overwrite record
+    // (the limit is already 100): the flush group-commits the source
+    // (prepare durable) and journals the apply on the destination,
+    // which the explicit commit below persists. The release is still
+    // pending and dies with the crash.
+    store.append(&LedgerRecord::LimitSet {
+        isp: from.0,
+        user: from.1,
+        limit: 100,
+    });
     let dst = store.map().user_shard(to.0, to.1) as usize;
     store.shard_mut(dst).commit();
     let (recovered, report) = crash_and_reopen(store);
@@ -169,6 +182,9 @@ fn torn_prepare_sweep_recovers_all_or_nothing_with_zero_drift() {
         let src = store.map().user_shard(from.0, from.1) as usize;
         store.shard_mut(src).storage_mut().arm_partial_sync(cut);
         transfer(&mut store, from, to);
+        // The armed tear hits the group commit that persists the
+        // prepare (the transfer itself no longer syncs anything).
+        store.shard_mut(src).commit();
         let (recovered, report) = crash_and_reopen(store);
         let books = recovered.books();
         assert_eq!(books.epennies_found(), baseline, "drift at cut {cut}");
@@ -224,7 +240,11 @@ fn repro_release_durable_before_apply() {
     let mut store = open(2);
     let (from, to) = cross_shard_pair(&store);
     transfer(&mut store, from, to);
-    // Persist the source's release; the destination's apply dies.
+    // Try to persist a release ahead of its apply: committing the
+    // source persists only the prepare, because the release is not even
+    // journaled until `commit_all` has made the applies durable — the
+    // hazard window this test is named for cannot be constructed from
+    // outside the engine anymore.
     let src = store.map().user_shard(from.0, from.1) as usize;
     store.shard_mut(src).commit();
     let (recovered, report) = crash_and_reopen(store);

@@ -1,0 +1,414 @@
+//! The open-loop executor: sends a schedule against a live SMTP server.
+//!
+//! # Open loop, and why it matters
+//!
+//! A closed-loop client (E11) waits for each reply before sending the
+//! next message, so an overloaded server silently slows the *offered*
+//! load down and the measurement reports a healthy-looking throughput at
+//! whatever rate the server happens to sustain. An open-loop generator
+//! keeps offering load on the wall-clock schedule regardless of how the
+//! server is doing — overload then shows up where it belongs: in queue
+//! depth, shed counts, and tail latency.
+//!
+//! # Coordinated-omission safety
+//!
+//! Every latency sample is measured from the **scheduled** send instant,
+//! not from when the worker actually got around to writing the bytes. If
+//! a stalled server makes a connection fall behind, the waiting time the
+//! schedule accumulated is charged to every delayed message rather than
+//! silently dropped — the classic coordinated-omission correction. The
+//! samples land in the `load.latency_us` histogram of the run's private
+//! (always-enabled) `zmail-obs` registry, alongside `load.sent`,
+//! `load.shed.*`, and the other outcome counters.
+
+use crate::arrival::{partition, schedule, ScheduledSend};
+use crate::spec::WorkloadSpec;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use zmail_obs::{HistogramSnapshot, Registry, Snapshot};
+use zmail_smtp::{Client, MailMessage, ReplyCode, SmtpError, TcpConnection};
+
+/// Header carrying the schedule sequence number for conservation audits.
+pub const HEADER_LOAD_SEQ: &str = "X-Load-Seq";
+
+/// The outcome of one run of [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Workload label.
+    pub name: String,
+    /// Scheduled (offered) sends.
+    pub offered: u64,
+    /// Sends actually attempted (== offered unless aborted).
+    pub attempted: u64,
+    /// `250` — accepted, durable at the server.
+    pub accepted: u64,
+    /// `452` — shed at the admission queue.
+    pub shed_452: u64,
+    /// `421` — shed at the accept gate or timed out.
+    pub shed_421: u64,
+    /// `552` — permanent ledger bounce.
+    pub bounced_552: u64,
+    /// Well-formed but unexpected replies (e.g. `550`).
+    pub other_reply: u64,
+    /// Attempts that never got an SMTP reply (liveness violations when
+    /// the server is supposed to be up).
+    pub no_reply: u64,
+    /// Connections re-established after a close or failure.
+    pub reconnects: u64,
+    /// Configured schedule horizon.
+    pub horizon: Duration,
+    /// Wall-clock time the run actually took.
+    pub elapsed: Duration,
+    /// Coordinated-omission-safe submission latency, microseconds from
+    /// scheduled send instant to reply.
+    pub latency_us: HistogramSnapshot,
+    /// Full snapshot of the run's private metrics registry
+    /// (`load.*` counters and histograms).
+    pub metrics: Snapshot,
+    /// Schedule seqs that were `250`-acked, ascending — the generator's
+    /// half of the accepted-message conservation audit.
+    pub acked_seqs: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Offered load over the configured horizon, msgs/sec.
+    pub fn offered_rate(&self) -> f64 {
+        self.offered as f64 / self.horizon.as_secs_f64()
+    }
+
+    /// Accepted (`250`) throughput over the actual elapsed time.
+    pub fn accepted_rate(&self) -> f64 {
+        self.accepted as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Attempts that received *some* well-formed SMTP reply.
+    pub fn replied(&self) -> u64 {
+        self.accepted + self.shed_452 + self.shed_421 + self.bounced_552 + self.other_reply
+    }
+
+    /// Total messages shed with transient replies (`452` + `421`).
+    pub fn shed(&self) -> u64 {
+        self.shed_452 + self.shed_421
+    }
+}
+
+/// Per-worker tallies, merged into the [`LoadReport`] after the join.
+#[derive(Debug, Default)]
+struct WorkerOutcome {
+    attempted: u64,
+    accepted: u64,
+    shed_452: u64,
+    shed_421: u64,
+    bounced_552: u64,
+    other_reply: u64,
+    no_reply: u64,
+    reconnects: u64,
+    acked_seqs: Vec<u64>,
+}
+
+/// Runs `spec` open-loop against the SMTP server at `addr`.
+///
+/// Blocks until every scheduled send has been attempted and all
+/// connections are closed. The schedule is generated up front
+/// (see [`crate::arrival::schedule`]); worker threads only *execute* it,
+/// so changing `spec.workers` re-partitions identical work.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation or a worker thread panics.
+pub fn run(spec: &WorkloadSpec, addr: SocketAddr) -> LoadReport {
+    let full = schedule(spec);
+    let offered = full.len() as u64;
+    let lanes = partition(&full, spec.total_connections());
+    let cpw = spec.connections_per_worker.max(1);
+
+    let registry = Registry::new();
+    let latency = registry.histogram("load.latency_us");
+    let sent_ctr = registry.counter("load.sent");
+    let accepted_ctr = registry.counter("load.accepted");
+    let shed_452_ctr = registry.counter("load.shed.reply_452");
+    let shed_421_ctr = registry.counter("load.shed.reply_421");
+    let bounced_ctr = registry.counter("load.bounced_552");
+    let other_ctr = registry.counter("load.error.other_reply");
+    let no_reply_ctr = registry.counter("load.error.no_reply");
+    let reconnect_ctr = registry.counter("load.reconnects");
+
+    let started = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .chunks(cpw)
+            .map(|worker_lanes| {
+                let spec = spec.clone();
+                let latency = latency.clone();
+                let sent_ctr = sent_ctr.clone();
+                let accepted_ctr = accepted_ctr.clone();
+                let shed_452_ctr = shed_452_ctr.clone();
+                let shed_421_ctr = shed_421_ctr.clone();
+                let bounced_ctr = bounced_ctr.clone();
+                let other_ctr = other_ctr.clone();
+                let no_reply_ctr = no_reply_ctr.clone();
+                let reconnect_ctr = reconnect_ctr.clone();
+                scope.spawn(move || {
+                    // Merge this worker's lanes back into time order,
+                    // remembering which pooled connection each op uses.
+                    let mut ops: Vec<(usize, ScheduledSend)> = worker_lanes
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(lane, sched)| sched.iter().map(move |op| (lane, *op)))
+                        .collect();
+                    ops.sort_by_key(|(_, op)| (op.at_us, op.seq));
+
+                    let mut pool: Vec<Option<Client<TcpConnection>>> =
+                        (0..worker_lanes.len()).map(|_| None).collect();
+                    let mut ever_connected = vec![false; worker_lanes.len()];
+                    let mut outcome = WorkerOutcome::default();
+
+                    for (lane, op) in ops {
+                        // Open loop: wait for the *scheduled* instant; if
+                        // the lane is behind, send immediately — the
+                        // delay stays visible in the latency sample.
+                        let target = Duration::from_micros(op.at_us);
+                        let now = started.elapsed();
+                        if now < target {
+                            std::thread::sleep(target - now);
+                        }
+                        outcome.attempted += 1;
+                        sent_ctr.inc();
+
+                        if pool[lane].is_none() {
+                            match TcpConnection::connect(addr)
+                                .map_err(SmtpError::Io)
+                                .and_then(|conn| Client::connect(conn, "load.example"))
+                            {
+                                Ok(client) => {
+                                    if ever_connected[lane] {
+                                        outcome.reconnects += 1;
+                                        reconnect_ctr.inc();
+                                    }
+                                    ever_connected[lane] = true;
+                                    pool[lane] = Some(client);
+                                }
+                                Err(e) => {
+                                    classify_failure(
+                                        &e,
+                                        &mut outcome,
+                                        &shed_452_ctr,
+                                        &shed_421_ctr,
+                                        &bounced_ctr,
+                                        &other_ctr,
+                                        &no_reply_ctr,
+                                    );
+                                    record_latency(&latency, started.elapsed(), op.at_us, &e);
+                                    continue;
+                                }
+                            }
+                        }
+
+                        let message = build_message(&spec, &op);
+                        let client = pool[lane].as_mut().expect("lane connected");
+                        match client.send(&message) {
+                            Ok(()) => {
+                                outcome.accepted += 1;
+                                accepted_ctr.inc();
+                                outcome.acked_seqs.push(op.seq);
+                                let lat =
+                                    (started.elapsed().as_micros() as u64).saturating_sub(op.at_us);
+                                latency.record(lat.max(1));
+                            }
+                            Err(e) => {
+                                let fatal = classify_failure(
+                                    &e,
+                                    &mut outcome,
+                                    &shed_452_ctr,
+                                    &shed_421_ctr,
+                                    &bounced_ctr,
+                                    &other_ctr,
+                                    &no_reply_ctr,
+                                );
+                                record_latency(&latency, started.elapsed(), op.at_us, &e);
+                                if fatal {
+                                    pool[lane] = None; // reconnect next op
+                                }
+                            }
+                        }
+                    }
+                    for client in pool.into_iter().flatten() {
+                        let _ = client.quit();
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = WorkerOutcome::default();
+    for o in outcomes {
+        merged.attempted += o.attempted;
+        merged.accepted += o.accepted;
+        merged.shed_452 += o.shed_452;
+        merged.shed_421 += o.shed_421;
+        merged.bounced_552 += o.bounced_552;
+        merged.other_reply += o.other_reply;
+        merged.no_reply += o.no_reply;
+        merged.reconnects += o.reconnects;
+        merged.acked_seqs.extend(o.acked_seqs);
+    }
+    merged.acked_seqs.sort_unstable();
+
+    let metrics = registry.snapshot();
+    LoadReport {
+        name: spec.name.clone(),
+        offered,
+        attempted: merged.attempted,
+        accepted: merged.accepted,
+        shed_452: merged.shed_452,
+        shed_421: merged.shed_421,
+        bounced_552: merged.bounced_552,
+        other_reply: merged.other_reply,
+        no_reply: merged.no_reply,
+        reconnects: merged.reconnects,
+        horizon: Duration::from_millis(spec.duration_ms),
+        elapsed,
+        latency_us: metrics
+            .histograms
+            .get("load.latency_us")
+            .cloned()
+            .unwrap_or_default(),
+        metrics,
+        acked_seqs: merged.acked_seqs,
+    }
+}
+
+/// Builds the op's message: templated addresses, conservation header.
+fn build_message(spec: &WorkloadSpec, op: &ScheduledSend) -> MailMessage {
+    let from = spec
+        .sender_template
+        .replacen("{}", &op.sender.to_string(), 1);
+    let to = spec
+        .recipient_template
+        .replacen("{}", &op.recipient.to_string(), 1);
+    MailMessage::builder(from, to)
+        .header("Subject", format!("load {}", op.seq))
+        .header(HEADER_LOAD_SEQ, op.seq.to_string())
+        .body(spec.body.clone())
+        .build()
+}
+
+/// Tallies a failed attempt; returns whether the connection is unusable.
+fn classify_failure(
+    error: &SmtpError,
+    outcome: &mut WorkerOutcome,
+    shed_452: &zmail_obs::Counter,
+    shed_421: &zmail_obs::Counter,
+    bounced: &zmail_obs::Counter,
+    other: &zmail_obs::Counter,
+    no_reply: &zmail_obs::Counter,
+) -> bool {
+    match error {
+        SmtpError::UnexpectedReply(reply) => match reply.code {
+            ReplyCode::InsufficientStorage => {
+                outcome.shed_452 += 1;
+                shed_452.inc();
+                false
+            }
+            ReplyCode::ServiceNotAvailable => {
+                // The server says goodbye after a 421; drop the session.
+                outcome.shed_421 += 1;
+                shed_421.inc();
+                true
+            }
+            ReplyCode::ExceededAllocation => {
+                outcome.bounced_552 += 1;
+                bounced.inc();
+                false
+            }
+            _ => {
+                outcome.other_reply += 1;
+                other.inc();
+                false
+            }
+        },
+        _ => {
+            outcome.no_reply += 1;
+            no_reply.inc();
+            true
+        }
+    }
+}
+
+/// Coordinated-omission-safe sample for a failed attempt that still got
+/// a reply; attempts with no reply at all record nothing.
+fn record_latency(
+    latency: &zmail_obs::Histogram,
+    elapsed: Duration,
+    at_us: u64,
+    error: &SmtpError,
+) {
+    if matches!(error, SmtpError::UnexpectedReply(_)) {
+        let lat = (elapsed.as_micros() as u64).saturating_sub(at_us);
+        latency.record(lat.max(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use zmail_smtp::{CollectSink, ThreadedConfig, ThreadedServer};
+
+    fn quick_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "runner-test".into(),
+            rate_per_sec: 400.0,
+            duration_ms: 250,
+            workers: 2,
+            connections_per_worker: 2,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_run_delivers_and_accounts_exactly() {
+        let sink = CollectSink::shared();
+        let mut server =
+            ThreadedServer::start("mx.test", sink.clone(), ThreadedConfig::default()).unwrap();
+        let spec = quick_spec();
+        let report = run(&spec, server.addr());
+        server.stop();
+
+        assert_eq!(report.attempted, report.offered);
+        assert_eq!(report.no_reply, 0, "server was live the whole run");
+        assert_eq!(report.accepted, report.offered, "nothing should shed");
+        assert_eq!(report.acked_seqs.len() as u64, report.accepted);
+        // Conservation: every acked seq is in the sink exactly once.
+        let mut seen: Vec<u64> = sink
+            .messages()
+            .iter()
+            .map(|m| m.header(HEADER_LOAD_SEQ).unwrap().parse().unwrap())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, report.acked_seqs);
+        assert_eq!(report.latency_us.count, report.offered);
+        assert_eq!(
+            report.metrics.counters.get("load.accepted"),
+            Some(&report.accepted)
+        );
+    }
+
+    #[test]
+    fn report_rates_are_consistent() {
+        let sink = CollectSink::shared();
+        let mut server = ThreadedServer::start("mx.test", sink, ThreadedConfig::default()).unwrap();
+        let report = run(&quick_spec(), server.addr());
+        server.stop();
+        assert!(report.offered_rate() > 0.0);
+        assert!(report.accepted_rate() > 0.0);
+        assert_eq!(report.replied(), report.offered);
+        assert_eq!(report.shed(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! The coordinated-omission correction, exercised end to end: a stalled
+//! sink makes the server fall behind the schedule, and the generator must
+//! charge the accumulated backlog to the delayed messages rather than
+//! silently re-anchoring its clock.
+
+use std::time::Duration;
+use zmail_load::{run, WorkloadSpec};
+use zmail_smtp::{MailMessage, MailSink, SinkError, ThreadedConfig, ThreadedServer};
+
+/// Accepts everything, slowly.
+#[derive(Clone)]
+struct StalledSink {
+    service: Duration,
+}
+
+impl MailSink for StalledSink {
+    fn deliver(&self, _message: MailMessage) -> Result<(), SinkError> {
+        std::thread::sleep(self.service);
+        Ok(())
+    }
+}
+
+#[test]
+fn stalled_sink_latencies_reflect_schedule_backlog_not_send_time() {
+    const SERVICE_MS: u64 = 10;
+    // One connection offering 2× the sink's serial capacity: the backlog
+    // grows for the entire run.
+    let spec = WorkloadSpec {
+        name: "co-stall".into(),
+        rate_per_sec: 200.0,
+        duration_ms: 500,
+        workers: 1,
+        connections_per_worker: 1,
+        ..WorkloadSpec::default()
+    };
+    let sink = StalledSink {
+        service: Duration::from_millis(SERVICE_MS),
+    };
+    let mut server = ThreadedServer::start("mx.stall", sink, ThreadedConfig::default()).unwrap();
+    let report = run(&spec, server.addr());
+    server.stop();
+
+    assert_eq!(report.no_reply, 0);
+    assert_eq!(report.accepted, report.offered, "slow is not shed");
+
+    // A coordinated-omission-BLIND recorder (latency from actual send)
+    // would report ~SERVICE_MS for every sample here, because each send
+    // happens right after the previous reply frees the connection. The
+    // CO-safe recorder charges the queueing delay from the *scheduled*
+    // instant, so the median is dominated by backlog, not service time.
+    let p50 = report.latency_us.p50().unwrap();
+    assert!(
+        p50 > 5 * SERVICE_MS * 1_000,
+        "p50 {p50}us does not include the backlog (service {SERVICE_MS}ms)"
+    );
+    // And the backlog grows over the run, so the tail is well above the
+    // median — a flat per-send measurement could never produce this.
+    let p99 = report.latency_us.p99().unwrap();
+    assert!(
+        p99 as f64 > 1.4 * p50 as f64,
+        "p99 {p99}us vs p50 {p50}us: latency did not grow with backlog"
+    );
+}

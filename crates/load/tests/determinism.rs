@@ -1,0 +1,103 @@
+//! Satellite tests: the determinism and statistical contracts of the
+//! arrival layer, plus the coordinated-omission correction end to end.
+
+use proptest::prelude::*;
+use zmail_load::{partition, schedule, ArrivalKind, BurstSpec, WorkloadSpec};
+
+fn spec(seed: u64, rate: f64, duration_ms: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        seed,
+        rate_per_sec: rate,
+        duration_ms,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Fixed-seed schedules are byte-identical across repeated generation —
+/// including when generated from different threads concurrently.
+#[test]
+fn fixed_seed_schedule_is_identical_across_runs_and_threads() {
+    let s = spec(42, 3_000.0, 2_000);
+    let reference = schedule(&s);
+    assert!(!reference.is_empty());
+
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let s = s.clone();
+                scope.spawn(move || schedule(&s))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for got in concurrent {
+        assert_eq!(got, reference);
+    }
+}
+
+/// Changing the executor fan-out re-partitions the SAME schedule: the
+/// union of lanes is invariant under worker/connection count.
+#[test]
+fn partitioning_is_thread_count_invariant() {
+    let full = schedule(&spec(7, 2_500.0, 1_500));
+    let mut merges = Vec::new();
+    for lanes in [1, 2, 4, 6, 16] {
+        let mut merged: Vec<_> = partition(&full, lanes).into_iter().flatten().collect();
+        merged.sort_by_key(|op| op.seq);
+        merges.push(merged);
+    }
+    for merged in &merges {
+        assert_eq!(merged, &full);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The empirical mean interarrival gap of a Poisson schedule matches
+    /// 1/rate within sampling noise, for arbitrary seeds and rates.
+    #[test]
+    fn poisson_interarrival_mean_matches_rate(
+        seed in 1u64..10_000,
+        rate in 500f64..8_000.0,
+    ) {
+        // A long horizon keeps the relative sampling error ~1/sqrt(n) small.
+        let s = spec(seed, rate, 4_000);
+        let sched = schedule(&s);
+        prop_assert!(sched.len() > 200, "only {} arrivals", sched.len());
+        let first = sched.first().unwrap().at_us as f64;
+        let last = sched.last().unwrap().at_us as f64;
+        let mean_gap_us = (last - first) / (sched.len() - 1) as f64;
+        let expected_us = 1_000_000.0 / rate;
+        let ratio = mean_gap_us / expected_us;
+        prop_assert!(
+            (0.85..1.15).contains(&ratio),
+            "mean gap {mean_gap_us:.1}us vs expected {expected_us:.1}us (ratio {ratio:.3})"
+        );
+    }
+
+    /// Bursty schedules average out to rate × (1 + duty × (multiplier−1)).
+    #[test]
+    fn bursty_overall_rate_matches_the_duty_cycle(
+        seed in 1u64..10_000,
+        multiplier in 2f64..8.0,
+    ) {
+        let s = WorkloadSpec {
+            arrival: ArrivalKind::Bursty,
+            burst: BurstSpec { period_ms: 500, burst_ms: 125, multiplier },
+            ..spec(seed, 1_200.0, 4_000)
+        };
+        let sched = schedule(&s);
+        let duty = 0.25;
+        let expected = s.rate_per_sec * (1.0 + duty * (multiplier - 1.0));
+        let horizon_s = s.duration_ms as f64 / 1_000.0;
+        let observed = sched.len() as f64 / horizon_s;
+        let ratio = observed / expected;
+        prop_assert!(
+            (0.85..1.15).contains(&ratio),
+            "observed {observed:.1}/s vs expected {expected:.1}/s"
+        );
+    }
+}

@@ -93,18 +93,8 @@ fn recv_reply<C: Connection>(conn: &mut C) -> Result<Reply, SmtpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{CollectSink, MailSink, SmtpServer};
-    use crate::transport::MemoryTransport;
-
-    fn spawn_server<S: MailSink + Send + 'static>(
-        sink: S,
-    ) -> (MemoryTransport, std::thread::JoinHandle<usize>) {
-        let (client_conn, server_conn) = MemoryTransport::pair();
-        let handle = std::thread::spawn(move || {
-            SmtpServer::new("mx.test", sink).serve(server_conn).unwrap()
-        });
-        (client_conn, handle)
-    }
+    use crate::server::{CollectSink, MailSink, SinkError};
+    use crate::testutil::spawn_server;
 
     #[test]
     fn client_submits_message_end_to_end() {
@@ -148,7 +138,7 @@ mod tests {
             fn accept_recipient(&self, _f: &str, to: &str) -> bool {
                 to != "bob@y"
             }
-            fn deliver(&self, m: MailMessage) -> Result<(), String> {
+            fn deliver(&self, m: MailMessage) -> Result<(), SinkError> {
                 self.0.deliver(m)
             }
         }
@@ -172,7 +162,7 @@ mod tests {
     fn delivery_bounce_is_reported_as_unexpected_reply() {
         struct Bouncer;
         impl MailSink for Bouncer {
-            fn deliver(&self, _m: MailMessage) -> Result<(), String> {
+            fn deliver(&self, _m: MailMessage) -> Result<(), SinkError> {
                 Err("limit exceeded".into())
             }
         }

@@ -13,6 +13,9 @@
 //! * [`transport`] — an in-memory loopback connection for tests and
 //!   simulations, and a real TCP transport (`std::net`) for the end-to-end
 //!   benchmark (experiment E11);
+//! * [`threaded`] — a multi-threaded accept loop with a bounded worker
+//!   pool, per-connection timeouts, a max-connection cap, and `421` load
+//!   shedding, built for the open-loop overload experiments (E21);
 //! * [`zheaders`] — the `X-Zmail-*` extension headers that carry payment
 //!   metadata *inside* standard messages, which is precisely how Zmail
 //!   rides on SMTP without modifying it.
@@ -51,6 +54,9 @@ pub mod metrics;
 pub mod relay;
 pub mod reply;
 pub mod server;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod threaded;
 pub mod transport;
 pub mod zheaders;
 
@@ -59,8 +65,11 @@ pub use command::Command;
 pub use message::MailMessage;
 pub use relay::RelaySink;
 pub use reply::{Reply, ReplyCode};
-pub use server::{CollectSink, MailSink, SmtpServer};
-pub use transport::{Connection, FaultyConnection, MemoryTransport, TcpConnection, TcpMailServer};
+pub use server::{CollectSink, MailSink, SinkError, SmtpServer};
+pub use threaded::{ThreadedConfig, ThreadedServer, ThreadedStats};
+pub use transport::{
+    bind_loopback, Connection, FaultyConnection, MemoryTransport, TcpConnection, TcpMailServer,
+};
 pub use zheaders::{
     canonical_digest, extract_ack_signature, extract_signature, stamp_ack_signature,
     stamp_signature, strip_signatures, ZmailHeaders, HEADER_ACK_SIG, HEADER_ACK_TO, HEADER_KIND,

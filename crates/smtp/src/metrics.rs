@@ -21,6 +21,9 @@ pub struct SmtpMetrics {
     /// Messages bounced with `552` — balance, limit, size, or malformed
     /// (`smtp.bounces`).
     pub bounces: Counter,
+    /// Messages shed with the transient `452` — admission queue full
+    /// (`smtp.sheds`).
+    pub sheds: Counter,
     /// Bytes of accepted `DATA` payloads, headers included
     /// (`smtp.data_bytes`).
     pub data_bytes: Counter,
@@ -43,6 +46,7 @@ impl SmtpMetrics {
                 syntax_errors: r.counter("smtp.syntax_errors"),
                 messages: r.counter("smtp.messages"),
                 bounces: r.counter("smtp.bounces"),
+                sheds: r.counter("smtp.sheds"),
                 data_bytes: r.counter("smtp.data_bytes"),
                 parse_us: r.histogram("smtp.parse_us"),
                 frame_us: r.histogram("smtp.frame_us"),

@@ -9,7 +9,7 @@
 
 use crate::client::Client;
 use crate::message::MailMessage;
-use crate::server::MailSink;
+use crate::server::{MailSink, SinkError};
 use crate::transport::TcpConnection;
 use std::net::SocketAddr;
 
@@ -38,7 +38,7 @@ impl RelaySink {
 }
 
 impl MailSink for RelaySink {
-    fn deliver(&self, message: MailMessage) -> Result<(), String> {
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError> {
         let conn = TcpConnection::connect(self.upstream)
             .map_err(|e| format!("relay cannot reach upstream: {e}"))?;
         let mut client = Client::connect(conn, &self.helo_domain)

@@ -20,6 +20,10 @@ pub enum ReplyCode {
     ServiceNotAvailable,
     /// 450 — mailbox unavailable (transient).
     MailboxBusy,
+    /// 452 — insufficient system storage (transient). Used by the Zmail
+    /// layer to shed individual messages when the admission queue in front
+    /// of the durable ledger path is full: the client should retry later.
+    InsufficientStorage,
     /// 500 — syntax error, command unrecognized.
     SyntaxError,
     /// 501 — syntax error in parameters.
@@ -44,6 +48,7 @@ impl ReplyCode {
             ReplyCode::StartMailInput => 354,
             ReplyCode::ServiceNotAvailable => 421,
             ReplyCode::MailboxBusy => 450,
+            ReplyCode::InsufficientStorage => 452,
             ReplyCode::SyntaxError => 500,
             ReplyCode::ParamSyntaxError => 501,
             ReplyCode::BadSequence => 503,
@@ -62,6 +67,7 @@ impl ReplyCode {
             354 => ReplyCode::StartMailInput,
             421 => ReplyCode::ServiceNotAvailable,
             450 => ReplyCode::MailboxBusy,
+            452 => ReplyCode::InsufficientStorage,
             500 => ReplyCode::SyntaxError,
             501 => ReplyCode::ParamSyntaxError,
             503 => ReplyCode::BadSequence,
@@ -139,6 +145,7 @@ mod tests {
             ReplyCode::StartMailInput,
             ReplyCode::ServiceNotAvailable,
             ReplyCode::MailboxBusy,
+            ReplyCode::InsufficientStorage,
             ReplyCode::SyntaxError,
             ReplyCode::ParamSyntaxError,
             ReplyCode::BadSequence,
@@ -156,6 +163,7 @@ mod tests {
         assert!(ReplyCode::StartMailInput.is_positive());
         assert!(!ReplyCode::MailboxUnavailable.is_positive());
         assert!(!ReplyCode::ExceededAllocation.is_positive());
+        assert!(!ReplyCode::InsufficientStorage.is_positive());
     }
 
     #[test]

@@ -16,6 +16,60 @@ use crate::SmtpError;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Why a sink refused a message, which decides the SMTP reply code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkError {
+    /// Permanent refusal, answered with `552` — the Zmail layer's bounce
+    /// when the sender's e-penny balance or daily limit is exhausted, or
+    /// the message is oversized/malformed. Retrying will not help.
+    Reject(String),
+    /// Transient overload, answered with `452` (insufficient system
+    /// storage) — the admission queue in front of the durable ledger path
+    /// is full and the message was shed. The client may retry later.
+    Overloaded(String),
+}
+
+impl SinkError {
+    /// A permanent `552` rejection.
+    pub fn reject(text: impl Into<String>) -> Self {
+        SinkError::Reject(text.into())
+    }
+
+    /// A transient `452` overload shed.
+    pub fn overloaded(text: impl Into<String>) -> Self {
+        SinkError::Overloaded(text.into())
+    }
+
+    /// The human-readable reply text.
+    pub fn text(&self) -> &str {
+        match self {
+            SinkError::Reject(t) | SinkError::Overloaded(t) => t,
+        }
+    }
+}
+
+/// Bare strings keep meaning what they always meant: a permanent bounce.
+impl From<String> for SinkError {
+    fn from(text: String) -> Self {
+        SinkError::Reject(text)
+    }
+}
+
+impl From<&str> for SinkError {
+    fn from(text: &str) -> Self {
+        SinkError::Reject(text.to_string())
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::Reject(t) => write!(f, "rejected: {t}"),
+            SinkError::Overloaded(t) => write!(f, "overloaded: {t}"),
+        }
+    }
+}
+
 /// Where accepted mail goes, and who vets recipients.
 pub trait MailSink {
     /// Whether to accept `RCPT TO:<to>` for a transaction from `from`.
@@ -30,10 +84,34 @@ pub trait MailSink {
     ///
     /// # Errors
     ///
-    /// Returning `Err` converts the final `250` into a `552` bounce with the
-    /// given text — the hook the Zmail layer uses when the sender's balance
-    /// or daily limit is exhausted.
-    fn deliver(&self, message: MailMessage) -> Result<(), String>;
+    /// Returning [`SinkError::Reject`] converts the final `250` into a
+    /// `552` bounce — the hook the Zmail layer uses when the sender's
+    /// balance or daily limit is exhausted. [`SinkError::Overloaded`]
+    /// converts it into a transient `452` shed instead, the backpressure
+    /// hook a bounded admission queue uses when it is full.
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError>;
+}
+
+/// Sinks compose: a shared reference to a sink is itself a sink, so
+/// pooled server workers can serve through one sink without cloning it.
+impl<S: MailSink + ?Sized> MailSink for &S {
+    fn accept_recipient(&self, from: &str, to: &str) -> bool {
+        (**self).accept_recipient(from, to)
+    }
+
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError> {
+        (**self).deliver(message)
+    }
+}
+
+impl<S: MailSink + ?Sized> MailSink for Arc<S> {
+    fn accept_recipient(&self, from: &str, to: &str) -> bool {
+        (**self).accept_recipient(from, to)
+    }
+
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError> {
+        (**self).deliver(message)
+    }
 }
 
 /// A sink that stores everything it receives; for tests and examples.
@@ -65,7 +143,7 @@ impl CollectSink {
 }
 
 impl MailSink for CollectSink {
-    fn deliver(&self, message: MailMessage) -> Result<(), String> {
+    fn deliver(&self, message: MailMessage) -> Result<(), SinkError> {
         self.inner.lock().push(message);
         Ok(())
     }
@@ -211,14 +289,14 @@ impl<S: MailSink> SmtpServer<S> {
                     let payload_bytes = payload.len();
                     let too_large = self.max_data_bytes.is_some_and(|cap| payload.len() > cap);
                     let outcome = if too_large {
-                        Err("message exceeds size limit".to_string())
+                        Err(SinkError::reject("message exceeds size limit"))
                     } else {
                         MailMessage::from_data(
                             sender.clone(),
                             std::mem::take(&mut recipients),
                             &payload,
                         )
-                        .map_err(|_| "message malformed".to_string())
+                        .map_err(|_| SinkError::reject("message malformed"))
                         .and_then(|msg| self.sink.deliver(msg))
                     };
                     if let Some(started) = frame_started {
@@ -234,9 +312,13 @@ impl<S: MailSink> SmtpServer<S> {
                             metrics.data_bytes.add(payload_bytes as u64);
                             Reply::new(ReplyCode::Ok, "message accepted")
                         }
-                        Err(text) => {
+                        Err(SinkError::Reject(text)) => {
                             metrics.bounces.inc();
                             Reply::new(ReplyCode::ExceededAllocation, text)
+                        }
+                        Err(SinkError::Overloaded(text)) => {
+                            metrics.sheds.inc();
+                            Reply::new(ReplyCode::InsufficientStorage, text)
                         }
                     }
                 }
@@ -392,13 +474,11 @@ mod tests {
     fn rejecting_sink_turns_delivery_into_552() {
         struct Bouncer;
         impl MailSink for Bouncer {
-            fn deliver(&self, _m: MailMessage) -> Result<(), String> {
+            fn deliver(&self, _m: MailMessage) -> Result<(), SinkError> {
                 Err("insufficient e-penny balance".into())
             }
         }
-        let server = SmtpServer::new("mx.test", Bouncer);
-        let (mut client, server_conn) = MemoryTransport::pair();
-        let t = std::thread::spawn(move || server.serve(server_conn));
+        let (mut client, t) = crate::testutil::spawn_server(Bouncer);
         client.recv_line().unwrap(); // greeting
         for cmd in ["HELO c", "MAIL FROM:<a@x>", "RCPT TO:<b@y>", "DATA"] {
             client.send_line(cmd).unwrap();
@@ -413,7 +493,36 @@ mod tests {
         client.send_line("QUIT").unwrap();
         client.recv_line().unwrap();
         drop(client);
-        assert_eq!(t.join().unwrap().unwrap(), 0);
+        assert_eq!(t.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn overloaded_sink_turns_delivery_into_452() {
+        struct Shedder;
+        impl MailSink for Shedder {
+            fn deliver(&self, _m: MailMessage) -> Result<(), SinkError> {
+                Err(SinkError::overloaded("admission queue full"))
+            }
+        }
+        let (mut client, t) = crate::testutil::spawn_server(Shedder);
+        client.recv_line().unwrap(); // greeting
+        for cmd in ["HELO c", "MAIL FROM:<a@x>", "RCPT TO:<b@y>", "DATA"] {
+            client.send_line(cmd).unwrap();
+            client.recv_line().unwrap();
+        }
+        for line in ["", "body", "."] {
+            client.send_line(line).unwrap();
+        }
+        let final_reply = client.recv_line().unwrap().unwrap();
+        assert!(final_reply.starts_with("452"), "{final_reply}");
+        assert!(final_reply.contains("queue"));
+        // The session survives a shed: the next submission is attempted.
+        client.send_line("MAIL FROM:<a@x>").unwrap();
+        assert!(client.recv_line().unwrap().unwrap().starts_with("250"));
+        client.send_line("QUIT").unwrap();
+        client.recv_line().unwrap();
+        drop(client);
+        assert_eq!(t.join().unwrap(), 0);
     }
 
     #[test]
@@ -424,14 +533,12 @@ mod tests {
             fn accept_recipient(&self, _from: &str, to: &str) -> bool {
                 to != "blocked@y"
             }
-            fn deliver(&self, m: MailMessage) -> Result<(), String> {
+            fn deliver(&self, m: MailMessage) -> Result<(), SinkError> {
                 self.0.deliver(m)
             }
         }
         let collect = CollectSink::shared();
-        let server = SmtpServer::new("mx.test", Picky(collect.clone()));
-        let (mut client, server_conn) = MemoryTransport::pair();
-        let t = std::thread::spawn(move || server.serve(server_conn));
+        let (mut client, t) = crate::testutil::spawn_server(Picky(collect.clone()));
         client.recv_line().unwrap();
         let send = |c: &mut MemoryTransport, line: &str| {
             c.send_line(line).unwrap();
@@ -448,7 +555,7 @@ mod tests {
         assert!(client.recv_line().unwrap().unwrap().starts_with("250"));
         send(&mut client, "QUIT");
         drop(client);
-        t.join().unwrap().unwrap();
+        t.join().unwrap();
         assert_eq!(collect.messages()[0].recipients(), ["ok@y"]);
     }
 
@@ -471,9 +578,8 @@ mod tests {
     #[test]
     fn oversized_message_gets_552_but_session_survives() {
         let sink = CollectSink::shared();
-        let server = SmtpServer::new("mx.test", sink.clone()).with_max_size(64);
-        let (mut client, server_conn) = MemoryTransport::pair();
-        let t = std::thread::spawn(move || server.serve(server_conn));
+        let (mut client, t) =
+            crate::testutil::spawn_server_with(sink.clone(), |server| server.with_max_size(64));
         client.recv_line().unwrap();
         let send = |c: &mut MemoryTransport, line: &str| {
             c.send_line(line).unwrap();
@@ -501,7 +607,7 @@ mod tests {
         assert!(client.recv_line().unwrap().unwrap().starts_with("250"));
         send(&mut client, "QUIT");
         drop(client);
-        assert_eq!(t.join().unwrap().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), 1);
         assert_eq!(sink.len(), 1);
     }
 

@@ -1,0 +1,36 @@
+//! Shared test helpers for the in-crate unit tests.
+//!
+//! The `spawn_server` helper used to be copied verbatim into every test
+//! module that needed a live session over [`MemoryTransport`]; it lives
+//! here once now. TCP-based tests should go through
+//! [`crate::transport::bind_loopback`], which retries transient bind
+//! failures so parallel test runs cannot collide on ephemeral ports.
+
+use crate::server::{MailSink, SmtpServer};
+use crate::transport::MemoryTransport;
+use std::thread::JoinHandle;
+
+/// Spawns a single-session server over a fresh in-memory transport.
+///
+/// Returns the client endpoint and the server thread, which yields the
+/// number of messages the session accepted. The session must end cleanly
+/// (`QUIT` or client drop); a transport error panics the server thread.
+pub fn spawn_server<S: MailSink + Send + 'static>(sink: S) -> (MemoryTransport, JoinHandle<usize>) {
+    spawn_server_with(sink, |server| server)
+}
+
+/// Like [`spawn_server`], but lets the caller reconfigure the server
+/// (e.g. [`SmtpServer::with_max_size`]) before it starts serving.
+pub fn spawn_server_with<S, F>(sink: S, configure: F) -> (MemoryTransport, JoinHandle<usize>)
+where
+    S: MailSink + Send + 'static,
+    F: FnOnce(SmtpServer<S>) -> SmtpServer<S> + Send + 'static,
+{
+    let (client_conn, server_conn) = MemoryTransport::pair();
+    let handle = std::thread::spawn(move || {
+        configure(SmtpServer::new("mx.test", sink))
+            .serve(server_conn)
+            .unwrap()
+    });
+    (client_conn, handle)
+}

@@ -1,0 +1,448 @@
+//! A multi-threaded accept-loop SMTP server with explicit backpressure.
+//!
+//! [`crate::transport::TcpMailServer`] spawns one unbounded thread per
+//! connection — fine for E11's single closed-loop client, fatal under an
+//! open-loop generator that keeps dialing regardless of how the server is
+//! doing. [`ThreadedServer`] is the overload-safe replacement:
+//!
+//! * an **acceptor** thread pulls connections off the listener and pushes
+//!   them onto a **bounded** hand-off queue;
+//! * a fixed **worker pool** pops connections and drives the ordinary
+//!   [`SmtpServer`] session state machine over them;
+//! * when the queue is full or the simultaneous-connection cap is reached
+//!   the acceptor *sheds* the connection with an immediate `421` (service
+//!   not available) instead of letting it wait unbounded — the client got
+//!   a well-formed SMTP answer, and the server's memory use stays flat;
+//! * every accepted stream gets read/write timeouts, so a stalled or
+//!   vanished peer cannot pin a worker forever: on timeout the worker
+//!   sends a best-effort `421` and closes.
+//!
+//! What gets dropped first under overload is therefore explicit and
+//! observable: whole connections at the accept gate (`server.accept.shed`,
+//! `421`), then individual messages at the sink's admission queue
+//! (`load.shed.*`, `452` via [`crate::SinkError::Overloaded`]) — never
+//! silent queue growth. See `crates/load` and experiment E21 for the
+//! open-loop measurements this enables.
+
+use crate::server::{MailSink, SmtpServer};
+use crate::transport::{bind_loopback, TcpConnection};
+use crate::SmtpError;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`ThreadedServer`].
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Bounded depth of the accepted-connection hand-off queue.
+    pub queue_depth: usize,
+    /// Cap on simultaneously open connections (queued + being served);
+    /// connections beyond it are shed with `421` at accept time.
+    pub max_connections: usize,
+    /// Per-connection read timeout; a session idle longer is closed with
+    /// a best-effort `421`.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 512,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters a [`ThreadedServer`] keeps regardless of whether the global
+/// metrics registry is armed (they also mirror into `server.accept.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadedStats {
+    /// Connections handed to the worker pool.
+    pub accepted_connections: u64,
+    /// Connections shed with `421` at the accept gate.
+    pub shed_connections: u64,
+    /// Sessions closed by the per-connection timeout (after a `421`).
+    pub timed_out: u64,
+    /// Messages accepted with `250` across all sessions.
+    pub accepted_messages: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    accepted_connections: AtomicU64,
+    shed_connections: AtomicU64,
+    timed_out: AtomicU64,
+    accepted_messages: AtomicU64,
+}
+
+/// The bounded hand-off queue between the acceptor and the worker pool.
+///
+/// `open` tracks queued **and** in-service connections, so the
+/// max-connection cap covers the whole pipeline, not just the queue.
+struct Gate {
+    queue: Mutex<GateState>,
+    not_empty: Condvar,
+}
+
+struct GateState {
+    pending: VecDeque<TcpStream>,
+    open: usize,
+    shutdown: bool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            queue: Mutex::new(GateState {
+                pending: VecDeque::new(),
+                open: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Admits a connection, or returns it back for shedding.
+    fn try_push(&self, stream: TcpStream, config: &ThreadedConfig) -> Result<(), TcpStream> {
+        let mut state = self.queue.lock().expect("gate lock");
+        if state.shutdown
+            || state.pending.len() >= config.queue_depth
+            || state.open >= config.max_connections
+        {
+            return Err(stream);
+        }
+        state.open += 1;
+        state.pending.push_back(stream);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once shut down and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.queue.lock().expect("gate lock");
+        loop {
+            if let Some(stream) = state.pending.pop_front() {
+                return Some(stream);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("gate lock");
+        }
+    }
+
+    /// A worker finished with a connection.
+    fn release(&self) {
+        self.queue.lock().expect("gate lock").open -= 1;
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().expect("gate lock").shutdown = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// A multi-threaded accept-loop SMTP server: bounded worker pool over the
+/// existing session state machine, `421` shedding past the connection cap.
+///
+/// Construct with [`ThreadedServer::start`], stop with
+/// [`ThreadedServer::stop`] (also run on drop).
+#[derive(Debug)]
+pub struct ThreadedServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<AtomicStats>,
+}
+
+impl ThreadedServer {
+    /// Binds a fresh loopback port and starts the acceptor plus
+    /// `config.workers` session workers over `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind error.
+    pub fn start<S>(
+        hostname: impl Into<String>,
+        sink: S,
+        config: ThreadedConfig,
+    ) -> std::io::Result<ThreadedServer>
+    where
+        S: MailSink + Clone + Send + 'static,
+    {
+        let listener = bind_loopback(5)?;
+        let addr = listener.local_addr()?;
+        let hostname = hostname.into();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(AtomicStats::default());
+        let gate = Arc::new(Gate::new());
+        let obs = zmail_obs::global();
+        let accepted_ctr = obs.counter("server.accept.accepted");
+        let shed_ctr = obs.counter("server.accept.shed");
+        let timeout_ctr = obs.counter("server.accept.timeouts");
+        let active_gauge = obs.gauge("server.accept.active");
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let stats = Arc::clone(&stats);
+                let hostname = hostname.clone();
+                let sink = sink.clone();
+                let config = config.clone();
+                let timeout_ctr = timeout_ctr.clone();
+                let active_gauge = active_gauge.clone();
+                std::thread::spawn(move || {
+                    while let Some(stream) = gate.pop() {
+                        active_gauge.add(1);
+                        let timed_out = serve_stream(&hostname, &sink, &config, stream, &stats);
+                        if timed_out {
+                            stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                            timeout_ctr.inc();
+                        }
+                        active_gauge.add(-1);
+                        gate.release();
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let gate = Arc::clone(&gate);
+            let stats = Arc::clone(&stats);
+            let hostname = hostname.clone();
+            let accept_shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    match gate.try_push(stream, &config) {
+                        Ok(()) => {
+                            stats.accepted_connections.fetch_add(1, Ordering::Relaxed);
+                            accepted_ctr.inc();
+                        }
+                        Err(stream) => {
+                            stats.shed_connections.fetch_add(1, Ordering::Relaxed);
+                            shed_ctr.inc();
+                            shed_connection(stream, &hostname, &config);
+                        }
+                    }
+                }
+                // Unblock the workers once no more connections will come.
+                gate.shutdown();
+            })
+        };
+
+        Ok(ThreadedServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the accept/shed/timeout counters.
+    pub fn stats(&self) -> ThreadedStats {
+        ThreadedStats {
+            accepted_connections: self.stats.accepted_connections.load(Ordering::Relaxed),
+            shed_connections: self.stats.shed_connections.load(Ordering::Relaxed),
+            timed_out: self.stats.timed_out.load(Ordering::Relaxed),
+            accepted_messages: self.stats.accepted_messages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains in-flight sessions, joins every thread.
+    /// Idempotent.
+    pub fn stop(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Kick the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Answers a shed connection with `421` so the client is told, not hung.
+fn shed_connection(mut stream: TcpStream, hostname: &str, config: &ThreadedConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.write_all(format!("421 {hostname} too busy, try again later\r\n").as_bytes());
+}
+
+/// Runs one session; returns whether it ended on the idle timeout.
+fn serve_stream<S: MailSink>(
+    hostname: &str,
+    sink: &S,
+    config: &ThreadedConfig,
+    stream: TcpStream,
+    stats: &AtomicStats,
+) -> bool {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    // Keep a handle to the raw stream so a timeout can still say goodbye
+    // after the session state machine has consumed the connection.
+    let raw = stream.try_clone().ok();
+    let server = SmtpServer::new(hostname, sink);
+    match server.serve(TcpConnection::new(stream)) {
+        Ok(accepted) => {
+            stats
+                .accepted_messages
+                .fetch_add(accepted as u64, Ordering::Relaxed);
+            false
+        }
+        Err(SmtpError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            if let Some(mut raw) = raw {
+                let _ =
+                    raw.write_all(format!("421 {hostname} idle timeout, closing\r\n").as_bytes());
+            }
+            true
+        }
+        Err(_) => false, // peer vanished mid-exchange; nothing to answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::message::MailMessage;
+    use crate::reply::ReplyCode;
+    use crate::server::CollectSink;
+
+    fn tiny_config() -> ThreadedConfig {
+        ThreadedConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_connections: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn serves_concurrent_clients_through_the_pool() {
+        let sink = CollectSink::shared();
+        let mut server = ThreadedServer::start("mx.test", sink.clone(), tiny_config()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let conn = TcpConnection::connect(addr).unwrap();
+                    let mut client = Client::connect(conn, "c.test").unwrap();
+                    for k in 0..3 {
+                        let msg = MailMessage::builder(format!("a{i}@x"), "b@y")
+                            .header("Subject", format!("c{i} m{k}"))
+                            .body("hello\r\n")
+                            .build();
+                        client.send(&msg).unwrap();
+                    }
+                    client.quit().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+        assert_eq!(sink.len(), 12);
+        let stats = server.stats();
+        assert_eq!(stats.accepted_connections, 4);
+        assert_eq!(stats.accepted_messages, 12);
+        assert_eq!(stats.shed_connections, 0);
+    }
+
+    #[test]
+    fn connections_past_the_cap_get_421() {
+        // One worker, no queue headroom beyond the single in-service
+        // connection: a second simultaneous dial must be shed.
+        let config = ThreadedConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_connections: 1,
+            ..tiny_config()
+        };
+        let sink = CollectSink::shared();
+        let mut server = ThreadedServer::start("mx.test", sink, config).unwrap();
+        // Occupy the only slot with a live session.
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        let held = Client::connect(conn, "c.test").unwrap();
+        // The next connection is answered 421 at the accept gate.
+        let conn2 = TcpConnection::connect(server.addr()).unwrap();
+        let err = Client::connect(conn2, "c.test").unwrap_err();
+        match err {
+            SmtpError::UnexpectedReply(reply) => {
+                assert_eq!(reply.code, ReplyCode::ServiceNotAvailable);
+                assert!(reply.text.contains("busy"));
+            }
+            other => panic!("expected a 421, got {other:?}"),
+        }
+        held.quit().unwrap();
+        server.stop();
+        assert_eq!(server.stats().shed_connections, 1);
+    }
+
+    #[test]
+    fn idle_session_is_timed_out_with_421() {
+        let config = ThreadedConfig {
+            read_timeout: Duration::from_millis(50),
+            ..tiny_config()
+        };
+        let sink = CollectSink::shared();
+        let mut server = ThreadedServer::start("mx.test", sink, config).unwrap();
+        let mut conn = TcpConnection::connect(server.addr()).unwrap();
+        use crate::transport::Connection;
+        // Read the greeting, then go silent.
+        assert!(conn.recv_line().unwrap().unwrap().starts_with("220"));
+        let line = conn.recv_line().unwrap();
+        assert_eq!(line.as_deref(), Some("421 mx.test idle timeout, closing"));
+        server.stop();
+        assert_eq!(server.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_joins_everything() {
+        let mut server =
+            ThreadedServer::start("mx.test", CollectSink::shared(), tiny_config()).unwrap();
+        server.stop();
+        server.stop();
+        assert_eq!(server.stats().accepted_connections, 0);
+    }
+}

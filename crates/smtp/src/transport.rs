@@ -150,6 +150,33 @@ impl<C: Connection> Connection for FaultyConnection<C> {
     }
 }
 
+/// Binds a fresh loopback listener (`127.0.0.1:0`), retrying transient
+/// failures.
+///
+/// Port 0 asks the kernel for a free ephemeral port, but a heavily
+/// parallel test run can momentarily exhaust the ephemeral range
+/// (`AddrInUse`/`AddrNotAvailable`). Rather than every caller handling
+/// that, bind attempts back off deterministically (5 ms × attempt) and
+/// retry up to `attempts` times, so concurrent test processes cannot
+/// flake on a port collision.
+///
+/// # Errors
+///
+/// Returns the last bind error once the attempts are exhausted.
+pub fn bind_loopback(attempts: u32) -> io::Result<TcpListener> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpListener::bind("127.0.0.1:0") {
+            Ok(listener) => return Ok(listener),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(attempt + 1)));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::new(io::ErrorKind::AddrInUse, "bind failed")))
+}
+
 /// A line-framed connection over a real TCP stream.
 #[derive(Debug)]
 pub struct TcpConnection {
@@ -230,7 +257,7 @@ impl TcpMailServer {
     where
         S: MailSink + Clone + Send + 'static,
     {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listener = bind_loopback(5)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let hostname = hostname.into();

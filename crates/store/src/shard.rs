@@ -17,16 +17,20 @@
 //! * Mutations spanning two shards (a counter purchase whose pool lives
 //!   elsewhere) become **two-phase transfers**: an
 //!   [`XferPrepare`](LedgerRecord::XferPrepare) on the source shard
-//!   applies the debit leg and durably records the credit leg owed —
-//!   the shard-local outbox entry — then an
+//!   applies the debit leg and records the credit leg owed — the
+//!   shard-local outbox entry — then an
 //!   [`XferApply`](LedgerRecord::XferApply) lands the credit on the
 //!   destination and an [`XferRelease`](LedgerRecord::XferRelease)
-//!   closes the entry. The prepare is force-committed before the apply
-//!   is journaled, so no ordering of per-shard crashes can surface a
-//!   credit without its debit — and the release is **deferred**: it is
-//!   only journaled (then committed) by `commit_all` after every
-//!   shard's group commit has made the pending applies durable, so no
-//!   crash can surface a released prepare whose credit was lost.
+//!   closes the entry. Both the apply and the release are **deferred**
+//!   and flushed in batch: `commit_all` first group-commits every
+//!   shard (all outstanding prepares become durable at once — no
+//!   per-transfer forced sync), then journals and commits the pending
+//!   applies, then the releases. The wave order is the durability
+//!   invariant: no ordering of per-shard crashes can surface a credit
+//!   without its debit, or a released prepare whose credit was lost.
+//!   Until its apply is flushed, a pending credit leg is overlaid on
+//!   [`ShardedLedgerStore::books`] / [`ShardedLedgerStore::user`]
+//!   reads, so the live view stays exactly conserved between ticks.
 //! * Recovery scans every shard's full WAL for unreleased prepares and
 //!   **rolls them forward**: if the destination never journaled the
 //!   apply, it is appended now; either way the release is. A crash
@@ -338,12 +342,54 @@ fn scan_xfers(wal_bytes: &[u8], valid_len: u64) -> XferScan {
     out
 }
 
+/// A cross-shard transfer whose apply has not been journaled yet: the
+/// batched outbox entry. The prepare (and its debit) is already in the
+/// source shard's WAL buffer; the credit exists only here until
+/// [`ShardedLedgerStore::commit_all`] (or the non-commuting-record
+/// safety flush) journals the `XferApply`.
+#[derive(Debug, Clone, Copy)]
+struct PendingXfer {
+    src: usize,
+    dst: usize,
+    xid: u64,
+    /// Credit leg in the destination shard's local index space — the
+    /// bytes the deferred `XferApply` will journal.
+    credit_local: XferLeg,
+    /// The same credit leg in *global* index space, overlaid on
+    /// [`ShardedLedgerStore::books`] / [`ShardedLedgerStore::user`]
+    /// reads until the apply lands.
+    credit_global: XferLeg,
+}
+
+/// Aggregated pending credit for one user account — the per-account
+/// index over [`ShardedLedgerStore::pending_xfers`] that keeps
+/// [`ShardedLedgerStore::user`] an O(1) lookup instead of a scan of
+/// every outstanding transfer (reads happen once per send; the pending
+/// list grows with the whole tick).
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingUserDelta {
+    account: i64,
+    balance: i64,
+    sent_today: i64,
+}
+
 /// N independent ledger engines presenting one exactly-conserved economy.
 #[derive(Debug)]
 pub struct ShardedLedgerStore<S: Storage> {
     map: ShardMap,
     stores: Vec<LedgerStore<S>>,
     next_xid: u64,
+    /// Cross-shard transfers whose applies are deferred to the next
+    /// flush. An apply must never be durable before its prepare — a
+    /// durable apply with a lost prepare is a half-transfer — so the
+    /// apply is only journaled once every involved source shard's
+    /// prepares have been group-committed, which batches what used to
+    /// be a forced sync per transfer into one sync per shard per tick.
+    pending_xfers: Vec<PendingXfer>,
+    /// Per-account aggregate of the pending credit legs, kept in
+    /// lockstep with `pending_xfers` (updated on push, cleared on
+    /// drain) so `user` reads don't scan the outbox.
+    pending_user_deltas: BTreeMap<(u32, u32), PendingUserDelta>,
     /// Releases owed but not yet journaled: `(source shard, xid)` pairs
     /// whose destination apply has not been committed yet. A release
     /// must never be durable before its apply — a durable release with
@@ -382,6 +428,8 @@ impl<S: Storage> ShardedLedgerStore<S> {
             map,
             stores,
             next_xid: 0,
+            pending_xfers: Vec::new(),
+            pending_user_deltas: BTreeMap::new(),
             pending_releases: Vec::new(),
         };
         let mut report = ShardRecoveryReport {
@@ -447,6 +495,18 @@ impl<S: Storage> ShardedLedgerStore<S> {
     /// Panics on the internal transfer variants (`UserCounter*`,
     /// `Xfer*`) — those are emitted by the engine, never routed into it.
     pub fn append(&mut self, rec: &LedgerRecord) {
+        // Pending credit legs are pure additions, so they commute with
+        // every delta record and may stay deferred across them. These
+        // three *overwrite* state instead; flush first so the journal
+        // order matches the order the books saw.
+        if matches!(
+            *rec,
+            LedgerRecord::DailyReset { .. }
+                | LedgerRecord::SnapshotMarker { .. }
+                | LedgerRecord::LimitSet { .. }
+        ) {
+            self.flush_pending_applies();
+        }
         match *rec {
             LedgerRecord::Charge { isp, user } => {
                 let s = self.map.user_shard(isp, user);
@@ -539,8 +599,10 @@ impl<S: Storage> ShardedLedgerStore<S> {
     /// Moves value between two book locations, given as legs in
     /// *global* index space. Same shard: two plain appends. Different
     /// shards: the two-phase prepare/apply/release protocol, with the
-    /// prepare force-committed before the credit leaves the source.
+    /// apply and release deferred to the next flush so a tick's worth
+    /// of transfers shares one group commit per shard.
     pub fn transfer(&mut self, debit: XferLeg, credit: XferLeg) {
+        let credit_global = credit;
         let (src, debit) = self.localize(debit);
         let (dst, credit) = self.localize(credit);
         let m = ShardMetrics::get();
@@ -578,20 +640,93 @@ impl<S: Storage> ShardedLedgerStore<S> {
             debit,
             credit,
         });
-        // The outbox entry must be durable before the credit exists
-        // anywhere: recovery rolls unreleased prepares forward, and an
-        // apply without a durable prepare would be a half-transfer.
-        self.stores[src].commit();
-        self.stores[dst].append(&LedgerRecord::XferApply { xid, leg: credit });
-        // The release is *deferred*: journaling it now would let a later
-        // source group commit make it durable while the destination's
-        // apply is still volatile, and recovery would then skip the
-        // released prepare and strand the credit. `commit_all` appends
-        // it once every shard's applies are durable. (A release that
-        // never lands is safe — the unreleased prepare resolves as
-        // `resolved_acked` on the next open.)
-        self.pending_releases.push((src, xid));
+        // The apply is *deferred* into the batched outbox rather than
+        // journaled (let alone force-committed) here: an apply must
+        // never be durable before its prepare, and the destination's
+        // group commit is outside this shard's control — so the apply
+        // only gets journaled once the prepares are durable, inside
+        // `commit_all` (or the safety flush). That removes the forced
+        // sync this path used to pay per transfer; until the flush, the
+        // credit leg is overlaid on reads. A transfer that never
+        // flushes is safe: the uncommitted prepare tears off and both
+        // legs vanish together, or a durable prepare resolves forward
+        // at the next open.
+        self.pending_xfers.push(PendingXfer {
+            src,
+            dst,
+            xid,
+            credit_local: credit,
+            credit_global,
+        });
+        let leg = credit_global;
+        match leg.kind {
+            XferKind::Charge => {
+                let d = self
+                    .pending_user_deltas
+                    .entry((leg.isp, leg.user))
+                    .or_default();
+                d.balance -= 1;
+                d.sent_today += 1;
+            }
+            XferKind::Deposit => {
+                self.pending_user_deltas
+                    .entry((leg.isp, leg.user))
+                    .or_default()
+                    .balance += 1;
+            }
+            XferKind::CounterBuy => {
+                let d = self
+                    .pending_user_deltas
+                    .entry((leg.isp, leg.user))
+                    .or_default();
+                d.account -= leg.amount;
+                d.balance += leg.amount;
+            }
+            XferKind::CounterSell => {
+                let d = self
+                    .pending_user_deltas
+                    .entry((leg.isp, leg.user))
+                    .or_default();
+                d.balance -= leg.amount;
+                d.account += leg.amount;
+            }
+            XferKind::Grant => {
+                self.pending_user_deltas
+                    .entry((leg.isp, leg.user))
+                    .or_default()
+                    .balance += leg.amount;
+            }
+            // Pool legs carry no user state.
+            XferKind::PoolBuy | XferKind::PoolSell => {}
+        }
         m.xfer_micros.record_duration(start.elapsed());
+    }
+
+    /// Journals every pending apply, preserving the durability order:
+    /// first group-commit each involved source shard (prepares become
+    /// durable), then append the applies (each also lands its credit on
+    /// the destination's books, retiring the read overlay) and queue
+    /// the releases. Called by [`Self::commit_all`] and, defensively,
+    /// before routing records whose application does not commute with
+    /// an addition (`DailyReset`/`SnapshotMarker`/`LimitSet` overwrite
+    /// state) so WAL order always reproduces the live books.
+    fn flush_pending_applies(&mut self) {
+        if self.pending_xfers.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_xfers);
+        self.pending_user_deltas.clear();
+        let sources: BTreeSet<usize> = pending.iter().map(|p| p.src).collect();
+        for src in sources {
+            self.stores[src].commit();
+        }
+        for p in pending {
+            self.stores[p.dst].append(&LedgerRecord::XferApply {
+                xid: p.xid,
+                leg: p.credit_local,
+            });
+            self.pending_releases.push((p.src, p.xid));
+        }
     }
 
     /// Resolves a global-index leg to (owning shard, shard-local leg).
@@ -610,15 +745,38 @@ impl<S: Storage> ShardedLedgerStore<S> {
         }
     }
 
-    /// Group-commits every shard (in shard order), then journals and
-    /// commits any deferred cross-shard releases. The two-step order is
-    /// the durability invariant of the transfer protocol: the first
-    /// pass makes every pending `XferApply` durable, so the releases
-    /// appended (and committed) after it can never outlive a lost
-    /// apply.
+    /// Flushes the tick in three waves, each gated on the durability of
+    /// the one before — the invariant of the transfer protocol:
+    ///
+    /// 1. group-commit every shard, making all outstanding
+    ///    `XferPrepare`s (and everything else buffered) durable at
+    ///    once;
+    /// 2. journal and commit the deferred `XferApply`s — each lands its
+    ///    credit on the destination's books, retiring the read overlay;
+    /// 3. journal and commit the `XferRelease`s, which can now never
+    ///    outlive a lost apply.
+    ///
+    /// A tick's worth of cross-shard transfers therefore costs a
+    /// bounded number of syncs (per *shard*, not per transfer).
     pub fn commit_all(&mut self) {
         for store in &mut self.stores {
             store.commit();
+        }
+        if !self.pending_xfers.is_empty() {
+            let pending = std::mem::take(&mut self.pending_xfers);
+            self.pending_user_deltas.clear();
+            let mut touched = BTreeSet::new();
+            for p in pending {
+                self.stores[p.dst].append(&LedgerRecord::XferApply {
+                    xid: p.xid,
+                    leg: p.credit_local,
+                });
+                touched.insert(p.dst);
+                self.pending_releases.push((p.src, p.xid));
+            }
+            for dst in touched {
+                self.stores[dst].commit();
+            }
         }
         if !self.pending_releases.is_empty() {
             let pending = std::mem::take(&mut self.pending_releases);
@@ -641,17 +799,31 @@ impl<S: Storage> ShardedLedgerStore<S> {
         }
     }
 
-    /// The merged global books, reassembled from the live shards.
+    /// The merged global books, reassembled from the live shards, with
+    /// any pending (not yet flushed) cross-shard credit legs overlaid —
+    /// so the view is exactly conserved even mid-tick, while the
+    /// batched outbox still owes its applies.
     pub fn books(&self) -> Books {
         let parts: Vec<&Books> = self.stores.iter().map(|s| s.books()).collect();
-        self.map.merge_refs(&parts)
+        let mut books = self.map.merge_refs(&parts);
+        for p in &self.pending_xfers {
+            books.apply(&p.credit_global.record());
+        }
+        books
     }
 
-    /// Live books of one user account, read from its owning shard.
+    /// Live books of one user account, read from its owning shard, with
+    /// pending cross-shard credit legs for that account overlaid.
     pub fn user(&self, isp: u32, user: u32) -> UserBooks {
         let s = self.map.user_shard(isp, user) as usize;
         let local = self.map.user_local(isp, user) as usize;
-        self.stores[s].books().isps[isp as usize].users[local]
+        let mut books = self.stores[s].books().isps[isp as usize].users[local];
+        if let Some(d) = self.pending_user_deltas.get(&(isp, user)) {
+            books.account += d.account;
+            books.balance += d.balance;
+            books.sent_today = (i64::from(books.sent_today) + d.sent_today) as u32;
+        }
+        books
     }
 
     /// What a restart *right now* would reconstruct, without mutating
@@ -730,8 +902,10 @@ pub struct ShardMetrics {
     pub same_shard: Counter,
     /// Two-phase cross-shard transfers (`shard.cross_shard`).
     pub cross_shard: Counter,
-    /// End-to-end cross-shard transfer latency in µs, prepare commit
-    /// included (`shard.xfer_micros`).
+    /// Cross-shard transfer routing latency in µs
+    /// (`shard.xfer_micros`). Sync-free since the batched outbox: the
+    /// prepare is journaled here but group-committed with the tick, so
+    /// this measures routing cost, not storage latency.
     pub xfer_micros: Histogram,
     /// `commit_all` rounds (`shard.commits`).
     pub commits: Counter,
@@ -942,6 +1116,176 @@ mod tests {
         let (reopened, _) =
             ShardedLedgerStore::open(backends, StoreConfig::default(), bootstrap(4, 6));
         assert_eq!(reopened.books().epennies_found(), total);
+    }
+
+    /// Storage wrapper counting syncs, to pin the batched-outbox win.
+    #[derive(Debug)]
+    struct CountingStorage {
+        inner: MemStorage,
+        syncs: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl Storage for CountingStorage {
+        fn read(&self, name: &str) -> Vec<u8> {
+            self.inner.read(name)
+        }
+        fn write(&mut self, name: &str, bytes: &[u8]) {
+            self.inner.write(name, bytes)
+        }
+        fn append(&mut self, name: &str, bytes: &[u8]) {
+            self.inner.append(name, bytes)
+        }
+        fn sync(&mut self, name: &str) {
+            self.syncs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.sync(name)
+        }
+        fn len(&self, name: &str) -> u64 {
+            self.inner.len(name)
+        }
+        fn truncate(&mut self, name: &str, len: u64) {
+            self.inner.truncate(name, len)
+        }
+    }
+
+    /// Finds a (isp, user) whose account and pool live on different
+    /// shards, so `UserBuy` takes the cross-shard path.
+    fn cross_shard_user(map: &ShardMap, isps: u32, users: u32) -> (u32, u32) {
+        for isp in 0..isps {
+            for user in 0..users {
+                if map.user_shard(isp, user) != map.pool_shard(isp) {
+                    return (isp, user);
+                }
+            }
+        }
+        panic!("no cross-shard account in a {isps}x{users} deployment");
+    }
+
+    #[test]
+    fn pending_transfers_overlay_reads_until_the_flush() {
+        let boot = bootstrap(4, 6);
+        let total = boot.epennies_found();
+        let (mut sharded, _) = ShardedLedgerStore::open(storages(4), StoreConfig::default(), boot);
+        let (isp, user) = cross_shard_user(sharded.map(), 4, 6);
+        let before = sharded.user(isp, user);
+        sharded.append(&LedgerRecord::UserBuy {
+            isp,
+            user,
+            amount: 10,
+        });
+        // Mid-tick, before any flush: the credit is only in the outbox,
+        // but every read must already include it.
+        assert_eq!(sharded.pending_xfers.len(), 1);
+        let mid = sharded.user(isp, user);
+        assert_eq!(mid.balance, before.balance + 10);
+        assert_eq!(mid.account, before.account - 10);
+        assert_eq!(sharded.books().epennies_found(), total, "mid-tick view");
+        let mid_books = sharded.books();
+        sharded.commit_all();
+        assert!(sharded.pending_xfers.is_empty());
+        assert_eq!(sharded.books(), mid_books, "flush must not move books");
+        assert_eq!(sharded.user(isp, user), mid);
+    }
+
+    #[test]
+    fn cross_shard_transfers_share_group_commits_instead_of_forcing_syncs() {
+        let config = StoreConfig {
+            batch_records: 1_024,
+            checkpoint_every: 1 << 40,
+        };
+        let syncs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let backends: Vec<CountingStorage> = (0..4)
+            .map(|_| CountingStorage {
+                inner: MemStorage::new(),
+                syncs: std::sync::Arc::clone(&syncs),
+            })
+            .collect();
+        let (mut sharded, _) = ShardedLedgerStore::open(backends, config, bootstrap(4, 64));
+        let baseline = syncs.load(std::sync::atomic::Ordering::Relaxed);
+        let mut cross = 0;
+        for user in 0..64u32 {
+            for isp in 0..4u32 {
+                if sharded.map().user_shard(isp, user) != sharded.map().pool_shard(isp) {
+                    sharded.append(&LedgerRecord::UserBuy {
+                        isp,
+                        user,
+                        amount: 1,
+                    });
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross >= 20, "need a real batch, got {cross}");
+        assert_eq!(
+            syncs.load(std::sync::atomic::Ordering::Relaxed),
+            baseline,
+            "routing a tick of transfers must not sync at all"
+        );
+        sharded.commit_all();
+        let spent = syncs.load(std::sync::atomic::Ordering::Relaxed) - baseline;
+        // Three waves, each at most one sync per shard — versus one
+        // forced sync per transfer before batching.
+        assert!(
+            spent <= 3 * 4,
+            "commit_all spent {spent} syncs on {cross} transfers"
+        );
+        assert_eq!(sharded.books().epennies_found(), {
+            let boot = bootstrap(4, 64);
+            boot.epennies_found()
+        });
+    }
+
+    #[test]
+    fn overwrite_records_flush_the_outbox_first() {
+        let (mut sharded, _) =
+            ShardedLedgerStore::open(storages(4), StoreConfig::default(), bootstrap(4, 6));
+        let (isp, user) = cross_shard_user(sharded.map(), 4, 6);
+        sharded.append(&LedgerRecord::UserBuy {
+            isp,
+            user,
+            amount: 5,
+        });
+        assert_eq!(sharded.pending_xfers.len(), 1);
+        sharded.append(&LedgerRecord::DailyReset { isp });
+        assert!(
+            sharded.pending_xfers.is_empty(),
+            "DailyReset must not reorder ahead of a pending apply in the WAL"
+        );
+        sharded.commit_all();
+        let mut reference = bootstrap(4, 6);
+        reference.apply(&LedgerRecord::UserBuy {
+            isp,
+            user,
+            amount: 5,
+        });
+        reference.apply(&LedgerRecord::DailyReset { isp });
+        assert_eq!(sharded.books(), reference);
+    }
+
+    #[test]
+    fn crash_before_the_flush_loses_both_legs_together() {
+        let config = StoreConfig {
+            batch_records: 1_024,
+            checkpoint_every: 1 << 40,
+        };
+        let boot = bootstrap(4, 6);
+        let total = boot.epennies_found();
+        let (mut sharded, _) = ShardedLedgerStore::open(storages(4), config, boot);
+        let (isp, user) = cross_shard_user(sharded.map(), 4, 6);
+        sharded.append(&LedgerRecord::UserBuy {
+            isp,
+            user,
+            amount: 10,
+        });
+        // No commit_all: the prepare is still buffered, the apply only
+        // in the outbox. A crash now must recover to the pre-transfer
+        // books — never a half-transfer.
+        let (recovered, report) = sharded.simulate_recovery();
+        assert_eq!(recovered.epennies_found(), total);
+        assert_eq!(recovered, bootstrap(4, 6));
+        assert_eq!(report.resolved_forward, 0);
+        let live_user = recovered.isps[isp as usize].users[user as usize];
+        assert_eq!(live_user.balance, 100, "credit must not survive alone");
     }
 
     #[test]

@@ -19,7 +19,7 @@ echo "== cargo doc (first-party crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p zmail -p zmail-ap -p zmail-core -p zmail-bench -p zmail-crypto \
   -p zmail-smtp -p zmail-sim -p zmail-econ -p zmail-baselines -p zmail-obs \
-  -p zmail-fault -p zmail-store
+  -p zmail-fault -p zmail-store -p zmail-load
 
 echo "== speclint (static analysis of the bundled AP specs)"
 cargo run --release -q -p zmail-bench --bin speclint -- --threads 0
@@ -79,5 +79,20 @@ grep -q "^## Adversarial model" README.md
 grep -q "AttackClass" crates/fault/README.md
 grep -q "adversary\." crates/obs/README.md
 grep -q "^| E20 " EXPERIMENTS.md
+
+echo "== load generator (schedule determinism, CO-safe latency, threaded soak)"
+cargo test -q --release -p zmail-load --test determinism
+cargo test -q --release -p zmail-load --test coordinated_omission
+cargo test -q --release -p zmail-smtp --test threaded_soak
+
+echo "== open-loop overload smoke (sweep shape, liveness, seq conservation)"
+cargo run --release -q -p zmail-bench --bin e21_open_loop -- --smoke > /dev/null
+
+echo "== load docs present"
+grep -q "^## Load testing & overload behavior" README.md
+grep -q "coordinated-omission" crates/load/README.md
+grep -q "load\." crates/obs/README.md
+grep -q "server\.accept\." crates/obs/README.md
+grep -q "^| E21 " EXPERIMENTS.md
 
 echo "CI: all green"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment (E1-E20) into results/, then records the
+# Regenerates every experiment (E1-E21) into results/, then records the
 # full test and bench outputs. Run from the repository root.
 set -euo pipefail
 
@@ -10,7 +10,7 @@ experiments=(
   e9_hashcash e10_spam_share e11_smtp_throughput e12_spec_check
   e13_lossy_network e14_federated_banks e15_bank_recovery
   e16_durability e17_million_users e18_racecheck e19_tracing
-  e20_adversary
+  e20_adversary e21_open_loop
 )
 for e in "${experiments[@]}"; do
   echo "== $e"
